@@ -1,0 +1,33 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables/figures at a reduced
+("small") scale by default so the whole suite finishes in minutes; pass
+``--repro-scale medium`` (or ``paper``) to run closer to the paper's settings
+(the paper itself reports hundreds of CPU hours for the full sweep).  Each
+benchmark prints the regenerated table so the numbers land in the benchmark
+log, and reports the end-to-end wall time of one full regeneration through
+``pytest-benchmark`` (a single round — compilation is deterministic and slow,
+so repeated rounds would only waste time).
+"""
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--repro-scale",
+        action="store",
+        default="small",
+        choices=["small", "medium", "paper"],
+        help="Experiment scale tier for the reproduction benchmarks.",
+    )
+
+
+@pytest.fixture(scope="session")
+def repro_scale(request):
+    return request.config.getoption("--repro-scale")
+
+
+def run_once(benchmark, function, *args, **kwargs):
+    """Run ``function`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)

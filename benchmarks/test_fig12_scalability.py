@@ -1,0 +1,33 @@
+"""Benchmark regenerating Fig. 12 (improvement vs number of chiplets)."""
+
+from conftest import run_once
+
+from repro.experiments import format_fig12, improvement_series, run_fig12
+
+_CONFIG = {
+    "small": dict(chiplet_width=4, array_shapes=((1, 2), (2, 2), (2, 3))),
+    "medium": dict(chiplet_width=5, array_shapes=((2, 2), (2, 3), (3, 3))),
+    "paper": dict(chiplet_width=7, array_shapes=((2, 2), (2, 3), (3, 3), (3, 4))),
+}
+
+
+def test_fig12_scalability(benchmark, repro_scale):
+    """Improvements should not shrink as the chiplet array grows."""
+
+    def regenerate():
+        return run_fig12(scale=repro_scale, **_CONFIG[repro_scale])
+
+    records = run_once(benchmark, regenerate)
+    print()
+    print(format_fig12(records))
+
+    series = improvement_series(records)
+    for name, points in series.items():
+        depth_first = points[0][1]
+        depth_last = points[-1][1]
+        eff_first = points[0][2]
+        eff_last = points[-1][2]
+        # the paper's scalability trend: larger arrays favour MECH (allow a
+        # small tolerance for noise at the reduced default scale)
+        assert depth_last >= depth_first - 0.15, f"{name}: depth trend reversed"
+        assert eff_last >= eff_first - 0.15, f"{name}: eff_CNOT trend reversed"

@@ -1,0 +1,26 @@
+"""Benchmark regenerating Fig. 14 (cross-chip link sparsity)."""
+
+from conftest import run_once
+
+from repro.experiments import format_fig14, normalized_by_sparsity, run_fig14
+
+
+def test_fig14_sparsity(benchmark, repro_scale):
+    """MECH's normalised depth should not degrade as cross-chip links get sparser."""
+
+    def regenerate():
+        return run_fig14(scale=repro_scale)
+
+    records = run_once(benchmark, regenerate)
+    print()
+    print(format_fig14(records))
+
+    series = normalized_by_sparsity(records)
+    for name, points in series.items():
+        # points are ordered dense -> sparse; the paper reports the normalised
+        # depth *decreasing* (MECH is insensitive, the baseline suffers)
+        dense_depth = points[0][1]
+        sparse_depth = points[-1][1]
+        assert sparse_depth <= dense_depth * 1.15, (
+            f"{name}: normalised depth degraded under sparse cross-chip links"
+        )

@@ -1,0 +1,23 @@
+"""Benchmark regenerating Fig. 15 (highway qubit percentage)."""
+
+from conftest import run_once
+
+from repro.experiments import format_fig15, normalized_by_density, run_fig15
+
+
+def test_fig15_highway_density(benchmark, repro_scale):
+    """Doubling the highway must increase the highway-qubit fraction and keep
+    the compiled circuits valid; the normalised metrics are reported."""
+
+    def regenerate():
+        return run_fig15(scale=repro_scale)
+
+    records = run_once(benchmark, regenerate)
+    print()
+    print(format_fig15(records))
+
+    series = normalized_by_density(records)
+    for name, points in series.items():
+        fractions = [fraction for _, fraction, _, _ in points]
+        assert fractions == sorted(fractions), f"{name}: highway fraction not increasing"
+        assert all(depth_ratio > 0 and eff_ratio > 0 for _, _, depth_ratio, eff_ratio in points)

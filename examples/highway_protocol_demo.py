@@ -1,0 +1,79 @@
+"""Demonstrate (and verify) the highway building blocks on the simulator.
+
+Walks through the paper's three mechanisms at simulator scale:
+
+1. constant-depth, measurement-based GHZ preparation on a highway path
+   (Figs. 5-8), compared with the linear-depth CNOT chain;
+2. the multi-entry communication protocol (Fig. 3): one control qubit drives
+   CNOTs onto two distant targets *simultaneously* by consuming the GHZ state;
+3. the statevector check that the protocol really implements the same unitary
+   as the two direct CNOTs.
+
+Run with:  python examples/highway_protocol_demo.py
+"""
+
+import numpy as np
+
+from repro.circuits import Circuit, Simulator, statevectors_equal
+from repro.highway import chain_ghz, highway_multi_target, measurement_based_ghz
+
+
+def ghz_preparation_demo() -> None:
+    path = list(range(9))
+    chain = Circuit(9).extend(chain_ghz(path))
+    plan = measurement_based_ghz(path)
+    fast = Circuit(9).extend(plan.operations)
+    print("== GHZ preparation over a 9-qubit highway path ==")
+    print(f"CNOT-chain depth        : {chain.depth():.0f}")
+    print(f"measurement-based depth : {fast.depth():.0f} "
+          f"(members: {plan.members}, measured helpers: {plan.measured})")
+
+    sim = Simulator(9, seed=1)
+    sim.run(fast)
+    # verify: map GHZ -> |0...0> on the members and check determinism
+    verify = Circuit(9)
+    for member in plan.members[1:]:
+        verify.cx(plan.members[0], member)
+    verify.h(plan.members[0])
+    sim.run(verify)
+    ok = all(abs(sim.expectation_z(q) - 1.0) < 1e-8 for q in plan.members)
+    print(f"GHZ state verified on members: {ok}\n")
+
+
+def protocol_demo() -> None:
+    print("== Highway protocol: one control, two distant targets ==")
+    # qubits: 0 = control data, 1-3 = highway GHZ members, 4/5 = target data
+    circuit = Circuit(6)
+    circuit.rx(1.1, 0)           # put the control in a superposition
+    circuit.x(4)                 # make the targets distinguishable
+    circuit.extend(chain_ghz([1, 2, 3]))
+    plan = highway_multi_target(
+        control_data=0,
+        control_entrance=1,
+        member_target_pairs=[(2, 4), (3, 5)],
+        all_members=[1, 2, 3],
+        cbit_base=10,
+    )
+    circuit.extend(plan.operations)
+
+    reference = Circuit(6)
+    reference.rx(1.1, 0)
+    reference.x(4)
+    reference.cx(0, 4)
+    reference.cx(0, 5)
+
+    matches = 0
+    trials = 10
+    for seed in range(trials):
+        out = Simulator(6, seed=seed).run(circuit)
+        ref = Simulator(6, seed=0).run(reference)
+        state = out.statevector.reshape((2,) * 6)[:, 0, 0, 0, :, :].reshape(-1)
+        ref_state = ref.statevector.reshape((2,) * 6)[:, 0, 0, 0, :, :].reshape(-1)
+        matches += statevectors_equal(state, ref_state)
+    print(f"protocol output matched the direct CNOTs in {matches}/{trials} random-outcome runs")
+    print("fan-out CNOTs in the protocol act on disjoint pairs, so they run concurrently\n")
+
+
+if __name__ == "__main__":
+    ghz_preparation_demo()
+    protocol_demo()

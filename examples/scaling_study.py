@@ -1,0 +1,57 @@
+"""Domain example: how MECH's advantage scales with the chiplet array size.
+
+Reproduces, at configurable scale, the paper's Fig. 12 message: keep the
+chiplet footprint fixed and grow the number of chiplets, then watch the depth
+and effective-CNOT improvements of MECH over the SWAP baseline grow with the
+device.  This is the experiment that motivates highways as the communication
+substrate for thousand-qubit chiplet machines.
+
+Run with:  python examples/scaling_study.py [--width 5] [--benchmark QFT]
+(larger widths take correspondingly longer: the baseline router dominates).
+"""
+
+import argparse
+import time
+
+from repro import BaselineCompiler, ChipletArray, MechCompiler
+from repro.metrics import improvement
+from repro.programs import build_benchmark
+
+DEFAULT_SHAPES = ((1, 2), (2, 2), (2, 3), (3, 3))
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--width", type=int, default=4, help="chiplet footprint width")
+    parser.add_argument("--benchmark", default="QFT", choices=["QFT", "QAOA", "VQE", "BV"])
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--shapes",
+        nargs="*",
+        default=[f"{r}x{c}" for r, c in DEFAULT_SHAPES],
+        help="chiplet array shapes, e.g. 2x2 2x3 3x3",
+    )
+    args = parser.parse_args()
+
+    print(f"{args.benchmark} on growing arrays of {args.width}x{args.width} square chiplets")
+    print(f"{'array':>6} {'chiplets':>8} {'data qubits':>11} {'depth impr':>11} {'eff impr':>9} {'runtime':>9}")
+    print("-" * 62)
+    for shape in args.shapes:
+        rows, cols = (int(x) for x in shape.lower().split("x"))
+        start = time.perf_counter()
+        array = ChipletArray("square", args.width, rows, cols)
+        mech = MechCompiler(array)
+        kwargs = {} if args.benchmark == "QFT" else {"seed": args.seed}
+        circuit = build_benchmark(args.benchmark, mech.num_data_qubits, **kwargs)
+        ours = mech.compile(circuit).metrics()
+        base = BaselineCompiler(array.topology).compile(circuit).metrics()
+        elapsed = time.perf_counter() - start
+        print(
+            f"{shape:>6} {rows * cols:>8d} {mech.num_data_qubits:>11d} "
+            f"{improvement(base.depth, ours.depth):>10.1%} "
+            f"{improvement(base.eff_cnots, ours.eff_cnots):>8.1%} {elapsed:>8.1f}s"
+        )
+
+
+if __name__ == "__main__":
+    main()

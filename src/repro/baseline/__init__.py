@@ -1,0 +1,13 @@
+"""Baseline SWAP-insertion compiler (stand-in for Qiskit optimisation level 3)."""
+
+from .layout import compact_layout, initial_layout, trivial_layout
+from .sabre import SabreRouter
+from .transpiler import BaselineCompiler
+
+__all__ = [
+    "BaselineCompiler",
+    "SabreRouter",
+    "initial_layout",
+    "trivial_layout",
+    "compact_layout",
+]

@@ -1,0 +1,69 @@
+"""Initial layout (logical-to-physical placement) strategies for the baseline.
+
+The baseline compiler mimics a mainstream SWAP-insertion transpiler.  Its
+initial placement matters mostly through the total routing distance, so two
+simple strategies are provided:
+
+* ``trivial`` — logical qubit ``i`` on physical qubit ``i`` (row-major over
+  the device); this is what Qiskit uses before its layout passes refine it.
+* ``compact`` — logical qubits packed chiplet by chiplet in a breadth-first
+  order from a corner, which keeps interacting qubits of shallow circuits on
+  nearby chiplets and is a reasonable stand-in for a density-aware layout
+  pass.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List
+
+from ..hardware.topology import Topology
+
+__all__ = ["trivial_layout", "compact_layout", "initial_layout"]
+
+
+def trivial_layout(num_logical: int, topology: Topology) -> Dict[int, int]:
+    """Place logical qubit ``i`` on physical qubit ``i``."""
+    _check_size(num_logical, topology)
+    return {i: i for i in range(num_logical)}
+
+
+def compact_layout(num_logical: int, topology: Topology) -> Dict[int, int]:
+    """Pack logical qubits in BFS order from physical qubit 0.
+
+    A breadth-first ordering keeps the used region of the device connected and
+    compact, which reduces worst-case routing distances for the baseline.
+    """
+    _check_size(num_logical, topology)
+    order: List[int] = []
+    seen = {0}
+    queue = deque([0])
+    while queue:
+        q = queue.popleft()
+        order.append(q)
+        for nb in topology.neighbors(q):
+            if nb not in seen:
+                seen.add(nb)
+                queue.append(nb)
+    # devices are connected, but guard against isolated qubits anyway
+    for q in topology.qubits():
+        if q not in seen:
+            order.append(q)
+    return {i: order[i] for i in range(num_logical)}
+
+
+def initial_layout(num_logical: int, topology: Topology, strategy: str = "compact") -> Dict[int, int]:
+    """Dispatch on the layout ``strategy`` name."""
+    if strategy == "trivial":
+        return trivial_layout(num_logical, topology)
+    if strategy == "compact":
+        return compact_layout(num_logical, topology)
+    raise ValueError(f"unknown layout strategy {strategy!r}")
+
+
+def _check_size(num_logical: int, topology: Topology) -> None:
+    if num_logical > topology.num_qubits:
+        raise ValueError(
+            f"circuit needs {num_logical} qubits but the device has only "
+            f"{topology.num_qubits}"
+        )

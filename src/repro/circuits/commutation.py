@@ -1,0 +1,77 @@
+"""Pairwise gate commutation rules.
+
+The MECH compiler exploits the fact that controlled gates sharing the same
+control qubit commute with each other (each acts diagonally on the control),
+and that CNOTs sharing the same *target* also commute (each acts as an X-type
+operation on the target).  The rules implemented here classify, per qubit, the
+action of a gate as *Z-type* (diagonal in the computational basis), *X-type*
+(a pure bit-flip-like action) or *generic*, and declare two gates commuting on
+a shared qubit whenever their actions on that qubit are both Z-type or both
+X-type.  Gates with disjoint supports always commute.
+
+This is the same conservative rule set used by mainstream transpilers for
+commutation-aware scheduling: it never reports a false "commutes", it may miss
+exotic commutations (e.g. between generic rotations), which is acceptable for
+scheduling purposes.
+"""
+
+from __future__ import annotations
+
+from .gates import Gate
+
+__all__ = ["qubit_action", "commutes", "commutes_on_qubit"]
+
+#: Gate names whose action on any qubit they touch is diagonal (Z-type).
+_Z_TYPE_GATES = frozenset({"z", "s", "sdg", "t", "tdg", "rz", "p", "id", "cz", "cp", "crz"})
+
+#: 1-qubit gate names whose action is X-type (commute with each other).
+_X_TYPE_GATES = frozenset({"x", "rx"})
+
+
+def qubit_action(op: Gate, qubit: int) -> str:
+    """Classify the action of ``op`` on ``qubit`` as ``"z"``, ``"x"`` or ``"other"``.
+
+    Measurements are Z-type for commutation purposes only with other diagonal
+    operations *before* them; to stay conservative we classify them as
+    ``"other"`` so that nothing is reordered across a measurement on the same
+    qubit.  Barriers are ``"other"`` on every qubit they span.
+    """
+    if qubit not in op.qubits:
+        raise ValueError(f"qubit {qubit} is not acted on by {op}")
+    if op.is_measurement or op.is_barrier:
+        return "other"
+    name = op.name
+    if name in _Z_TYPE_GATES:
+        return "z"
+    if name in _X_TYPE_GATES:
+        return "x"
+    if name in ("cx", "mcx"):
+        # control is diagonal (Z-type), targets are X-type
+        return "z" if qubit == op.qubits[0] else "x"
+    if name == "mcp":
+        return "z"
+    return "other"
+
+
+def commutes_on_qubit(a: Gate, b: Gate, qubit: int) -> bool:
+    """Whether the actions of ``a`` and ``b`` on a shared ``qubit`` commute."""
+    ta = qubit_action(a, qubit)
+    tb = qubit_action(b, qubit)
+    if ta == "other" or tb == "other":
+        return False
+    return ta == tb
+
+
+def commutes(a: Gate, b: Gate) -> bool:
+    """Whether gates ``a`` and ``b`` commute.
+
+    Two gates commute if they act on disjoint qubits, or if on every shared
+    qubit their local actions are of the same (Z or X) type.  Barriers never
+    commute with anything sharing a qubit.
+    """
+    shared = set(a.qubits) & set(b.qubits)
+    if not shared:
+        return True
+    if a.is_barrier or b.is_barrier:
+        return False
+    return all(commutes_on_qubit(a, b, q) for q in shared)

@@ -1,0 +1,180 @@
+"""Commutation-aware dependency DAG over a circuit.
+
+The MECH paper's ``Circuit.py`` "constructs quantum circuits with gates and
+measurements, allowing gate commutation to find the earliest execution time of
+each gate" (Artifact Appendix A.2).  :class:`DependencyDag` provides exactly
+that: a DAG whose nodes are the circuit's operations and whose edges are
+*genuine* data dependencies, i.e. an edge is added between two operations that
+share a qubit only when they do **not** commute on it.
+
+The DAG powers two things downstream:
+
+* the aggregation pass, which groups mutually-commuting controlled gates that
+  share a control (or target) qubit and are simultaneously available,
+* earliest-start-time (ASAP) levels used by both compilers' schedulers.
+
+Passing ``commutation_aware=False`` yields the strict program-order DAG that
+mainstream transpilers' routing stages use (a gate depends on the previous
+gate on each of its wires, commuting or not); the baseline compiler uses that
+mode to stay faithful to the paper's Qiskit baseline, while the MECH compiler
+uses the commutation-aware mode — exploiting commutation is part of its
+contribution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from .circuit import Circuit
+from .commutation import qubit_action
+from .gates import Gate
+
+__all__ = ["DagNode", "DependencyDag"]
+
+
+@dataclass
+class DagNode:
+    """A single operation inside the dependency DAG."""
+
+    index: int
+    op: Gate
+    predecessors: Set[int] = field(default_factory=set)
+    successors: Set[int] = field(default_factory=set)
+
+    def __hash__(self) -> int:
+        return self.index
+
+
+class DependencyDag:
+    """Commutation-aware dependency DAG of a :class:`~repro.circuits.circuit.Circuit`.
+
+    Construction walks each qubit wire backwards from every new operation and
+    adds a dependency on the first earlier operation on that wire with which
+    the new operation does not commute.  Operations it commutes with are
+    skipped (they may execute in either order), which is what allows e.g. all
+    CNOTs sharing a control qubit to sit at the same DAG level.
+    """
+
+    def __init__(self, circuit: Circuit, *, commutation_aware: bool = True) -> None:
+        self.circuit = circuit
+        self.commutation_aware = commutation_aware
+        self.nodes: List[DagNode] = [
+            DagNode(i, op) for i, op in enumerate(circuit.operations)
+        ]
+        self._build()
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    def _build(self) -> None:
+        """Build edges with a per-wire grouping of commuting operations.
+
+        Along each qubit wire, consecutive operations whose local action has
+        the same (Z or X) type mutually commute and form a *group*; an
+        operation starting a new group depends on **every** member of the
+        previous group (not just the nearest one — an operation may commute
+        with its immediate predecessor yet conflict with an earlier one).
+        This is both correct and linear-time amortised per wire.
+        """
+        # per wire: (previous group, current group, class of the current group)
+        wires: Dict[int, Tuple[List[DagNode], List[DagNode], Optional[str]]] = {
+            q: ([], [], None) for q in range(self.circuit.num_qubits)
+        }
+        for node in self.nodes:
+            for q in node.op.qubits:
+                prev_group, cur_group, cur_class = wires[q]
+                if self.commutation_aware:
+                    cls = qubit_action(node.op, q)
+                else:
+                    cls = "other"
+                if cur_class is not None and cls == cur_class and cls != "other":
+                    dependencies = prev_group
+                    cur_group.append(node)
+                else:
+                    dependencies = cur_group
+                    prev_group, cur_group, cur_class = cur_group, [node], cls
+                for prev in dependencies:
+                    node.predecessors.add(prev.index)
+                    prev.successors.add(node.index)
+                wires[q] = (prev_group, cur_group, cur_class)
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def __iter__(self) -> Iterator[DagNode]:
+        return iter(self.nodes)
+
+    def node(self, index: int) -> DagNode:
+        return self.nodes[index]
+
+    def front_layer(self) -> List[DagNode]:
+        """Nodes with no predecessors (executable immediately)."""
+        return [n for n in self.nodes if not n.predecessors]
+
+    def topological_order(self) -> List[DagNode]:
+        """Nodes in a topological order (program order is already one)."""
+        return list(self.nodes)
+
+    def asap_levels(
+        self,
+        *,
+        meas_latency: float = 2.0,
+        one_qubit_weight: float = 0.0,
+        two_qubit_weight: float = 1.0,
+    ) -> Dict[int, float]:
+        """Earliest start time of each operation under the paper's cost model.
+
+        The start time of an operation is the maximum finish time over its DAG
+        predecessors; its finish time adds the operation's weight (1-qubit
+        gates are free, 2-qubit gates cost one step, measurements cost
+        ``meas_latency``).  Because the DAG encodes commutations, gates sharing
+        only a control qubit receive identical start times, which is the
+        "maximum concurrency" the paper's highway protocol then realises.
+        """
+        finish: Dict[int, float] = {}
+        start: Dict[int, float] = {}
+        for node in self.nodes:
+            op = node.op
+            if op.is_barrier:
+                weight = 0.0
+            elif op.is_measurement:
+                weight = float(meas_latency)
+            elif op.num_qubits >= 2:
+                weight = float(two_qubit_weight)
+            else:
+                weight = float(one_qubit_weight)
+            t0 = max((finish[p] for p in node.predecessors), default=0.0)
+            start[node.index] = t0
+            finish[node.index] = t0 + weight
+        return start
+
+    def layers(self) -> List[List[DagNode]]:
+        """Group nodes into dependency layers (ignoring gate weights).
+
+        A node's layer is ``1 + max(layer of predecessors)``; nodes in the same
+        layer are mutually independent (given the commutation relaxation) and
+        could in principle run concurrently.
+        """
+        level: Dict[int, int] = {}
+        buckets: Dict[int, List[DagNode]] = {}
+        for node in self.nodes:
+            lvl = max((level[p] + 1 for p in node.predecessors), default=0)
+            level[node.index] = lvl
+            buckets.setdefault(lvl, []).append(node)
+        return [buckets[k] for k in sorted(buckets)]
+
+    def descendants(self, index: int) -> Set[int]:
+        """All node indices reachable from ``index`` (excluding itself)."""
+        seen: Set[int] = set()
+        stack = [index]
+        while stack:
+            current = stack.pop()
+            for succ in self.nodes[current].successors:
+                if succ not in seen:
+                    seen.add(succ)
+                    stack.append(succ)
+        return seen

@@ -1,0 +1,223 @@
+"""Statevector simulator with mid-circuit measurement and classical feedback.
+
+The simulator exists to *verify* the building blocks of the reproduction on
+small instances:
+
+* the constant-depth, measurement-based GHZ preparation (paper Figs. 5-8),
+* the highway communication protocol that executes a multi-target CNOT by
+  consuming a GHZ state (paper Fig. 3),
+* that SWAP/bridge-based routing preserves circuit semantics up to the final
+  qubit permutation.
+
+It is an explicit, dense ``numpy`` implementation: the state is stored as a
+rank-``n`` tensor with one axis of length 2 per qubit.  Measurements collapse
+the state and record the outcome in a classical register; gates carrying a
+:class:`~repro.circuits.gates.Gate` ``condition`` are applied only when the
+parity of the referenced classical bits matches, which is how the dynamic-
+circuit Pauli corrections of the highway protocol are modelled.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Sequence
+
+import numpy as np
+
+from .circuit import Circuit
+from .gates import Gate, Measurement
+
+__all__ = ["Simulator", "SimulationResult", "statevectors_equal", "circuit_unitary"]
+
+
+class SimulationResult:
+    """Final state and classical bits produced by :meth:`Simulator.run`."""
+
+    def __init__(self, statevector: np.ndarray, classical_bits: Dict[int, int]) -> None:
+        self.statevector = statevector
+        self.classical_bits = dict(classical_bits)
+
+    def probabilities(self) -> np.ndarray:
+        """Probability of each computational basis state."""
+        return np.abs(self.statevector) ** 2
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SimulationResult(dim={self.statevector.shape[0]}, "
+            f"classical_bits={self.classical_bits})"
+        )
+
+
+class Simulator:
+    """Dense statevector simulator over ``num_qubits`` qubits.
+
+    Parameters
+    ----------
+    num_qubits:
+        Number of qubits; memory is ``O(2**num_qubits)`` so keep it small
+        (verification uses at most ~14 qubits).
+    seed:
+        Seed for the random generator used to sample measurement outcomes.
+    """
+
+    #: Practical ceiling to avoid accidentally allocating huge state vectors.
+    MAX_QUBITS = 22
+
+    def __init__(self, num_qubits: int, seed: Optional[int] = None) -> None:
+        if num_qubits <= 0:
+            raise ValueError("num_qubits must be positive")
+        if num_qubits > self.MAX_QUBITS:
+            raise ValueError(
+                f"simulator limited to {self.MAX_QUBITS} qubits, got {num_qubits}"
+            )
+        self.num_qubits = num_qubits
+        self._rng = np.random.default_rng(seed)
+        self._state = np.zeros((2,) * num_qubits, dtype=complex)
+        self._state[(0,) * num_qubits] = 1.0
+        self.classical_bits: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------ #
+    # state access
+    # ------------------------------------------------------------------ #
+    @property
+    def statevector(self) -> np.ndarray:
+        """The current state as a flat vector of length ``2**num_qubits``.
+
+        The basis ordering treats qubit 0 as the most significant bit, i.e.
+        amplitude ``statevector[b]`` corresponds to the bitstring of ``b``
+        written with qubit 0 first.
+        """
+        return self._state.reshape(-1).copy()
+
+    def set_statevector(self, vector: Sequence[complex]) -> None:
+        """Overwrite the state with a (normalised) vector."""
+        arr = np.asarray(vector, dtype=complex).reshape(-1)
+        if arr.shape[0] != 2**self.num_qubits:
+            raise ValueError("statevector has the wrong dimension")
+        norm = np.linalg.norm(arr)
+        if not np.isclose(norm, 1.0, atol=1e-9):
+            if norm == 0:
+                raise ValueError("statevector must be non-zero")
+            arr = arr / norm
+        self._state = arr.reshape((2,) * self.num_qubits)
+
+    def reset(self) -> None:
+        """Return to |0...0> and clear the classical register."""
+        self._state = np.zeros((2,) * self.num_qubits, dtype=complex)
+        self._state[(0,) * self.num_qubits] = 1.0
+        self.classical_bits = {}
+
+    # ------------------------------------------------------------------ #
+    # gate application
+    # ------------------------------------------------------------------ #
+    def apply(self, op: Gate) -> Optional[int]:
+        """Apply a gate, measurement or barrier; return the outcome if measuring."""
+        if op.is_barrier:
+            return None
+        if op.condition is not None and not self._condition_satisfied(op):
+            return None
+        if op.is_measurement:
+            assert isinstance(op, Measurement)
+            outcome = self.measure(op.qubits[0])
+            self.classical_bits[op.cbit] = outcome
+            return outcome
+        if op.is_multi_target:
+            for component in op.components():
+                self._apply_unitary(component)
+            return None
+        self._apply_unitary(op)
+        return None
+
+    def run(self, circuit: Circuit) -> SimulationResult:
+        """Execute every operation of ``circuit`` in order."""
+        if circuit.num_qubits > self.num_qubits:
+            raise ValueError(
+                f"circuit needs {circuit.num_qubits} qubits, simulator has {self.num_qubits}"
+            )
+        for op in circuit:
+            self.apply(op)
+        return SimulationResult(self.statevector, self.classical_bits)
+
+    def measure(self, qubit: int) -> int:
+        """Measure ``qubit`` in the computational basis, collapsing the state."""
+        self._check_qubit(qubit)
+        axis = qubit
+        moved = np.moveaxis(self._state, axis, 0)
+        prob_one = float(np.sum(np.abs(moved[1]) ** 2))
+        prob_one = min(max(prob_one, 0.0), 1.0)
+        outcome = 1 if self._rng.random() < prob_one else 0
+        prob = prob_one if outcome == 1 else 1.0 - prob_one
+        if prob <= 1e-12:
+            # numerical guard: the other branch is (essentially) impossible
+            outcome = 1 - outcome
+            prob = 1.0 - prob
+        new = np.zeros_like(moved)
+        new[outcome] = moved[outcome] / np.sqrt(prob)
+        self._state = np.moveaxis(new, 0, axis)
+        return outcome
+
+    def expectation_z(self, qubit: int) -> float:
+        """Expectation value of Pauli-Z on ``qubit`` (no collapse)."""
+        self._check_qubit(qubit)
+        moved = np.moveaxis(self._state, qubit, 0)
+        p0 = float(np.sum(np.abs(moved[0]) ** 2))
+        p1 = float(np.sum(np.abs(moved[1]) ** 2))
+        return p0 - p1
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+    def _condition_satisfied(self, op: Gate) -> bool:
+        cbits, value = op.condition  # type: ignore[misc]
+        parity = 0
+        for c in cbits:
+            parity ^= self.classical_bits.get(c, 0)
+        return parity == value
+
+    def _check_qubit(self, qubit: int) -> None:
+        if not 0 <= qubit < self.num_qubits:
+            raise ValueError(f"qubit {qubit} out of range")
+
+    def _apply_unitary(self, op: Gate) -> None:
+        for q in op.qubits:
+            self._check_qubit(q)
+        matrix = op.matrix()
+        k = op.num_qubits
+        tensor = matrix.reshape((2,) * (2 * k))
+        axes = list(op.qubits)
+        # contract the "input" axes of the gate tensor with the state axes
+        state = np.tensordot(tensor, self._state, axes=(list(range(k, 2 * k)), axes))
+        # tensordot puts the gate's output axes first; move them back in place
+        self._state = np.moveaxis(state, list(range(k)), axes)
+
+
+# ---------------------------------------------------------------------- #
+# verification helpers
+# ---------------------------------------------------------------------- #
+def statevectors_equal(
+    a: Iterable[complex], b: Iterable[complex], *, atol: float = 1e-8
+) -> bool:
+    """Whether two state vectors are equal up to a global phase."""
+    va = np.asarray(list(a), dtype=complex).reshape(-1)
+    vb = np.asarray(list(b), dtype=complex).reshape(-1)
+    if va.shape != vb.shape:
+        return False
+    inner = np.vdot(va, vb)
+    return bool(np.isclose(np.abs(inner), 1.0, atol=atol))
+
+
+def circuit_unitary(circuit: Circuit) -> np.ndarray:
+    """Compute the unitary of a measurement-free circuit by basis-state runs.
+
+    Only practical for small circuits; used by tests to compare routed circuits
+    against their logical counterparts.
+    """
+    dim = 2**circuit.num_qubits
+    unitary = np.zeros((dim, dim), dtype=complex)
+    for basis in range(dim):
+        sim = Simulator(circuit.num_qubits, seed=0)
+        vec = np.zeros(dim, dtype=complex)
+        vec[basis] = 1.0
+        sim.set_statevector(vec)
+        result = sim.run(circuit)
+        unitary[:, basis] = result.statevector
+    return unitary

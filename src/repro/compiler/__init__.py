@@ -1,0 +1,29 @@
+"""The MECH compiler: aggregation, routing, scheduling and results."""
+
+from .aggregation import (
+    ExecutionUnit,
+    GateComponent,
+    HighwayGateUnit,
+    SingleUnit,
+    aggregate,
+)
+from .local_router import LocalRouter, RoutingError
+from .mech import MechCompiler
+from .result import CompilationResult
+from .rewrite import fuse_zz_ladders
+from .scheduler import MechScheduler, SchedulerError
+
+__all__ = [
+    "MechCompiler",
+    "MechScheduler",
+    "SchedulerError",
+    "CompilationResult",
+    "LocalRouter",
+    "RoutingError",
+    "aggregate",
+    "fuse_zz_ladders",
+    "ExecutionUnit",
+    "SingleUnit",
+    "HighwayGateUnit",
+    "GateComponent",
+]

@@ -1,0 +1,175 @@
+"""Circuit rewriting: aggregation of commuting controlled gates (paper §6.2).
+
+The MECH scheduler executes *multi-target* controlled gates on the highway.
+This pass finds them: within each commutation-aware dependency layer it groups
+2-qubit controlled gates that
+
+* share a **control** qubit (CX/CZ/CP/CRZ — each is diagonal on its control,
+  so gates sharing a control commute), or
+* share a **target** qubit (CX only; conjugating the shared target with
+  Hadamards turns the group into CZ gates sharing that qubit, which the
+  highway protocol then executes with the shared qubit as its hub).
+
+Groups with at least ``min_components`` members become
+:class:`HighwayGateUnit`s; everything else stays a :class:`SingleUnit` routed
+off the highway.  Grouping is greedy by descending group size, which mirrors
+the paper's "those with the most gate components will be scheduled as highway
+gates" rule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..circuits.dag import DependencyDag
+from ..circuits.gates import Gate
+
+__all__ = ["GateComponent", "SingleUnit", "HighwayGateUnit", "ExecutionUnit", "aggregate"]
+
+#: Controlled-gate names whose control side is diagonal (hub may be the control).
+_CONTROL_HUB_GATES = frozenset({"cx", "cz", "cp", "crz"})
+#: Gates that are symmetric/diagonal, so either qubit may serve as the hub.
+_SYMMETRIC_GATES = frozenset({"cz", "cp"})
+
+
+@dataclass(frozen=True)
+class GateComponent:
+    """One original 2-qubit gate inside a highway gate.
+
+    ``spoke`` is the logical qubit at the far end of the component (the target
+    for control-shared groups, the control for target-shared groups).
+    """
+
+    node_index: int
+    spoke: int
+    gate_name: str
+    params: Tuple[float, ...]
+
+
+@dataclass(frozen=True)
+class SingleUnit:
+    """A gate executed in the ordinary gate-based way (off the highway)."""
+
+    node_index: int
+    op: Gate
+
+    @property
+    def indices(self) -> Tuple[int, ...]:
+        return (self.node_index,)
+
+
+@dataclass(frozen=True)
+class HighwayGateUnit:
+    """An aggregated multi-target gate executed via the highway protocol.
+
+    Attributes
+    ----------
+    hub:
+        The shared logical qubit (the control for ``kind='control'`` groups,
+        the shared target for ``kind='target'`` groups).
+    components:
+        The member gates, one per spoke qubit.
+    kind:
+        ``'control'`` or ``'target'``; target-shared groups need Hadamard
+        conjugation of the hub and execute their fan-out as CZ.
+    """
+
+    hub: int
+    components: Tuple[GateComponent, ...]
+    kind: str = "control"
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("control", "target"):
+            raise ValueError(f"invalid highway gate kind {self.kind!r}")
+        if not self.components:
+            raise ValueError("a highway gate needs at least one component")
+
+    @property
+    def num_components(self) -> int:
+        return len(self.components)
+
+    @property
+    def spokes(self) -> Tuple[int, ...]:
+        return tuple(c.spoke for c in self.components)
+
+    @property
+    def indices(self) -> Tuple[int, ...]:
+        return tuple(c.node_index for c in self.components)
+
+
+ExecutionUnit = Union[SingleUnit, HighwayGateUnit]
+
+
+def aggregate(dag: DependencyDag, *, min_components: int = 2) -> List[ExecutionUnit]:
+    """Group the DAG's gates into execution units, in a valid execution order.
+
+    Layers of the commutation-aware DAG are processed in order; within a
+    layer, hub qubits are chosen greedily by how many still-unassigned gates
+    they could aggregate.  The returned unit order respects all dependencies
+    (units only contain gates from a single layer, and layers are emitted in
+    order), so the scheduler may execute the list sequentially.
+    """
+    if min_components < 1:
+        raise ValueError("min_components must be at least 1")
+    units: List[ExecutionUnit] = []
+    for layer in dag.layers():
+        units.extend(_aggregate_layer(layer, min_components))
+    return units
+
+
+def _aggregate_layer(layer, min_components: int) -> List[ExecutionUnit]:
+    aggregatable = []
+    passthrough: List[SingleUnit] = []
+    for node in layer:
+        op = node.op
+        if op.name in _CONTROL_HUB_GATES and op.num_qubits == 2:
+            aggregatable.append(node)
+        else:
+            passthrough.append(SingleUnit(node.index, op))
+
+    assigned: Dict[int, bool] = {node.index: False for node in aggregatable}
+    units: List[ExecutionUnit] = []
+
+    while True:
+        # hub candidates: (qubit, kind) -> nodes that could join
+        candidates: Dict[Tuple[int, str], List] = {}
+        for node in aggregatable:
+            if assigned[node.index]:
+                continue
+            op = node.op
+            control, target = op.qubits
+            candidates.setdefault((control, "control"), []).append(node)
+            if op.name in _SYMMETRIC_GATES:
+                candidates.setdefault((target, "control"), []).append(node)
+            elif op.name == "cx":
+                candidates.setdefault((target, "target"), []).append(node)
+        if not candidates:
+            break
+        (hub, kind), nodes = max(
+            candidates.items(), key=lambda item: (len(item[1]), -item[0][0])
+        )
+        if len(nodes) < min_components or len(nodes) < 2:
+            break
+        components = []
+        for node in nodes:
+            op = node.op
+            control, target = op.qubits
+            # the spoke is simply "the other qubit": for control-shared groups
+            # the hub is the control side (directly, or either side of a
+            # symmetric cz/cp), for target-shared cx groups the hub is the
+            # shared target and the spoke is the control.
+            spoke = target if hub == control else control
+            components.append(
+                GateComponent(node.index, spoke, op.name, op.params)
+            )
+            assigned[node.index] = True
+        units.append(HighwayGateUnit(hub, tuple(components), kind))
+
+    for node in aggregatable:
+        if not assigned[node.index]:
+            units.append(SingleUnit(node.index, node.op))
+
+    # 1-qubit gates, measurements and barriers keep their relative order at the
+    # front of the layer (they are cheap and have no routing implications).
+    return passthrough + units

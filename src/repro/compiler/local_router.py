@@ -1,0 +1,162 @@
+"""Local routing of data qubits (paper Section 6.1, "local routing").
+
+Data qubits involved in highway gates must be brought next to their chosen
+highway entrance, and data qubits of regular (off-highway) 2-qubit gates must
+be brought next to each other.  Both movements are realised by chains of SWAP
+gates that stay on *data* qubits: highway qubits hold (or are about to hold)
+entangled highway state, so routing never swaps through them.  Interval qubits
+of the interleaved highway sections are ordinary data qubits and remain
+available for routing, which keeps the data subgraph connected.
+
+The router pre-computes an all-pairs distance matrix over the data subgraph so
+path extraction is a cheap greedy descent; it returns SWAP pair lists and
+leaves the mapping bookkeeping to the scheduler.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+from scipy.sparse import csr_matrix
+from scipy.sparse.csgraph import dijkstra
+
+from ..hardware.topology import Topology
+
+__all__ = ["LocalRouter", "RoutingError"]
+
+
+class RoutingError(RuntimeError):
+    """Raised when no data-qubit path exists between the requested positions."""
+
+
+class LocalRouter:
+    """Shortest-path SWAP routing restricted to the data-qubit subgraph."""
+
+    def __init__(self, topology: Topology, highway_qubits: Iterable[int] = ()) -> None:
+        self.topology = topology
+        self.highway_qubits = frozenset(highway_qubits)
+        self._neighbors: Dict[int, List[int]] = {}
+        for q in topology.qubits():
+            if q in self.highway_qubits:
+                continue
+            self._neighbors[q] = [
+                nb for nb in topology.neighbors(q) if nb not in self.highway_qubits
+            ]
+        self._distances = self._compute_distances()
+
+    # ------------------------------------------------------------------ #
+    # distances and paths
+    # ------------------------------------------------------------------ #
+    def _compute_distances(self) -> np.ndarray:
+        n = self.topology.num_qubits
+        rows: List[int] = []
+        cols: List[int] = []
+        for q, neighbors in self._neighbors.items():
+            for nb in neighbors:
+                rows.append(q)
+                cols.append(nb)
+        matrix = csr_matrix((np.ones(len(rows)), (rows, cols)), shape=(n, n))
+        return dijkstra(matrix, directed=False, unweighted=True)
+
+    def data_distance(self, a: int, b: int) -> float:
+        """Hop distance between two positions through data qubits only."""
+        self._check_data(a)
+        self._check_data(b)
+        return float(self._distances[a, b])
+
+    def is_data(self, qubit: int) -> bool:
+        """Whether ``qubit`` is a data (non-highway) position."""
+        return qubit not in self.highway_qubits
+
+    def path(self, source: int, destination: int) -> List[int]:
+        """A shortest data-qubit path from ``source`` to ``destination`` (inclusive).
+
+        Raises :class:`RoutingError` when the two positions are not connected
+        through data qubits.
+        """
+        self._check_data(source)
+        self._check_data(destination)
+        if source == destination:
+            return [source]
+        if not np.isfinite(self._distances[source, destination]):
+            raise RoutingError(
+                f"no data-qubit path between {source} and {destination}"
+            )
+        path = [source]
+        current = source
+        while current != destination:
+            current = min(
+                self._neighbors[current],
+                key=lambda nb: (self._distances[nb, destination], nb),
+            )
+            path.append(current)
+        return path
+
+    # ------------------------------------------------------------------ #
+    # SWAP plans
+    # ------------------------------------------------------------------ #
+    def swaps_to_position(self, source: int, destination: int) -> List[Tuple[int, int]]:
+        """SWAPs moving the qubit at ``source`` onto ``destination``."""
+        route = self.path(source, destination)
+        return [(a, b) for a, b in zip(route, route[1:])]
+
+    def swaps_to_adjacency(self, mover: int, anchor: int) -> List[Tuple[int, int]]:
+        """SWAPs moving the qubit at ``mover`` until it is coupled to ``anchor``.
+
+        Adjacency is checked against the *full* topology (a cross-chip coupler
+        is fine for executing the gate); only the movement stays on data
+        qubits.  The SWAP chain stops as soon as adjacency is reached, which in
+        particular guarantees the ``anchor`` qubit itself is never displaced.
+        """
+        if self.topology.is_coupled(mover, anchor):
+            return []
+        self._check_data(mover)
+        best_target: Optional[int] = None
+        best_cost = np.inf
+        for nb in self.topology.neighbors(anchor):
+            if nb in self.highway_qubits or nb == mover:
+                continue
+            cost = self._distances[mover, nb]
+            if cost < best_cost:
+                best_cost = cost
+                best_target = nb
+        if best_target is None or not np.isfinite(best_cost):
+            raise RoutingError(
+                f"cannot bring position {mover} adjacent to {anchor} through data qubits"
+            )
+        swaps: List[Tuple[int, int]] = []
+        for a, b in self.swaps_to_position(mover, best_target):
+            if self.topology.is_coupled(a, anchor):
+                break
+            swaps.append((a, b))
+        return swaps
+
+    def nearest_parking(
+        self, source: int, entrance: int, *, exclude: Iterable[int] = ()
+    ) -> Optional[int]:
+        """The data-qubit neighbour of ``entrance`` closest to ``source``.
+
+        ``exclude`` removes parking spots already reserved by other components
+        of the same highway gate.  Returns ``None`` when the entrance has no
+        usable parking spot.
+        """
+        excluded = set(exclude)
+        best: Optional[int] = None
+        best_cost = np.inf
+        for nb in self.topology.neighbors(entrance):
+            if nb in self.highway_qubits or nb in excluded:
+                continue
+            cost = self._distances[source, nb] if source != nb else 0.0
+            if cost < best_cost:
+                best_cost = cost
+                best = nb
+        if best is None or not np.isfinite(best_cost):
+            return None
+        return best
+
+    def _check_data(self, qubit: int) -> None:
+        if qubit in self.highway_qubits:
+            raise RoutingError(f"position {qubit} is a highway qubit, not a data qubit")
+        if not 0 <= qubit < self.topology.num_qubits:
+            raise RoutingError(f"position {qubit} is out of range")

@@ -1,0 +1,138 @@
+"""The MECH compiler facade.
+
+Ties the pieces together: highway layout generation on the chiplet array,
+commutation-aware dependency analysis, aggregation into multi-target highway
+gates, and the scheduler that routes and emits the physical circuit.
+
+Typical use::
+
+    from repro.hardware import ChipletArray
+    from repro.compiler import MechCompiler
+    from repro.programs import qft_circuit
+
+    array = ChipletArray("square", 7, 3, 3)
+    compiler = MechCompiler(array)
+    result = compiler.compile(qft_circuit(compiler.num_data_qubits))
+    print(result.depth, result.eff_cnots)
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from ..circuits.circuit import Circuit
+from ..circuits.dag import DependencyDag
+from ..hardware.array import ChipletArray
+from ..hardware.noise import DEFAULT_NOISE, NoiseModel
+from ..hardware.topology import Topology
+from ..highway.layout import HighwayLayout
+from .aggregation import HighwayGateUnit, aggregate
+from .result import CompilationResult
+from .rewrite import fuse_zz_ladders
+from .scheduler import MechScheduler
+
+__all__ = ["MechCompiler"]
+
+
+class MechCompiler:
+    """Compile logical circuits onto a chiplet array using the highway.
+
+    Parameters
+    ----------
+    array:
+        The chiplet array to compile for.
+    highway_density:
+        Number of highway lines per chiplet per direction (Fig. 15's
+        single/double/triple configurations).
+    interleave:
+        Thin the highway with interval qubits away from critical positions.
+    min_components:
+        Minimum number of aggregated components for a group to be executed via
+        the highway; smaller groups run as regular routed gates.
+    noise:
+        Latency/error model used for scheduling weights and default metrics.
+    layout:
+        Pre-built highway layout; overrides ``highway_density``/``interleave``.
+    rewrite_zz:
+        Apply the CX-RZ-CX -> controlled-phase fusion pass before aggregation
+        (the paper's circuit rewriting); the baseline never rewrites.
+    """
+
+    def __init__(
+        self,
+        array: ChipletArray,
+        *,
+        highway_density: int = 1,
+        interleave: bool = True,
+        min_components: int = 2,
+        noise: NoiseModel = DEFAULT_NOISE,
+        layout: Optional[HighwayLayout] = None,
+        entrance_candidates: int = 4,
+        rewrite_zz: bool = True,
+    ) -> None:
+        if min_components < 1:
+            raise ValueError("min_components must be at least 1")
+        self.array = array
+        self.topology: Topology = array.topology
+        self.layout = layout if layout is not None else HighwayLayout(
+            array, density=highway_density, interleave=interleave
+        )
+        self.min_components = min_components
+        self.noise = noise
+        self.entrance_candidates = entrance_candidates
+        self.rewrite_zz = rewrite_zz
+
+    # ------------------------------------------------------------------ #
+    # capacity queries
+    # ------------------------------------------------------------------ #
+    @property
+    def num_data_qubits(self) -> int:
+        """How many logical qubits this device/highway configuration supports."""
+        return self.layout.num_data_qubits
+
+    @property
+    def highway_qubit_fraction(self) -> float:
+        """Fraction of physical qubits reserved as highway qubits."""
+        return self.layout.qubit_overhead()
+
+    def default_mapping(self, num_logical: int) -> Dict[int, int]:
+        """Logical qubit ``i`` on the ``i``-th data qubit (row-major order)."""
+        data = self.layout.data_qubits
+        if num_logical > len(data):
+            raise ValueError(
+                f"circuit needs {num_logical} data qubits but only {len(data)} are available"
+            )
+        return {i: data[i] for i in range(num_logical)}
+
+    # ------------------------------------------------------------------ #
+    # compilation
+    # ------------------------------------------------------------------ #
+    def compile(
+        self,
+        circuit: Circuit,
+        *,
+        initial_mapping: Optional[Dict[int, int]] = None,
+    ) -> CompilationResult:
+        """Compile ``circuit`` and return the physical result with statistics."""
+        mapping = (
+            dict(initial_mapping)
+            if initial_mapping is not None
+            else self.default_mapping(circuit.num_qubits)
+        )
+        if self.rewrite_zz:
+            circuit = fuse_zz_ladders(circuit)
+        dag = DependencyDag(circuit)
+        units = aggregate(dag, min_components=self.min_components)
+        scheduler = MechScheduler(
+            self.topology,
+            self.layout,
+            noise=self.noise,
+            entrance_candidates=self.entrance_candidates,
+        )
+        result = scheduler.run(circuit, units, mapping)
+        result.stats["aggregated_units"] = float(
+            sum(1 for u in units if isinstance(u, HighwayGateUnit))
+        )
+        result.stats["highway_qubit_fraction"] = self.highway_qubit_fraction
+        result.stats["num_data_qubits"] = float(self.num_data_qubits)
+        return result

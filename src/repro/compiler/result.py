@@ -1,0 +1,66 @@
+"""Compilation result container shared by the MECH and baseline compilers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..circuits.circuit import Circuit
+from ..hardware.noise import DEFAULT_NOISE, NoiseModel
+from ..hardware.topology import Topology
+from ..metrics import CircuitMetrics, circuit_metrics
+
+__all__ = ["CompilationResult"]
+
+
+@dataclass
+class CompilationResult:
+    """The output of compiling one logical circuit onto a device.
+
+    Attributes
+    ----------
+    circuit:
+        The physical circuit (all 2-qubit operations act on coupled pairs).
+    topology:
+        The device the circuit was compiled for.
+    initial_layout / final_layout:
+        Logical-to-physical qubit maps before and after routing.
+    compiler:
+        Name of the producing compiler (``"mech"`` or ``"baseline"``).
+    stats:
+        Free-form compiler statistics (number of shuttles, swaps inserted,
+        highway gates scheduled, ...).
+    """
+
+    circuit: Circuit
+    topology: Topology
+    initial_layout: Dict[int, int]
+    final_layout: Dict[int, int]
+    compiler: str = "unknown"
+    stats: Dict[str, float] = field(default_factory=dict)
+    _metrics_cache: Optional[CircuitMetrics] = field(default=None, repr=False)
+    _metrics_noise: Optional[NoiseModel] = field(default=None, repr=False)
+
+    def metrics(self, noise: NoiseModel = DEFAULT_NOISE, *, strict: bool = True) -> CircuitMetrics:
+        """Depth / eff_CNOT metrics of the compiled circuit (cached per noise model)."""
+        if self._metrics_cache is None or self._metrics_noise != noise:
+            self._metrics_cache = circuit_metrics(
+                self.circuit, self.topology, noise, strict=strict
+            )
+            self._metrics_noise = noise
+        return self._metrics_cache
+
+    @property
+    def depth(self) -> float:
+        return self.metrics().depth
+
+    @property
+    def eff_cnots(self) -> float:
+        return self.metrics().eff_cnots
+
+    def summary(self, noise: NoiseModel = DEFAULT_NOISE) -> Dict[str, float]:
+        """Flat dictionary of the headline metrics plus compiler statistics."""
+        metrics = self.metrics(noise)
+        out = {"compiler": self.compiler, **metrics.as_dict()}
+        out.update(self.stats)
+        return out

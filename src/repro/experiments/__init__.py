@@ -1,0 +1,47 @@
+"""Reproduction harness for every table and figure of the paper's evaluation."""
+
+from .fig12_scalability import format_fig12, improvement_series, run_fig12
+from .fig13_sensitivity import SensitivityResult, format_fig13, run_fig13
+from .fig14_sparsity import format_fig14, normalized_by_sparsity, run_fig14
+from .fig15_highway_density import format_fig15, normalized_by_density, run_fig15
+from .fig16_structures import format_fig16, normalized_by_structure, run_fig16
+from .runner import ComparisonRecord, compare, format_records
+from .settings import (
+    BENCHMARK_NAMES,
+    FIG12_ARRAYS,
+    TABLE1_SETTINGS,
+    TABLE2_CHIPLET_SIZES,
+    ArchitectureSetting,
+    scaled_setting,
+)
+from .table2 import TABLE2_PAPER_REFERENCE, format_table2, run_table2
+
+__all__ = [
+    "ComparisonRecord",
+    "compare",
+    "format_records",
+    "ArchitectureSetting",
+    "TABLE1_SETTINGS",
+    "TABLE2_CHIPLET_SIZES",
+    "FIG12_ARRAYS",
+    "BENCHMARK_NAMES",
+    "scaled_setting",
+    "run_table2",
+    "format_table2",
+    "TABLE2_PAPER_REFERENCE",
+    "run_fig12",
+    "format_fig12",
+    "improvement_series",
+    "run_fig13",
+    "format_fig13",
+    "SensitivityResult",
+    "run_fig14",
+    "format_fig14",
+    "normalized_by_sparsity",
+    "run_fig15",
+    "format_fig15",
+    "normalized_by_density",
+    "run_fig16",
+    "format_fig16",
+    "normalized_by_structure",
+]

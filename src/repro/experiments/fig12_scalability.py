@@ -1,0 +1,96 @@
+"""Fig. 12 reproduction: improvement vs. number of chiplets.
+
+The paper fixes the chiplet size at 7x7 and grows the chiplet array through
+2x2, 2x3, 3x3 and 3x4 (4, 6, 9 and 12 chiplets), showing that both the depth
+improvement and the effective-CNOT improvement of MECH over the baseline grow
+with the number of chiplets.  ``run_fig12`` regenerates the two improvement
+series per benchmark.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..hardware.array import ChipletArray
+from ..hardware.noise import DEFAULT_NOISE, NoiseModel
+from .runner import ComparisonRecord, compare
+from .settings import BENCHMARK_NAMES, FIG12_ARRAYS
+
+__all__ = ["run_fig12", "improvement_series", "format_fig12"]
+
+#: Chiplet width per scale tier (the paper fixes 7x7 chiplets).
+_SCALE_WIDTH = {"small": 4, "medium": 5, "paper": 7}
+#: Array shapes per scale tier (the paper's 2x2 .. 3x4 sweep).
+_SCALE_ARRAYS: Dict[str, Tuple[Tuple[int, int], ...]] = {
+    "small": ((1, 2), (2, 2), (2, 3)),
+    "medium": ((2, 2), (2, 3), (3, 3)),
+    "paper": FIG12_ARRAYS,
+}
+
+
+def run_fig12(
+    *,
+    scale: str = "small",
+    benchmarks: Sequence[str] = BENCHMARK_NAMES,
+    chiplet_width: Optional[int] = None,
+    array_shapes: Optional[Sequence[Tuple[int, int]]] = None,
+    noise: NoiseModel = DEFAULT_NOISE,
+    seed: int = 0,
+) -> List[ComparisonRecord]:
+    """Regenerate Fig. 12's data: one record per (array shape, benchmark)."""
+    if scale not in _SCALE_WIDTH:
+        raise ValueError(f"unknown scale {scale!r}; choose from {sorted(_SCALE_WIDTH)}")
+    width = chiplet_width if chiplet_width is not None else _SCALE_WIDTH[scale]
+    shapes = tuple(array_shapes) if array_shapes is not None else _SCALE_ARRAYS[scale]
+    records: List[ComparisonRecord] = []
+    for rows, cols in shapes:
+        array = ChipletArray("square", width, rows, cols)
+        for name in benchmarks:
+            records.append(compare(name, array, noise=noise, seed=seed))
+    return records
+
+
+def improvement_series(
+    records: Sequence[ComparisonRecord],
+) -> Dict[str, List[Tuple[int, float, float]]]:
+    """Per-benchmark series ``(num_chiplets, depth_improvement, eff_improvement)``.
+
+    This is the data behind the two panels of Fig. 12.
+    """
+    series: Dict[str, List[Tuple[int, float, float]]] = {}
+    for record in records:
+        # architecture names look like "square-7x7-3x3"; the last field is the array
+        shape = record.architecture.split("-")[2]
+        rows, cols = (int(x) for x in shape.split("x"))
+        series.setdefault(record.benchmark, []).append(
+            (rows * cols, record.depth_improvement, record.eff_cnots_improvement)
+        )
+    for values in series.values():
+        values.sort()
+    return series
+
+
+def format_fig12(records: Sequence[ComparisonRecord]) -> str:
+    """Text rendering of the two improvement-vs-chiplet-count panels."""
+    series = improvement_series(records)
+    lines = ["Fig. 12: improvement vs number of chiplets (square chiplets)"]
+    lines.append(f"{'benchmark':<10} {'#chiplets':>9} {'depth impr':>11} {'eff impr':>9}")
+    lines.append("-" * 44)
+    for name in sorted(series):
+        for chiplets, depth_impr, eff_impr in series[name]:
+            lines.append(f"{name:<10} {chiplets:>9d} {depth_impr:>10.1%} {eff_impr:>8.1%}")
+    return "\n".join(lines)
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", default="small", choices=sorted(_SCALE_WIDTH))
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+    print(format_fig12(run_fig12(scale=args.scale, seed=args.seed)))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

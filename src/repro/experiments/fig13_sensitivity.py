@@ -1,0 +1,173 @@
+"""Fig. 13 reproduction: sensitivity to measurement latency and operation fidelities.
+
+The paper fixes a 3x3 array of 7x7 square chiplets and sweeps three parameters
+one at a time:
+
+* (a) the measurement latency relative to a CNOT (1 .. 20) — affects the
+  *depth* improvement, which decreases roughly linearly but stays positive up
+  to a latency of ~20;
+* (b) the measurement error rate relative to an on-chip CNOT (0.5 .. 5) —
+  affects the *eff_CNOT* improvement, decreasing with noisier measurements;
+* (c) the cross-chip CNOT error rate relative to an on-chip CNOT (4 .. 9) —
+  affects the eff_CNOT improvement, increasing with noisier cross-chip links.
+
+Both compilers' outputs are compiled once and re-scored under each swept noise
+model: the emitted circuits do not depend on the error rates, and the paper's
+own sweep varies only the metric weights.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..baseline import BaselineCompiler
+from ..compiler import MechCompiler
+from ..hardware.array import ChipletArray
+from ..hardware.noise import DEFAULT_NOISE, NoiseModel
+from ..metrics import improvement
+from ..programs import build_benchmark
+from .settings import BENCHMARK_NAMES
+
+__all__ = [
+    "SensitivityResult",
+    "run_fig13",
+    "format_fig13",
+    "MEAS_LATENCIES",
+    "MEAS_ERROR_RATIOS",
+    "CROSS_ERROR_RATIOS",
+]
+
+#: The paper's swept values.
+MEAS_LATENCIES: Tuple[float, ...] = (1, 2, 4, 8, 12, 16, 20)
+MEAS_ERROR_RATIOS: Tuple[float, ...] = (0.5, 1.0, 2.0, 3.0, 4.0, 5.0)
+CROSS_ERROR_RATIOS: Tuple[float, ...] = (4.0, 5.0, 6.0, 7.0, 8.0, 9.0)
+
+#: Device per scale tier (the paper uses 7x7 chiplets in a 3x3 array).
+_SCALE_DEVICE = {
+    "small": ("square", 4, 2, 2),
+    "medium": ("square", 5, 2, 3),
+    "paper": ("square", 7, 3, 3),
+}
+
+
+@dataclass
+class SensitivityResult:
+    """Improvement series of one benchmark for the three swept parameters."""
+
+    benchmark: str
+    architecture: str
+    num_data_qubits: int
+    #: (measurement latency, depth improvement)
+    depth_vs_latency: List[Tuple[float, float]]
+    #: (meas error ratio, eff_CNOT improvement)
+    eff_vs_meas_error: List[Tuple[float, float]]
+    #: (cross-chip error ratio, eff_CNOT improvement)
+    eff_vs_cross_error: List[Tuple[float, float]]
+
+
+def run_fig13(
+    *,
+    scale: str = "small",
+    benchmarks: Sequence[str] = BENCHMARK_NAMES,
+    meas_latencies: Sequence[float] = MEAS_LATENCIES,
+    meas_error_ratios: Sequence[float] = MEAS_ERROR_RATIOS,
+    cross_error_ratios: Sequence[float] = CROSS_ERROR_RATIOS,
+    base_noise: NoiseModel = DEFAULT_NOISE,
+    seed: int = 0,
+) -> List[SensitivityResult]:
+    """Regenerate the three panels of Fig. 13."""
+    if scale not in _SCALE_DEVICE:
+        raise ValueError(f"unknown scale {scale!r}; choose from {sorted(_SCALE_DEVICE)}")
+    structure, width, rows, cols = _SCALE_DEVICE[scale]
+    array = ChipletArray(structure, width, rows, cols)
+    mech = MechCompiler(array, noise=base_noise)
+    baseline = BaselineCompiler(array.topology, noise=base_noise)
+    results: List[SensitivityResult] = []
+    for name in benchmarks:
+        circuit = build_benchmark(name, mech.num_data_qubits, seed=seed) if name.upper() != "QFT" else build_benchmark(name, mech.num_data_qubits)
+        mech_result = mech.compile(circuit)
+        baseline_result = baseline.compile(circuit)
+
+        depth_series: List[Tuple[float, float]] = []
+        for latency in meas_latencies:
+            noise = base_noise.with_ratios(meas_latency=float(latency))
+            depth_series.append(
+                (
+                    float(latency),
+                    improvement(
+                        baseline_result.metrics(noise).depth,
+                        mech_result.metrics(noise).depth,
+                    ),
+                )
+            )
+
+        meas_series: List[Tuple[float, float]] = []
+        for ratio in meas_error_ratios:
+            noise = base_noise.with_ratios(meas_on_ratio=float(ratio))
+            meas_series.append(
+                (
+                    float(ratio),
+                    improvement(
+                        baseline_result.metrics(noise).eff_cnots,
+                        mech_result.metrics(noise).eff_cnots,
+                    ),
+                )
+            )
+
+        cross_series: List[Tuple[float, float]] = []
+        for ratio in cross_error_ratios:
+            noise = base_noise.with_ratios(cross_on_ratio=float(ratio))
+            cross_series.append(
+                (
+                    float(ratio),
+                    improvement(
+                        baseline_result.metrics(noise).eff_cnots,
+                        mech_result.metrics(noise).eff_cnots,
+                    ),
+                )
+            )
+
+        results.append(
+            SensitivityResult(
+                benchmark=name.upper(),
+                architecture=array.topology.name,
+                num_data_qubits=circuit.num_qubits,
+                depth_vs_latency=depth_series,
+                eff_vs_meas_error=meas_series,
+                eff_vs_cross_error=cross_series,
+            )
+        )
+    return results
+
+
+def format_fig13(results: Sequence[SensitivityResult]) -> str:
+    """Text rendering of the three sensitivity panels."""
+    lines = ["Fig. 13: sensitivity to measurement latency and operation fidelities"]
+    lines.append("(a) depth improvement vs measurement latency")
+    for r in results:
+        series = " ".join(f"{lat:g}:{impr:+.1%}" for lat, impr in r.depth_vs_latency)
+        lines.append(f"  {r.benchmark:<6} {series}")
+    lines.append("(b) eff_CNOT improvement vs measurement error ratio")
+    for r in results:
+        series = " ".join(f"{ratio:g}:{impr:+.1%}" for ratio, impr in r.eff_vs_meas_error)
+        lines.append(f"  {r.benchmark:<6} {series}")
+    lines.append("(c) eff_CNOT improvement vs cross-chip error ratio")
+    for r in results:
+        series = " ".join(f"{ratio:g}:{impr:+.1%}" for ratio, impr in r.eff_vs_cross_error)
+        lines.append(f"  {r.benchmark:<6} {series}")
+    return "\n".join(lines)
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", default="small", choices=sorted(_SCALE_DEVICE))
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+    print(format_fig13(run_fig13(scale=args.scale, seed=args.seed)))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,93 @@
+"""Fig. 14 reproduction: sensitivity to cross-chip link sparsity.
+
+The paper keeps 7, 3 or 1 of the 7 possible cross-chip links on every chiplet
+edge of a 3x3 array of 7x7 square chiplets and reports MECH's depth and
+eff_CNOT count *normalised by the baseline's*.  As the links get sparser the
+baseline degrades (its SWAP chains funnel through fewer cross-chip couplers)
+while MECH stays roughly flat, so the normalised depth drops and the
+normalised eff_CNOT count rises.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..hardware.array import ChipletArray
+from ..hardware.noise import DEFAULT_NOISE, NoiseModel
+from .runner import ComparisonRecord, compare
+from .settings import BENCHMARK_NAMES
+
+__all__ = ["run_fig14", "normalized_by_sparsity", "format_fig14"]
+
+#: Device per scale tier; the sparsity levels scale with the chiplet width.
+_SCALE_DEVICE: Dict[str, Tuple[str, int, int, int, Tuple[int, ...]]] = {
+    # structure, chiplet width, rows, cols, links-per-edge sweep
+    "small": ("square", 4, 2, 2, (4, 2, 1)),
+    "medium": ("square", 5, 2, 3, (5, 3, 1)),
+    "paper": ("square", 7, 3, 3, (7, 3, 1)),
+}
+
+
+def run_fig14(
+    *,
+    scale: str = "small",
+    benchmarks: Sequence[str] = BENCHMARK_NAMES,
+    sparsity_levels: Optional[Sequence[int]] = None,
+    noise: NoiseModel = DEFAULT_NOISE,
+    seed: int = 0,
+) -> List[ComparisonRecord]:
+    """Regenerate Fig. 14: one record per (links-per-edge, benchmark)."""
+    if scale not in _SCALE_DEVICE:
+        raise ValueError(f"unknown scale {scale!r}; choose from {sorted(_SCALE_DEVICE)}")
+    structure, width, rows, cols, default_levels = _SCALE_DEVICE[scale]
+    levels = tuple(sparsity_levels) if sparsity_levels is not None else default_levels
+    records: List[ComparisonRecord] = []
+    for links in levels:
+        array = ChipletArray(structure, width, rows, cols, cross_links_per_edge=links)
+        for name in benchmarks:
+            record = compare(name, array, noise=noise, seed=seed)
+            record.extra["cross_links_per_edge"] = float(links)
+            record.extra["max_cross_links_per_edge"] = float(array.max_cross_links_per_edge())
+            records.append(record)
+    return records
+
+
+def normalized_by_sparsity(
+    records: Sequence[ComparisonRecord],
+) -> Dict[str, List[Tuple[str, float, float]]]:
+    """Per-benchmark series ``(sparsity label, normalised depth, normalised eff_CNOTs)``."""
+    series: Dict[str, List[Tuple[str, float, float]]] = {}
+    for record in records:
+        links = int(record.extra.get("cross_links_per_edge", 0))
+        full = int(record.extra.get("max_cross_links_per_edge", links))
+        label = f"{links}/{full}"
+        series.setdefault(record.benchmark, []).append(
+            (label, record.normalized_depth, record.normalized_eff_cnots)
+        )
+    return series
+
+
+def format_fig14(records: Sequence[ComparisonRecord]) -> str:
+    """Text rendering of the two normalised-metric panels of Fig. 14."""
+    series = normalized_by_sparsity(records)
+    lines = ["Fig. 14: normalised performance vs cross-chip link sparsity"]
+    lines.append(f"{'benchmark':<10} {'links':>7} {'depth (MECH/base)':>18} {'eff (MECH/base)':>16}")
+    lines.append("-" * 56)
+    for name in sorted(series):
+        for label, depth_ratio, eff_ratio in series[name]:
+            lines.append(f"{name:<10} {label:>7} {depth_ratio:>18.3f} {eff_ratio:>16.3f}")
+    return "\n".join(lines)
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", default="small", choices=sorted(_SCALE_DEVICE))
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+    print(format_fig14(run_fig14(scale=args.scale, seed=args.seed)))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

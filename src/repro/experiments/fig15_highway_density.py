@@ -1,0 +1,122 @@
+"""Fig. 15 reproduction: sensitivity to the highway qubit percentage.
+
+The paper triples the highway mesh on a 2x3 array of 9x9 square chiplets
+(single ~14%, double ~25%, triple ~41% of all qubits) while keeping the
+baseline's circuit size equal to the single-highway data-qubit count, and
+reports MECH's depth and eff_CNOT count normalised by the baseline's.  More
+highway qubits shorten local routing (normalised depth drops and then
+saturates) but increase entanglement-generation overhead (normalised eff_CNOTs
+eventually ticks back up).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..hardware.array import ChipletArray
+from ..hardware.noise import DEFAULT_NOISE, NoiseModel
+from ..compiler import MechCompiler
+from .runner import ComparisonRecord, compare
+from .settings import BENCHMARK_NAMES
+
+__all__ = ["run_fig15", "normalized_by_density", "format_fig15"]
+
+#: Device per scale tier (the paper uses a 2x3 array of 9x9 chiplets).
+_SCALE_DEVICE: Dict[str, Tuple[str, int, int, int]] = {
+    "small": ("square", 5, 1, 2),
+    "medium": ("square", 7, 2, 2),
+    "paper": ("square", 9, 2, 3),
+}
+
+#: Highway density multipliers swept by the figure.
+DENSITIES: Tuple[int, ...] = (1, 2, 3)
+
+
+def run_fig15(
+    *,
+    scale: str = "small",
+    benchmarks: Sequence[str] = BENCHMARK_NAMES,
+    densities: Sequence[int] = DENSITIES,
+    noise: NoiseModel = DEFAULT_NOISE,
+    seed: int = 0,
+) -> List[ComparisonRecord]:
+    """Regenerate Fig. 15: one record per (highway density, benchmark).
+
+    Following the paper, the circuit width is fixed to the *single* highway's
+    data-qubit count for every density, so denser highways are not penalised
+    by a smaller program.
+    """
+    if scale not in _SCALE_DEVICE:
+        raise ValueError(f"unknown scale {scale!r}; choose from {sorted(_SCALE_DEVICE)}")
+    structure, width, rows, cols = _SCALE_DEVICE[scale]
+    array = ChipletArray(structure, width, rows, cols)
+    capacities = [
+        MechCompiler(array, highway_density=d).num_data_qubits for d in densities
+    ]
+    circuit_width = min(capacities)
+    records: List[ComparisonRecord] = []
+    for density in densities:
+        for name in benchmarks:
+            record = compare(
+                name,
+                array,
+                noise=noise,
+                seed=seed,
+                highway_density=density,
+                num_data_qubits=circuit_width,
+            )
+            record.extra["highway_density"] = float(density)
+            records.append(record)
+    return records
+
+
+def normalized_by_density(
+    records: Sequence[ComparisonRecord],
+) -> Dict[str, List[Tuple[int, float, float, float]]]:
+    """Per-benchmark series ``(density, highway %, normalised depth, normalised eff)``."""
+    series: Dict[str, List[Tuple[int, float, float, float]]] = {}
+    for record in records:
+        density = int(record.extra.get("highway_density", 1))
+        series.setdefault(record.benchmark, []).append(
+            (
+                density,
+                record.highway_qubit_fraction,
+                record.normalized_depth,
+                record.normalized_eff_cnots,
+            )
+        )
+    for values in series.values():
+        values.sort()
+    return series
+
+
+def format_fig15(records: Sequence[ComparisonRecord]) -> str:
+    """Text rendering of the two normalised-metric panels of Fig. 15."""
+    series = normalized_by_density(records)
+    lines = ["Fig. 15: normalised performance vs highway qubit percentage"]
+    lines.append(
+        f"{'benchmark':<10} {'density':>8} {'highway %':>10} "
+        f"{'depth (MECH/base)':>18} {'eff (MECH/base)':>16}"
+    )
+    lines.append("-" * 68)
+    for name in sorted(series):
+        for density, fraction, depth_ratio, eff_ratio in series[name]:
+            lines.append(
+                f"{name:<10} {density:>8d} {fraction:>10.1%} "
+                f"{depth_ratio:>18.3f} {eff_ratio:>16.3f}"
+            )
+    return "\n".join(lines)
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", default="small", choices=sorted(_SCALE_DEVICE))
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+    print(format_fig15(run_fig15(scale=args.scale, seed=args.seed)))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

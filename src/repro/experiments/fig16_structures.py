@@ -1,0 +1,99 @@
+"""Fig. 16 reproduction: generality across chiplet coupling structures.
+
+The paper compiles the four benchmarks on square, hexagon, heavy-square and
+heavy-hexagon chiplet arrays (the Table 1 rows sq-360 / hex-312 /
+heavy-sq-351 / heavy-hex-336) and shows MECH achieves similar normalised
+improvements on all of them, demonstrating that the highway mechanism does not
+depend on a particular coupling structure.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..hardware.noise import DEFAULT_NOISE, NoiseModel
+from .runner import ComparisonRecord, compare
+from .settings import BENCHMARK_NAMES, TABLE1_SETTINGS, ArchitectureSetting, scaled_setting
+
+__all__ = ["run_fig16", "normalized_by_structure", "format_fig16", "FIG16_SETTINGS"]
+
+#: The four Table 1 rows the figure uses, in the paper's order.
+FIG16_SETTINGS: Tuple[str, ...] = (
+    "program-360",   # square
+    "program-312",   # hexagon
+    "program-351",   # heavy square
+    "program-336",   # heavy hexagon
+)
+
+
+def run_fig16(
+    *,
+    scale: str = "small",
+    benchmarks: Sequence[str] = BENCHMARK_NAMES,
+    settings: Optional[Sequence[ArchitectureSetting]] = None,
+    noise: NoiseModel = DEFAULT_NOISE,
+    seed: int = 0,
+) -> List[ComparisonRecord]:
+    """Regenerate Fig. 16: one record per (coupling structure, benchmark)."""
+    chosen = (
+        list(settings)
+        if settings is not None
+        else [scaled_setting(TABLE1_SETTINGS[key], scale) for key in FIG16_SETTINGS]
+    )
+    records: List[ComparisonRecord] = []
+    for setting in chosen:
+        array = setting.build_array()
+        for name in benchmarks:
+            record = compare(
+                name,
+                array,
+                noise=noise,
+                seed=seed,
+                highway_density=setting.highway_density,
+            )
+            record.extra["structure"] = setting.structure
+            records.append(record)
+    return records
+
+
+def normalized_by_structure(
+    records: Sequence[ComparisonRecord],
+) -> Dict[str, List[Tuple[str, float, float]]]:
+    """Per-benchmark series ``(structure, normalised depth, normalised eff_CNOTs)``."""
+    series: Dict[str, List[Tuple[str, float, float]]] = {}
+    for record in records:
+        structure = str(record.extra.get("structure", record.architecture))
+        series.setdefault(record.benchmark, []).append(
+            (structure, record.normalized_depth, record.normalized_eff_cnots)
+        )
+    return series
+
+
+def format_fig16(records: Sequence[ComparisonRecord]) -> str:
+    """Text rendering of the two normalised-metric panels of Fig. 16."""
+    series = normalized_by_structure(records)
+    lines = ["Fig. 16: normalised performance across coupling structures"]
+    lines.append(
+        f"{'benchmark':<10} {'structure':<15} {'depth (MECH/base)':>18} {'eff (MECH/base)':>16}"
+    )
+    lines.append("-" * 62)
+    for name in sorted(series):
+        for structure, depth_ratio, eff_ratio in series[name]:
+            lines.append(
+                f"{name:<10} {structure:<15} {depth_ratio:>18.3f} {eff_ratio:>16.3f}"
+            )
+    return "\n".join(lines)
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", default="small", choices=["small", "medium", "paper"])
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+    print(format_fig16(run_fig16(scale=args.scale, seed=args.seed)))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,177 @@
+"""Shared experiment runner: compile one benchmark with both compilers and
+collect the paper's metrics.
+
+Every table/figure module builds on :func:`compare`: it constructs the
+benchmark circuit sized to the highway configuration's data-qubit count (the
+paper sizes its circuits "by the numbers of data qubits in our framework"),
+compiles it with the MECH compiler and with the baseline, and returns a
+:class:`ComparisonRecord` holding depths, effective CNOT counts, improvements
+and compiler statistics.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..baseline import BaselineCompiler
+from ..compiler import MechCompiler
+from ..hardware.array import ChipletArray
+from ..hardware.noise import DEFAULT_NOISE, NoiseModel
+from ..metrics import improvement, normalized_ratio
+from ..programs import build_benchmark
+
+__all__ = ["ComparisonRecord", "compare", "format_records"]
+
+
+@dataclass
+class ComparisonRecord:
+    """Baseline-vs-MECH metrics for one benchmark on one architecture."""
+
+    benchmark: str
+    architecture: str
+    num_data_qubits: int
+    num_physical_qubits: int
+    baseline_depth: float
+    mech_depth: float
+    baseline_eff_cnots: float
+    mech_eff_cnots: float
+    highway_qubit_fraction: float
+    baseline_seconds: float = 0.0
+    mech_seconds: float = 0.0
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def depth_improvement(self) -> float:
+        return improvement(self.baseline_depth, self.mech_depth)
+
+    @property
+    def eff_cnots_improvement(self) -> float:
+        return improvement(self.baseline_eff_cnots, self.mech_eff_cnots)
+
+    @property
+    def normalized_depth(self) -> float:
+        return normalized_ratio(self.baseline_depth, self.mech_depth)
+
+    @property
+    def normalized_eff_cnots(self) -> float:
+        return normalized_ratio(self.baseline_eff_cnots, self.mech_eff_cnots)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "benchmark": self.benchmark,
+            "architecture": self.architecture,
+            "num_data_qubits": self.num_data_qubits,
+            "num_physical_qubits": self.num_physical_qubits,
+            "baseline_depth": self.baseline_depth,
+            "mech_depth": self.mech_depth,
+            "depth_improvement": self.depth_improvement,
+            "baseline_eff_cnots": self.baseline_eff_cnots,
+            "mech_eff_cnots": self.mech_eff_cnots,
+            "eff_cnots_improvement": self.eff_cnots_improvement,
+            "highway_qubit_fraction": self.highway_qubit_fraction,
+            **self.extra,
+        }
+
+
+def compare(
+    benchmark: str,
+    array: ChipletArray,
+    *,
+    noise: NoiseModel = DEFAULT_NOISE,
+    highway_density: int = 1,
+    num_data_qubits: Optional[int] = None,
+    min_components: int = 2,
+    baseline_trials: int = 1,
+    seed: int = 0,
+    benchmark_kwargs: Optional[Dict[str, object]] = None,
+) -> ComparisonRecord:
+    """Compile one benchmark with MECH and the baseline on the same array.
+
+    Parameters
+    ----------
+    benchmark:
+        Benchmark name: ``"QFT"``, ``"QAOA"``, ``"VQE"`` or ``"BV"``.
+    array:
+        The chiplet array.
+    noise:
+        Error/latency model for the metrics.
+    highway_density:
+        Highway lines per chiplet per direction (Fig. 15 sweeps this).
+    num_data_qubits:
+        Circuit width; defaults to the number of data qubits left by the
+        highway layout (the paper's convention).
+    min_components:
+        Aggregation threshold for highway gates.
+    baseline_trials:
+        Routing trials for the baseline (best result kept).
+    seed:
+        Seed for randomised benchmark inputs (QAOA graph, BV secret, VQE
+        parameters).
+    benchmark_kwargs:
+        Extra arguments forwarded to the benchmark circuit builder.
+    """
+    mech = MechCompiler(
+        array,
+        highway_density=highway_density,
+        min_components=min_components,
+        noise=noise,
+    )
+    width = num_data_qubits if num_data_qubits is not None else mech.num_data_qubits
+    kwargs = dict(benchmark_kwargs or {})
+    if benchmark.upper() in ("QAOA", "VQE", "BV"):
+        kwargs.setdefault("seed", seed)
+    circuit = build_benchmark(benchmark, width, **kwargs)
+
+    start = time.perf_counter()
+    mech_result = mech.compile(circuit)
+    mech_seconds = time.perf_counter() - start
+
+    baseline = BaselineCompiler(array.topology, noise=noise, trials=baseline_trials)
+    start = time.perf_counter()
+    baseline_result = baseline.compile(circuit)
+    baseline_seconds = time.perf_counter() - start
+
+    mech_metrics = mech_result.metrics(noise)
+    baseline_metrics = baseline_result.metrics(noise)
+    return ComparisonRecord(
+        benchmark=benchmark.upper(),
+        architecture=array.topology.name,
+        num_data_qubits=width,
+        num_physical_qubits=array.num_qubits,
+        baseline_depth=baseline_metrics.depth,
+        mech_depth=mech_metrics.depth,
+        baseline_eff_cnots=baseline_metrics.eff_cnots,
+        mech_eff_cnots=mech_metrics.eff_cnots,
+        highway_qubit_fraction=mech.highway_qubit_fraction,
+        baseline_seconds=baseline_seconds,
+        mech_seconds=mech_seconds,
+        extra={
+            "mech_shuttles": mech_result.stats.get("shuttles", 0.0),
+            "mech_swaps": mech_result.stats.get("swaps_inserted", 0.0),
+            "baseline_swaps": baseline_result.stats.get("swaps_inserted", 0.0),
+            "mech_highway_gates": mech_result.stats.get("highway_gates", 0.0),
+        },
+    )
+
+
+def format_records(records: Sequence[ComparisonRecord], *, title: str = "") -> str:
+    """Render comparison records as a fixed-width text table (paper style)."""
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = (
+        f"{'program':<14} {'arch':<22} {'base depth':>11} {'mech depth':>11} "
+        f"{'depth impr':>10} {'base eff':>11} {'mech eff':>11} {'eff impr':>9} {'hw %':>6}"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for r in records:
+        lines.append(
+            f"{r.benchmark + '-' + str(r.num_data_qubits):<14} {r.architecture:<22} "
+            f"{r.baseline_depth:>11.0f} {r.mech_depth:>11.0f} {r.depth_improvement:>9.1%} "
+            f"{r.baseline_eff_cnots:>11.0f} {r.mech_eff_cnots:>11.0f} "
+            f"{r.eff_cnots_improvement:>8.1%} {r.highway_qubit_fraction:>6.1%}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,105 @@
+"""Table 2 reproduction: baseline vs MECH on 3x3 square-chiplet arrays.
+
+The paper's main result table compiles QFT / QAOA / VQE / BV on 3x3 arrays of
+square chiplets whose size grows from 6x6 to 9x9 and reports circuit depth,
+effective CNOT count, the relative improvements and the highway-qubit
+percentage.  ``run_table2`` regenerates those rows; the ``scale`` argument
+selects the paper-scale chiplet sizes (6-9, hours of baseline runtime) or a
+scaled-down sweep that preserves the "improvement grows with chiplet size"
+trend.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..hardware.array import ChipletArray
+from ..hardware.noise import DEFAULT_NOISE, NoiseModel
+from .runner import ComparisonRecord, compare, format_records
+from .settings import BENCHMARK_NAMES, TABLE2_CHIPLET_SIZES
+
+__all__ = ["run_table2", "format_table2", "TABLE2_PAPER_REFERENCE"]
+
+#: Chiplet sizes per scale tier (the paper uses 6x6 .. 9x9 chiplets).
+_SCALE_SIZES: Dict[str, Tuple[int, ...]] = {
+    "small": (4, 5),
+    "medium": (5, 6, 7),
+    "paper": TABLE2_CHIPLET_SIZES,
+}
+
+#: Paper-reported numbers (depth / eff_CNOTs for baseline and MECH), used by
+#: EXPERIMENTS.md and by tests that check we reproduce the *direction* and
+#: rough magnitude of every improvement.
+TABLE2_PAPER_REFERENCE: Dict[str, Dict[str, float]] = {
+    "QFT-261": {"base_depth": 19282, "mech_depth": 7504, "base_eff": 325236, "mech_eff": 216771},
+    "QAOA-261": {"base_depth": 14837, "mech_depth": 6586, "base_eff": 201637, "mech_eff": 151120},
+    "VQE-261": {"base_depth": 15725, "mech_depth": 6784, "base_eff": 261286, "mech_eff": 180044},
+    "BV-261": {"base_depth": 418, "mech_depth": 31, "base_eff": 1179, "mech_eff": 960},
+    "QFT-360": {"base_depth": 32086, "mech_depth": 11189, "base_eff": 582500, "mech_eff": 451553},
+    "QAOA-360": {"base_depth": 22757, "mech_depth": 9735, "base_eff": 389773, "mech_eff": 300847},
+    "VQE-360": {"base_depth": 26277, "mech_depth": 10181, "base_eff": 471148, "mech_eff": 385647},
+    "BV-360": {"base_depth": 597, "mech_depth": 34, "base_eff": 1711, "mech_eff": 1415},
+    "QFT-495": {"base_depth": 57143, "mech_depth": 18028, "base_eff": 1048824, "mech_eff": 827653},
+    "QAOA-495": {"base_depth": 43478, "mech_depth": 14175, "base_eff": 716324, "mech_eff": 507897},
+    "VQE-495": {"base_depth": 47193, "mech_depth": 16512, "base_eff": 854935, "mech_eff": 690826},
+    "BV-495": {"base_depth": 823, "mech_depth": 37, "base_eff": 2297, "mech_eff": 1784},
+    "QFT-630": {"base_depth": 90535, "mech_depth": 24138, "base_eff": 1673337, "mech_eff": 1511568},
+    "QAOA-630": {"base_depth": 66342, "mech_depth": 19115, "base_eff": 1171597, "mech_eff": 914800},
+    "VQE-630": {"base_depth": 75178, "mech_depth": 21687, "base_eff": 1370750, "mech_eff": 1296846},
+    "BV-630": {"base_depth": 1063, "mech_depth": 40, "base_eff": 2772, "mech_eff": 2612},
+}
+
+
+def run_table2(
+    *,
+    scale: str = "small",
+    benchmarks: Sequence[str] = BENCHMARK_NAMES,
+    chiplet_sizes: Optional[Sequence[int]] = None,
+    array_shape: Tuple[int, int] = (3, 3),
+    noise: NoiseModel = DEFAULT_NOISE,
+    seed: int = 0,
+    qaoa_kwargs: Optional[Dict[str, object]] = None,
+) -> List[ComparisonRecord]:
+    """Regenerate Table 2: one record per (chiplet size, benchmark).
+
+    ``chiplet_sizes`` overrides the sizes implied by ``scale``.  The chiplet
+    array shape stays 3x3 (as in the paper) unless overridden.
+    """
+    if chiplet_sizes is None:
+        try:
+            chiplet_sizes = _SCALE_SIZES[scale]
+        except KeyError as exc:
+            raise ValueError(
+                f"unknown scale {scale!r}; choose from {sorted(_SCALE_SIZES)}"
+            ) from exc
+    records: List[ComparisonRecord] = []
+    rows, cols = array_shape
+    for width in chiplet_sizes:
+        array = ChipletArray("square", width, rows, cols)
+        for name in benchmarks:
+            kwargs = dict(qaoa_kwargs or {}) if name.upper() == "QAOA" else None
+            records.append(
+                compare(name, array, noise=noise, seed=seed, benchmark_kwargs=kwargs)
+            )
+    return records
+
+
+def format_table2(records: Sequence[ComparisonRecord]) -> str:
+    """Text rendering in the style of the paper's Table 2."""
+    return format_records(records, title="Table 2: baseline vs MECH (square chiplets, 3x3 array)")
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", default="small", choices=sorted(_SCALE_SIZES))
+    parser.add_argument("--benchmarks", nargs="*", default=list(BENCHMARK_NAMES))
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+    records = run_table2(scale=args.scale, benchmarks=args.benchmarks, seed=args.seed)
+    print(format_table2(records))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

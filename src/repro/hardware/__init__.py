@@ -1,0 +1,29 @@
+"""Chiplet hardware substrate: coupling structures, arrays, topology, noise."""
+
+from .array import ChipletArray
+from .chiplet import (
+    COUPLING_STRUCTURES,
+    ChipletStructure,
+    build_chiplet,
+    heavy_hexagon_chiplet,
+    heavy_square_chiplet,
+    hexagon_chiplet,
+    square_chiplet,
+)
+from .noise import DEFAULT_NOISE, NoiseModel
+from .topology import Topology, TopologyError
+
+__all__ = [
+    "ChipletArray",
+    "ChipletStructure",
+    "COUPLING_STRUCTURES",
+    "build_chiplet",
+    "square_chiplet",
+    "hexagon_chiplet",
+    "heavy_square_chiplet",
+    "heavy_hexagon_chiplet",
+    "Topology",
+    "TopologyError",
+    "NoiseModel",
+    "DEFAULT_NOISE",
+]

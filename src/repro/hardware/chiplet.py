@@ -1,0 +1,184 @@
+"""Single-chiplet coupling structures (paper Fig. 11).
+
+The paper evaluates four chiplet coupling structures: *square*, *hexagon*,
+*heavy-square* and *heavy-hexagon*.  Each structure is described here as a
+function of the chiplet's footprint width ``w`` (the "chiplet size ``w x w``"
+of Table 1) returning
+
+* the set of local grid coordinates ``(row, col)`` that host a qubit, and
+* the set of on-chip couplers between those coordinates.
+
+The heavy variants follow IBM's heavy-square / heavy-hexagon construction in
+which some lattice sites are removed so the remaining connectivity has lower
+degree; this is why, e.g., an 8x8 heavy-square chiplet has 48 qubits rather
+than 64 (matching the paper's Table 1 qubit totals).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, FrozenSet, List, Set, Tuple
+
+__all__ = [
+    "ChipletStructure",
+    "COUPLING_STRUCTURES",
+    "build_chiplet",
+    "square_chiplet",
+    "hexagon_chiplet",
+    "heavy_square_chiplet",
+    "heavy_hexagon_chiplet",
+]
+
+Coordinate = Tuple[int, int]
+Edge = Tuple[Coordinate, Coordinate]
+
+
+@dataclass(frozen=True)
+class ChipletStructure:
+    """Nodes and on-chip edges of a single chiplet on a ``width x width`` footprint."""
+
+    name: str
+    width: int
+    nodes: FrozenSet[Coordinate]
+    edges: FrozenSet[Edge]
+
+    @property
+    def num_qubits(self) -> int:
+        return len(self.nodes)
+
+    def has_node(self, coord: Coordinate) -> bool:
+        return coord in self.nodes
+
+    def boundary_nodes(self, side: str) -> List[Coordinate]:
+        """Nodes on one side of the footprint (``"top"/"bottom"/"left"/"right"``).
+
+        Cross-chip links attach to these nodes; for the heavy structures some
+        boundary sites are absent, so fewer cross-chip links are possible.
+        """
+        last = self.width - 1
+        if side == "top":
+            selected = [c for c in self.nodes if c[0] == 0]
+        elif side == "bottom":
+            selected = [c for c in self.nodes if c[0] == last]
+        elif side == "left":
+            selected = [c for c in self.nodes if c[1] == 0]
+        elif side == "right":
+            selected = [c for c in self.nodes if c[1] == last]
+        else:
+            raise ValueError(f"unknown side {side!r}")
+        return sorted(selected)
+
+
+def _orthogonal_edges(nodes: Set[Coordinate]) -> Set[Edge]:
+    """All nearest-neighbour (grid) edges between present nodes."""
+    edges: Set[Edge] = set()
+    for r, c in nodes:
+        for dr, dc in ((0, 1), (1, 0)):
+            other = (r + dr, c + dc)
+            if other in nodes:
+                edges.add(((r, c), other))
+    return edges
+
+
+def square_chiplet(width: int) -> ChipletStructure:
+    """Full ``width x width`` grid with nearest-neighbour coupling."""
+    _check_width(width)
+    nodes = {(r, c) for r in range(width) for c in range(width)}
+    return ChipletStructure("square", width, frozenset(nodes), frozenset(_orthogonal_edges(nodes)))
+
+
+def hexagon_chiplet(width: int) -> ChipletStructure:
+    """Hexagonal (brick-wall) lattice on a full ``width x width`` grid.
+
+    All sites host qubits; every horizontal coupler is present but vertical
+    couplers only appear on alternating columns, producing the degree-3
+    brick-wall rendering of a hexagonal lattice.
+    """
+    _check_width(width)
+    nodes = {(r, c) for r in range(width) for c in range(width)}
+    edges: Set[Edge] = set()
+    for r in range(width):
+        for c in range(width - 1):
+            edges.add(((r, c), (r, c + 1)))
+    for r in range(width - 1):
+        for c in range(width):
+            if (r + c) % 2 == 0:
+                edges.add(((r, c), (r + 1, c)))
+    return ChipletStructure("hexagon", width, frozenset(nodes), frozenset(edges))
+
+
+def heavy_square_chiplet(width: int) -> ChipletStructure:
+    """Heavy-square lattice: the square grid with every (odd, odd) site removed.
+
+    The remaining (even, even) sites act as lattice vertices and the (even,
+    odd) / (odd, even) sites as coupler qubits sitting on lattice edges, which
+    reproduces the degree pattern of IBM's heavy-square layouts.
+    """
+    _check_width(width)
+    nodes = {
+        (r, c)
+        for r in range(width)
+        for c in range(width)
+        if not (r % 2 == 1 and c % 2 == 1)
+    }
+    return ChipletStructure(
+        "heavy_square", width, frozenset(nodes), frozenset(_orthogonal_edges(nodes))
+    )
+
+
+def heavy_hexagon_chiplet(width: int) -> ChipletStructure:
+    """Heavy-hexagon lattice in the style of IBM's heavy-hex devices.
+
+    Even rows are fully populated; odd rows keep only sparse "bridge" qubits
+    every four columns, with the offset alternating between consecutive odd
+    rows.  Bridge qubits couple vertically to the rows above and below; even
+    rows couple horizontally.
+    """
+    _check_width(width)
+    nodes: Set[Coordinate] = set()
+    for r in range(width):
+        if r % 2 == 0:
+            nodes.update((r, c) for c in range(width))
+        else:
+            offset = 0 if (r // 2) % 2 == 0 else 2
+            nodes.update((r, c) for c in range(width) if c % 4 == offset)
+    edges: Set[Edge] = set()
+    for r in range(0, width, 2):
+        for c in range(width - 1):
+            if (r, c) in nodes and (r, c + 1) in nodes:
+                edges.add(((r, c), (r, c + 1)))
+    for r in range(1, width, 2):
+        for c in range(width):
+            if (r, c) not in nodes:
+                continue
+            if (r - 1, c) in nodes:
+                edges.add(((r - 1, c), (r, c)))
+            if (r + 1, c) in nodes:
+                edges.add(((r, c), (r + 1, c)))
+    return ChipletStructure("heavy_hexagon", width, frozenset(nodes), frozenset(edges))
+
+
+#: Registry mapping structure names to their builders.
+COUPLING_STRUCTURES: Dict[str, Callable[[int], ChipletStructure]] = {
+    "square": square_chiplet,
+    "hexagon": hexagon_chiplet,
+    "heavy_square": heavy_square_chiplet,
+    "heavy_hexagon": heavy_hexagon_chiplet,
+}
+
+
+def build_chiplet(structure: str, width: int) -> ChipletStructure:
+    """Build a single chiplet of the named coupling ``structure``."""
+    try:
+        builder = COUPLING_STRUCTURES[structure]
+    except KeyError as exc:
+        raise ValueError(
+            f"unknown coupling structure {structure!r}; "
+            f"choose from {sorted(COUPLING_STRUCTURES)}"
+        ) from exc
+    return builder(width)
+
+
+def _check_width(width: int) -> None:
+    if width < 2:
+        raise ValueError("chiplet width must be at least 2")

@@ -1,0 +1,100 @@
+"""Error/latency model used by the paper's metrics (Section 7.1).
+
+Only *ratios* between operation error rates enter the paper's effective-CNOT
+metric, and only the measurement latency (in units of a 2-qubit gate time)
+enters the depth metric, so the model is a small dataclass of those ratios.
+
+Defaults follow the paper: measurements count as depth 2 (IBM calibration),
+``p_cross / p_on = 7.4`` (IBM interference-coupler CNOT fidelity vs. flip-chip
+bond fidelity) and ``p_meas / p_on = 2.2`` (transmon readout fidelity).  The
+sensitivity analysis (Fig. 13) sweeps each of these.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["NoiseModel", "DEFAULT_NOISE"]
+
+
+@dataclass(frozen=True)
+class NoiseModel:
+    """Relative error rates and latencies of the error-prone operations.
+
+    Attributes
+    ----------
+    cross_on_ratio:
+        ``p_cross / p_on`` — error of a cross-chip CNOT relative to an on-chip
+        CNOT.
+    meas_on_ratio:
+        ``p_meas / p_on`` — error of a measurement relative to an on-chip CNOT.
+    meas_latency:
+        Duration of a measurement in units of a 2-qubit gate duration; it is
+        the weight measurements receive in the depth metric.
+    on_chip_error:
+        Absolute physical error rate of an on-chip CNOT.  Only needed when an
+        absolute program error estimate is requested; the relative metrics do
+        not use it.
+    """
+
+    cross_on_ratio: float = 7.4
+    meas_on_ratio: float = 2.2
+    meas_latency: float = 2.0
+    on_chip_error: float = 1e-3
+
+    def __post_init__(self) -> None:
+        if self.cross_on_ratio <= 0 or self.meas_on_ratio <= 0:
+            raise ValueError("error-rate ratios must be positive")
+        if self.meas_latency < 0:
+            raise ValueError("measurement latency must be non-negative")
+        if not 0 < self.on_chip_error < 1:
+            raise ValueError("on_chip_error must be a probability in (0, 1)")
+
+    @property
+    def cross_chip_error(self) -> float:
+        """Absolute error rate of a cross-chip CNOT."""
+        return self.on_chip_error * self.cross_on_ratio
+
+    @property
+    def measurement_error(self) -> float:
+        """Absolute error rate of a measurement."""
+        return self.on_chip_error * self.meas_on_ratio
+
+    def with_ratios(
+        self,
+        *,
+        cross_on_ratio: float | None = None,
+        meas_on_ratio: float | None = None,
+        meas_latency: float | None = None,
+    ) -> "NoiseModel":
+        """Return a copy with some ratios replaced (used by the sensitivity sweeps)."""
+        return replace(
+            self,
+            cross_on_ratio=self.cross_on_ratio if cross_on_ratio is None else cross_on_ratio,
+            meas_on_ratio=self.meas_on_ratio if meas_on_ratio is None else meas_on_ratio,
+            meas_latency=self.meas_latency if meas_latency is None else meas_latency,
+        )
+
+    def effective_cnots(
+        self, on_chip_cnots: int, cross_chip_cnots: int, measurements: int
+    ) -> float:
+        """The paper's ``#eff_CNOTs`` combination of operation counts."""
+        return (
+            float(on_chip_cnots)
+            + self.cross_on_ratio * float(cross_chip_cnots)
+            + self.meas_on_ratio * float(measurements)
+        )
+
+    def success_probability(
+        self, on_chip_cnots: int, cross_chip_cnots: int, measurements: int
+    ) -> float:
+        """Estimated program success probability under independent errors."""
+        return (
+            (1.0 - self.on_chip_error) ** on_chip_cnots
+            * (1.0 - self.cross_chip_error) ** cross_chip_cnots
+            * (1.0 - self.measurement_error) ** measurements
+        )
+
+
+#: The paper's default calibration-derived model.
+DEFAULT_NOISE = NoiseModel()

@@ -1,0 +1,29 @@
+"""The multi-entry communication highway: layout, GHZ machinery, occupancy."""
+
+from .ghz import GhzPrepPlan, chain_ghz, extend_ghz, measurement_based_ghz, tree_ghz
+from .layout import HighwayLayout, HighwaySegment
+from .occupancy import HighwayManager, HighwayRoute
+from .protocol import (
+    ProtocolPlan,
+    cat_disentangler,
+    cat_entangler,
+    fan_out,
+    highway_multi_target,
+)
+
+__all__ = [
+    "HighwayLayout",
+    "HighwaySegment",
+    "HighwayManager",
+    "HighwayRoute",
+    "GhzPrepPlan",
+    "measurement_based_ghz",
+    "tree_ghz",
+    "chain_ghz",
+    "extend_ghz",
+    "ProtocolPlan",
+    "cat_entangler",
+    "fan_out",
+    "cat_disentangler",
+    "highway_multi_target",
+]

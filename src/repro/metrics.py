@@ -1,0 +1,178 @@
+"""Evaluation metrics from the paper's Section 7.1.
+
+Two quantities are reported for every compiled circuit:
+
+* the **weighted depth** — only 2-qubit gates and measurements count, with a
+  measurement weighted by its latency relative to a 2-qubit gate (default 2);
+* the **effective CNOT count** —
+  ``#on_chip + (p_cross/p_on) * #cross_chip + (p_meas/p_on) * #measurements``,
+  which folds the error-rate disparity between operation types into a single
+  error-proportional number.
+
+Improvements are reported as the paper does: ``1 - ours / baseline`` (positive
+is better), and summaries across benchmarks use the geometric mean of the
+ratio, matching the "average (geomean)" language in Section 7.2.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from .circuits.circuit import Circuit
+from .circuits.library import expand_macros
+from .hardware.noise import DEFAULT_NOISE, NoiseModel
+from .hardware.topology import Topology
+
+__all__ = [
+    "OperationCounts",
+    "CircuitMetrics",
+    "count_operations",
+    "circuit_metrics",
+    "improvement",
+    "normalized_ratio",
+    "geometric_mean",
+]
+
+#: 2-qubit gate names counted as "CNOT-equivalent" operations.
+_TWO_QUBIT_NAMES = frozenset({"cx", "cz", "cp", "crz"})
+
+
+@dataclass(frozen=True)
+class OperationCounts:
+    """Counts of the error-prone operations in a physical circuit."""
+
+    on_chip_cnots: int = 0
+    cross_chip_cnots: int = 0
+    measurements: int = 0
+    one_qubit_gates: int = 0
+
+    @property
+    def total_cnots(self) -> int:
+        return self.on_chip_cnots + self.cross_chip_cnots
+
+    def effective_cnots(self, noise: NoiseModel = DEFAULT_NOISE) -> float:
+        """The paper's #eff_CNOTs metric under ``noise``."""
+        return noise.effective_cnots(
+            self.on_chip_cnots, self.cross_chip_cnots, self.measurements
+        )
+
+    def __add__(self, other: "OperationCounts") -> "OperationCounts":
+        return OperationCounts(
+            self.on_chip_cnots + other.on_chip_cnots,
+            self.cross_chip_cnots + other.cross_chip_cnots,
+            self.measurements + other.measurements,
+            self.one_qubit_gates + other.one_qubit_gates,
+        )
+
+
+@dataclass(frozen=True)
+class CircuitMetrics:
+    """Depth and operation counts of one compiled circuit."""
+
+    depth: float
+    counts: OperationCounts
+    eff_cnots: float
+    num_physical_qubits: int
+    num_operations: int
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "depth": self.depth,
+            "on_chip_cnots": self.counts.on_chip_cnots,
+            "cross_chip_cnots": self.counts.cross_chip_cnots,
+            "measurements": self.counts.measurements,
+            "eff_cnots": self.eff_cnots,
+            "num_physical_qubits": self.num_physical_qubits,
+            "num_operations": self.num_operations,
+        }
+
+
+def count_operations(
+    circuit: Circuit,
+    topology: Optional[Topology] = None,
+    *,
+    strict: bool = True,
+) -> OperationCounts:
+    """Count on-chip CNOTs, cross-chip CNOTs and measurements.
+
+    ``circuit`` should be a *physical* circuit (SWAPs and multi-target gates
+    are expanded to CNOT-level operations first).  When ``topology`` is given,
+    each 2-qubit operation is classified as on-chip or cross-chip by the edge
+    it uses; with ``strict=True`` an operation on an uncoupled pair raises,
+    which doubles as a routing-correctness check.
+    """
+    expanded = expand_macros(circuit)
+    on_chip = 0
+    cross_chip = 0
+    measurements = 0
+    one_qubit = 0
+    for op in expanded:
+        if op.is_barrier:
+            continue
+        if op.is_measurement:
+            measurements += 1
+        elif op.name in _TWO_QUBIT_NAMES:
+            if topology is None:
+                on_chip += 1
+            elif topology.is_coupled(*op.qubits):
+                if topology.is_cross_chip(*op.qubits):
+                    cross_chip += 1
+                else:
+                    on_chip += 1
+            elif strict:
+                raise ValueError(
+                    f"2-qubit operation {op} acts on uncoupled qubits {op.qubits}"
+                )
+            else:
+                on_chip += 1
+        elif op.num_qubits == 1:
+            one_qubit += 1
+        else:
+            raise ValueError(f"unexpected operation {op} in physical circuit")
+    return OperationCounts(on_chip, cross_chip, measurements, one_qubit)
+
+
+def circuit_metrics(
+    circuit: Circuit,
+    topology: Optional[Topology] = None,
+    noise: NoiseModel = DEFAULT_NOISE,
+    *,
+    strict: bool = True,
+) -> CircuitMetrics:
+    """Compute the paper's depth and eff_CNOT metrics for a physical circuit."""
+    expanded = expand_macros(circuit)
+    counts = count_operations(expanded, topology, strict=strict)
+    depth = expanded.depth(meas_latency=noise.meas_latency)
+    return CircuitMetrics(
+        depth=depth,
+        counts=counts,
+        eff_cnots=counts.effective_cnots(noise),
+        num_physical_qubits=circuit.num_qubits,
+        num_operations=len(expanded),
+    )
+
+
+def improvement(baseline: float, ours: float) -> float:
+    """Relative improvement ``1 - ours/baseline`` (the paper's percentages)."""
+    if baseline <= 0:
+        raise ValueError("baseline metric must be positive")
+    return 1.0 - ours / baseline
+
+
+def normalized_ratio(baseline: float, ours: float) -> float:
+    """``ours / baseline`` — the normalised values plotted in Figs. 14-16."""
+    if baseline <= 0:
+        raise ValueError("baseline metric must be positive")
+    return ours / baseline
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean of positive values (the paper's summary statistic)."""
+    values = list(values)
+    if not values:
+        raise ValueError("geometric mean of an empty sequence")
+    if any(v <= 0 for v in values):
+        raise ValueError("geometric mean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))

@@ -1,0 +1,42 @@
+"""Benchmark circuit generators used in the paper's evaluation."""
+
+from .bv import bernstein_vazirani_circuit, random_secret
+from .ghz import ghz_circuit
+from .qaoa import qaoa_maxcut_circuit, random_maxcut_graph
+from .qft import qft_circuit
+from .random_circuits import random_commuting_layer_circuit, random_two_qubit_circuit
+from .vqe import vqe_full_entanglement_circuit
+
+__all__ = [
+    "qft_circuit",
+    "qaoa_maxcut_circuit",
+    "random_maxcut_graph",
+    "vqe_full_entanglement_circuit",
+    "bernstein_vazirani_circuit",
+    "random_secret",
+    "ghz_circuit",
+    "random_two_qubit_circuit",
+    "random_commuting_layer_circuit",
+]
+
+#: Mapping from benchmark name (as used in the paper's tables) to a builder
+#: taking the number of data qubits.
+BENCHMARKS = {
+    "QFT": lambda n, **kw: qft_circuit(n, **kw),
+    "QAOA": lambda n, **kw: qaoa_maxcut_circuit(n, **kw),
+    "VQE": lambda n, **kw: vqe_full_entanglement_circuit(n, **kw),
+    "BV": lambda n, **kw: bernstein_vazirani_circuit(n - 1, **kw),
+}
+
+
+def build_benchmark(name: str, num_data_qubits: int, **kwargs):
+    """Build one of the paper's benchmark programs by name.
+
+    For BV the paper counts the ancilla among the data qubits, so
+    ``num_data_qubits`` is the total number of qubits in every case.
+    """
+    try:
+        builder = BENCHMARKS[name.upper()]
+    except KeyError as exc:
+        raise ValueError(f"unknown benchmark {name!r}; choose from {sorted(BENCHMARKS)}") from exc
+    return builder(num_data_qubits, **kwargs)

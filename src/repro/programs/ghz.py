@@ -1,0 +1,20 @@
+"""GHZ state preparation program (used by examples and tests)."""
+
+from __future__ import annotations
+
+from ..circuits.circuit import Circuit
+
+__all__ = ["ghz_circuit"]
+
+
+def ghz_circuit(num_qubits: int, *, measure: bool = False) -> Circuit:
+    """Prepare an ``num_qubits``-qubit GHZ state with a Hadamard + CNOT chain."""
+    if num_qubits < 1:
+        raise ValueError("GHZ needs at least one qubit")
+    circuit = Circuit(num_qubits, name=f"ghz-{num_qubits}")
+    circuit.h(0)
+    for q in range(num_qubits - 1):
+        circuit.cx(q, q + 1)
+    if measure:
+        circuit.measure_all()
+    return circuit

@@ -1,0 +1,61 @@
+"""Quantum Fourier Transform benchmark circuit (paper Section 7.1).
+
+The textbook QFT on ``n`` qubits: for each qubit ``i`` a Hadamard followed by
+controlled-phase rotations ``CP(pi / 2^(j-i))`` from every later qubit ``j``.
+All controlled-phase gates that share the qubit ``i`` commute with each other,
+which is exactly the structure the MECH aggregation pass exploits.
+
+The optional final SWAP-reversal layer is omitted by default (as is common
+when benchmarking routing, since the reversal can be absorbed into qubit
+relabelling); pass ``reverse=True`` to include it.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..circuits.circuit import Circuit
+
+__all__ = ["qft_circuit"]
+
+
+def qft_circuit(
+    num_qubits: int,
+    *,
+    reverse: bool = False,
+    measure: bool = True,
+    approximation_degree: int = 0,
+) -> Circuit:
+    """Build an ``num_qubits``-qubit QFT circuit.
+
+    Parameters
+    ----------
+    num_qubits:
+        Number of data qubits.
+    reverse:
+        Include the final qubit-reversal SWAP network.
+    measure:
+        Append a final measurement of every qubit.
+    approximation_degree:
+        Drop controlled-phase rotations with angle smaller than
+        ``pi / 2^(num_qubits - approximation_degree)``; 0 keeps every rotation
+        (the exact QFT used in the paper's benchmarks).
+    """
+    if num_qubits < 1:
+        raise ValueError("QFT needs at least one qubit")
+    circuit = Circuit(num_qubits, name=f"qft-{num_qubits}")
+    cutoff = num_qubits - approximation_degree
+    for i in range(num_qubits):
+        circuit.h(i)
+        for j in range(i + 1, num_qubits):
+            distance = j - i
+            if approximation_degree and distance >= cutoff:
+                continue
+            angle = math.pi / (2**distance)
+            circuit.cp(angle, j, i)
+    if reverse:
+        for i in range(num_qubits // 2):
+            circuit.swap(i, num_qubits - 1 - i)
+    if measure:
+        circuit.measure_all()
+    return circuit

@@ -1,0 +1,167 @@
+"""Unit tests for the aggregation pass and the ZZ-ladder rewrite."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import Circuit, DependencyDag, Simulator, statevectors_equal
+from repro.compiler import HighwayGateUnit, SingleUnit, aggregate, fuse_zz_ladders
+from repro.programs import (
+    bernstein_vazirani_circuit,
+    qaoa_maxcut_circuit,
+    qft_circuit,
+    vqe_full_entanglement_circuit,
+)
+
+
+def _highway_units(units):
+    return [u for u in units if isinstance(u, HighwayGateUnit)]
+
+
+def _single_two_qubit_units(units):
+    return [u for u in units if isinstance(u, SingleUnit) and u.op.num_qubits == 2]
+
+
+class TestAggregation:
+    def test_cx_fanout_becomes_one_group(self):
+        c = Circuit(5).h(0).cx(0, 1).cx(0, 2).cx(0, 3).cx(0, 4)
+        units = aggregate(DependencyDag(c))
+        groups = _highway_units(units)
+        assert len(groups) == 1
+        group = groups[0]
+        assert group.hub == 0
+        assert group.kind == "control"
+        assert sorted(group.spokes) == [1, 2, 3, 4]
+        assert group.num_components == 4
+
+    def test_target_shared_cx_group(self):
+        c = Circuit(4).cx(0, 3).cx(1, 3).cx(2, 3)
+        groups = _highway_units(aggregate(DependencyDag(c)))
+        assert len(groups) == 1
+        assert groups[0].hub == 3
+        assert groups[0].kind == "target"
+        assert sorted(groups[0].spokes) == [0, 1, 2]
+
+    def test_symmetric_gates_can_hub_on_either_qubit(self):
+        c = Circuit(4).cp(0.3, 1, 0).cp(0.2, 2, 0).cp(0.1, 3, 0)
+        groups = _highway_units(aggregate(DependencyDag(c)))
+        assert len(groups) == 1
+        assert groups[0].hub == 0
+        assert sorted(groups[0].spokes) == [1, 2, 3]
+
+    def test_min_components_threshold(self):
+        c = Circuit(4).cx(0, 1).cx(0, 2).cx(0, 3)
+        assert len(_highway_units(aggregate(DependencyDag(c), min_components=3))) == 1
+        assert len(_highway_units(aggregate(DependencyDag(c), min_components=4))) == 0
+
+    def test_small_groups_stay_single(self):
+        c = Circuit(4).cx(0, 1).cx(2, 3)
+        units = aggregate(DependencyDag(c))
+        assert not _highway_units(units)
+        assert len(_single_two_qubit_units(units)) == 2
+
+    def test_every_gate_appears_exactly_once(self):
+        c = qft_circuit(8, measure=False)
+        units = aggregate(DependencyDag(c))
+        indices = []
+        for unit in units:
+            indices.extend(unit.indices)
+        assert sorted(indices) == list(range(len(c)))
+
+    def test_unit_order_respects_dependencies(self):
+        c = qaoa_maxcut_circuit(8, seed=1, measure=False)
+        dag = DependencyDag(c)
+        units = aggregate(dag)
+        seen = set()
+        for unit in units:
+            for index in unit.indices:
+                assert dag.node(index).predecessors <= seen | set(unit.indices), (
+                    f"unit containing gate {index} scheduled before its dependencies"
+                )
+            seen.update(unit.indices)
+
+    def test_qft_groups_per_round(self):
+        n = 10
+        c = qft_circuit(n, measure=False)
+        groups = _highway_units(aggregate(DependencyDag(c)))
+        # one group per QFT round with at least 2 remaining rotations
+        assert len(groups) == n - 2
+        sizes = sorted(g.num_components for g in groups)
+        assert sizes == list(range(2, n))
+
+    def test_bv_oracle_collapses_to_single_group(self):
+        c = bernstein_vazirani_circuit(12, secret="101010101010")
+        groups = _highway_units(aggregate(DependencyDag(c)))
+        assert len(groups) == 1
+        assert groups[0].kind == "target"
+        assert groups[0].num_components == 6
+
+    def test_vqe_layer_aggregation(self):
+        c = vqe_full_entanglement_circuit(8, measure=False)
+        groups = _highway_units(aggregate(DependencyDag(c)))
+        assert sum(g.num_components for g in groups) >= 0.8 * (8 * 7 / 2)
+
+    def test_invalid_min_components(self):
+        c = Circuit(2).cx(0, 1)
+        with pytest.raises(ValueError):
+            aggregate(DependencyDag(c), min_components=0)
+
+    def test_highway_gate_unit_validation(self):
+        with pytest.raises(ValueError):
+            HighwayGateUnit(hub=0, components=(), kind="control")
+        c = Circuit(3).cx(0, 1).cx(0, 2)
+        group = _highway_units(aggregate(DependencyDag(c)))[0]
+        with pytest.raises(ValueError):
+            HighwayGateUnit(hub=0, components=group.components, kind="sideways")
+
+
+class TestZZRewrite:
+    def test_basic_fusion(self):
+        c = Circuit(2).cx(0, 1).rz(0.8, 1).cx(0, 1)
+        fused = fuse_zz_ladders(c)
+        assert fused.count_ops() == {"rz": 2, "cp": 1}
+        s1 = Simulator(2, seed=0).run(c).statevector
+        s2 = Simulator(2, seed=0).run(fused).statevector
+        assert statevectors_equal(s1, s2)
+
+    def test_fusion_across_unrelated_gates(self):
+        c = Circuit(3).cx(0, 1).h(2).rz(0.4, 1).x(2).cx(0, 1)
+        fused = fuse_zz_ladders(c)
+        assert fused.count_ops()["cp"] == 1
+        s1 = Simulator(3, seed=0).run(c).statevector
+        s2 = Simulator(3, seed=0).run(fused).statevector
+        assert statevectors_equal(s1, s2)
+
+    def test_no_fusion_when_pattern_broken(self):
+        # an H on the target between the CNOTs breaks the pattern
+        c = Circuit(2).cx(0, 1).h(1).rz(0.4, 1).cx(0, 1)
+        fused = fuse_zz_ladders(c)
+        assert "cp" not in fused.count_ops()
+
+    def test_no_fusion_when_control_touched(self):
+        c = Circuit(3).cx(0, 1).rz(0.4, 1).cx(2, 0).cx(0, 1)
+        fused = fuse_zz_ladders(c)
+        assert "cp" not in fused.count_ops()
+
+    def test_qaoa_ladder_fully_fused(self):
+        ladder = qaoa_maxcut_circuit(10, seed=2, measure=False, use_cx_ladder=True)
+        fused = fuse_zz_ladders(ladder)
+        assert "cx" not in fused.count_ops()
+        assert fused.count_ops()["cp"] == ladder.count_ops()["cx"] // 2
+        s1 = Simulator(10, seed=0).run(ladder).statevector
+        s2 = Simulator(10, seed=0).run(fused).statevector
+        assert statevectors_equal(s1, s2)
+
+    def test_chained_ladders_on_shared_qubits(self):
+        c = Circuit(3)
+        c.cx(0, 1).rz(0.3, 1).cx(0, 1)
+        c.cx(1, 2).rz(0.7, 2).cx(1, 2)
+        fused = fuse_zz_ladders(c)
+        assert fused.count_ops()["cp"] == 2
+        s1 = Simulator(3, seed=0).run(c).statevector
+        s2 = Simulator(3, seed=0).run(fused).statevector
+        assert statevectors_equal(s1, s2)
+
+    def test_rewrite_leaves_other_circuits_alone(self):
+        c = qft_circuit(6, measure=False)
+        fused = fuse_zz_ladders(c)
+        assert fused.count_ops() == c.count_ops()

@@ -1,0 +1,153 @@
+"""Unit tests for chiplet structures and chiplet arrays (repro.hardware)."""
+
+import networkx as nx
+import pytest
+
+from repro.hardware import (
+    COUPLING_STRUCTURES,
+    ChipletArray,
+    build_chiplet,
+    heavy_hexagon_chiplet,
+    heavy_square_chiplet,
+    hexagon_chiplet,
+    square_chiplet,
+)
+
+
+class TestChipletStructures:
+    def test_square_chiplet_counts(self):
+        c = square_chiplet(5)
+        assert c.num_qubits == 25
+        assert len(c.edges) == 2 * 5 * 4  # 2*w*(w-1)
+
+    def test_hexagon_keeps_all_sites_with_fewer_edges(self):
+        sq, hx = square_chiplet(6), hexagon_chiplet(6)
+        assert hx.num_qubits == sq.num_qubits == 36
+        assert len(hx.edges) < len(sq.edges)
+
+    def test_heavy_square_removes_odd_odd_sites(self):
+        c = heavy_square_chiplet(8)
+        assert c.num_qubits == 48  # 64 - 16, matches Table 1 (432 / 9 chiplets)
+        assert not c.has_node((1, 1))
+        assert c.has_node((0, 1))
+
+    def test_heavy_hexagon_counts(self):
+        c = heavy_hexagon_chiplet(8)
+        assert c.num_qubits == 40  # matches Table 1 (480 / 12 chiplets)
+
+    @pytest.mark.parametrize("name", sorted(COUPLING_STRUCTURES))
+    @pytest.mark.parametrize("width", [4, 6, 8])
+    def test_every_structure_is_connected(self, name, width):
+        c = build_chiplet(name, width)
+        g = nx.Graph()
+        g.add_nodes_from(c.nodes)
+        g.add_edges_from(c.edges)
+        assert nx.is_connected(g)
+
+    @pytest.mark.parametrize("name", sorted(COUPLING_STRUCTURES))
+    def test_edges_connect_existing_orthogonal_neighbours(self, name):
+        c = build_chiplet(name, 6)
+        for (a, b) in c.edges:
+            assert a in c.nodes and b in c.nodes
+            assert abs(a[0] - b[0]) + abs(a[1] - b[1]) == 1
+
+    def test_boundary_nodes(self):
+        c = square_chiplet(4)
+        assert len(c.boundary_nodes("top")) == 4
+        assert all(r == 3 for r, _ in c.boundary_nodes("bottom"))
+        assert all(col == 0 for _, col in c.boundary_nodes("left"))
+        with pytest.raises(ValueError):
+            c.boundary_nodes("middle")
+
+    def test_unknown_structure_rejected(self):
+        with pytest.raises(ValueError):
+            build_chiplet("triangular", 5)
+        with pytest.raises(ValueError):
+            square_chiplet(1)
+
+
+class TestChipletArray:
+    @pytest.mark.parametrize(
+        "structure,width,rows,cols,expected_total",
+        [
+            ("square", 6, 3, 3, 324),      # Table 1: program-261
+            ("square", 7, 3, 3, 441),      # program-360
+            ("square", 8, 3, 3, 576),      # program-495
+            ("square", 9, 3, 3, 729),      # program-630
+            ("square", 7, 2, 2, 196),      # program-160
+            ("square", 7, 2, 3, 294),      # program-240
+            ("square", 7, 3, 4, 588),      # program-480
+            ("square", 9, 2, 3, 486),      # program-420
+            ("hexagon", 8, 2, 3, 384),     # program-312
+            ("heavy_square", 8, 3, 3, 432),    # program-351
+            ("heavy_hexagon", 8, 3, 4, 480),   # program-336
+        ],
+    )
+    def test_table1_total_qubit_counts(self, structure, width, rows, cols, expected_total):
+        arr = ChipletArray(structure, width, rows, cols)
+        assert arr.num_qubits == expected_total
+
+    def test_array_is_connected_and_labelled(self):
+        arr = ChipletArray("square", 4, 2, 3)
+        topo = arr.topology
+        assert topo.is_connected()
+        assert set(topo.chiplets()) == {(i, j) for i in range(2) for j in range(3)}
+        # every qubit has a coordinate and chiplet
+        for q in topo.qubits():
+            assert topo.position(q) is not None
+            assert topo.chiplet_of(q) is not None
+
+    def test_cross_chip_edges_connect_different_chiplets(self):
+        arr = ChipletArray("square", 4, 2, 2)
+        topo = arr.topology
+        for a, b in topo.cross_chip_edges():
+            assert topo.chiplet_of(a) != topo.chiplet_of(b)
+        for a, b in topo.on_chip_edges():
+            assert topo.chiplet_of(a) == topo.chiplet_of(b)
+
+    def test_dense_cross_link_count_square(self):
+        # 3x3 array of w-wide square chiplets: 12 facing boundaries, w links each
+        arr = ChipletArray("square", 6, 3, 3)
+        assert len(arr.topology.cross_chip_edges()) == 12 * 6
+
+    def test_sparsity_reduces_cross_links(self):
+        dense = ChipletArray("square", 7, 2, 2)
+        sparse3 = ChipletArray("square", 7, 2, 2, cross_links_per_edge=3)
+        sparse1 = ChipletArray("square", 7, 2, 2, cross_links_per_edge=1)
+        n_dense = len(dense.topology.cross_chip_edges())
+        n_3 = len(sparse3.topology.cross_chip_edges())
+        n_1 = len(sparse1.topology.cross_chip_edges())
+        assert n_dense == 7 * 4 and n_3 == 3 * 4 and n_1 == 1 * 4
+        assert sparse1.topology.is_connected()
+
+    def test_sparse_links_include_the_middle_position(self):
+        arr = ChipletArray("square", 7, 1, 2, cross_links_per_edge=1)
+        (a, b), = arr.topology.cross_chip_edges()
+        rows = {arr.coordinate_of(a)[0], arr.coordinate_of(b)[0]}
+        assert rows == {3}  # the middle row of a 7-wide chiplet
+
+    def test_coordinate_round_trip(self):
+        arr = ChipletArray("square", 4, 2, 2)
+        for q in arr.topology.qubits():
+            assert arr.qubit_at(arr.coordinate_of(q)) == q
+        assert arr.qubit_at((99, 99)) is None
+
+    def test_heavy_structures_are_connected_as_arrays(self):
+        for structure in ("heavy_square", "heavy_hexagon", "hexagon"):
+            arr = ChipletArray(structure, 8, 2, 2)
+            assert arr.topology.is_connected()
+
+    def test_global_dimensions_and_chiplet_queries(self):
+        arr = ChipletArray("square", 5, 2, 3)
+        assert arr.global_rows == 10 and arr.global_cols == 15
+        assert arr.num_chiplets == 6
+        assert len(arr.qubits_in_chiplet((1, 2))) == 25
+        assert arr.max_cross_links_per_edge() == 5
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            ChipletArray("square", 4, 0, 2)
+        with pytest.raises(ValueError):
+            ChipletArray("square", 4, 1, 1, cross_links_per_edge=0)
+        with pytest.raises(ValueError):
+            ChipletArray("nonexistent", 4, 1, 2)

@@ -1,0 +1,149 @@
+"""Unit tests for the circuit container (repro.circuits.circuit)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuits import Circuit, CircuitError, Simulator, circuit_unitary, statevectors_equal
+from repro.circuits import gates as g
+
+
+class TestBuilding:
+    def test_builder_methods_append_gates(self):
+        c = Circuit(3)
+        c.h(0).cx(0, 1).cp(0.5, 1, 2).measure(2)
+        assert len(c) == 4
+        assert [op.name for op in c] == ["h", "cx", "cp", "measure"]
+
+    def test_out_of_range_qubit_rejected(self):
+        c = Circuit(2)
+        with pytest.raises(CircuitError):
+            c.cx(0, 2)
+        with pytest.raises(CircuitError):
+            c.h(-1)
+
+    def test_zero_qubit_circuit_rejected(self):
+        with pytest.raises(CircuitError):
+            Circuit(0)
+
+    def test_measure_all_appends_one_measurement_per_qubit(self):
+        c = Circuit(4).measure_all()
+        assert c.num_measurements() == 4
+        assert sorted(op.qubits[0] for op in c) == [0, 1, 2, 3]
+
+    def test_barrier_defaults_to_all_qubits(self):
+        c = Circuit(3).barrier()
+        assert c[0].qubits == (0, 1, 2)
+
+    def test_extend_appends_iterable(self):
+        c = Circuit(2).extend([g.h(0), g.cx(0, 1)])
+        assert len(c) == 2
+
+
+class TestAnalysis:
+    def test_count_ops(self):
+        c = Circuit(3).h(0).h(1).cx(0, 1).cx(1, 2).measure(2)
+        assert c.count_ops() == {"h": 2, "cx": 2, "measure": 1}
+        assert c.num_ops("cx") == 2
+        assert c.num_ops() == 5
+
+    def test_two_qubit_counts(self):
+        c = Circuit(3).h(0).cx(0, 1).swap(1, 2).cz(0, 2)
+        assert c.num_two_qubit_ops() == 3
+        assert len(c.two_qubit_gates()) == 3
+
+    def test_qubits_used(self):
+        c = Circuit(5).h(4).cx(1, 3)
+        assert c.qubits_used() == [1, 3, 4]
+
+    def test_depth_counts_only_two_qubit_gates_by_default(self):
+        c = Circuit(2).h(0).rz(0.1, 0).cx(0, 1).cx(0, 1)
+        assert c.depth() == 2.0
+
+    def test_depth_parallel_gates_share_a_step(self):
+        c = Circuit(4).cx(0, 1).cx(2, 3)
+        assert c.depth() == 1.0
+
+    def test_depth_measurement_latency(self):
+        c = Circuit(1).measure(0)
+        assert c.depth(meas_latency=2.0) == 2.0
+        assert c.depth(meas_latency=8.0) == 8.0
+
+    def test_depth_barrier_synchronises_without_cost(self):
+        c = Circuit(3)
+        c.cx(0, 1)          # qubits 0,1 busy until t=1
+        c.barrier([1, 2])   # qubit 2 synced to t=1
+        c.cx(1, 2)
+        assert c.depth() == 2.0
+        # without the barrier the same gates still give 2 (dependency via qubit 1)
+        c2 = Circuit(3).cx(0, 1).cx(1, 2)
+        assert c2.depth() == 2.0
+
+    def test_depth_custom_weights(self):
+        c = Circuit(2).h(0).cx(0, 1)
+        assert c.depth(one_qubit_weight=1.0) == 2.0
+
+    def test_depth_empty_circuit_is_zero(self):
+        assert Circuit(3).depth() == 0.0
+
+
+class TestTransforms:
+    def test_copy_is_independent(self):
+        c = Circuit(2).h(0)
+        d = c.copy()
+        d.cx(0, 1)
+        assert len(c) == 1 and len(d) == 2
+
+    def test_compose(self):
+        a = Circuit(3).h(0)
+        b = Circuit(2).cx(0, 1)
+        combined = a.compose(b)
+        assert [op.name for op in combined] == ["h", "cx"]
+        with pytest.raises(CircuitError):
+            b.compose(a)  # cannot compose larger onto smaller
+
+    def test_remap_moves_qubits(self):
+        c = Circuit(2).cx(0, 1).measure(1)
+        mapped = c.remap({0: 4, 1: 2}, num_qubits=6)
+        assert mapped.num_qubits == 6
+        assert mapped[0].qubits == (4, 2)
+        assert mapped[1].qubits == (2,)
+        assert mapped[1].is_measurement
+
+    def test_remap_preserves_condition(self):
+        c = Circuit(2)
+        c.append(g.x(1).with_condition([0], 1))
+        mapped = c.remap({0: 0, 1: 1})
+        assert mapped[0].condition == ((0,), 1)
+
+    def test_inverse_reverses_and_inverts(self):
+        c = Circuit(2).h(0).s(1).cx(0, 1).rz(0.4, 1)
+        inv = c.inverse()
+        assert [op.name for op in inv] == ["rz", "cx", "sdg", "h"]
+        assert inv[0].params == (-0.4,)
+        # circuit followed by its inverse is the identity
+        u = circuit_unitary(c.compose(inv))
+        assert np.allclose(u, np.eye(4), atol=1e-9)
+
+    def test_inverse_rejects_measurements(self):
+        with pytest.raises(CircuitError):
+            Circuit(1).measure(0).inverse()
+
+    def test_without_measurements(self):
+        c = Circuit(2).h(0).measure(0).cx(0, 1).measure(1)
+        stripped = c.without_measurements()
+        assert stripped.num_measurements() == 0
+        assert len(stripped) == 2
+
+    def test_filtered(self):
+        c = Circuit(2).h(0).cx(0, 1).h(1)
+        only_h = c.filtered(lambda op: op.name == "h")
+        assert len(only_h) == 2
+
+    def test_equality(self):
+        a = Circuit(2).h(0).cx(0, 1)
+        b = Circuit(2).h(0).cx(0, 1)
+        assert a == b
+        b.h(1)
+        assert a != b

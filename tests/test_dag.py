@@ -1,0 +1,123 @@
+"""Unit tests for the commutation-aware dependency DAG (repro.circuits.dag)."""
+
+import pytest
+
+from repro.circuits import Circuit, DependencyDag
+from repro.programs import qft_circuit
+
+
+class TestConstruction:
+    def test_independent_gates_have_no_edges(self):
+        c = Circuit(4).cx(0, 1).cx(2, 3)
+        dag = DependencyDag(c)
+        assert all(not n.predecessors for n in dag)
+        assert len(dag.front_layer()) == 2
+
+    def test_sequential_dependency(self):
+        c = Circuit(3).cx(0, 1).cx(1, 2)
+        dag = DependencyDag(c)
+        assert dag.node(1).predecessors == {0}
+        assert dag.node(0).successors == {1}
+
+    def test_commuting_gates_share_level(self):
+        c = Circuit(4).h(0).cx(0, 1).cx(0, 2).cx(0, 3)
+        dag = DependencyDag(c)
+        # the three CNOTs share the control and commute -> all depend only on H
+        for i in (1, 2, 3):
+            assert dag.node(i).predecessors == {0}
+
+    def test_strict_mode_chains_all_wire_neighbours(self):
+        c = Circuit(4).h(0).cx(0, 1).cx(0, 2).cx(0, 3)
+        dag = DependencyDag(c, commutation_aware=False)
+        assert dag.node(2).predecessors == {1}
+        assert dag.node(3).predecessors == {2}
+
+    def test_dependency_found_past_commuting_gate(self):
+        # cx(0,1) then rz(0) (commutes with cx control) then h(0): the h must
+        # depend on cx(0,1) even though rz sits in between
+        c = Circuit(2).cx(0, 1).rz(0.3, 0).h(0)
+        dag = DependencyDag(c)
+        assert 0 in dag.node(2).predecessors
+
+    def test_measurement_blocks_wire(self):
+        c = Circuit(2).cx(0, 1).measure(1).cx(0, 1)
+        dag = DependencyDag(c)
+        assert 1 in dag.node(2).predecessors
+
+    def test_len_and_iteration(self):
+        c = Circuit(2).h(0).cx(0, 1)
+        dag = DependencyDag(c)
+        assert len(dag) == 2
+        assert [n.index for n in dag] == [0, 1]
+
+
+class TestLevels:
+    def test_layers_partition_all_nodes(self):
+        c = qft_circuit(5, measure=False)
+        dag = DependencyDag(c)
+        layers = dag.layers()
+        assert sum(len(layer) for layer in layers) == len(dag)
+        # within a layer no node depends on another node of the same layer
+        for layer in layers:
+            indices = {n.index for n in layer}
+            for node in layer:
+                assert not (node.predecessors & indices)
+
+    def test_asap_levels_respect_dependencies(self):
+        c = Circuit(3).cx(0, 1).cx(1, 2).cx(0, 1)
+        dag = DependencyDag(c)
+        start = dag.asap_levels()
+        assert start[0] == 0.0
+        assert start[1] == 1.0
+        assert start[2] == 2.0
+
+    def test_asap_levels_measurement_latency(self):
+        c = Circuit(2).measure(0).cx(0, 1)
+        dag = DependencyDag(c)
+        start = dag.asap_levels(meas_latency=5.0)
+        assert start[1] == 5.0
+
+    def test_asap_one_qubit_gates_free_by_default(self):
+        c = Circuit(2).h(0).cx(0, 1)
+        dag = DependencyDag(c)
+        assert dag.asap_levels()[1] == 0.0
+        assert dag.asap_levels(one_qubit_weight=1.0)[1] == 1.0
+
+    def test_commuting_controlled_gates_get_equal_start_times(self):
+        c = Circuit(4).h(0).cx(0, 1).cx(0, 2).cx(0, 3)
+        dag = DependencyDag(c)
+        start = dag.asap_levels()
+        assert start[1] == start[2] == start[3]
+
+    def test_descendants(self):
+        c = Circuit(3).cx(0, 1).cx(1, 2).h(2)
+        dag = DependencyDag(c)
+        assert dag.descendants(0) == {1, 2}
+        assert dag.descendants(2) == set()
+
+    def test_topological_order_is_program_order(self):
+        c = qft_circuit(4, measure=False)
+        dag = DependencyDag(c)
+        order = dag.topological_order()
+        assert [n.index for n in order] == list(range(len(dag)))
+
+
+class TestQftStructure:
+    def test_qft_controlled_phase_fanout_is_flat(self):
+        """All CP gates sharing a target must sit in one dependency layer."""
+        n = 6
+        c = qft_circuit(n, measure=False)
+        dag = DependencyDag(c)
+        layers = dag.layers()
+        # find the layer containing the CP gates that touch qubit 0
+        cp_on_0 = [
+            node.index
+            for node in dag
+            if node.op.name == "cp" and 0 in node.op.qubits
+        ]
+        level_of = {}
+        for level, layer in enumerate(layers):
+            for node in layer:
+                level_of[node.index] = level
+        levels = {level_of[i] for i in cp_on_0}
+        assert len(levels) == 1

@@ -1,0 +1,214 @@
+"""Simulator-backed verification of the GHZ machinery and the highway protocol.
+
+These tests are the correctness core of the reproduction: they check that the
+measurement-based GHZ preparation (paper Figs. 5-8), its tree generalisation
+(Fig. 7) and the communication protocol (Fig. 3) do what the paper claims,
+including the dynamic-circuit Pauli corrections.
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuits import Circuit, Simulator, statevectors_equal
+from repro.highway import (
+    chain_ghz,
+    extend_ghz,
+    highway_multi_target,
+    measurement_based_ghz,
+    tree_ghz,
+)
+
+
+def _verify_ghz_members(plan, num_qubits, seeds=range(4)):
+    """Run the plan and check the members hold a GHZ state (any outcome)."""
+    for seed in seeds:
+        circuit = Circuit(num_qubits)
+        circuit.extend(plan.operations)
+        sim = Simulator(num_qubits, seed=seed)
+        sim.run(circuit)
+        members = plan.members
+        # disentangle: fan-out CNOTs from the first member, then H
+        verify = Circuit(num_qubits)
+        for m in members[1:]:
+            verify.cx(members[0], m)
+        verify.h(members[0])
+        sim.run(verify)
+        for q in members:
+            assert abs(sim.expectation_z(q) - 1.0) < 1e-8, (
+                f"member {q} not part of a GHZ state (seed {seed})"
+            )
+
+
+class TestLinearGhzPreparation:
+    @pytest.mark.parametrize("length", [1, 2, 3, 4, 5, 6, 7, 8])
+    def test_path_lengths(self, length):
+        path = list(range(length))
+        plan = measurement_based_ghz(path)
+        _verify_ghz_members(plan, length)
+
+    def test_members_are_alternating_positions(self):
+        plan = measurement_based_ghz([0, 1, 2, 3, 4])
+        assert plan.members == [0, 2, 4]
+        assert plan.measured == [1, 3]
+        assert set(plan.measurement_cbits.keys()) == {1, 3}
+
+    def test_even_path_keeps_trailing_qubit_as_member(self):
+        plan = measurement_based_ghz([0, 1, 2, 3])
+        assert 3 in plan.members
+        assert 3 not in plan.measured
+
+    def test_constant_depth_vs_chain(self):
+        """The measurement-based scheme beats the CNOT chain in depth for long paths."""
+        path = list(range(12))
+        chain = Circuit(12).extend(chain_ghz(path))
+        fast = Circuit(12).extend(measurement_based_ghz(path).operations)
+        assert chain.depth(meas_latency=2.0) == 11
+        assert fast.depth(meas_latency=2.0) < chain.depth(meas_latency=2.0)
+
+    def test_reentanglement_of_measured_entrances(self):
+        plan = measurement_based_ghz([0, 1, 2, 3, 4], reentangle=[1, 3])
+        assert {1, 3} <= set(plan.members)
+        _verify_ghz_members(plan, 5)
+
+    def test_reentangle_unknown_qubit_rejected(self):
+        with pytest.raises(ValueError):
+            measurement_based_ghz([0, 1, 2], reentangle=[9])
+
+    def test_bridged_segments(self):
+        # highway qubits 0,2,4 with interval qubits 1,3 bridged across
+        via = {(0, 2): 1, (2, 0): 1, (2, 4): 3, (4, 2): 3}
+        plan = measurement_based_ghz([0, 2, 4], via_lookup=lambda a, b: via.get((a, b)))
+        _verify_ghz_members(plan, 5)
+
+    def test_bridged_segments_restore_interval_qubit_state(self):
+        via = {(0, 2): 1, (2, 0): 1}
+        plan = measurement_based_ghz([0, 2], via_lookup=lambda a, b: via.get((a, b)))
+        for seed in range(3):
+            circuit = Circuit(3)
+            circuit.rx(0.83, 1)  # interval qubit carries data
+            circuit.extend(plan.operations)
+            sim = Simulator(3, seed=seed)
+            sim.run(circuit)
+            # undo the GHZ on members and check the interval qubit is untouched
+            verify = Circuit(3).cx(0, 2).h(0)
+            sim.run(verify)
+            ref = Simulator(1, seed=0).run(Circuit(1).rx(0.83, 0)).statevector
+            state = sim.statevector.reshape(2, 2, 2)
+            sub = state[0, :, 0]
+            assert statevectors_equal(sub, ref)
+
+    def test_empty_and_duplicate_paths_rejected(self):
+        with pytest.raises(ValueError):
+            measurement_based_ghz([])
+        with pytest.raises(ValueError):
+            measurement_based_ghz([0, 1, 0])
+
+    def test_cbits_are_allocated_from_base(self):
+        plan = measurement_based_ghz([0, 1, 2, 3, 4], cbit_base=10)
+        assert sorted(plan.measurement_cbits.values()) == [10, 11]
+        assert plan.next_cbit == 12
+
+
+class TestTreeGhzPreparation:
+    def test_t_shaped_tree(self):
+        adjacency = {0: [1], 1: [0, 2], 2: [1, 3, 5], 3: [2, 4], 4: [3], 5: [2, 6], 6: [5]}
+        plan = tree_ghz(adjacency, 0)
+        _verify_ghz_members(plan, 7)
+
+    def test_cross_shaped_tree_with_required_members(self):
+        adjacency = {
+            0: [1, 3, 5, 7],
+            1: [0, 2], 2: [1],
+            3: [0, 4], 4: [3],
+            5: [0, 6], 6: [5],
+            7: [0, 8], 8: [7],
+        }
+        required = [2, 4, 6, 8]
+        plan = tree_ghz(adjacency, 0, required_members=required)
+        assert set(required) <= set(plan.members)
+        _verify_ghz_members(plan, 9)
+
+    def test_single_node_tree(self):
+        plan = tree_ghz({0: []}, 0)
+        assert plan.members == [0]
+
+    def test_root_must_be_in_tree(self):
+        with pytest.raises(ValueError):
+            tree_ghz({0: [1], 1: [0]}, 5)
+
+    def test_chain_ghz_and_extension(self):
+        ops = chain_ghz([0, 1, 2])
+        c = Circuit(4).extend(ops).extend(extend_ghz(2, 3))
+        probs = Simulator(4, seed=0).run(c).probabilities()
+        assert np.isclose(probs[0], 0.5) and np.isclose(probs[-1], 0.5)
+
+
+class TestHighwayProtocol:
+    def _run_protocol(self, seed, gate_name="cx", params=()):
+        """6 qubits: 0=control data, 1-3=GHZ members, 4,5=target data."""
+        full = Circuit(6)
+        full.rx(0.7, 0).rz(0.3, 0)
+        full.x(4)
+        full.ry(0.5, 5)
+        full.extend(chain_ghz([1, 2, 3]))
+        plan = highway_multi_target(
+            0, 1, [(2, 4), (3, 5)], all_members=[1, 2, 3], cbit_base=10,
+            gate_name=gate_name, params=params,
+        )
+        full.extend(plan.operations)
+        sim = Simulator(6, seed=seed)
+        result = sim.run(full)
+
+        reference = Circuit(6)
+        reference.rx(0.7, 0).rz(0.3, 0)
+        reference.x(4)
+        reference.ry(0.5, 5)
+        if gate_name == "cx":
+            reference.cx(0, 4).cx(0, 5)
+        elif gate_name == "cz":
+            reference.cz(0, 4).cz(0, 5)
+        else:
+            reference.cp(params[0], 0, 4).cp(params[0], 0, 5)
+        ref_state = Simulator(6, seed=0).run(reference).statevector
+
+        # the protocol measures *and resets* every consumed highway qubit, so
+        # the compiled state factorises with qubits 1-3 back in |0>
+        state = result.statevector.reshape((2,) * 6)
+        sliced = state[:, 0, 0, 0, :, :].reshape(-1)
+        ref = ref_state.reshape((2,) * 6)[:, 0, 0, 0, :, :].reshape(-1)
+        return statevectors_equal(sliced, ref)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_multi_target_cx(self, seed):
+        assert self._run_protocol(seed)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_multi_target_cz(self, seed):
+        assert self._run_protocol(seed, gate_name="cz")
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_multi_target_cp(self, seed):
+        assert self._run_protocol(seed, gate_name="cp", params=(0.9,))
+
+    def test_fan_out_member_must_be_ghz_member(self):
+        with pytest.raises(ValueError):
+            highway_multi_target(0, 1, [(9, 4)], all_members=[1, 2, 3], cbit_base=0)
+
+    def test_protocol_plan_allocates_cbits(self):
+        plan = highway_multi_target(0, 1, [(2, 4)], all_members=[1, 2, 3], cbit_base=20)
+        assert plan.entangle_cbit == 20
+        assert plan.disentangle_cbits == [21, 22]
+        assert plan.next_cbit == 23
+
+    def test_protocol_frees_and_resets_highway_qubits(self):
+        """After the protocol every GHZ member is measured and reset to |0>."""
+        full = Circuit(6)
+        full.rx(1.1, 0)
+        full.extend(chain_ghz([1, 2, 3]))
+        plan = highway_multi_target(0, 1, [(2, 4), (3, 5)], all_members=[1, 2, 3], cbit_base=10)
+        full.extend(plan.operations)
+        for seed in range(4):
+            sim = Simulator(6, seed=seed)
+            sim.run(full)
+            for member in (1, 2, 3):
+                assert abs(sim.expectation_z(member) - 1.0) < 1e-8

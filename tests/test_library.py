@@ -1,0 +1,94 @@
+"""Unit tests for the circuit gadgets (repro.circuits.library)."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import (
+    Circuit,
+    Simulator,
+    bridge_cnot,
+    circuit_unitary,
+    cluster_state_circuit,
+    expand_macros,
+    ghz_chain_circuit,
+    statevectors_equal,
+    swap_to_cnots,
+)
+from repro.circuits import gates as g
+
+
+class TestSwapAndBridge:
+    def test_swap_decomposition_is_three_cnots(self):
+        ops = swap_to_cnots(0, 1)
+        assert len(ops) == 3
+        assert all(op.name == "cx" for op in ops)
+
+    def test_swap_decomposition_matches_swap_unitary(self):
+        c = Circuit(2).extend(swap_to_cnots(0, 1))
+        assert np.allclose(circuit_unitary(c), g.swap(0, 1).matrix())
+
+    def test_bridge_cnot_is_four_cnots(self):
+        ops = bridge_cnot(0, 1, 2)
+        assert len(ops) == 4
+        assert all(op.name == "cx" for op in ops)
+
+    def test_bridge_cnot_implements_cnot_and_restores_middle(self):
+        bridge = Circuit(3).extend(bridge_cnot(0, 1, 2))
+        direct = Circuit(3).cx(0, 2)
+        assert np.allclose(circuit_unitary(bridge), circuit_unitary(direct), atol=1e-9)
+
+    def test_bridge_cnot_only_touches_neighbouring_pairs(self):
+        # the point of the bridge: no operation directly couples 0 and 2
+        for op in bridge_cnot(0, 1, 2):
+            assert set(op.qubits) != {0, 2}
+
+
+class TestStatePreparations:
+    def test_ghz_chain_prepares_ghz(self):
+        c = ghz_chain_circuit([0, 1, 2, 3])
+        probs = Simulator(4, seed=0).run(c).probabilities()
+        assert np.isclose(probs[0], 0.5) and np.isclose(probs[-1], 0.5)
+
+    def test_ghz_chain_on_sublist_of_qubits(self):
+        c = ghz_chain_circuit([1, 3], num_qubits=4)
+        probs = Simulator(4, seed=0).run(c).probabilities()
+        assert np.isclose(probs[0b0000], 0.5)
+        assert np.isclose(probs[0b0101], 0.5)
+
+    def test_ghz_chain_rejects_empty(self):
+        with pytest.raises(ValueError):
+            ghz_chain_circuit([])
+
+    def test_cluster_state_two_qubits(self):
+        c = cluster_state_circuit([(0, 1)], [0, 1])
+        state = Simulator(2, seed=0).run(c).statevector
+        expected = np.array([1, 1, 1, -1], dtype=complex) / 2.0
+        assert statevectors_equal(state, expected)
+
+    def test_cluster_state_counts(self):
+        c = cluster_state_circuit([(0, 1), (1, 2)], [0, 1, 2])
+        counts = c.count_ops()
+        assert counts["h"] == 3 and counts["cz"] == 2
+
+
+class TestExpandMacros:
+    def test_expand_swap(self):
+        c = Circuit(3).swap(0, 2).h(1)
+        expanded = expand_macros(c)
+        assert expanded.count_ops() == {"cx": 3, "h": 1}
+
+    def test_expand_multi_target(self):
+        c = Circuit(4)
+        c.append(g.multi_target_cx(0, [1, 2, 3]))
+        expanded = expand_macros(c)
+        assert expanded.count_ops() == {"cx": 3}
+
+    def test_expand_preserves_semantics(self):
+        c = Circuit(3).h(0).swap(0, 2).cx(2, 1)
+        assert np.allclose(circuit_unitary(c), circuit_unitary(expand_macros(c)))
+
+    def test_expand_keeps_measurements_and_barriers(self):
+        c = Circuit(2).swap(0, 1).barrier().measure(0)
+        expanded = expand_macros(c)
+        assert expanded.num_measurements() == 1
+        assert any(op.is_barrier for op in expanded)

@@ -1,0 +1,195 @@
+"""End-to-end tests of the MECH compiler (routing validity, semantics, stats)."""
+
+import pytest
+
+from repro.baseline import BaselineCompiler
+from repro.circuits import Circuit
+from repro.compiler import MechCompiler, SchedulerError
+from repro.hardware import ChipletArray, NoiseModel
+from repro.highway import HighwayLayout
+from repro.programs import (
+    bernstein_vazirani_circuit,
+    qft_circuit,
+    random_commuting_layer_circuit,
+    random_two_qubit_circuit,
+)
+
+from helpers import assert_all_two_qubit_ops_coupled, assert_semantically_equivalent
+
+
+@pytest.fixture(scope="module")
+def tiny_array():
+    """18 physical qubits: small enough for full statevector verification."""
+    return ChipletArray("square", 3, 1, 2)
+
+
+@pytest.fixture(scope="module")
+def tiny_compiler(tiny_array):
+    return MechCompiler(tiny_array)
+
+
+@pytest.fixture(scope="module")
+def medium_array():
+    return ChipletArray("square", 5, 2, 2)
+
+
+@pytest.fixture(scope="module")
+def medium_compiler(medium_array):
+    return MechCompiler(medium_array)
+
+
+class TestStructuralValidity:
+    def test_every_two_qubit_op_uses_a_coupler(self, medium_compiler):
+        circuit = qft_circuit(medium_compiler.num_data_qubits, measure=False)
+        result = medium_compiler.compile(circuit)
+        assert_all_two_qubit_ops_coupled(result)
+
+    def test_logical_qubits_stay_on_data_positions(self, medium_compiler):
+        circuit = random_commuting_layer_circuit(medium_compiler.num_data_qubits, 20, seed=1)
+        result = medium_compiler.compile(circuit)
+        layout = medium_compiler.layout
+        for logical, phys in result.final_layout.items():
+            assert not layout.is_highway(phys), (
+                f"logical qubit {logical} ended on highway qubit {phys}"
+            )
+        assert len(set(result.final_layout.values())) == circuit.num_qubits
+
+    def test_measurement_count_includes_protocol_overhead(self, medium_compiler):
+        circuit = Circuit(medium_compiler.num_data_qubits)
+        circuit.h(0)
+        for t in range(1, 9):
+            circuit.cx(0, t)
+        result = medium_compiler.compile(circuit)
+        metrics = result.metrics()
+        # the highway protocol adds mid-circuit measurements
+        assert metrics.counts.measurements > 0
+        assert result.stats["highway_gates"] >= 1
+
+    def test_stats_are_reported(self, medium_compiler):
+        circuit = qft_circuit(12, measure=False)
+        result = medium_compiler.compile(circuit)
+        for key in (
+            "swaps_inserted",
+            "highway_gates",
+            "highway_components",
+            "shuttles",
+            "aggregated_units",
+            "highway_qubit_fraction",
+        ):
+            assert key in result.stats
+        assert result.compiler == "mech"
+
+    def test_circuit_width_capped_by_data_qubits(self, tiny_compiler):
+        too_big = Circuit(tiny_compiler.num_data_qubits + 1).h(0)
+        with pytest.raises(ValueError):
+            tiny_compiler.compile(too_big)
+
+    def test_custom_initial_mapping(self, tiny_compiler):
+        data = tiny_compiler.layout.data_qubits
+        circuit = Circuit(2).cx(0, 1)
+        mapping = {0: data[0], 1: data[1]}
+        result = tiny_compiler.compile(circuit, initial_mapping=mapping)
+        assert result.initial_layout == mapping
+
+    def test_mapping_on_highway_rejected(self, tiny_array, tiny_compiler):
+        hw = next(iter(tiny_compiler.layout.highway_qubits))
+        circuit = Circuit(1).h(0)
+        with pytest.raises(SchedulerError):
+            tiny_compiler.compile(circuit, initial_mapping={0: hw})
+
+
+class TestSemantics:
+    """Full statevector equivalence of compiled circuits on tiny devices."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_random_circuits(self, tiny_compiler, seed):
+        n = min(5, tiny_compiler.num_data_qubits)
+        circuit = random_two_qubit_circuit(n, 18, seed=seed)
+        result = tiny_compiler.compile(circuit)
+        assert_semantically_equivalent(circuit, result)
+
+    def test_fanout_highway_gate(self, tiny_compiler):
+        n = min(6, tiny_compiler.num_data_qubits)
+        circuit = Circuit(n).rx(0.4, 0)
+        for t in range(1, n):
+            circuit.cx(0, t)
+        result = tiny_compiler.compile(circuit)
+        assert result.stats["highway_gates"] >= 1
+        assert_semantically_equivalent(circuit, result)
+
+    def test_target_shared_highway_gate(self, tiny_compiler):
+        n = min(5, tiny_compiler.num_data_qubits)
+        circuit = Circuit(n)
+        for c in range(n - 1):
+            circuit.rx(0.2 * (c + 1), c)
+            circuit.cx(c, n - 1)
+        result = tiny_compiler.compile(circuit)
+        assert_semantically_equivalent(circuit, result)
+
+    def test_small_qft(self, tiny_compiler):
+        circuit = qft_circuit(5, measure=False)
+        result = tiny_compiler.compile(circuit)
+        assert_semantically_equivalent(circuit, result)
+
+    def test_mixed_gate_types(self, tiny_compiler):
+        circuit = Circuit(5)
+        circuit.h(0).cp(0.3, 0, 3).cp(0.5, 0, 4).cz(0, 2)
+        circuit.rz(0.7, 3).cx(1, 3).cx(1, 4).swap(2, 3)
+        result = tiny_compiler.compile(circuit)
+        assert_semantically_equivalent(circuit, result)
+
+    def test_zz_ladder_rewrite_preserves_semantics(self, tiny_compiler):
+        circuit = Circuit(4)
+        circuit.h(0).h(1)
+        circuit.cx(0, 2).rz(0.8, 2).cx(0, 2)
+        circuit.cx(1, 3).rz(0.4, 3).cx(1, 3)
+        result = tiny_compiler.compile(circuit)
+        assert_semantically_equivalent(circuit, result)
+
+
+class TestBehaviouralClaims:
+    """The paper's qualitative claims, checked at small scale."""
+
+    def test_bv_depth_beats_baseline(self, medium_array, medium_compiler):
+        n = medium_compiler.num_data_qubits
+        circuit = bernstein_vazirani_circuit(n - 1, seed=0)
+        mech = medium_compiler.compile(circuit)
+        base = BaselineCompiler(medium_array.topology).compile(circuit)
+        assert mech.metrics().depth < base.metrics().depth
+
+    def test_qft_improvement_grows_with_scale(self):
+        """Depth improvement at 2x2x5x5 should be below the 2x3x6x6 one."""
+        improvements = []
+        for width, rows, cols in ((4, 1, 2), (5, 2, 2)):
+            array = ChipletArray("square", width, rows, cols)
+            mech = MechCompiler(array)
+            circuit = qft_circuit(mech.num_data_qubits, measure=False)
+            ours = mech.compile(circuit).metrics().depth
+            base = BaselineCompiler(array.topology).compile(circuit).metrics().depth
+            improvements.append(1.0 - ours / base)
+        assert improvements[-1] > improvements[0]
+
+    def test_min_components_controls_highway_usage(self, medium_array):
+        circuit = random_commuting_layer_circuit(30, 15, fanout=3, seed=2)
+        eager = MechCompiler(medium_array, min_components=2).compile(circuit)
+        reluctant = MechCompiler(medium_array, min_components=10).compile(circuit)
+        assert eager.stats["highway_gates"] > reluctant.stats["highway_gates"]
+
+    def test_highway_density_increases_overhead_not_validity(self, medium_array):
+        dense = MechCompiler(medium_array, highway_density=2)
+        assert dense.highway_qubit_fraction > MechCompiler(medium_array).highway_qubit_fraction
+        circuit = qft_circuit(10, measure=False)
+        result = dense.compile(circuit)
+        assert_all_two_qubit_ops_coupled(result)
+
+    def test_prebuilt_layout_is_accepted(self, medium_array):
+        layout = HighwayLayout(medium_array, density=1)
+        compiler = MechCompiler(medium_array, layout=layout)
+        assert compiler.layout is layout
+
+    def test_invalid_parameters(self, medium_array):
+        with pytest.raises(ValueError):
+            MechCompiler(medium_array, min_components=0)
+        compiler = MechCompiler(medium_array)
+        with pytest.raises(ValueError):
+            compiler.default_mapping(compiler.num_data_qubits + 1)

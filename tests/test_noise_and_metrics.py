@@ -1,0 +1,145 @@
+"""Unit tests for the noise model and the paper's metrics."""
+
+import math
+
+import pytest
+
+from repro.circuits import Circuit
+from repro.circuits import gates as g
+from repro.hardware import ChipletArray, NoiseModel
+from repro.hardware.noise import DEFAULT_NOISE
+from repro.metrics import (
+    OperationCounts,
+    circuit_metrics,
+    count_operations,
+    geometric_mean,
+    improvement,
+    normalized_ratio,
+)
+
+
+class TestNoiseModel:
+    def test_default_ratios_match_paper(self):
+        assert DEFAULT_NOISE.cross_on_ratio == pytest.approx(7.4)
+        assert DEFAULT_NOISE.meas_on_ratio == pytest.approx(2.2)
+        assert DEFAULT_NOISE.meas_latency == pytest.approx(2.0)
+
+    def test_effective_cnots_formula(self):
+        noise = NoiseModel(cross_on_ratio=7.4, meas_on_ratio=2.2)
+        assert noise.effective_cnots(10, 2, 5) == pytest.approx(10 + 7.4 * 2 + 2.2 * 5)
+
+    def test_absolute_error_rates(self):
+        noise = NoiseModel(on_chip_error=1e-3)
+        assert noise.cross_chip_error == pytest.approx(7.4e-3)
+        assert noise.measurement_error == pytest.approx(2.2e-3)
+
+    def test_with_ratios_replaces_selected_fields(self):
+        swept = DEFAULT_NOISE.with_ratios(meas_latency=8.0)
+        assert swept.meas_latency == 8.0
+        assert swept.cross_on_ratio == DEFAULT_NOISE.cross_on_ratio
+        assert DEFAULT_NOISE.meas_latency == 2.0  # original untouched
+
+    def test_success_probability_decreases_with_ops(self):
+        noise = NoiseModel()
+        assert noise.success_probability(10, 0, 0) > noise.success_probability(100, 0, 0)
+        assert 0.0 < noise.success_probability(1000, 50, 100) < 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NoiseModel(cross_on_ratio=0)
+        with pytest.raises(ValueError):
+            NoiseModel(meas_latency=-1)
+        with pytest.raises(ValueError):
+            NoiseModel(on_chip_error=2.0)
+
+
+class TestOperationCounts:
+    def test_counts_classify_on_and_cross_chip(self):
+        arr = ChipletArray("square", 3, 1, 2)
+        topo = arr.topology
+        cross_a, cross_b = topo.cross_chip_edges()[0]
+        on_a, on_b = topo.on_chip_edges()[0]
+        c = Circuit(topo.num_qubits)
+        c.cx(on_a, on_b)
+        c.cx(cross_a, cross_b)
+        c.measure(on_a)
+        counts = count_operations(c, topo)
+        assert counts.on_chip_cnots == 1
+        assert counts.cross_chip_cnots == 1
+        assert counts.measurements == 1
+        assert counts.total_cnots == 2
+
+    def test_swap_counts_as_three_cnots(self):
+        arr = ChipletArray("square", 3, 1, 1)
+        topo = arr.topology
+        a, b = topo.on_chip_edges()[0]
+        c = Circuit(topo.num_qubits).swap(a, b)
+        assert count_operations(c, topo).on_chip_cnots == 3
+
+    def test_uncoupled_operation_raises_in_strict_mode(self):
+        arr = ChipletArray("square", 3, 1, 1)
+        c = Circuit(arr.num_qubits).cx(0, 8)
+        with pytest.raises(ValueError):
+            count_operations(c, arr.topology, strict=True)
+        lenient = count_operations(c, arr.topology, strict=False)
+        assert lenient.on_chip_cnots == 1
+
+    def test_counts_without_topology(self):
+        c = Circuit(4).cx(0, 3).cz(1, 2).h(0).measure(0)
+        counts = count_operations(c)
+        assert counts.on_chip_cnots == 2
+        assert counts.cross_chip_cnots == 0
+        assert counts.one_qubit_gates == 1
+
+    def test_counts_add(self):
+        a = OperationCounts(1, 2, 3, 4)
+        b = OperationCounts(10, 20, 30, 40)
+        s = a + b
+        assert (s.on_chip_cnots, s.cross_chip_cnots, s.measurements, s.one_qubit_gates) == (
+            11, 22, 33, 44
+        )
+
+    def test_effective_cnots_uses_noise(self):
+        counts = OperationCounts(on_chip_cnots=5, cross_chip_cnots=1, measurements=2)
+        assert counts.effective_cnots(NoiseModel(cross_on_ratio=4, meas_on_ratio=3)) == 5 + 4 + 6
+
+
+class TestCircuitMetrics:
+    def test_depth_and_eff_cnots(self):
+        arr = ChipletArray("square", 3, 1, 1)
+        topo = arr.topology
+        a, b = topo.on_chip_edges()[0]
+        c = Circuit(topo.num_qubits).cx(a, b).cx(a, b).measure(a)
+        m = circuit_metrics(c, topo)
+        assert m.depth == pytest.approx(2 + 2)  # two CNOTs + one measurement (latency 2)
+        assert m.eff_cnots == pytest.approx(2 + 2.2)
+        assert m.num_physical_qubits == topo.num_qubits
+        assert m.as_dict()["measurements"] == 1
+
+    def test_metrics_expand_macros_before_counting(self):
+        arr = ChipletArray("square", 3, 1, 1)
+        topo = arr.topology
+        a, b = topo.on_chip_edges()[0]
+        c = Circuit(topo.num_qubits).swap(a, b)
+        m = circuit_metrics(c, topo)
+        assert m.counts.on_chip_cnots == 3
+        assert m.depth == 3
+
+
+class TestSummaryStatistics:
+    def test_improvement(self):
+        assert improvement(100, 30) == pytest.approx(0.7)
+        assert improvement(100, 120) == pytest.approx(-0.2)
+        with pytest.raises(ValueError):
+            improvement(0, 5)
+
+    def test_normalized_ratio(self):
+        assert normalized_ratio(200, 50) == pytest.approx(0.25)
+
+    def test_geometric_mean(self):
+        assert geometric_mean([2, 8]) == pytest.approx(4.0)
+        assert geometric_mean([5]) == pytest.approx(5.0)
+        with pytest.raises(ValueError):
+            geometric_mean([])
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, -1.0])

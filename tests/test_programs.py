@@ -1,0 +1,165 @@
+"""Unit tests for the benchmark circuit generators (repro.programs)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuits import Circuit, Simulator, statevectors_equal
+from repro.programs import (
+    bernstein_vazirani_circuit,
+    build_benchmark,
+    ghz_circuit,
+    qaoa_maxcut_circuit,
+    qft_circuit,
+    random_commuting_layer_circuit,
+    random_maxcut_graph,
+    random_secret,
+    random_two_qubit_circuit,
+    vqe_full_entanglement_circuit,
+)
+from repro.programs import BENCHMARKS
+
+
+class TestQft:
+    def test_gate_counts(self):
+        n = 8
+        c = qft_circuit(n)
+        counts = c.count_ops()
+        assert counts["h"] == n
+        assert counts["cp"] == n * (n - 1) // 2
+        assert counts["measure"] == n
+
+    def test_qft_matches_dft_matrix(self):
+        n = 4
+        c = qft_circuit(n, measure=False, reverse=True)
+        dim = 2**n
+        # apply to each basis state and compare against the DFT definition
+        from repro.circuits import circuit_unitary
+
+        u = circuit_unitary(c)
+        omega = np.exp(2j * np.pi / dim)
+        dft = np.array([[omega ** (j * k) for k in range(dim)] for j in range(dim)]) / math.sqrt(dim)
+        # qubit 0 is the most significant bit in both conventions here
+        assert np.allclose(u, dft, atol=1e-9)
+
+    def test_approximation_drops_small_rotations(self):
+        full = qft_circuit(10, measure=False)
+        approx = qft_circuit(10, measure=False, approximation_degree=6)
+        assert approx.count_ops()["cp"] < full.count_ops()["cp"]
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            qft_circuit(0)
+
+
+class TestQaoa:
+    def test_random_graph_has_half_the_edges(self):
+        n = 12
+        edges = random_maxcut_graph(n, seed=3)
+        assert len(edges) == round(0.5 * n * (n - 1) / 2)
+        assert all(0 <= a < b < n for a, b in edges)
+
+    def test_seeds_give_different_graphs(self):
+        assert random_maxcut_graph(10, seed=0) != random_maxcut_graph(10, seed=1)
+
+    def test_ladder_and_diagonal_forms_are_equivalent(self):
+        edges = [(0, 1), (1, 2), (2, 3), (0, 3), (1, 3)]
+        ladder = qaoa_maxcut_circuit(4, edges=edges, measure=False, use_cx_ladder=True)
+        diagonal = qaoa_maxcut_circuit(4, edges=edges, measure=False, use_cx_ladder=False)
+        s1 = Simulator(4, seed=0).run(ladder).statevector
+        s2 = Simulator(4, seed=0).run(diagonal).statevector
+        assert statevectors_equal(s1, s2)
+
+    def test_gate_counts_per_layer(self):
+        edges = [(0, 1), (1, 2)]
+        c = qaoa_maxcut_circuit(3, edges=edges, layers=2, measure=False)
+        counts = c.count_ops()
+        assert counts["cx"] == 2 * 2 * 2  # 2 CX per edge per layer
+        assert counts["rx"] == 3 * 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            qaoa_maxcut_circuit(4, edges=[(0, 5)])
+        with pytest.raises(ValueError):
+            qaoa_maxcut_circuit(4, layers=0)
+        with pytest.raises(ValueError):
+            qaoa_maxcut_circuit(4, gammas=[0.1, 0.2])
+        with pytest.raises(ValueError):
+            random_maxcut_graph(1)
+        with pytest.raises(ValueError):
+            random_maxcut_graph(5, edge_fraction=0.0)
+
+
+class TestVqe:
+    def test_gate_counts(self):
+        n, layers = 6, 2
+        c = vqe_full_entanglement_circuit(n, layers=layers)
+        counts = c.count_ops()
+        assert counts["cx"] == layers * n * (n - 1) // 2
+        assert counts["ry"] == n * (layers + 1)
+        assert counts["measure"] == n
+
+    def test_explicit_parameters(self):
+        n, layers = 3, 1
+        params = [0.1] * (2 * n * (layers + 1))
+        c = vqe_full_entanglement_circuit(n, layers=layers, parameters=params, measure=False)
+        assert all(op.params == (0.1,) for op in c if op.name in ("ry", "rz"))
+        with pytest.raises(ValueError):
+            vqe_full_entanglement_circuit(n, parameters=[0.1, 0.2])
+
+    def test_seed_reproducibility(self):
+        a = vqe_full_entanglement_circuit(5, seed=7)
+        b = vqe_full_entanglement_circuit(5, seed=7)
+        assert a == b
+
+
+class TestBernsteinVazirani:
+    def test_secret_is_balanced(self):
+        secret = random_secret(20, seed=4)
+        assert len(secret) == 20
+        assert secret.count("1") == 10
+
+    def test_algorithm_recovers_secret(self):
+        secret = "10110"
+        c = bernstein_vazirani_circuit(5, secret=secret, measure=False)
+        sim = Simulator(6, seed=0)
+        sim.run(c)
+        measured = "".join(str(sim.measure(q)) for q in range(5))
+        assert measured == secret
+
+    def test_oracle_size_matches_secret_weight(self):
+        c = bernstein_vazirani_circuit(6, secret="110011")
+        assert c.count_ops()["cx"] == 4
+
+    def test_invalid_secret(self):
+        with pytest.raises(ValueError):
+            bernstein_vazirani_circuit(4, secret="10")
+        with pytest.raises(ValueError):
+            bernstein_vazirani_circuit(4, secret="10a1")
+
+
+class TestOtherGenerators:
+    def test_ghz_circuit(self):
+        probs = Simulator(5, seed=0).run(ghz_circuit(5)).probabilities()
+        assert np.isclose(probs[0], 0.5) and np.isclose(probs[-1], 0.5)
+
+    def test_random_two_qubit_circuit_reproducible_and_valid(self):
+        a = random_two_qubit_circuit(6, 40, seed=5)
+        b = random_two_qubit_circuit(6, 40, seed=5)
+        assert a == b
+        assert len(a) == 40
+        assert all(op.num_qubits <= 2 for op in a)
+
+    def test_random_commuting_layer_circuit(self):
+        c = random_commuting_layer_circuit(10, 5, fanout=4, seed=1)
+        assert c.count_ops() == {"cx": 20}
+
+    def test_build_benchmark_dispatch(self):
+        assert build_benchmark("qft", 5).num_qubits == 5
+        assert build_benchmark("BV", 5).num_qubits == 5  # ancilla included
+        assert build_benchmark("QAOA", 5, seed=1).num_qubits == 5
+        assert build_benchmark("VQE", 5).num_qubits == 5
+        with pytest.raises(ValueError):
+            build_benchmark("grover", 5)
+        assert set(BENCHMARKS) == {"QFT", "QAOA", "VQE", "BV"}

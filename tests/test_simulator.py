@@ -1,0 +1,184 @@
+"""Unit tests for the statevector simulator (repro.circuits.simulator)."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import (
+    Circuit,
+    Simulator,
+    circuit_unitary,
+    statevectors_equal,
+)
+from repro.circuits import gates as g
+
+
+class TestBasics:
+    def test_initial_state_is_all_zero(self):
+        sim = Simulator(3)
+        state = sim.statevector
+        assert np.isclose(state[0], 1.0)
+        assert np.allclose(state[1:], 0.0)
+
+    def test_qubit_limits(self):
+        with pytest.raises(ValueError):
+            Simulator(0)
+        with pytest.raises(ValueError):
+            Simulator(Simulator.MAX_QUBITS + 1)
+
+    def test_bell_state(self):
+        c = Circuit(2).h(0).cx(0, 1)
+        result = Simulator(2, seed=0).run(c)
+        probs = result.probabilities()
+        assert np.isclose(probs[0b00], 0.5)
+        assert np.isclose(probs[0b11], 0.5)
+
+    def test_ghz_state(self):
+        c = Circuit(4).h(0).cx(0, 1).cx(1, 2).cx(2, 3)
+        probs = Simulator(4, seed=0).run(c).probabilities()
+        assert np.isclose(probs[0], 0.5)
+        assert np.isclose(probs[-1], 0.5)
+        assert np.isclose(probs[1:-1].sum(), 0.0)
+
+    def test_x_flips(self):
+        c = Circuit(2).x(1)
+        probs = Simulator(2, seed=0).run(c).probabilities()
+        assert np.isclose(probs[0b01], 1.0)
+
+    def test_qubit_zero_is_most_significant(self):
+        c = Circuit(2).x(0)
+        probs = Simulator(2, seed=0).run(c).probabilities()
+        assert np.isclose(probs[0b10], 1.0)
+
+    def test_run_rejects_larger_circuit(self):
+        with pytest.raises(ValueError):
+            Simulator(2).run(Circuit(3).h(0))
+
+    def test_set_statevector_normalises(self):
+        sim = Simulator(1)
+        sim.set_statevector([3.0, 4.0])
+        assert np.isclose(np.linalg.norm(sim.statevector), 1.0)
+        with pytest.raises(ValueError):
+            sim.set_statevector([1.0, 0.0, 0.0])
+        with pytest.raises(ValueError):
+            sim.set_statevector([0.0, 0.0])
+
+    def test_reset(self):
+        sim = Simulator(2, seed=0)
+        sim.run(Circuit(2).h(0).measure(0))
+        sim.reset()
+        assert np.isclose(sim.statevector[0], 1.0)
+        assert sim.classical_bits == {}
+
+
+class TestMeasurement:
+    def test_deterministic_measurement(self):
+        sim = Simulator(1, seed=0)
+        sim.run(Circuit(1).x(0))
+        assert sim.measure(0) == 1
+
+    def test_measurement_collapses_state(self):
+        sim = Simulator(2, seed=3)
+        sim.run(Circuit(2).h(0).cx(0, 1))
+        outcome = sim.measure(0)
+        # after measuring one half of a Bell pair the other half is determined
+        assert sim.measure(1) == outcome
+
+    def test_measurement_records_classical_bit(self):
+        c = Circuit(2).x(1).measure(1, cbit=5)
+        result = Simulator(2, seed=0).run(c)
+        assert result.classical_bits[5] == 1
+
+    def test_measurement_statistics_are_roughly_uniform(self):
+        ones = 0
+        for seed in range(200):
+            sim = Simulator(1, seed=seed)
+            sim.run(Circuit(1).h(0))
+            ones += sim.measure(0)
+        assert 60 <= ones <= 140  # loose 3-sigma-ish bound around 100
+
+    def test_expectation_z(self):
+        sim = Simulator(1, seed=0)
+        assert np.isclose(sim.expectation_z(0), 1.0)
+        sim.run(Circuit(1).x(0))
+        assert np.isclose(sim.expectation_z(0), -1.0)
+        sim.reset()
+        sim.run(Circuit(1).h(0))
+        assert np.isclose(sim.expectation_z(0), 0.0, atol=1e-9)
+
+
+class TestConditionalOperations:
+    def test_conditional_applied_when_parity_matches(self):
+        c = Circuit(2)
+        c.x(0)
+        c.measure(0, cbit=0)
+        c.append(g.x(1).with_condition([0], 1))
+        result = Simulator(2, seed=0).run(c)
+        assert np.isclose(result.probabilities()[0b11], 1.0)
+
+    def test_conditional_skipped_when_parity_differs(self):
+        c = Circuit(2)
+        c.measure(0, cbit=0)  # outcome 0
+        c.append(g.x(1).with_condition([0], 1))
+        result = Simulator(2, seed=0).run(c)
+        assert np.isclose(result.probabilities()[0b00], 1.0)
+
+    def test_parity_condition_over_multiple_bits(self):
+        c = Circuit(3)
+        c.x(0)
+        c.measure(0, cbit=0)
+        c.measure(1, cbit=1)  # 0
+        c.append(g.x(2).with_condition([0, 1], 1))  # parity 1 -> applied
+        result = Simulator(3, seed=0).run(c)
+        assert np.isclose(result.probabilities()[0b101], 1.0)
+
+    def test_unmeasured_condition_bits_default_to_zero(self):
+        c = Circuit(1)
+        c.append(g.x(0).with_condition([7], 1))
+        result = Simulator(1, seed=0).run(c)
+        assert np.isclose(result.probabilities()[0], 1.0)
+
+    def test_deferred_measurement_teleportation(self):
+        """One-qubit teleportation: |psi> on q0 teleported to q2."""
+        c = Circuit(3)
+        c.rx(0.9, 0)
+        c.rz(0.4, 0)
+        # Bell pair on (1, 2)
+        c.h(1).cx(1, 2)
+        # Bell measurement of (0, 1)
+        c.cx(0, 1).h(0)
+        c.measure(0, cbit=0)
+        c.measure(1, cbit=1)
+        c.append(g.x(2).with_condition([1], 1))
+        c.append(g.z(2).with_condition([0], 1))
+        for seed in range(5):
+            out = Simulator(3, seed=seed).run(c)
+            ref = Simulator(1, seed=0).run(Circuit(1).rx(0.9, 0).rz(0.4, 0)).statevector
+            # slice out measured qubits
+            state = out.statevector.reshape(2, 2, 2)
+            sub = state[out.classical_bits[0], out.classical_bits[1], :]
+            assert statevectors_equal(sub, ref)
+
+
+class TestUnitaryHelpers:
+    def test_circuit_unitary_of_cnot(self):
+        u = circuit_unitary(Circuit(2).cx(0, 1))
+        expected = np.array([[1, 0, 0, 0], [0, 1, 0, 0], [0, 0, 0, 1], [0, 0, 1, 0]])
+        assert np.allclose(u, expected)
+
+    def test_swap_macro_equals_three_cnots(self):
+        direct = circuit_unitary(Circuit(2).swap(0, 1))
+        threes = circuit_unitary(Circuit(2).cx(0, 1).cx(1, 0).cx(0, 1))
+        assert np.allclose(direct, threes)
+
+    def test_multi_target_gate_execution(self):
+        c = Circuit(3)
+        c.append(g.multi_target_cx(0, [1, 2]))
+        u = circuit_unitary(c)
+        ref = circuit_unitary(Circuit(3).cx(0, 1).cx(0, 2))
+        assert np.allclose(u, ref)
+
+    def test_statevectors_equal_global_phase(self):
+        v = np.array([1.0, 1.0]) / np.sqrt(2)
+        assert statevectors_equal(v, v * np.exp(1j * 0.7))
+        assert not statevectors_equal(v, np.array([1.0, 0.0]))
+        assert not statevectors_equal(v, np.array([1.0, 0.0, 0.0]))
