@@ -1,16 +1,30 @@
 """Shared configuration for the benchmark harness.
 
-Every benchmark regenerates one of the paper's tables/figures at a reduced
-("small") scale by default so the whole suite finishes in minutes; pass
-``--repro-scale medium`` (or ``paper``) to run closer to the paper's settings
-(the paper itself reports hundreds of CPU hours for the full sweep).  Each
-benchmark prints the regenerated table so the numbers land in the benchmark
-log, and reports the end-to-end wall time of one full regeneration through
-``pytest-benchmark`` (a single round — compilation is deterministic and slow,
-so repeated rounds would only waste time).
+Every benchmark regenerates one of the paper's tables/figures through the
+orchestration engine at a reduced ("small") scale by default so the whole
+suite finishes in minutes; pass ``--repro-scale medium`` (or ``paper``) to run
+closer to the paper's settings (the paper itself reports hundreds of CPU hours
+for the full sweep).  The scale tiers are the engine's shared presets
+(:data:`repro.experiments.engine.SCALE_TIERS`) — each experiment module maps
+them onto its own device sweep, so the benchmarks carry no per-benchmark
+ad-hoc settings.
+
+Two more knobs plumb straight into the engine:
+
+* ``--repro-jobs N`` fans each regeneration out over N worker processes;
+* ``--repro-cache-dir PATH`` enables the on-disk result cache.  Off by
+  default: a warm cache would make ``pytest-benchmark`` time cache lookups
+  instead of compilations.
+
+Each benchmark prints the regenerated table so the numbers land in the
+benchmark log, and reports the end-to-end wall time of one full regeneration
+through ``pytest-benchmark`` (a single round — compilation is deterministic
+and slow, so repeated rounds would only waste time).
 """
 
 import pytest
+
+from repro.experiments.engine import SCALE_TIERS
 
 
 def pytest_addoption(parser):
@@ -18,14 +32,36 @@ def pytest_addoption(parser):
         "--repro-scale",
         action="store",
         default="small",
-        choices=["small", "medium", "paper"],
-        help="Experiment scale tier for the reproduction benchmarks.",
+        choices=list(SCALE_TIERS),
+        help="Engine scale preset for the reproduction benchmarks.",
+    )
+    parser.addoption(
+        "--repro-jobs",
+        action="store",
+        type=int,
+        default=1,
+        help="Worker processes per experiment regeneration (engine --jobs).",
+    )
+    parser.addoption(
+        "--repro-cache-dir",
+        action="store",
+        default=None,
+        help="Optional on-disk result cache shared across benchmark runs.",
     )
 
 
 @pytest.fixture(scope="session")
 def repro_scale(request):
     return request.config.getoption("--repro-scale")
+
+
+@pytest.fixture(scope="session")
+def engine_opts(request):
+    """Keyword arguments forwarded to every ``run_*`` experiment call."""
+    return {
+        "workers": request.config.getoption("--repro-jobs"),
+        "cache": request.config.getoption("--repro-cache-dir"),
+    }
 
 
 def run_once(benchmark, function, *args, **kwargs):

@@ -4,20 +4,10 @@ from conftest import run_once
 
 from repro.experiments import format_fig12, improvement_series, run_fig12
 
-_CONFIG = {
-    "small": dict(chiplet_width=4, array_shapes=((1, 2), (2, 2), (2, 3))),
-    "medium": dict(chiplet_width=5, array_shapes=((2, 2), (2, 3), (3, 3))),
-    "paper": dict(chiplet_width=7, array_shapes=((2, 2), (2, 3), (3, 3), (3, 4))),
-}
 
-
-def test_fig12_scalability(benchmark, repro_scale):
+def test_fig12_scalability(benchmark, repro_scale, engine_opts):
     """Improvements should not shrink as the chiplet array grows."""
-
-    def regenerate():
-        return run_fig12(scale=repro_scale, **_CONFIG[repro_scale])
-
-    records = run_once(benchmark, regenerate)
+    records = run_once(benchmark, run_fig12, scale=repro_scale, **engine_opts)
     print()
     print(format_fig12(records))
 

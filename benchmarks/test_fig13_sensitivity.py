@@ -5,13 +5,9 @@ from conftest import run_once
 from repro.experiments import format_fig13, run_fig13
 
 
-def test_fig13_sensitivity(benchmark, repro_scale):
+def test_fig13_sensitivity(benchmark, repro_scale, engine_opts):
     """Regenerate the three sensitivity panels and check their monotone trends."""
-
-    def regenerate():
-        return run_fig13(scale=repro_scale)
-
-    results = run_once(benchmark, regenerate)
+    results = run_once(benchmark, run_fig13, scale=repro_scale, **engine_opts)
     print()
     print(format_fig13(results))
 

@@ -5,13 +5,9 @@ from conftest import run_once
 from repro.experiments import format_fig14, normalized_by_sparsity, run_fig14
 
 
-def test_fig14_sparsity(benchmark, repro_scale):
+def test_fig14_sparsity(benchmark, repro_scale, engine_opts):
     """MECH's normalised depth should not degrade as cross-chip links get sparser."""
-
-    def regenerate():
-        return run_fig14(scale=repro_scale)
-
-    records = run_once(benchmark, regenerate)
+    records = run_once(benchmark, run_fig14, scale=repro_scale, **engine_opts)
     print()
     print(format_fig14(records))
 

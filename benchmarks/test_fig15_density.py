@@ -5,14 +5,10 @@ from conftest import run_once
 from repro.experiments import format_fig15, normalized_by_density, run_fig15
 
 
-def test_fig15_highway_density(benchmark, repro_scale):
+def test_fig15_highway_density(benchmark, repro_scale, engine_opts):
     """Doubling the highway must increase the highway-qubit fraction and keep
     the compiled circuits valid; the normalised metrics are reported."""
-
-    def regenerate():
-        return run_fig15(scale=repro_scale)
-
-    records = run_once(benchmark, regenerate)
+    records = run_once(benchmark, run_fig15, scale=repro_scale, **engine_opts)
     print()
     print(format_fig15(records))
 

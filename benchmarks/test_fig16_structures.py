@@ -5,13 +5,9 @@ from conftest import run_once
 from repro.experiments import format_fig16, normalized_by_structure, run_fig16
 
 
-def test_fig16_structures(benchmark, repro_scale):
+def test_fig16_structures(benchmark, repro_scale, engine_opts):
     """MECH should work (and keep its eff_CNOT advantage) on all four structures."""
-
-    def regenerate():
-        return run_fig16(scale=repro_scale)
-
-    records = run_once(benchmark, regenerate)
+    records = run_once(benchmark, run_fig16, scale=repro_scale, **engine_opts)
     print()
     print(format_fig16(records))
 

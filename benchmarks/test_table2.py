@@ -1,26 +1,13 @@
-"""Benchmark regenerating Table 2 (baseline vs MECH on 3x3 square arrays)."""
+"""Benchmark regenerating Table 2 (baseline vs MECH on square arrays)."""
 
 from conftest import run_once
 
 from repro.experiments import format_table2, run_table2
 
-#: Chiplet sizes per scale tier; the paper sweeps 6x6 .. 9x9.
-_SIZES = {"small": (4,), "medium": (5, 6), "paper": (6, 7, 8, 9)}
-#: Smaller tiers use a smaller array so the baseline stays tractable.
-_SHAPE = {"small": (2, 2), "medium": (3, 3), "paper": (3, 3)}
 
-
-def test_table2(benchmark, repro_scale):
+def test_table2(benchmark, repro_scale, engine_opts):
     """Regenerate the paper's main results table and check the headline claim."""
-
-    def regenerate():
-        return run_table2(
-            scale=repro_scale,
-            chiplet_sizes=_SIZES[repro_scale],
-            array_shape=_SHAPE[repro_scale],
-        )
-
-    records = run_once(benchmark, regenerate)
+    records = run_once(benchmark, run_table2, scale=repro_scale, **engine_opts)
     print()
     print(format_table2(records))
 

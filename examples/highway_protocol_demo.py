@@ -12,7 +12,6 @@ Walks through the paper's three mechanisms at simulator scale:
 Run with:  python examples/highway_protocol_demo.py
 """
 
-import numpy as np
 
 from repro.circuits import Circuit, Simulator, statevectors_equal
 from repro.highway import chain_ghz, highway_multi_target, measurement_based_ghz

@@ -1,74 +1,59 @@
 """Run any of the paper's experiments at full (Table 1) scale.
 
+This is a thin wrapper around the unified CLI — it is exactly equivalent to::
+
+    python -m repro run table2 fig12 ... --scale paper [--jobs N] [...]
+
 The default test and benchmark tiers use scaled-down devices so everything
-finishes in minutes; this script exposes the paper-scale settings.  Expect the
-baseline compilation of the largest instances to take hours, exactly as the
-paper's artifact appendix warns ("hundreds of CPU hours" for the full sweep).
+finishes in minutes; ``--scale paper`` exposes the paper-scale settings.
+Expect the baseline compilation of the largest instances to take hours,
+exactly as the paper's artifact appendix warns ("hundreds of CPU hours" for
+the full sweep) — which is why you want ``--jobs`` (parallel workers) and the
+on-disk result cache (resume an interrupted sweep for free; every finished
+cell is memoized under ``--cache-dir``).
 
 Examples:
-    python examples/paper_scale.py table2 --benchmarks BV --chiplet-sizes 6
-    python examples/paper_scale.py fig12
-    python examples/paper_scale.py fig13 fig14 fig15 fig16
+    python examples/paper_scale.py table2 --benchmarks BV
+    python examples/paper_scale.py fig12 --jobs 8
+    python examples/paper_scale.py fig13 fig14 fig15 fig16 --jobs 4
 """
 
 import argparse
 
-from repro.experiments import (
-    format_fig12,
-    format_fig13,
-    format_fig14,
-    format_fig15,
-    format_fig16,
-    format_table2,
-    run_fig12,
-    run_fig13,
-    run_fig14,
-    run_fig15,
-    run_fig16,
-    run_table2,
-)
-
-RUNNERS = {
-    "table2": lambda args: format_table2(
-        run_table2(
-            scale="paper",
-            benchmarks=args.benchmarks,
-            chiplet_sizes=args.chiplet_sizes,
-            seed=args.seed,
-        )
-    ),
-    "fig12": lambda args: format_fig12(
-        run_fig12(scale="paper", benchmarks=args.benchmarks, seed=args.seed)
-    ),
-    "fig13": lambda args: format_fig13(
-        run_fig13(scale="paper", benchmarks=args.benchmarks, seed=args.seed)
-    ),
-    "fig14": lambda args: format_fig14(
-        run_fig14(scale="paper", benchmarks=args.benchmarks, seed=args.seed)
-    ),
-    "fig15": lambda args: format_fig15(
-        run_fig15(scale="paper", benchmarks=args.benchmarks, seed=args.seed)
-    ),
-    "fig16": lambda args: format_fig16(
-        run_fig16(scale="paper", benchmarks=args.benchmarks, seed=args.seed)
-    ),
-}
+from repro.cli import main
+from repro.experiments import BENCHMARK_NAMES, EXPERIMENTS
 
 
-def main() -> None:
+def parse_args() -> argparse.Namespace:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("experiments", nargs="+", choices=sorted(RUNNERS))
-    parser.add_argument("--benchmarks", nargs="*", default=["QFT", "QAOA", "VQE", "BV"])
-    parser.add_argument(
-        "--chiplet-sizes", nargs="*", type=int, default=None,
-        help="table2 only: restrict the chiplet sizes (default 6 7 8 9)",
-    )
+    parser.add_argument("experiments", nargs="+", choices=sorted(EXPERIMENTS))
+    parser.add_argument("--benchmarks", nargs="*", default=list(BENCHMARK_NAMES))
     parser.add_argument("--seed", type=int, default=0)
-    args = parser.parse_args()
-    for name in args.experiments:
-        print(f"\n##### {name} (paper scale) #####")
-        print(RUNNERS[name](args))
+    parser.add_argument("--jobs", type=int, default=0, help="workers (0 = one per CPU)")
+    parser.add_argument("--cache-dir", default=".repro-cache")
+    parser.add_argument("--out-dir", default="artifacts")
+    return parser.parse_args()
 
 
 if __name__ == "__main__":
-    main()
+    args = parse_args()
+    raise SystemExit(
+        main(
+            [
+                "run",
+                *args.experiments,
+                "--scale",
+                "paper",
+                "--benchmarks",
+                *args.benchmarks,
+                "--seed",
+                str(args.seed),
+                "--jobs",
+                str(args.jobs),
+                "--cache-dir",
+                args.cache_dir,
+                "--out-dir",
+                args.out_dir,
+            ]
+        )
+    )

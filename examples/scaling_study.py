@@ -6,16 +6,18 @@ and effective-CNOT improvements of MECH over the SWAP baseline grow with the
 device.  This is the experiment that motivates highways as the communication
 substrate for thousand-qubit chiplet machines.
 
-Run with:  python examples/scaling_study.py [--width 5] [--benchmark QFT]
+The sweep runs through the orchestration engine, so the array shapes compile
+in parallel (``--jobs``) and every finished cell is memoized on disk
+(``--cache-dir``) — re-running with a larger ``--shapes`` list only compiles
+the new shapes.
+
+Run with:  python examples/scaling_study.py [--width 5] [--benchmark QFT] [--jobs 4]
 (larger widths take correspondingly longer: the baseline router dominates).
 """
 
 import argparse
-import time
 
-from repro import BaselineCompiler, ChipletArray, MechCompiler
-from repro.metrics import improvement
-from repro.programs import build_benchmark
+from repro.experiments import jobs_for_fig12, run_jobs_report
 
 DEFAULT_SHAPES = ((1, 2), (2, 2), (2, 3), (3, 3))
 
@@ -25,6 +27,8 @@ def main() -> None:
     parser.add_argument("--width", type=int, default=4, help="chiplet footprint width")
     parser.add_argument("--benchmark", default="QFT", choices=["QFT", "QAOA", "VQE", "BV"])
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--jobs", type=int, default=1, help="worker processes")
+    parser.add_argument("--cache-dir", default=None, help="optional on-disk result cache")
     parser.add_argument(
         "--shapes",
         nargs="*",
@@ -33,24 +37,29 @@ def main() -> None:
     )
     args = parser.parse_args()
 
+    shapes = [tuple(int(x) for x in shape.lower().split("x")) for shape in args.shapes]
+    jobs = jobs_for_fig12(
+        benchmarks=[args.benchmark],
+        chiplet_width=args.width,
+        array_shapes=shapes,
+        seed=args.seed,
+    )
+    records, report = run_jobs_report(jobs, workers=args.jobs, cache=args.cache_dir)
+
     print(f"{args.benchmark} on growing arrays of {args.width}x{args.width} square chiplets")
-    print(f"{'array':>6} {'chiplets':>8} {'data qubits':>11} {'depth impr':>11} {'eff impr':>9} {'runtime':>9}")
+    print(
+        f"{'array':>6} {'chiplets':>8} {'data qubits':>11} {'depth impr':>11} "
+        f"{'eff impr':>9} {'compile s':>10}"
+    )
     print("-" * 62)
-    for shape in args.shapes:
-        rows, cols = (int(x) for x in shape.lower().split("x"))
-        start = time.perf_counter()
-        array = ChipletArray("square", args.width, rows, cols)
-        mech = MechCompiler(array)
-        kwargs = {} if args.benchmark == "QFT" else {"seed": args.seed}
-        circuit = build_benchmark(args.benchmark, mech.num_data_qubits, **kwargs)
-        ours = mech.compile(circuit).metrics()
-        base = BaselineCompiler(array.topology).compile(circuit).metrics()
-        elapsed = time.perf_counter() - start
+    for (rows, cols), record in zip(shapes, records):
         print(
-            f"{shape:>6} {rows * cols:>8d} {mech.num_data_qubits:>11d} "
-            f"{improvement(base.depth, ours.depth):>10.1%} "
-            f"{improvement(base.eff_cnots, ours.eff_cnots):>8.1%} {elapsed:>8.1f}s"
+            f"{f'{rows}x{cols}':>6} {rows * cols:>8d} {record.num_data_qubits:>11d} "
+            f"{record.depth_improvement:>10.1%} "
+            f"{record.eff_cnots_improvement:>8.1%} "
+            f"{record.baseline_seconds + record.mech_seconds:>9.1f}s"
         )
+    print(report.summary())
 
 
 if __name__ == "__main__":

@@ -23,7 +23,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 import numpy as np
 
 from ..circuits.circuit import Circuit
-from ..circuits.dag import DagNode, DependencyDag
+from ..circuits.dag import DependencyDag
 from ..circuits.gates import Gate
 from ..hardware.topology import Topology
 from ..compiler.result import CompilationResult

@@ -24,7 +24,7 @@ contribution.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterator, List, Optional, Set, Tuple
 
 from .circuit import Circuit
 from .commutation import qubit_action

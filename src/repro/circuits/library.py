@@ -15,7 +15,7 @@ from __future__ import annotations
 from typing import Iterable, List, Sequence, Tuple
 
 from .circuit import Circuit
-from .gates import Gate, cx, cz, h
+from .gates import Gate, cx
 
 __all__ = [
     "swap_to_cnots",

@@ -1,0 +1,161 @@
+"""``python -m repro`` / ``repro`` — unified experiment-orchestration CLI.
+
+Runs any of the paper's figures/tables through the orchestration engine::
+
+    repro run fig12 --scale small --jobs 4
+    repro run table2 fig16 --benchmarks BV QFT --out-dir artifacts
+    repro list
+    repro clean-cache
+
+Every run memoizes its per-job results in an on-disk cache (default
+``.repro-cache/``), so re-running an experiment — or running a different
+experiment that shares cells with a previous one — only compiles what is
+missing.  Each experiment emits ``<name>.json`` / ``<name>.csv`` /
+``<name>.txt`` artifacts into the output directory (default ``artifacts/``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import Optional, Sequence
+
+from .experiments.engine import SCALE_TIERS, ResultCache, run_jobs_report, write_artifacts
+from .experiments.registry import EXPERIMENTS
+from .experiments.settings import BENCHMARK_NAMES
+
+__all__ = ["main", "build_parser"]
+
+DEFAULT_CACHE_DIR = ".repro-cache"
+DEFAULT_OUT_DIR = "artifacts"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser(
+        "run",
+        help="regenerate one or more figures/tables through the engine",
+        description="Regenerate experiments; results are cached per job config hash.",
+    )
+    run.add_argument(
+        "experiments",
+        nargs="+",
+        metavar="EXPERIMENT",
+        help=f"experiments to run: {', '.join(sorted(EXPERIMENTS))}",
+    )
+    run.add_argument("--scale", default="small", choices=list(SCALE_TIERS))
+    run.add_argument(
+        "--benchmarks",
+        nargs="*",
+        default=list(BENCHMARK_NAMES),
+        metavar="NAME",
+        help=f"benchmark programs (default: {' '.join(BENCHMARK_NAMES)})",
+    )
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes (0 = one per CPU; default 1)",
+    )
+    run.add_argument(
+        "--cache-dir",
+        default=DEFAULT_CACHE_DIR,
+        help=f"result-cache directory (default {DEFAULT_CACHE_DIR})",
+    )
+    run.add_argument("--no-cache", action="store_true", help="disable the result cache")
+    run.add_argument(
+        "--out-dir",
+        default=DEFAULT_OUT_DIR,
+        help=f"artifact directory (default {DEFAULT_OUT_DIR})",
+    )
+    run.add_argument("--quiet", action="store_true", help="suppress progress output")
+
+    sub.add_parser("list", help="list the available experiments and scale tiers")
+
+    clean = sub.add_parser("clean-cache", help="delete every cached result")
+    clean.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR)
+
+    return parser
+
+
+def _cmd_list() -> int:
+    width = max(len(name) for name in EXPERIMENTS)
+    print("available experiments (python -m repro run <name> ...):")
+    for name in sorted(EXPERIMENTS):
+        spec = EXPERIMENTS[name]
+        print(f"  {name:<{width}}  {spec.title}  [scales: {', '.join(spec.scales)}]")
+    return 0
+
+
+def _cmd_clean_cache(cache_dir: str) -> int:
+    removed = ResultCache(cache_dir).clear()
+    print(f"removed {removed} cache entr{'y' if removed == 1 else 'ies'} from {cache_dir}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    unknown = [name for name in args.experiments if name not in EXPERIMENTS]
+    if unknown:
+        print(
+            f"error: unknown experiment(s) {', '.join(sorted(set(unknown)))}; "
+            f"choose from {', '.join(sorted(EXPERIMENTS))}",
+            file=sys.stderr,
+        )
+        return 2
+    known = {name.upper() for name in BENCHMARK_NAMES}
+    bad = [name for name in args.benchmarks if name.upper() not in known]
+    if bad or not args.benchmarks:
+        what = f"unknown benchmark(s) {', '.join(sorted(set(bad)))}" if bad else "no benchmarks given"
+        print(f"error: {what}; choose from {', '.join(BENCHMARK_NAMES)}", file=sys.stderr)
+        return 2
+    # normalise case so "bv" and "BV" share cache entries
+    benchmarks = [name.upper() for name in args.benchmarks]
+    workers = args.jobs if args.jobs > 0 else (os.cpu_count() or 1)
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    progress = None if args.quiet else (lambda msg: print(f"  {msg}", file=sys.stderr))
+
+    for name in args.experiments:
+        spec = EXPERIMENTS[name]
+        if not args.quiet:
+            print(f"== {name}: {spec.title} (scale={args.scale}) ==", file=sys.stderr)
+        jobs = spec.build_jobs(scale=args.scale, benchmarks=benchmarks, seed=args.seed)
+        records, report = run_jobs_report(jobs, workers=workers, cache=cache, progress=progress)
+        text = spec.format_records(records)
+        paths = write_artifacts(
+            name,
+            records,
+            args.out_dir,
+            text=text,
+            metadata={
+                "scale": args.scale,
+                "benchmarks": benchmarks,
+                "seed": args.seed,
+            },
+        )
+        print(text)
+        print(f"[{name}] {report.summary()}")
+        print(f"[{name}] artifacts: {paths['json']}, {paths['csv']}")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(list(argv) if argv is not None else None)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "clean-cache":
+        return _cmd_clean_cache(args.cache_dir)
+    return _cmd_run(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

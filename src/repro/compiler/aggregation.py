@@ -19,8 +19,8 @@ gates" rule.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from dataclasses import dataclass
+from typing import Dict, List, Tuple, Union
 
 from ..circuits.dag import DependencyDag
 from ..circuits.gates import Gate

@@ -15,7 +15,7 @@ leaves the mapping bookkeeping to the scheduler.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 from scipy.sparse import csr_matrix

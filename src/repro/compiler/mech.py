@@ -18,7 +18,7 @@ Typical use::
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence
+from typing import Dict, Optional
 
 from ..circuits.circuit import Circuit
 from ..circuits.dag import DependencyDag

@@ -20,8 +20,7 @@ heuristics only influence decisions, never the metric itself.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 from ..circuits import gates as g
 from ..circuits.circuit import Circuit, _rebuild

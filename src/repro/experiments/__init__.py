@@ -1,10 +1,39 @@
-"""Reproduction harness for every table and figure of the paper's evaluation."""
+"""Reproduction harness for every table and figure of the paper's evaluation.
 
-from .fig12_scalability import format_fig12, improvement_series, run_fig12
-from .fig13_sensitivity import SensitivityResult, format_fig13, run_fig13
-from .fig14_sparsity import format_fig14, normalized_by_sparsity, run_fig14
-from .fig15_highway_density import format_fig15, normalized_by_density, run_fig15
-from .fig16_structures import format_fig16, normalized_by_structure, run_fig16
+The experiments layer is built around the orchestration engine
+(:mod:`repro.experiments.engine`): every figure/table cell is a hashable
+:class:`~repro.experiments.engine.Job`, executed — optionally in parallel and
+against an on-disk result cache — by :func:`~repro.experiments.engine.run_jobs`.
+The ``python -m repro`` CLI drives the same registry exposed here.
+"""
+
+from .engine import (
+    SCALE_TIERS,
+    Job,
+    ResultCache,
+    RunReport,
+    config_key,
+    run_jobs,
+    run_jobs_report,
+    write_artifacts,
+)
+from .fig12_scalability import format_fig12, improvement_series, jobs_for_fig12, run_fig12
+from .fig13_sensitivity import (
+    SensitivityResult,
+    format_fig13,
+    jobs_for_fig13,
+    run_fig13,
+    sensitivity_results_from_records,
+)
+from .fig14_sparsity import format_fig14, jobs_for_fig14, normalized_by_sparsity, run_fig14
+from .fig15_highway_density import (
+    format_fig15,
+    jobs_for_fig15,
+    normalized_by_density,
+    run_fig15,
+)
+from .fig16_structures import format_fig16, jobs_for_fig16, normalized_by_structure, run_fig16
+from .registry import EXPERIMENTS, ExperimentSpec, get_experiment
 from .runner import ComparisonRecord, compare, format_records
 from .settings import (
     BENCHMARK_NAMES,
@@ -14,33 +43,57 @@ from .settings import (
     ArchitectureSetting,
     scaled_setting,
 )
-from .table2 import TABLE2_PAPER_REFERENCE, format_table2, run_table2
+from .table2 import TABLE2_PAPER_REFERENCE, format_table2, jobs_for_table2, run_table2
 
 __all__ = [
+    # engine
+    "Job",
+    "ResultCache",
+    "RunReport",
+    "SCALE_TIERS",
+    "config_key",
+    "run_jobs",
+    "run_jobs_report",
+    "write_artifacts",
+    # registry
+    "EXPERIMENTS",
+    "ExperimentSpec",
+    "get_experiment",
+    # runner
     "ComparisonRecord",
     "compare",
     "format_records",
+    # settings
     "ArchitectureSetting",
     "TABLE1_SETTINGS",
     "TABLE2_CHIPLET_SIZES",
     "FIG12_ARRAYS",
     "BENCHMARK_NAMES",
     "scaled_setting",
+    # table 2
+    "jobs_for_table2",
     "run_table2",
     "format_table2",
     "TABLE2_PAPER_REFERENCE",
+    # figures
+    "jobs_for_fig12",
     "run_fig12",
     "format_fig12",
     "improvement_series",
+    "jobs_for_fig13",
     "run_fig13",
     "format_fig13",
+    "sensitivity_results_from_records",
     "SensitivityResult",
+    "jobs_for_fig14",
     "run_fig14",
     "format_fig14",
     "normalized_by_sparsity",
+    "jobs_for_fig15",
     "run_fig15",
     "format_fig15",
     "normalized_by_density",
+    "jobs_for_fig16",
     "run_fig16",
     "format_fig16",
     "normalized_by_structure",

@@ -1,0 +1,547 @@
+"""Parallel experiment-orchestration engine with on-disk result caching.
+
+Every cell of the paper's tables and figures is modelled as a hashable
+:class:`Job`: the benchmark name, the device (structure, chiplet footprint,
+array shape, link density, highway density), the compiler knobs and the seed.
+The engine fans jobs out over a :mod:`multiprocessing` pool, memoizes each
+:class:`~repro.experiments.runner.ComparisonRecord` in an on-disk JSON cache
+keyed by the job's config hash, and emits JSON/CSV artifacts per experiment.
+
+The design splits each experiment into three deterministic phases:
+
+1. a *jobs builder* (``jobs_for_fig12`` and friends) expands the experiment's
+   scale preset into a flat list of jobs — pure configuration, no compilation;
+2. :func:`run_jobs` executes the jobs — first consulting the cache, then
+   deduplicating identical jobs within the run, then dispatching the misses
+   either serially or over a worker pool (results are reassembled in job
+   order, so parallel and serial runs return identical records);
+3. :func:`write_artifacts` serialises the records as JSON and CSV so figures
+   can be regenerated and diffed without recompiling anything.
+
+Job *tags* (e.g. the swept parameter value a record corresponds to) are
+deliberately excluded from the config hash and re-applied after cache
+retrieval: two jobs that perform the same computation share one cache entry
+no matter how the experiment labels them.
+"""
+
+from __future__ import annotations
+
+import csv
+import hashlib
+import json
+import multiprocessing
+import os
+import time
+from dataclasses import asdict, dataclass, fields, replace
+from pathlib import Path
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from ..hardware.array import ChipletArray
+from ..hardware.noise import DEFAULT_NOISE, NoiseModel
+from ..metrics import improvement
+from .runner import ComparisonRecord, compare, compile_pair
+
+__all__ = [
+    "CACHE_VERSION",
+    "SCALE_TIERS",
+    "Job",
+    "ResultCache",
+    "RunReport",
+    "config_key",
+    "job_from_dict",
+    "job_to_dict",
+    "noise_from_items",
+    "noise_to_items",
+    "record_from_payload",
+    "record_to_payload",
+    "record_row",
+    "run_jobs",
+    "run_jobs_report",
+    "write_artifacts",
+]
+
+#: Bump when the cache payload layout or the compilers' semantics change in a
+#: way that invalidates memoized records.
+CACHE_VERSION = 1
+
+#: The scale tiers shared by every experiment's presets (and by the benchmark
+#: harness's ``--repro-scale`` option).
+SCALE_TIERS: Tuple[str, ...] = ("small", "medium", "paper")
+
+Primitive = Union[str, int, float, bool, None]
+Items = Tuple[Tuple[str, Primitive], ...]
+
+
+def noise_to_items(noise: NoiseModel) -> Items:
+    """Serialise a noise model as a hashable, order-stable tuple of pairs."""
+    return tuple(sorted(asdict(noise).items()))
+
+
+def noise_from_items(items: Items) -> NoiseModel:
+    """Inverse of :func:`noise_to_items`."""
+    return NoiseModel(**dict(items))
+
+
+#: Default-noise items, precomputed so ``Job`` can use them as a default.
+DEFAULT_NOISE_ITEMS: Items = noise_to_items(DEFAULT_NOISE)
+
+
+@dataclass(frozen=True)
+class Job:
+    """One hashable cell of a figure/table: benchmark x device x knobs.
+
+    ``kind`` selects the executor: ``"compare"`` runs both compilers once and
+    records the paper's headline metrics; ``"sensitivity"`` compiles once and
+    re-scores the fixed circuits under the noise sweeps carried in ``params``
+    (Fig. 13's protocol).  ``tags`` annotate the resulting record's ``extra``
+    dict but do not enter the config hash.
+    """
+
+    benchmark: str
+    kind: str = "compare"
+    structure: str = "square"
+    chiplet_width: int = 4
+    rows: int = 1
+    cols: int = 2
+    cross_links_per_edge: Optional[int] = None
+    highway_density: int = 1
+    num_data_qubits: Optional[int] = None
+    min_components: int = 2
+    baseline_trials: int = 1
+    seed: int = 0
+    noise: Items = DEFAULT_NOISE_ITEMS
+    benchmark_kwargs: Items = ()
+    params: Tuple[Tuple[str, Tuple[float, ...]], ...] = ()
+    tags: Items = ()
+
+    def build_array(self) -> ChipletArray:
+        return ChipletArray(
+            self.structure,
+            self.chiplet_width,
+            self.rows,
+            self.cols,
+            cross_links_per_edge=self.cross_links_per_edge,
+        )
+
+    def noise_model(self) -> NoiseModel:
+        return noise_from_items(self.noise)
+
+    def with_(self, **changes) -> "Job":
+        return replace(self, **changes)
+
+
+#: Tuple-typed Job fields that JSON round-trips as (nested) lists.
+_TUPLE_FIELDS = ("noise", "benchmark_kwargs", "params", "tags")
+
+
+def _listify(value):
+    if isinstance(value, tuple):
+        return [_listify(v) for v in value]
+    return value
+
+
+def _tuplify(value):
+    if isinstance(value, list):
+        return tuple(_tuplify(v) for v in value)
+    return value
+
+
+def job_to_dict(job: Job) -> Dict[str, object]:
+    """JSON-serialisable dict representation of a job."""
+    out: Dict[str, object] = {}
+    for f in fields(Job):
+        value = getattr(job, f.name)
+        out[f.name] = _listify(value) if f.name in _TUPLE_FIELDS else value
+    return out
+
+
+def job_from_dict(data: Mapping[str, object]) -> Job:
+    """Inverse of :func:`job_to_dict`."""
+    kwargs: Dict[str, object] = {}
+    for f in fields(Job):
+        value = data[f.name]
+        kwargs[f.name] = _tuplify(value) if f.name in _TUPLE_FIELDS else value
+    return Job(**kwargs)  # type: ignore[arg-type]
+
+
+def config_key(job: Job) -> str:
+    """Deterministic hash of everything that affects the job's result.
+
+    ``tags`` are excluded: they label the record but do not change the
+    computation.  The hash is stable across processes and Python versions
+    (canonical JSON, sorted keys).
+    """
+    config = job_to_dict(job)
+    del config["tags"]
+    config["cache_version"] = CACHE_VERSION
+    canonical = json.dumps(config, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+# --------------------------------------------------------------------------
+# record (de)serialisation
+
+
+def record_to_payload(record: ComparisonRecord) -> Dict[str, object]:
+    """All dataclass fields of a record as a JSON-serialisable dict."""
+    return {
+        "benchmark": record.benchmark,
+        "architecture": record.architecture,
+        "num_data_qubits": record.num_data_qubits,
+        "num_physical_qubits": record.num_physical_qubits,
+        "baseline_depth": record.baseline_depth,
+        "mech_depth": record.mech_depth,
+        "baseline_eff_cnots": record.baseline_eff_cnots,
+        "mech_eff_cnots": record.mech_eff_cnots,
+        "highway_qubit_fraction": record.highway_qubit_fraction,
+        "baseline_seconds": record.baseline_seconds,
+        "mech_seconds": record.mech_seconds,
+        "extra": dict(record.extra),
+    }
+
+
+def record_from_payload(payload: Mapping[str, object]) -> ComparisonRecord:
+    """Inverse of :func:`record_to_payload` (always returns a fresh record)."""
+    data = dict(payload)
+    data["extra"] = dict(data.get("extra") or {})
+    return ComparisonRecord(**data)  # type: ignore[arg-type]
+
+
+def record_row(record: ComparisonRecord) -> Dict[str, object]:
+    """Flat artifact row: stored fields plus the derived paper metrics."""
+    row = record_to_payload(record)
+    extra = row.pop("extra")
+    row["depth_improvement"] = record.depth_improvement
+    row["eff_cnots_improvement"] = record.eff_cnots_improvement
+    row["normalized_depth"] = record.normalized_depth
+    row["normalized_eff_cnots"] = record.normalized_eff_cnots
+    for key in sorted(extra):
+        row[key] = extra[key]
+    return row
+
+
+# --------------------------------------------------------------------------
+# executors
+
+
+def _run_compare_job(job: Job) -> ComparisonRecord:
+    """Execute a ``kind="compare"`` job (one baseline-vs-MECH compilation)."""
+    return compare(
+        job.benchmark,
+        job.build_array(),
+        noise=job.noise_model(),
+        highway_density=job.highway_density,
+        num_data_qubits=job.num_data_qubits,
+        min_components=job.min_components,
+        baseline_trials=job.baseline_trials,
+        seed=job.seed,
+        benchmark_kwargs=dict(job.benchmark_kwargs) or None,
+    )
+
+
+def _run_sensitivity_job(job: Job) -> ComparisonRecord:
+    """Execute a ``kind="sensitivity"`` job (Fig. 13's compile-once protocol).
+
+    Both compilers run once under the job's base noise model; the emitted
+    circuits are then re-scored under each swept noise model.  The sweep
+    series land in the record's ``extra`` dict under ``<series>@<value>``
+    keys so they survive the JSON cache and the CSV artifacts.
+    """
+    params = dict(job.params)
+    base_noise = job.noise_model()
+    pair = compile_pair(
+        job.benchmark,
+        job.build_array(),
+        noise=base_noise,
+        highway_density=job.highway_density,
+        num_data_qubits=job.num_data_qubits,
+        min_components=job.min_components,
+        baseline_trials=job.baseline_trials,
+        seed=job.seed,
+        benchmark_kwargs=dict(job.benchmark_kwargs) or None,
+    )
+
+    extra: Dict[str, float] = {}
+    for latency in params.get("meas_latencies", ()):
+        noise = base_noise.with_ratios(meas_latency=float(latency))
+        extra[f"depth_vs_latency@{float(latency):g}"] = improvement(
+            pair.baseline_result.metrics(noise).depth, pair.mech_result.metrics(noise).depth
+        )
+    for ratio in params.get("meas_error_ratios", ()):
+        noise = base_noise.with_ratios(meas_on_ratio=float(ratio))
+        extra[f"eff_vs_meas_error@{float(ratio):g}"] = improvement(
+            pair.baseline_result.metrics(noise).eff_cnots,
+            pair.mech_result.metrics(noise).eff_cnots,
+        )
+    for ratio in params.get("cross_error_ratios", ()):
+        noise = base_noise.with_ratios(cross_on_ratio=float(ratio))
+        extra[f"eff_vs_cross_error@{float(ratio):g}"] = improvement(
+            pair.baseline_result.metrics(noise).eff_cnots,
+            pair.mech_result.metrics(noise).eff_cnots,
+        )
+    return pair.record(base_noise, extra=extra)
+
+
+#: Executor registry, keyed by ``Job.kind``.  Both executors live in this
+#: module so worker processes only ever need to import the engine.
+EXECUTORS: Dict[str, Callable[[Job], ComparisonRecord]] = {
+    "compare": _run_compare_job,
+    "sensitivity": _run_sensitivity_job,
+}
+
+
+def _execute_job(job: Job) -> ComparisonRecord:
+    try:
+        executor = EXECUTORS[job.kind]
+    except KeyError as exc:
+        raise ValueError(f"unknown job kind {job.kind!r}; choose from {sorted(EXECUTORS)}") from exc
+    return executor(job)
+
+
+def _execute_keyed(item: Tuple[str, Dict[str, object]]) -> Tuple[str, Dict[str, object]]:
+    """Worker entry point: (config key, job dict) -> (config key, record payload)."""
+    key, job_dict = item
+    record = _execute_job(job_from_dict(job_dict))
+    return key, record_to_payload(record)
+
+
+# --------------------------------------------------------------------------
+# on-disk cache
+
+
+class ResultCache:
+    """On-disk JSON memo of comparison records, one file per config hash.
+
+    Entries are written atomically (temp file + rename) so concurrent runs
+    sharing a cache directory never observe torn files.  Payloads carry the
+    full job config alongside the record, which makes a cache directory
+    self-describing and debuggable with plain ``jq``.
+    """
+
+    def __init__(self, cache_dir: Union[str, Path]):
+        self.cache_dir = Path(cache_dir)
+
+    def path_for(self, key: str) -> Path:
+        return self.cache_dir / f"{key}.json"
+
+    def get(self, key: str) -> Optional[Dict[str, object]]:
+        """The cached record payload for ``key``, or None on a miss."""
+        path = self.path_for(key)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                entry = json.load(handle)
+        except (FileNotFoundError, json.JSONDecodeError):
+            return None
+        if not isinstance(entry, dict) or entry.get("cache_version") != CACHE_VERSION:
+            return None
+        record = entry.get("record")
+        return dict(record) if isinstance(record, dict) else None
+
+    def put(self, key: str, job: Job, record_payload: Mapping[str, object]) -> Path:
+        """Store one record payload under ``key`` (atomic write)."""
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        entry = {
+            "cache_version": CACHE_VERSION,
+            "key": key,
+            "job": {k: v for k, v in job_to_dict(job).items() if k != "tags"},
+            "record": dict(record_payload),
+        }
+        path = self.path_for(key)
+        tmp = path.with_name(f".{path.name}.tmp-{os.getpid()}")
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(entry, handle, indent=1, sort_keys=True)
+        os.replace(tmp, path)
+        return path
+
+    def entries(self) -> List[Path]:
+        if not self.cache_dir.is_dir():
+            return []
+        return sorted(self.cache_dir.glob("*.json"))
+
+    def __len__(self) -> int:
+        return len(self.entries())
+
+    def clear(self) -> int:
+        """Delete every cache entry; returns the number removed."""
+        removed = 0
+        for path in self.entries():
+            path.unlink()
+            removed += 1
+        return removed
+
+
+def _coerce_cache(cache: Union[None, str, Path, ResultCache]) -> Optional[ResultCache]:
+    if cache is None or isinstance(cache, ResultCache):
+        return cache
+    return ResultCache(cache)
+
+
+# --------------------------------------------------------------------------
+# execution
+
+
+@dataclass
+class RunReport:
+    """What one :func:`run_jobs_report` call did."""
+
+    total: int = 0
+    cache_hits: int = 0
+    executed: int = 0
+    deduplicated: int = 0
+    workers: int = 1
+    seconds: float = 0.0
+
+    def summary(self) -> str:
+        return (
+            f"{self.total} jobs: {self.cache_hits} cached, {self.executed} executed"
+            f" ({self.workers} worker{'s' if self.workers != 1 else ''},"
+            f" {self.seconds:.1f}s)"
+        )
+
+
+def run_jobs_report(
+    jobs: Sequence[Job],
+    *,
+    workers: int = 1,
+    cache: Union[None, str, Path, ResultCache] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> Tuple[List[ComparisonRecord], RunReport]:
+    """Execute jobs (cache -> dedupe -> pool) and report what happened.
+
+    Records come back in job order regardless of the completion order of the
+    pool, so a parallel run is record-for-record identical to a serial one.
+    ``workers <= 1`` stays in-process; ``workers > 1`` dispatches cache misses
+    over a ``multiprocessing`` pool.  ``cache`` may be a directory path or a
+    :class:`ResultCache`; ``None`` disables memoization (identical jobs are
+    still computed only once per call).
+    """
+    store = _coerce_cache(cache)
+    workers = max(1, int(workers))
+    report = RunReport(total=len(jobs), workers=workers)
+    start = time.perf_counter()
+
+    keys = [config_key(job) for job in jobs]
+    payloads: Dict[str, Dict[str, object]] = {}
+    pending: Dict[str, Job] = {}
+    for job, key in zip(jobs, keys):
+        if key in payloads or key in pending:
+            continue
+        hit = store.get(key) if store is not None else None
+        if hit is not None:
+            payloads[key] = hit
+            report.cache_hits += 1
+        else:
+            pending[key] = job
+    report.deduplicated = len(jobs) - report.cache_hits - len(pending)
+    report.executed = len(pending)
+
+    items = [(key, job_to_dict(job)) for key, job in pending.items()]
+    done = 0
+
+    def collect(key: str, payload: Dict[str, object]) -> None:
+        # persist each result as it lands, so an interrupted or partially
+        # failed sweep keeps everything that already compiled
+        payloads[key] = payload
+        if store is not None:
+            store.put(key, pending[key], payload)
+        nonlocal done
+        done += 1
+        if progress is not None:
+            progress(f"{done}/{len(items)} jobs executed")
+
+    if len(items) > 1 and workers > 1:
+        with multiprocessing.get_context().Pool(processes=min(workers, len(items))) as pool:
+            for key, payload in pool.imap_unordered(_execute_keyed, items, chunksize=1):
+                collect(key, payload)
+    else:
+        for item in items:
+            collect(*_execute_keyed(item))
+
+    records: List[ComparisonRecord] = []
+    for job, key in zip(jobs, keys):
+        record = record_from_payload(payloads[key])
+        for tag, value in job.tags:
+            record.extra[tag] = value
+        records.append(record)
+    report.seconds = time.perf_counter() - start
+    return records, report
+
+
+def run_jobs(
+    jobs: Sequence[Job],
+    *,
+    workers: int = 1,
+    cache: Union[None, str, Path, ResultCache] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> List[ComparisonRecord]:
+    """Like :func:`run_jobs_report`, returning only the records."""
+    records, _ = run_jobs_report(jobs, workers=workers, cache=cache, progress=progress)
+    return records
+
+
+# --------------------------------------------------------------------------
+# artifacts
+
+
+def write_artifacts(
+    name: str,
+    records: Sequence[ComparisonRecord],
+    out_dir: Union[str, Path],
+    *,
+    text: Optional[str] = None,
+    metadata: Optional[Mapping[str, object]] = None,
+) -> Dict[str, Path]:
+    """Write ``<out_dir>/<name>.json`` and ``.csv`` (and ``.txt`` if given).
+
+    The JSON artifact holds one flat row per record (stored fields plus the
+    derived paper metrics) under a small metadata header; the CSV holds the
+    same rows with a stable column order (core fields first, then the union
+    of extra keys, sorted).
+    """
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    rows = [record_row(record) for record in records]
+
+    json_path = out / f"{name}.json"
+    document = {
+        "experiment": name,
+        "cache_version": CACHE_VERSION,
+        **(dict(metadata) if metadata else {}),
+        "records": rows,
+    }
+    with open(json_path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=1, sort_keys=False)
+        handle.write("\n")
+
+    core = [
+        "benchmark",
+        "architecture",
+        "num_data_qubits",
+        "num_physical_qubits",
+        "baseline_depth",
+        "mech_depth",
+        "depth_improvement",
+        "baseline_eff_cnots",
+        "mech_eff_cnots",
+        "eff_cnots_improvement",
+        "normalized_depth",
+        "normalized_eff_cnots",
+        "highway_qubit_fraction",
+        "baseline_seconds",
+        "mech_seconds",
+    ]
+    extra_columns = sorted({key for row in rows for key in row} - set(core))
+    columns = core + extra_columns
+    csv_path = out / f"{name}.csv"
+    with open(csv_path, "w", encoding="utf-8", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=columns, restval="")
+        writer.writeheader()
+        for row in rows:
+            writer.writerow(row)
+
+    paths = {"json": json_path, "csv": csv_path}
+    if text is not None:
+        txt_path = out / f"{name}.txt"
+        txt_path.write_text(text + ("\n" if not text.endswith("\n") else ""), encoding="utf-8")
+        paths["txt"] = txt_path
+    return paths

@@ -3,20 +3,21 @@
 The paper fixes the chiplet size at 7x7 and grows the chiplet array through
 2x2, 2x3, 3x3 and 3x4 (4, 6, 9 and 12 chiplets), showing that both the depth
 improvement and the effective-CNOT improvement of MECH over the baseline grow
-with the number of chiplets.  ``run_fig12`` regenerates the two improvement
-series per benchmark.
+with the number of chiplets.  ``jobs_for_fig12`` expands the sweep into
+engine jobs; ``run_fig12`` executes them (optionally in parallel and against
+an on-disk cache) and returns the records.
 """
 
 from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..hardware.array import ChipletArray
 from ..hardware.noise import DEFAULT_NOISE, NoiseModel
-from .runner import ComparisonRecord, compare
+from .engine import Job, noise_to_items, run_jobs
+from .runner import ComparisonRecord
 from .settings import BENCHMARK_NAMES, FIG12_ARRAYS
 
-__all__ = ["run_fig12", "improvement_series", "format_fig12"]
+__all__ = ["jobs_for_fig12", "run_fig12", "improvement_series", "format_fig12"]
 
 #: Chiplet width per scale tier (the paper fixes 7x7 chiplets).
 _SCALE_WIDTH = {"small": 4, "medium": 5, "paper": 7}
@@ -28,6 +29,36 @@ _SCALE_ARRAYS: Dict[str, Tuple[Tuple[int, int], ...]] = {
 }
 
 
+def jobs_for_fig12(
+    *,
+    scale: str = "small",
+    benchmarks: Sequence[str] = BENCHMARK_NAMES,
+    chiplet_width: Optional[int] = None,
+    array_shapes: Optional[Sequence[Tuple[int, int]]] = None,
+    noise: NoiseModel = DEFAULT_NOISE,
+    seed: int = 0,
+) -> List[Job]:
+    """One job per (array shape, benchmark) of the Fig. 12 sweep."""
+    if scale not in _SCALE_WIDTH:
+        raise ValueError(f"unknown scale {scale!r}; choose from {sorted(_SCALE_WIDTH)}")
+    width = chiplet_width if chiplet_width is not None else _SCALE_WIDTH[scale]
+    shapes = tuple(array_shapes) if array_shapes is not None else _SCALE_ARRAYS[scale]
+    noise_items = noise_to_items(noise)
+    return [
+        Job(
+            benchmark=name,
+            structure="square",
+            chiplet_width=width,
+            rows=rows,
+            cols=cols,
+            seed=seed,
+            noise=noise_items,
+        )
+        for rows, cols in shapes
+        for name in benchmarks
+    ]
+
+
 def run_fig12(
     *,
     scale: str = "small",
@@ -36,18 +67,19 @@ def run_fig12(
     array_shapes: Optional[Sequence[Tuple[int, int]]] = None,
     noise: NoiseModel = DEFAULT_NOISE,
     seed: int = 0,
+    workers: int = 1,
+    cache=None,
 ) -> List[ComparisonRecord]:
     """Regenerate Fig. 12's data: one record per (array shape, benchmark)."""
-    if scale not in _SCALE_WIDTH:
-        raise ValueError(f"unknown scale {scale!r}; choose from {sorted(_SCALE_WIDTH)}")
-    width = chiplet_width if chiplet_width is not None else _SCALE_WIDTH[scale]
-    shapes = tuple(array_shapes) if array_shapes is not None else _SCALE_ARRAYS[scale]
-    records: List[ComparisonRecord] = []
-    for rows, cols in shapes:
-        array = ChipletArray("square", width, rows, cols)
-        for name in benchmarks:
-            records.append(compare(name, array, noise=noise, seed=seed))
-    return records
+    jobs = jobs_for_fig12(
+        scale=scale,
+        benchmarks=benchmarks,
+        chiplet_width=chiplet_width,
+        array_shapes=array_shapes,
+        noise=noise,
+        seed=seed,
+    )
+    return run_jobs(jobs, workers=workers, cache=cache)
 
 
 def improvement_series(
@@ -80,17 +112,3 @@ def format_fig12(records: Sequence[ComparisonRecord]) -> str:
         for chiplets, depth_impr, eff_impr in series[name]:
             lines.append(f"{name:<10} {chiplets:>9d} {depth_impr:>10.1%} {eff_impr:>8.1%}")
     return "\n".join(lines)
-
-
-def main() -> None:  # pragma: no cover - CLI convenience
-    import argparse
-
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--scale", default="small", choices=sorted(_SCALE_WIDTH))
-    parser.add_argument("--seed", type=int, default=0)
-    args = parser.parse_args()
-    print(format_fig12(run_fig12(scale=args.scale, seed=args.seed)))
-
-
-if __name__ == "__main__":  # pragma: no cover
-    main()

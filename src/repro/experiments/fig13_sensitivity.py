@@ -13,25 +13,26 @@ one at a time:
 
 Both compilers' outputs are compiled once and re-scored under each swept noise
 model: the emitted circuits do not depend on the error rates, and the paper's
-own sweep varies only the metric weights.
+own sweep varies only the metric weights.  The engine's ``"sensitivity"``
+executor implements exactly that protocol, so one engine job covers one
+benchmark's three panels and the whole figure caches like any other.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
-from ..baseline import BaselineCompiler
-from ..compiler import MechCompiler
-from ..hardware.array import ChipletArray
 from ..hardware.noise import DEFAULT_NOISE, NoiseModel
-from ..metrics import improvement
-from ..programs import build_benchmark
+from .engine import Job, noise_to_items, run_jobs
+from .runner import ComparisonRecord
 from .settings import BENCHMARK_NAMES
 
 __all__ = [
     "SensitivityResult",
+    "jobs_for_fig13",
     "run_fig13",
+    "sensitivity_results_from_records",
     "format_fig13",
     "MEAS_LATENCIES",
     "MEAS_ERROR_RATIOS",
@@ -66,6 +67,70 @@ class SensitivityResult:
     eff_vs_cross_error: List[Tuple[float, float]]
 
 
+def jobs_for_fig13(
+    *,
+    scale: str = "small",
+    benchmarks: Sequence[str] = BENCHMARK_NAMES,
+    meas_latencies: Sequence[float] = MEAS_LATENCIES,
+    meas_error_ratios: Sequence[float] = MEAS_ERROR_RATIOS,
+    cross_error_ratios: Sequence[float] = CROSS_ERROR_RATIOS,
+    base_noise: NoiseModel = DEFAULT_NOISE,
+    seed: int = 0,
+) -> List[Job]:
+    """One ``"sensitivity"`` job per benchmark, carrying all three sweeps."""
+    if scale not in _SCALE_DEVICE:
+        raise ValueError(f"unknown scale {scale!r}; choose from {sorted(_SCALE_DEVICE)}")
+    structure, width, rows, cols = _SCALE_DEVICE[scale]
+    params = (
+        ("meas_latencies", tuple(float(v) for v in meas_latencies)),
+        ("meas_error_ratios", tuple(float(v) for v in meas_error_ratios)),
+        ("cross_error_ratios", tuple(float(v) for v in cross_error_ratios)),
+    )
+    noise_items = noise_to_items(base_noise)
+    return [
+        Job(
+            benchmark=name,
+            kind="sensitivity",
+            structure=structure,
+            chiplet_width=width,
+            rows=rows,
+            cols=cols,
+            seed=seed,
+            noise=noise_items,
+            params=params,
+        )
+        for name in benchmarks
+    ]
+
+
+def sensitivity_results_from_records(
+    records: Sequence[ComparisonRecord],
+) -> List[SensitivityResult]:
+    """Decode the ``<series>@<value>`` extras of sensitivity records."""
+
+    def series(record: ComparisonRecord, prefix: str) -> List[Tuple[float, float]]:
+        marker = prefix + "@"
+        points = [
+            (float(key[len(marker):]), value)
+            for key, value in record.extra.items()
+            if key.startswith(marker)
+        ]
+        points.sort()
+        return points
+
+    return [
+        SensitivityResult(
+            benchmark=record.benchmark,
+            architecture=record.architecture,
+            num_data_qubits=record.num_data_qubits,
+            depth_vs_latency=series(record, "depth_vs_latency"),
+            eff_vs_meas_error=series(record, "eff_vs_meas_error"),
+            eff_vs_cross_error=series(record, "eff_vs_cross_error"),
+        )
+        for record in records
+    ]
+
+
 def run_fig13(
     *,
     scale: str = "small",
@@ -75,70 +140,21 @@ def run_fig13(
     cross_error_ratios: Sequence[float] = CROSS_ERROR_RATIOS,
     base_noise: NoiseModel = DEFAULT_NOISE,
     seed: int = 0,
+    workers: int = 1,
+    cache=None,
 ) -> List[SensitivityResult]:
     """Regenerate the three panels of Fig. 13."""
-    if scale not in _SCALE_DEVICE:
-        raise ValueError(f"unknown scale {scale!r}; choose from {sorted(_SCALE_DEVICE)}")
-    structure, width, rows, cols = _SCALE_DEVICE[scale]
-    array = ChipletArray(structure, width, rows, cols)
-    mech = MechCompiler(array, noise=base_noise)
-    baseline = BaselineCompiler(array.topology, noise=base_noise)
-    results: List[SensitivityResult] = []
-    for name in benchmarks:
-        circuit = build_benchmark(name, mech.num_data_qubits, seed=seed) if name.upper() != "QFT" else build_benchmark(name, mech.num_data_qubits)
-        mech_result = mech.compile(circuit)
-        baseline_result = baseline.compile(circuit)
-
-        depth_series: List[Tuple[float, float]] = []
-        for latency in meas_latencies:
-            noise = base_noise.with_ratios(meas_latency=float(latency))
-            depth_series.append(
-                (
-                    float(latency),
-                    improvement(
-                        baseline_result.metrics(noise).depth,
-                        mech_result.metrics(noise).depth,
-                    ),
-                )
-            )
-
-        meas_series: List[Tuple[float, float]] = []
-        for ratio in meas_error_ratios:
-            noise = base_noise.with_ratios(meas_on_ratio=float(ratio))
-            meas_series.append(
-                (
-                    float(ratio),
-                    improvement(
-                        baseline_result.metrics(noise).eff_cnots,
-                        mech_result.metrics(noise).eff_cnots,
-                    ),
-                )
-            )
-
-        cross_series: List[Tuple[float, float]] = []
-        for ratio in cross_error_ratios:
-            noise = base_noise.with_ratios(cross_on_ratio=float(ratio))
-            cross_series.append(
-                (
-                    float(ratio),
-                    improvement(
-                        baseline_result.metrics(noise).eff_cnots,
-                        mech_result.metrics(noise).eff_cnots,
-                    ),
-                )
-            )
-
-        results.append(
-            SensitivityResult(
-                benchmark=name.upper(),
-                architecture=array.topology.name,
-                num_data_qubits=circuit.num_qubits,
-                depth_vs_latency=depth_series,
-                eff_vs_meas_error=meas_series,
-                eff_vs_cross_error=cross_series,
-            )
-        )
-    return results
+    jobs = jobs_for_fig13(
+        scale=scale,
+        benchmarks=benchmarks,
+        meas_latencies=meas_latencies,
+        meas_error_ratios=meas_error_ratios,
+        cross_error_ratios=cross_error_ratios,
+        base_noise=base_noise,
+        seed=seed,
+    )
+    records = run_jobs(jobs, workers=workers, cache=cache)
+    return sensitivity_results_from_records(records)
 
 
 def format_fig13(results: Sequence[SensitivityResult]) -> str:
@@ -157,17 +173,3 @@ def format_fig13(results: Sequence[SensitivityResult]) -> str:
         series = " ".join(f"{ratio:g}:{impr:+.1%}" for ratio, impr in r.eff_vs_cross_error)
         lines.append(f"  {r.benchmark:<6} {series}")
     return "\n".join(lines)
-
-
-def main() -> None:  # pragma: no cover - CLI convenience
-    import argparse
-
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--scale", default="small", choices=sorted(_SCALE_DEVICE))
-    parser.add_argument("--seed", type=int, default=0)
-    args = parser.parse_args()
-    print(format_fig13(run_fig13(scale=args.scale, seed=args.seed)))
-
-
-if __name__ == "__main__":  # pragma: no cover
-    main()

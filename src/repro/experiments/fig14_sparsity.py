@@ -14,10 +14,11 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..hardware.array import ChipletArray
 from ..hardware.noise import DEFAULT_NOISE, NoiseModel
-from .runner import ComparisonRecord, compare
+from .engine import Job, noise_to_items, run_jobs
+from .runner import ComparisonRecord
 from .settings import BENCHMARK_NAMES
 
-__all__ = ["run_fig14", "normalized_by_sparsity", "format_fig14"]
+__all__ = ["jobs_for_fig14", "run_fig14", "normalized_by_sparsity", "format_fig14"]
 
 #: Device per scale tier; the sparsity levels scale with the chiplet width.
 _SCALE_DEVICE: Dict[str, Tuple[str, int, int, int, Tuple[int, ...]]] = {
@@ -28,6 +29,46 @@ _SCALE_DEVICE: Dict[str, Tuple[str, int, int, int, Tuple[int, ...]]] = {
 }
 
 
+def jobs_for_fig14(
+    *,
+    scale: str = "small",
+    benchmarks: Sequence[str] = BENCHMARK_NAMES,
+    sparsity_levels: Optional[Sequence[int]] = None,
+    noise: NoiseModel = DEFAULT_NOISE,
+    seed: int = 0,
+) -> List[Job]:
+    """One job per (links-per-edge, benchmark) of the Fig. 14 sweep."""
+    if scale not in _SCALE_DEVICE:
+        raise ValueError(f"unknown scale {scale!r}; choose from {sorted(_SCALE_DEVICE)}")
+    structure, width, rows, cols, default_levels = _SCALE_DEVICE[scale]
+    levels = tuple(sparsity_levels) if sparsity_levels is not None else default_levels
+    noise_items = noise_to_items(noise)
+    jobs: List[Job] = []
+    for links in levels:
+        # the full per-edge link count is a property of the (cheap) topology,
+        # recorded as a tag so the normalisation labels survive the cache
+        array = ChipletArray(structure, width, rows, cols, cross_links_per_edge=links)
+        tags = (
+            ("cross_links_per_edge", float(links)),
+            ("max_cross_links_per_edge", float(array.max_cross_links_per_edge())),
+        )
+        for name in benchmarks:
+            jobs.append(
+                Job(
+                    benchmark=name,
+                    structure=structure,
+                    chiplet_width=width,
+                    rows=rows,
+                    cols=cols,
+                    cross_links_per_edge=links,
+                    seed=seed,
+                    noise=noise_items,
+                    tags=tags,
+                )
+            )
+    return jobs
+
+
 def run_fig14(
     *,
     scale: str = "small",
@@ -35,21 +76,18 @@ def run_fig14(
     sparsity_levels: Optional[Sequence[int]] = None,
     noise: NoiseModel = DEFAULT_NOISE,
     seed: int = 0,
+    workers: int = 1,
+    cache=None,
 ) -> List[ComparisonRecord]:
     """Regenerate Fig. 14: one record per (links-per-edge, benchmark)."""
-    if scale not in _SCALE_DEVICE:
-        raise ValueError(f"unknown scale {scale!r}; choose from {sorted(_SCALE_DEVICE)}")
-    structure, width, rows, cols, default_levels = _SCALE_DEVICE[scale]
-    levels = tuple(sparsity_levels) if sparsity_levels is not None else default_levels
-    records: List[ComparisonRecord] = []
-    for links in levels:
-        array = ChipletArray(structure, width, rows, cols, cross_links_per_edge=links)
-        for name in benchmarks:
-            record = compare(name, array, noise=noise, seed=seed)
-            record.extra["cross_links_per_edge"] = float(links)
-            record.extra["max_cross_links_per_edge"] = float(array.max_cross_links_per_edge())
-            records.append(record)
-    return records
+    jobs = jobs_for_fig14(
+        scale=scale,
+        benchmarks=benchmarks,
+        sparsity_levels=sparsity_levels,
+        noise=noise,
+        seed=seed,
+    )
+    return run_jobs(jobs, workers=workers, cache=cache)
 
 
 def normalized_by_sparsity(
@@ -77,17 +115,3 @@ def format_fig14(records: Sequence[ComparisonRecord]) -> str:
         for label, depth_ratio, eff_ratio in series[name]:
             lines.append(f"{name:<10} {label:>7} {depth_ratio:>18.3f} {eff_ratio:>16.3f}")
     return "\n".join(lines)
-
-
-def main() -> None:  # pragma: no cover - CLI convenience
-    import argparse
-
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--scale", default="small", choices=sorted(_SCALE_DEVICE))
-    parser.add_argument("--seed", type=int, default=0)
-    args = parser.parse_args()
-    print(format_fig14(run_fig14(scale=args.scale, seed=args.seed)))
-
-
-if __name__ == "__main__":  # pragma: no cover
-    main()

@@ -11,15 +11,16 @@ eventually ticks back up).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
+from ..compiler import MechCompiler
 from ..hardware.array import ChipletArray
 from ..hardware.noise import DEFAULT_NOISE, NoiseModel
-from ..compiler import MechCompiler
-from .runner import ComparisonRecord, compare
+from .engine import Job, noise_to_items, run_jobs
+from .runner import ComparisonRecord
 from .settings import BENCHMARK_NAMES
 
-__all__ = ["run_fig15", "normalized_by_density", "format_fig15"]
+__all__ = ["jobs_for_fig15", "run_fig15", "normalized_by_density", "format_fig15"]
 
 #: Device per scale tier (the paper uses a 2x3 array of 9x9 chiplets).
 _SCALE_DEVICE: Dict[str, Tuple[str, int, int, int]] = {
@@ -32,19 +33,19 @@ _SCALE_DEVICE: Dict[str, Tuple[str, int, int, int]] = {
 DENSITIES: Tuple[int, ...] = (1, 2, 3)
 
 
-def run_fig15(
+def jobs_for_fig15(
     *,
     scale: str = "small",
     benchmarks: Sequence[str] = BENCHMARK_NAMES,
     densities: Sequence[int] = DENSITIES,
     noise: NoiseModel = DEFAULT_NOISE,
     seed: int = 0,
-) -> List[ComparisonRecord]:
-    """Regenerate Fig. 15: one record per (highway density, benchmark).
+) -> List[Job]:
+    """One job per (highway density, benchmark) of the Fig. 15 sweep.
 
-    Following the paper, the circuit width is fixed to the *single* highway's
-    data-qubit count for every density, so denser highways are not penalised
-    by a smaller program.
+    Following the paper, the circuit width is fixed to the *smallest*
+    highway's data-qubit count for every density, so denser highways are not
+    penalised by a smaller program.
     """
     if scale not in _SCALE_DEVICE:
         raise ValueError(f"unknown scale {scale!r}; choose from {sorted(_SCALE_DEVICE)}")
@@ -54,20 +55,40 @@ def run_fig15(
         MechCompiler(array, highway_density=d).num_data_qubits for d in densities
     ]
     circuit_width = min(capacities)
-    records: List[ComparisonRecord] = []
-    for density in densities:
-        for name in benchmarks:
-            record = compare(
-                name,
-                array,
-                noise=noise,
-                seed=seed,
-                highway_density=density,
-                num_data_qubits=circuit_width,
-            )
-            record.extra["highway_density"] = float(density)
-            records.append(record)
-    return records
+    noise_items = noise_to_items(noise)
+    return [
+        Job(
+            benchmark=name,
+            structure=structure,
+            chiplet_width=width,
+            rows=rows,
+            cols=cols,
+            highway_density=density,
+            num_data_qubits=circuit_width,
+            seed=seed,
+            noise=noise_items,
+            tags=(("highway_density", float(density)),),
+        )
+        for density in densities
+        for name in benchmarks
+    ]
+
+
+def run_fig15(
+    *,
+    scale: str = "small",
+    benchmarks: Sequence[str] = BENCHMARK_NAMES,
+    densities: Sequence[int] = DENSITIES,
+    noise: NoiseModel = DEFAULT_NOISE,
+    seed: int = 0,
+    workers: int = 1,
+    cache=None,
+) -> List[ComparisonRecord]:
+    """Regenerate Fig. 15: one record per (highway density, benchmark)."""
+    jobs = jobs_for_fig15(
+        scale=scale, benchmarks=benchmarks, densities=densities, noise=noise, seed=seed
+    )
+    return run_jobs(jobs, workers=workers, cache=cache)
 
 
 def normalized_by_density(
@@ -106,17 +127,3 @@ def format_fig15(records: Sequence[ComparisonRecord]) -> str:
                 f"{depth_ratio:>18.3f} {eff_ratio:>16.3f}"
             )
     return "\n".join(lines)
-
-
-def main() -> None:  # pragma: no cover - CLI convenience
-    import argparse
-
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--scale", default="small", choices=sorted(_SCALE_DEVICE))
-    parser.add_argument("--seed", type=int, default=0)
-    args = parser.parse_args()
-    print(format_fig15(run_fig15(scale=args.scale, seed=args.seed)))
-
-
-if __name__ == "__main__":  # pragma: no cover
-    main()

@@ -12,10 +12,17 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..hardware.noise import DEFAULT_NOISE, NoiseModel
-from .runner import ComparisonRecord, compare
+from .engine import Job, noise_to_items, run_jobs
+from .runner import ComparisonRecord
 from .settings import BENCHMARK_NAMES, TABLE1_SETTINGS, ArchitectureSetting, scaled_setting
 
-__all__ = ["run_fig16", "normalized_by_structure", "format_fig16", "FIG16_SETTINGS"]
+__all__ = [
+    "jobs_for_fig16",
+    "run_fig16",
+    "normalized_by_structure",
+    "format_fig16",
+    "FIG16_SETTINGS",
+]
 
 #: The four Table 1 rows the figure uses, in the paper's order.
 FIG16_SETTINGS: Tuple[str, ...] = (
@@ -26,6 +33,39 @@ FIG16_SETTINGS: Tuple[str, ...] = (
 )
 
 
+def jobs_for_fig16(
+    *,
+    scale: str = "small",
+    benchmarks: Sequence[str] = BENCHMARK_NAMES,
+    settings: Optional[Sequence[ArchitectureSetting]] = None,
+    noise: NoiseModel = DEFAULT_NOISE,
+    seed: int = 0,
+) -> List[Job]:
+    """One job per (coupling structure, benchmark) of the Fig. 16 sweep."""
+    chosen = (
+        list(settings)
+        if settings is not None
+        else [scaled_setting(TABLE1_SETTINGS[key], scale) for key in FIG16_SETTINGS]
+    )
+    noise_items = noise_to_items(noise)
+    return [
+        Job(
+            benchmark=name,
+            structure=setting.structure,
+            chiplet_width=setting.chiplet_width,
+            rows=setting.rows,
+            cols=setting.cols,
+            cross_links_per_edge=setting.cross_links_per_edge,
+            highway_density=setting.highway_density,
+            seed=seed,
+            noise=noise_items,
+            tags=(("structure", setting.structure),),
+        )
+        for setting in chosen
+        for name in benchmarks
+    ]
+
+
 def run_fig16(
     *,
     scale: str = "small",
@@ -33,27 +73,14 @@ def run_fig16(
     settings: Optional[Sequence[ArchitectureSetting]] = None,
     noise: NoiseModel = DEFAULT_NOISE,
     seed: int = 0,
+    workers: int = 1,
+    cache=None,
 ) -> List[ComparisonRecord]:
     """Regenerate Fig. 16: one record per (coupling structure, benchmark)."""
-    chosen = (
-        list(settings)
-        if settings is not None
-        else [scaled_setting(TABLE1_SETTINGS[key], scale) for key in FIG16_SETTINGS]
+    jobs = jobs_for_fig16(
+        scale=scale, benchmarks=benchmarks, settings=settings, noise=noise, seed=seed
     )
-    records: List[ComparisonRecord] = []
-    for setting in chosen:
-        array = setting.build_array()
-        for name in benchmarks:
-            record = compare(
-                name,
-                array,
-                noise=noise,
-                seed=seed,
-                highway_density=setting.highway_density,
-            )
-            record.extra["structure"] = setting.structure
-            records.append(record)
-    return records
+    return run_jobs(jobs, workers=workers, cache=cache)
 
 
 def normalized_by_structure(
@@ -83,17 +110,3 @@ def format_fig16(records: Sequence[ComparisonRecord]) -> str:
                 f"{name:<10} {structure:<15} {depth_ratio:>18.3f} {eff_ratio:>16.3f}"
             )
     return "\n".join(lines)
-
-
-def main() -> None:  # pragma: no cover - CLI convenience
-    import argparse
-
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--scale", default="small", choices=["small", "medium", "paper"])
-    parser.add_argument("--seed", type=int, default=0)
-    args = parser.parse_args()
-    print(format_fig16(run_fig16(scale=args.scale, seed=args.seed)))
-
-
-if __name__ == "__main__":  # pragma: no cover
-    main()

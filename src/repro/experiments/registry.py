@@ -1,0 +1,98 @@
+"""Registry of the paper's experiments, shared by the CLI and the harnesses.
+
+Each :class:`ExperimentSpec` bundles an experiment's jobs builder (pure
+configuration: scale preset -> engine jobs) with its text formatter, so a
+driver — the ``python -m repro`` CLI, the benchmark suite, an example script —
+can run any figure/table through the same three calls::
+
+    spec = get_experiment("fig12")
+    records, report = run_jobs_report(spec.build_jobs(scale="small"), ...)
+    print(spec.format_records(records))
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from .engine import SCALE_TIERS, Job
+from .fig12_scalability import format_fig12, jobs_for_fig12
+from .fig13_sensitivity import format_fig13, jobs_for_fig13, sensitivity_results_from_records
+from .fig14_sparsity import format_fig14, jobs_for_fig14
+from .fig15_highway_density import format_fig15, jobs_for_fig15
+from .fig16_structures import format_fig16, jobs_for_fig16
+from .runner import ComparisonRecord
+from .table2 import format_table2, jobs_for_table2
+
+__all__ = ["ExperimentSpec", "EXPERIMENTS", "get_experiment"]
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One reproducible figure/table of the paper's evaluation."""
+
+    name: str
+    title: str
+    #: Expands a scale preset into engine jobs.  Accepts at least the keyword
+    #: arguments ``scale``, ``benchmarks`` and ``seed``.
+    build_jobs: Callable[..., List[Job]]
+    #: Renders the experiment's records as the paper-style text table.
+    format_records: Callable[[Sequence[ComparisonRecord]], str]
+    scales: Tuple[str, ...] = SCALE_TIERS
+
+
+def _format_fig13_records(records: Sequence[ComparisonRecord]) -> str:
+    return format_fig13(sensitivity_results_from_records(records))
+
+
+EXPERIMENTS: Dict[str, ExperimentSpec] = {
+    spec.name: spec
+    for spec in (
+        ExperimentSpec(
+            "table2",
+            "Table 2: baseline vs MECH on square-chiplet arrays",
+            jobs_for_table2,
+            format_table2,
+        ),
+        ExperimentSpec(
+            "fig12",
+            "Fig. 12: improvement vs number of chiplets",
+            jobs_for_fig12,
+            format_fig12,
+        ),
+        ExperimentSpec(
+            "fig13",
+            "Fig. 13: sensitivity to measurement latency and fidelities",
+            jobs_for_fig13,
+            _format_fig13_records,
+        ),
+        ExperimentSpec(
+            "fig14",
+            "Fig. 14: sensitivity to cross-chip link sparsity",
+            jobs_for_fig14,
+            format_fig14,
+        ),
+        ExperimentSpec(
+            "fig15",
+            "Fig. 15: sensitivity to the highway qubit percentage",
+            jobs_for_fig15,
+            format_fig15,
+        ),
+        ExperimentSpec(
+            "fig16",
+            "Fig. 16: generality across coupling structures",
+            jobs_for_fig16,
+            format_fig16,
+        ),
+    )
+}
+
+
+def get_experiment(name: str) -> ExperimentSpec:
+    """Look up an experiment by name with a helpful error."""
+    try:
+        return EXPERIMENTS[name]
+    except KeyError as exc:
+        raise ValueError(
+            f"unknown experiment {name!r}; choose from {sorted(EXPERIMENTS)}"
+        ) from exc

@@ -13,16 +13,16 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from ..baseline import BaselineCompiler
-from ..compiler import MechCompiler
+from ..compiler import CompilationResult, MechCompiler
 from ..hardware.array import ChipletArray
 from ..hardware.noise import DEFAULT_NOISE, NoiseModel
 from ..metrics import improvement, normalized_ratio
 from ..programs import build_benchmark
 
-__all__ = ["ComparisonRecord", "compare", "format_records"]
+__all__ = ["ComparisonRecord", "CompiledPair", "compare", "compile_pair", "format_records"]
 
 
 @dataclass
@@ -75,7 +75,45 @@ class ComparisonRecord:
         }
 
 
-def compare(
+@dataclass
+class CompiledPair:
+    """Both compilers' outputs for one benchmark on one array.
+
+    This is the shared substrate of :func:`compare` and the engine's
+    sensitivity executor: the latter re-scores ``mech_result`` /
+    ``baseline_result`` under swept noise models without recompiling.
+    """
+
+    benchmark: str
+    array: ChipletArray
+    mech: MechCompiler
+    circuit_width: int
+    mech_result: CompilationResult
+    baseline_result: CompilationResult
+    mech_seconds: float
+    baseline_seconds: float
+
+    def record(self, noise: NoiseModel, extra: Optional[Dict[str, float]] = None) -> ComparisonRecord:
+        """Assemble the comparison record under ``noise``."""
+        mech_metrics = self.mech_result.metrics(noise)
+        baseline_metrics = self.baseline_result.metrics(noise)
+        return ComparisonRecord(
+            benchmark=self.benchmark.upper(),
+            architecture=self.array.topology.name,
+            num_data_qubits=self.circuit_width,
+            num_physical_qubits=self.array.num_qubits,
+            baseline_depth=baseline_metrics.depth,
+            mech_depth=mech_metrics.depth,
+            baseline_eff_cnots=baseline_metrics.eff_cnots,
+            mech_eff_cnots=mech_metrics.eff_cnots,
+            highway_qubit_fraction=self.mech.highway_qubit_fraction,
+            baseline_seconds=self.baseline_seconds,
+            mech_seconds=self.mech_seconds,
+            extra=dict(extra or {}),
+        )
+
+
+def compile_pair(
     benchmark: str,
     array: ChipletArray,
     *,
@@ -86,7 +124,7 @@ def compare(
     baseline_trials: int = 1,
     seed: int = 0,
     benchmark_kwargs: Optional[Dict[str, object]] = None,
-) -> ComparisonRecord:
+) -> CompiledPair:
     """Compile one benchmark with MECH and the baseline on the same array.
 
     Parameters
@@ -96,7 +134,7 @@ def compare(
     array:
         The chiplet array.
     noise:
-        Error/latency model for the metrics.
+        Error/latency model passed to the compilers.
     highway_density:
         Highway lines per chiplet per direction (Fig. 15 sweeps this).
     num_data_qubits:
@@ -133,25 +171,52 @@ def compare(
     baseline_result = baseline.compile(circuit)
     baseline_seconds = time.perf_counter() - start
 
-    mech_metrics = mech_result.metrics(noise)
-    baseline_metrics = baseline_result.metrics(noise)
-    return ComparisonRecord(
-        benchmark=benchmark.upper(),
-        architecture=array.topology.name,
-        num_data_qubits=width,
-        num_physical_qubits=array.num_qubits,
-        baseline_depth=baseline_metrics.depth,
-        mech_depth=mech_metrics.depth,
-        baseline_eff_cnots=baseline_metrics.eff_cnots,
-        mech_eff_cnots=mech_metrics.eff_cnots,
-        highway_qubit_fraction=mech.highway_qubit_fraction,
-        baseline_seconds=baseline_seconds,
+    return CompiledPair(
+        benchmark=benchmark,
+        array=array,
+        mech=mech,
+        circuit_width=circuit.num_qubits,
+        mech_result=mech_result,
+        baseline_result=baseline_result,
         mech_seconds=mech_seconds,
+        baseline_seconds=baseline_seconds,
+    )
+
+
+def compare(
+    benchmark: str,
+    array: ChipletArray,
+    *,
+    noise: NoiseModel = DEFAULT_NOISE,
+    highway_density: int = 1,
+    num_data_qubits: Optional[int] = None,
+    min_components: int = 2,
+    baseline_trials: int = 1,
+    seed: int = 0,
+    benchmark_kwargs: Optional[Dict[str, object]] = None,
+) -> ComparisonRecord:
+    """Compile with both compilers and record the paper's headline metrics.
+
+    See :func:`compile_pair` for the parameters.
+    """
+    pair = compile_pair(
+        benchmark,
+        array,
+        noise=noise,
+        highway_density=highway_density,
+        num_data_qubits=num_data_qubits,
+        min_components=min_components,
+        baseline_trials=baseline_trials,
+        seed=seed,
+        benchmark_kwargs=benchmark_kwargs,
+    )
+    return pair.record(
+        noise,
         extra={
-            "mech_shuttles": mech_result.stats.get("shuttles", 0.0),
-            "mech_swaps": mech_result.stats.get("swaps_inserted", 0.0),
-            "baseline_swaps": baseline_result.stats.get("swaps_inserted", 0.0),
-            "mech_highway_gates": mech_result.stats.get("highway_gates", 0.0),
+            "mech_shuttles": pair.mech_result.stats.get("shuttles", 0.0),
+            "mech_swaps": pair.mech_result.stats.get("swaps_inserted", 0.0),
+            "baseline_swaps": pair.baseline_result.stats.get("swaps_inserted", 0.0),
+            "mech_highway_gates": pair.mech_result.stats.get("highway_gates", 0.0),
         },
     )
 

@@ -14,7 +14,7 @@ produced the recorded numbers.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 from ..hardware.array import ChipletArray
 

@@ -1,30 +1,32 @@
-"""Table 2 reproduction: baseline vs MECH on 3x3 square-chiplet arrays.
+"""Table 2 reproduction: baseline vs MECH on square-chiplet arrays.
 
 The paper's main result table compiles QFT / QAOA / VQE / BV on 3x3 arrays of
 square chiplets whose size grows from 6x6 to 9x9 and reports circuit depth,
 effective CNOT count, the relative improvements and the highway-qubit
-percentage.  ``run_table2`` regenerates those rows; the ``scale`` argument
-selects the paper-scale chiplet sizes (6-9, hours of baseline runtime) or a
-scaled-down sweep that preserves the "improvement grows with chiplet size"
-trend.
+percentage.  ``jobs_for_table2`` expands those rows into engine jobs; the
+``scale`` presets select the paper-scale chiplet sizes (6-9 on a 3x3 array,
+hours of baseline runtime) or a scaled-down sweep that preserves the
+"improvement grows with chiplet size" trend at a fraction of the cost.
 """
 
 from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..hardware.array import ChipletArray
 from ..hardware.noise import DEFAULT_NOISE, NoiseModel
-from .runner import ComparisonRecord, compare, format_records
+from .engine import Job, noise_to_items, run_jobs
+from .runner import ComparisonRecord, format_records
 from .settings import BENCHMARK_NAMES, TABLE2_CHIPLET_SIZES
 
-__all__ = ["run_table2", "format_table2", "TABLE2_PAPER_REFERENCE"]
+__all__ = ["jobs_for_table2", "run_table2", "format_table2", "TABLE2_PAPER_REFERENCE"]
 
-#: Chiplet sizes per scale tier (the paper uses 6x6 .. 9x9 chiplets).
-_SCALE_SIZES: Dict[str, Tuple[int, ...]] = {
-    "small": (4, 5),
-    "medium": (5, 6, 7),
-    "paper": TABLE2_CHIPLET_SIZES,
+#: (chiplet sizes, array shape) per scale tier; the paper sweeps 6x6 .. 9x9
+#: chiplets on a 3x3 array.  The smaller tiers shrink both so the baseline
+#: router stays tractable while the size-scaling trend remains visible.
+SCALE_PRESETS: Dict[str, Tuple[Tuple[int, ...], Tuple[int, int]]] = {
+    "small": ((4, 5), (2, 2)),
+    "medium": ((5, 6), (3, 3)),
+    "paper": (TABLE2_CHIPLET_SIZES, (3, 3)),
 }
 
 #: Paper-reported numbers (depth / eff_CNOTs for baseline and MECH), used by
@@ -50,56 +52,73 @@ TABLE2_PAPER_REFERENCE: Dict[str, Dict[str, float]] = {
 }
 
 
+def jobs_for_table2(
+    *,
+    scale: str = "small",
+    benchmarks: Sequence[str] = BENCHMARK_NAMES,
+    chiplet_sizes: Optional[Sequence[int]] = None,
+    array_shape: Optional[Tuple[int, int]] = None,
+    noise: NoiseModel = DEFAULT_NOISE,
+    seed: int = 0,
+    qaoa_kwargs: Optional[Dict[str, object]] = None,
+) -> List[Job]:
+    """One job per (chiplet size, benchmark) of the Table 2 sweep.
+
+    ``chiplet_sizes`` and ``array_shape`` override the ``scale`` preset.
+    """
+    try:
+        preset_sizes, preset_shape = SCALE_PRESETS[scale]
+    except KeyError as exc:
+        raise ValueError(
+            f"unknown scale {scale!r}; choose from {sorted(SCALE_PRESETS)}"
+        ) from exc
+    sizes = tuple(chiplet_sizes) if chiplet_sizes is not None else preset_sizes
+    rows, cols = array_shape if array_shape is not None else preset_shape
+    noise_items = noise_to_items(noise)
+    jobs: List[Job] = []
+    for width in sizes:
+        for name in benchmarks:
+            kwargs = dict(qaoa_kwargs or {}) if name.upper() == "QAOA" else {}
+            jobs.append(
+                Job(
+                    benchmark=name,
+                    structure="square",
+                    chiplet_width=width,
+                    rows=rows,
+                    cols=cols,
+                    seed=seed,
+                    noise=noise_items,
+                    benchmark_kwargs=tuple(sorted(kwargs.items())),
+                )
+            )
+    return jobs
+
+
 def run_table2(
     *,
     scale: str = "small",
     benchmarks: Sequence[str] = BENCHMARK_NAMES,
     chiplet_sizes: Optional[Sequence[int]] = None,
-    array_shape: Tuple[int, int] = (3, 3),
+    array_shape: Optional[Tuple[int, int]] = None,
     noise: NoiseModel = DEFAULT_NOISE,
     seed: int = 0,
     qaoa_kwargs: Optional[Dict[str, object]] = None,
+    workers: int = 1,
+    cache=None,
 ) -> List[ComparisonRecord]:
-    """Regenerate Table 2: one record per (chiplet size, benchmark).
-
-    ``chiplet_sizes`` overrides the sizes implied by ``scale``.  The chiplet
-    array shape stays 3x3 (as in the paper) unless overridden.
-    """
-    if chiplet_sizes is None:
-        try:
-            chiplet_sizes = _SCALE_SIZES[scale]
-        except KeyError as exc:
-            raise ValueError(
-                f"unknown scale {scale!r}; choose from {sorted(_SCALE_SIZES)}"
-            ) from exc
-    records: List[ComparisonRecord] = []
-    rows, cols = array_shape
-    for width in chiplet_sizes:
-        array = ChipletArray("square", width, rows, cols)
-        for name in benchmarks:
-            kwargs = dict(qaoa_kwargs or {}) if name.upper() == "QAOA" else None
-            records.append(
-                compare(name, array, noise=noise, seed=seed, benchmark_kwargs=kwargs)
-            )
-    return records
+    """Regenerate Table 2: one record per (chiplet size, benchmark)."""
+    jobs = jobs_for_table2(
+        scale=scale,
+        benchmarks=benchmarks,
+        chiplet_sizes=chiplet_sizes,
+        array_shape=array_shape,
+        noise=noise,
+        seed=seed,
+        qaoa_kwargs=qaoa_kwargs,
+    )
+    return run_jobs(jobs, workers=workers, cache=cache)
 
 
 def format_table2(records: Sequence[ComparisonRecord]) -> str:
     """Text rendering in the style of the paper's Table 2."""
-    return format_records(records, title="Table 2: baseline vs MECH (square chiplets, 3x3 array)")
-
-
-def main() -> None:  # pragma: no cover - CLI convenience
-    import argparse
-
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--scale", default="small", choices=sorted(_SCALE_SIZES))
-    parser.add_argument("--benchmarks", nargs="*", default=list(BENCHMARK_NAMES))
-    parser.add_argument("--seed", type=int, default=0)
-    args = parser.parse_args()
-    records = run_table2(scale=args.scale, benchmarks=args.benchmarks, seed=args.seed)
-    print(format_table2(records))
-
-
-if __name__ == "__main__":  # pragma: no cover
-    main()
+    return format_records(records, title="Table 2: baseline vs MECH (square chiplets)")

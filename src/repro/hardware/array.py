@@ -19,7 +19,6 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 import networkx as nx
-import numpy as np
 
 from .chiplet import ChipletStructure, build_chiplet
 from .topology import Topology

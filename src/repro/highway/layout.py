@@ -23,13 +23,12 @@ highway, 2/3 = the doubled/tripled highways of Fig. 15).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 import networkx as nx
 
 from ..hardware.array import ChipletArray
-from ..hardware.topology import Topology
 
 __all__ = ["HighwaySegment", "HighwayLayout"]
 

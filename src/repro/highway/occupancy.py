@@ -23,7 +23,7 @@ Two of the paper's optimisations live here:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence
 
 import networkx as nx
 

@@ -26,7 +26,7 @@ turns them into a control-shared group.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 from ..circuits import gates as g
 from ..circuits.gates import Gate

@@ -13,7 +13,7 @@ being 0 and half being 1", drawn uniformly at random per seed.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Optional
 
 import numpy as np
 

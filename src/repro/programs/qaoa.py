@@ -16,7 +16,6 @@ same ladder-form circuit as in the paper's evaluation.
 
 from __future__ import annotations
 
-import math
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np

@@ -1,6 +1,5 @@
 """Unit tests for the aggregation pass and the ZZ-ladder rewrite."""
 
-import numpy as np
 import pytest
 
 from repro.circuits import Circuit, DependencyDag, Simulator, statevectors_equal

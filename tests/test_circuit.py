@@ -1,11 +1,10 @@
 """Unit tests for the circuit container (repro.circuits.circuit)."""
 
-import math
 
 import numpy as np
 import pytest
 
-from repro.circuits import Circuit, CircuitError, Simulator, circuit_unitary, statevectors_equal
+from repro.circuits import Circuit, CircuitError, circuit_unitary
 from repro.circuits import gates as g
 
 

@@ -1,0 +1,110 @@
+"""End-to-end tests for the ``python -m repro`` CLI."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture()
+def dirs(tmp_path):
+    return {
+        "cache": str(tmp_path / "cache"),
+        "out": str(tmp_path / "artifacts"),
+    }
+
+
+def _run_fig12(dirs, *extra):
+    return main(
+        [
+            "run",
+            "fig12",
+            "--scale",
+            "small",
+            "--benchmarks",
+            "BV",
+            "--jobs",
+            "2",
+            "--cache-dir",
+            dirs["cache"],
+            "--out-dir",
+            dirs["out"],
+            *extra,
+        ]
+    )
+
+
+class TestList:
+    def test_lists_every_experiment(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("table2", "fig12", "fig13", "fig14", "fig15", "fig16"):
+            assert name in out
+
+
+class TestRun:
+    def test_run_writes_artifacts_and_caches(self, dirs, tmp_path, capsys):
+        assert _run_fig12(dirs) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 12" in out
+        assert "0 cached, 3 executed" in out
+
+        json_path = tmp_path / "artifacts" / "fig12.json"
+        csv_path = tmp_path / "artifacts" / "fig12.csv"
+        assert json_path.is_file() and csv_path.is_file()
+        doc = json.loads(json_path.read_text())
+        assert doc["experiment"] == "fig12"
+        assert doc["scale"] == "small"
+        assert len(doc["records"]) == 3
+        first_records = doc["records"]
+
+        # warm re-run: everything served from the cache, identical artifacts
+        assert _run_fig12(dirs) == 0
+        out = capsys.readouterr().out
+        assert "3 cached, 0 executed" in out
+        assert json.loads(json_path.read_text())["records"] == first_records
+
+    def test_no_cache_disables_memoization(self, dirs, capsys):
+        assert _run_fig12(dirs, "--no-cache") == 0
+        assert _run_fig12(dirs, "--no-cache") == 0
+        out = capsys.readouterr().out
+        assert "0 cached, 3 executed" in out
+
+    def test_unknown_experiment_is_a_usage_error(self, dirs, capsys):
+        assert main(["run", "fig99", "--cache-dir", dirs["cache"]]) == 2
+        err = capsys.readouterr().err
+        assert "fig99" in err and "choose from" in err
+
+    def test_unknown_scale_rejected_by_argparse(self, dirs):
+        with pytest.raises(SystemExit):
+            _run_fig12(dirs, "--scale", "galactic")
+
+
+class TestCleanCache:
+    def test_clean_cache_removes_entries(self, dirs, capsys):
+        assert _run_fig12(dirs) == 0
+        capsys.readouterr()
+        assert main(["clean-cache", "--cache-dir", dirs["cache"]]) == 0
+        assert "removed 3" in capsys.readouterr().out
+        # next run recomputes
+        assert _run_fig12(dirs) == 0
+        assert "0 cached, 3 executed" in capsys.readouterr().out
+
+
+class TestBenchmarkValidation:
+    def test_unknown_benchmark_is_a_usage_error(self, dirs, capsys):
+        assert main(["run", "fig12", "--benchmarks", "FOO", "--cache-dir", dirs["cache"]]) == 2
+        assert "unknown benchmark" in capsys.readouterr().err
+
+    def test_empty_benchmarks_is_a_usage_error(self, dirs, capsys):
+        assert main(["run", "fig12", "--benchmarks", "--cache-dir", dirs["cache"]]) == 2
+        assert "no benchmarks given" in capsys.readouterr().err
+
+    def test_lowercase_benchmark_shares_cache_with_uppercase(self, dirs, capsys):
+        args = ["run", "fig12", "--scale", "small", "--jobs", "1",
+                "--cache-dir", dirs["cache"], "--out-dir", dirs["out"]]
+        assert main([*args, "--benchmarks", "bv"]) == 0
+        capsys.readouterr()
+        assert main([*args, "--benchmarks", "BV"]) == 0
+        assert "3 cached, 0 executed" in capsys.readouterr().out

@@ -1,6 +1,5 @@
 """Unit tests for the commutation-aware dependency DAG (repro.circuits.dag)."""
 
-import pytest
 
 from repro.circuits import Circuit, DependencyDag
 from repro.programs import qft_circuit

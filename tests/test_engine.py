@@ -1,0 +1,225 @@
+"""Unit tests for the experiment-orchestration engine.
+
+Covers the acceptance properties of the engine: config-hash stability,
+cache hit/miss behaviour, parallel/serial result identity, in-run
+deduplication, tag handling and the JSON/CSV artifact writer.
+"""
+
+import csv
+import json
+
+import pytest
+
+from repro.experiments.engine import (
+    CACHE_VERSION,
+    Job,
+    ResultCache,
+    config_key,
+    job_from_dict,
+    job_to_dict,
+    noise_from_items,
+    noise_to_items,
+    record_from_payload,
+    record_to_payload,
+    run_jobs,
+    run_jobs_report,
+    write_artifacts,
+)
+from repro.experiments.fig13_sensitivity import sensitivity_results_from_records
+from repro.hardware.noise import DEFAULT_NOISE
+
+#: The cheapest meaningful job: BV on a 1x2 array of 4x4 chiplets.
+TINY = Job(benchmark="BV", chiplet_width=4, rows=1, cols=2, seed=1)
+
+
+def _dicts(records):
+    return [r.as_dict() for r in records]
+
+
+class TestConfigHash:
+    def test_deterministic_and_sensitive(self):
+        assert config_key(TINY) == config_key(Job(benchmark="BV", chiplet_width=4, rows=1, cols=2, seed=1))
+        assert config_key(TINY) != config_key(TINY.with_(seed=2))
+        assert config_key(TINY) != config_key(TINY.with_(chiplet_width=5))
+        assert config_key(TINY) != config_key(TINY.with_(kind="sensitivity"))
+
+    def test_tags_do_not_affect_the_hash(self):
+        tagged = TINY.with_(tags=(("sweep_value", 3.0),))
+        assert config_key(tagged) == config_key(TINY)
+
+    def test_stable_across_serialization_roundtrip(self):
+        job = TINY.with_(
+            benchmark_kwargs=(("layers", 2),),
+            params=(("meas_latencies", (1.0, 2.0)),),
+            tags=(("label", "x"),),
+        )
+        clone = job_from_dict(job_to_dict(job))
+        assert clone == job
+        assert config_key(clone) == config_key(job)
+
+    def test_pinned_hash_value(self):
+        # Guards the canonical-JSON hashing scheme: if this changes, every
+        # existing cache directory is invalidated, so change CACHE_VERSION too.
+        assert CACHE_VERSION == 1
+        assert config_key(TINY) == (
+            "00daa0d3bbd55f7ec39e5b953f3d81e620b4766944803201630e78c04cba85f4"
+        )
+
+    def test_noise_roundtrip(self):
+        items = noise_to_items(DEFAULT_NOISE)
+        assert noise_from_items(items) == DEFAULT_NOISE
+        swept = DEFAULT_NOISE.with_ratios(meas_latency=8.0)
+        assert config_key(TINY) != config_key(TINY.with_(noise=noise_to_items(swept)))
+
+
+class TestCache:
+    def test_miss_then_hit(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        jobs = [TINY, TINY.with_(seed=2)]
+        records1, report1 = run_jobs_report(jobs, cache=cache)
+        assert (report1.cache_hits, report1.executed) == (0, 2)
+        assert len(cache) == 2
+
+        records2, report2 = run_jobs_report(jobs, cache=cache)
+        assert (report2.cache_hits, report2.executed) == (2, 0)
+        assert _dicts(records1) == _dicts(records2)
+
+    def test_cache_version_mismatch_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        run_jobs([TINY], cache=cache)
+        path = cache.path_for(config_key(TINY))
+        entry = json.loads(path.read_text())
+        entry["cache_version"] = CACHE_VERSION + 1
+        path.write_text(json.dumps(entry))
+        assert cache.get(config_key(TINY)) is None
+
+    def test_corrupt_entry_is_a_miss_and_gets_recomputed(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        records1, _ = run_jobs_report([TINY], cache=cache)
+        cache.path_for(config_key(TINY)).write_text("{not json")
+        records2, report = run_jobs_report([TINY], cache=cache)
+        assert report.executed == 1
+        assert _dicts(records1) == _dicts(records2)
+
+    def test_non_dict_json_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        run_jobs([TINY], cache=cache)
+        for garbage in ("null", "[]", '"str"'):
+            cache.path_for(config_key(TINY)).write_text(garbage)
+            assert cache.get(config_key(TINY)) is None
+
+    def test_completed_jobs_are_cached_even_when_a_later_job_fails(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        bad = TINY.with_(benchmark="NOPE")
+        with pytest.raises(ValueError):
+            run_jobs([TINY, bad], cache=cache)
+        # the job that finished before the failure survived in the cache
+        assert cache.get(config_key(TINY)) is not None
+        _, report = run_jobs_report([TINY], cache=cache)
+        assert report.cache_hits == 1
+
+    def test_clear(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        run_jobs([TINY], cache=cache)
+        assert cache.clear() == 1
+        assert len(cache) == 0
+        assert cache.clear() == 0
+
+    def test_cache_accepts_plain_paths(self, tmp_path):
+        _, report1 = run_jobs_report([TINY], cache=str(tmp_path))
+        _, report2 = run_jobs_report([TINY], cache=tmp_path)
+        assert report1.executed == 1
+        assert report2.cache_hits == 1
+
+
+class TestExecution:
+    def test_parallel_matches_serial(self):
+        jobs = [TINY, TINY.with_(rows=2), TINY.with_(seed=3)]
+        serial = run_jobs(jobs, workers=1)
+        parallel = run_jobs(jobs, workers=2)
+        assert _dicts(serial) == _dicts(parallel)
+
+    def test_identical_jobs_deduplicated_within_a_run(self):
+        records, report = run_jobs_report([TINY, TINY, TINY.with_(tags=(("t", 1.0),))])
+        assert report.total == 3
+        assert report.executed == 1
+        assert report.deduplicated == 2
+        assert len(records) == 3
+        # the tagged copy shares the computation but keeps its own extras
+        assert records[2].extra["t"] == 1.0
+        assert "t" not in records[0].extra
+
+    def test_tags_survive_cache_retrieval(self, tmp_path):
+        tagged = TINY.with_(tags=(("highway_density", 2.0),))
+        first = run_jobs([tagged], cache=tmp_path)
+        second = run_jobs([tagged], cache=tmp_path)
+        assert first[0].extra["highway_density"] == 2.0
+        assert second[0].extra["highway_density"] == 2.0
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(ValueError, match="unknown job kind"):
+            run_jobs([TINY.with_(kind="nope")])
+
+    def test_progress_callback_fires_per_executed_job(self):
+        seen = []
+        run_jobs([TINY, TINY.with_(seed=9)], progress=seen.append)
+        assert len(seen) == 2
+
+    def test_record_payload_roundtrip(self):
+        record = run_jobs([TINY])[0]
+        clone = record_from_payload(record_to_payload(record))
+        assert clone.as_dict() == record.as_dict()
+        assert clone.extra is not record.extra
+
+    def test_sensitivity_job_series_roundtrip(self, tmp_path):
+        job = TINY.with_(
+            kind="sensitivity",
+            params=(
+                ("meas_latencies", (1.0, 4.0)),
+                ("meas_error_ratios", (1.0, 3.0)),
+                ("cross_error_ratios", (4.0, 8.0)),
+            ),
+        )
+        cold = run_jobs([job], cache=tmp_path)
+        warm, report = run_jobs_report([job], cache=tmp_path)
+        assert report.cache_hits == 1
+        assert _dicts(cold) == _dicts(warm)
+        result = sensitivity_results_from_records(warm)[0]
+        assert [x for x, _ in result.depth_vs_latency] == [1.0, 4.0]
+        assert [x for x, _ in result.eff_vs_meas_error] == [1.0, 3.0]
+        assert [x for x, _ in result.eff_vs_cross_error] == [4.0, 8.0]
+
+
+class TestArtifacts:
+    @pytest.fixture(scope="class")
+    def records(self):
+        return run_jobs([TINY, TINY.with_(seed=2, tags=(("sweep", 1.0),))])
+
+    def test_json_and_csv_written(self, tmp_path, records):
+        paths = write_artifacts(
+            "demo", records, tmp_path, text="demo table", metadata={"scale": "small"}
+        )
+        doc = json.loads(paths["json"].read_text())
+        assert doc["experiment"] == "demo"
+        assert doc["scale"] == "small"
+        assert len(doc["records"]) == 2
+        assert doc["records"][0]["benchmark"] == "BV"
+        assert "depth_improvement" in doc["records"][0]
+
+        with open(paths["csv"], newline="") as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == 2
+        assert rows[0]["benchmark"] == "BV"
+        # the tag column exists for both rows; the untagged one is blank
+        assert rows[1]["sweep"] == "1.0"
+        assert rows[0]["sweep"] == ""
+
+        assert paths["txt"].read_text().startswith("demo table")
+
+    def test_json_matches_records(self, tmp_path, records):
+        paths = write_artifacts("demo", records, tmp_path)
+        doc = json.loads(paths["json"].read_text())
+        for row, record in zip(doc["records"], records):
+            assert row["baseline_depth"] == record.baseline_depth
+            assert row["mech_depth"] == record.mech_depth
+            assert row["depth_improvement"] == pytest.approx(record.depth_improvement)

@@ -5,7 +5,7 @@ import pytest
 from repro.baseline import BaselineCompiler
 from repro.circuits import Circuit
 from repro.compiler import MechCompiler, SchedulerError
-from repro.hardware import ChipletArray, NoiseModel
+from repro.hardware import ChipletArray
 from repro.highway import HighwayLayout
 from repro.programs import (
     bernstein_vazirani_circuit,

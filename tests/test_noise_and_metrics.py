@@ -1,11 +1,9 @@
 """Unit tests for the noise model and the paper's metrics."""
 
-import math
 
 import pytest
 
 from repro.circuits import Circuit
-from repro.circuits import gates as g
 from repro.hardware import ChipletArray, NoiseModel
 from repro.hardware.noise import DEFAULT_NOISE
 from repro.metrics import (

@@ -5,7 +5,7 @@ import math
 import numpy as np
 import pytest
 
-from repro.circuits import Circuit, Simulator, statevectors_equal
+from repro.circuits import Simulator, statevectors_equal
 from repro.programs import (
     bernstein_vazirani_circuit,
     build_benchmark,
