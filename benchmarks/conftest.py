@@ -9,12 +9,17 @@ for the full sweep).  The scale tiers are the engine's shared presets
 them onto its own device sweep, so the benchmarks carry no per-benchmark
 ad-hoc settings.
 
-Two more knobs plumb straight into the engine:
+More knobs plumb straight into the engine:
 
 * ``--repro-jobs N`` fans each regeneration out over N worker processes;
 * ``--repro-cache-dir PATH`` enables the on-disk result cache.  Off by
   default: a warm cache would make ``pytest-benchmark`` time cache lookups
-  instead of compilations.
+  instead of compilations;
+* ``--repro-timeout SECONDS`` / ``--repro-retries N`` / ``--repro-on-error
+  {raise,skip,record}`` build the engine's :class:`JobPolicy` — useful at
+  ``--repro-scale paper`` where one straggler baseline compilation would
+  otherwise block a whole overnight benchmark run.  The default policy
+  (``raise``) matches the historic fail-fast behaviour.
 
 Each benchmark prints the regenerated table so the numbers land in the
 benchmark log, and reports the end-to-end wall time of one full regeneration
@@ -24,7 +29,7 @@ and slow, so repeated rounds would only waste time).
 
 import pytest
 
-from repro.experiments.engine import SCALE_TIERS
+from repro.experiments.engine import SCALE_TIERS, JobPolicy
 
 
 def pytest_addoption(parser):
@@ -48,6 +53,27 @@ def pytest_addoption(parser):
         default=None,
         help="Optional on-disk result cache shared across benchmark runs.",
     )
+    parser.addoption(
+        "--repro-timeout",
+        action="store",
+        type=float,
+        default=None,
+        help="Per-job wall-clock timeout in seconds (engine --timeout).",
+    )
+    parser.addoption(
+        "--repro-retries",
+        action="store",
+        type=int,
+        default=0,
+        help="Extra attempts for a failed job (engine --retries).",
+    )
+    parser.addoption(
+        "--repro-on-error",
+        action="store",
+        default="raise",
+        choices=list(JobPolicy.ON_ERROR_CHOICES),
+        help="Failed-job disposition (engine --on-error; default raise).",
+    )
 
 
 @pytest.fixture(scope="session")
@@ -58,10 +84,16 @@ def repro_scale(request):
 @pytest.fixture(scope="session")
 def engine_opts(request):
     """Keyword arguments forwarded to every ``run_*`` experiment call."""
-    return {
+    opts = {
         "workers": request.config.getoption("--repro-jobs"),
         "cache": request.config.getoption("--repro-cache-dir"),
     }
+    timeout = request.config.getoption("--repro-timeout")
+    retries = request.config.getoption("--repro-retries")
+    on_error = request.config.getoption("--repro-on-error")
+    if timeout is not None or retries or on_error != "raise":
+        opts["policy"] = JobPolicy(timeout=timeout, retries=retries, on_error=on_error)
+    return opts
 
 
 def run_once(benchmark, function, *args, **kwargs):

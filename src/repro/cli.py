@@ -4,14 +4,21 @@ Runs any of the paper's figures/tables through the orchestration engine::
 
     repro run fig12 --scale small --jobs 4
     repro run table2 fig16 --benchmarks BV QFT --out-dir artifacts
+    repro run fig12 --timeout 3600 --retries 1 --on-error record
     repro list
+    repro cache-stats
     repro clean-cache
 
 Every run memoizes its per-job results in an on-disk cache (default
-``.repro-cache/``), so re-running an experiment — or running a different
-experiment that shares cells with a previous one — only compiles what is
-missing.  Each experiment emits ``<name>.json`` / ``<name>.csv`` /
-``<name>.txt`` artifacts into the output directory (default ``artifacts/``).
+``.repro-cache/``, sharded by config-hash prefix), so re-running an
+experiment — or running a different experiment that shares cells with a
+previous one — only compiles what is missing.  Each experiment emits
+``<name>.json`` / ``<name>.csv`` / ``<name>.txt`` artifacts plus a
+``<name>.checkpoint.json`` progress file into the output directory (default
+``artifacts/``).  Failed jobs (``--timeout`` exceeded, compiler crash) are
+retried ``--retries`` times and then, under the default ``--on-error
+record``, reported as error rows in the artifacts while every healthy job
+still completes; the exit code is 1 when any job failed.
 """
 
 from __future__ import annotations
@@ -19,10 +26,18 @@ from __future__ import annotations
 import argparse
 import os
 import sys
+import time
+from pathlib import Path
 from typing import Optional, Sequence
 
-from .experiments.engine import SCALE_TIERS, ResultCache, run_jobs_report, write_artifacts
-from .experiments.registry import EXPERIMENTS
+from .experiments.engine import (
+    SCALE_TIERS,
+    JobPolicy,
+    ResultCache,
+    write_artifacts,
+)
+from .experiments.registry import EXPERIMENTS, run_experiment
+from .experiments.runner import format_failed_rows
 from .experiments.settings import BENCHMARK_NAMES
 
 __all__ = ["main", "build_parser"]
@@ -73,15 +88,53 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument("--no-cache", action="store_true", help="disable the result cache")
     run.add_argument(
+        "--cache-max-mb",
+        type=float,
+        default=None,
+        metavar="MB",
+        help="LRU size cap for the result cache (least-recently-used entries"
+        " are evicted once the cache grows past this; default unlimited)",
+    )
+    run.add_argument(
         "--out-dir",
         default=DEFAULT_OUT_DIR,
         help=f"artifact directory (default {DEFAULT_OUT_DIR})",
+    )
+    run.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-job wall-clock timeout (per attempt; default none)",
+    )
+    run.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        metavar="N",
+        help="extra attempts for a failed job (default 0)",
+    )
+    run.add_argument(
+        "--reseed-on-retry",
+        action="store_true",
+        help="bump the job seed on each retry (the result keeps the original cache key)",
+    )
+    run.add_argument(
+        "--on-error",
+        choices=list(JobPolicy.ON_ERROR_CHOICES),
+        default="record",
+        help="what to do when a job exhausts its attempts: abort the sweep"
+        " (raise), drop the job (skip), or keep sweeping and emit a JobError"
+        " row in the artifacts (record; default)",
     )
     run.add_argument("--quiet", action="store_true", help="suppress progress output")
 
     sub.add_parser("list", help="list the available experiments and scale tiers")
 
-    clean = sub.add_parser("clean-cache", help="delete every cached result")
+    stats = sub.add_parser("cache-stats", help="summarise the result cache's size and health")
+    stats.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR)
+
+    clean = sub.add_parser("clean-cache", help="delete every cached result (and temp litter)")
     clean.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR)
 
     return parser
@@ -102,6 +155,23 @@ def _cmd_clean_cache(cache_dir: str) -> int:
     return 0
 
 
+def _cmd_cache_stats(cache_dir: str) -> int:
+    stats = ResultCache(cache_dir).stats()
+    print(f"cache {stats['cache_dir']}:")
+    print(
+        f"  entries:      {stats['entries']}"
+        f" ({stats['total_bytes'] / 1048576:.2f} MiB in {stats['shards']} shards)"
+    )
+    print(f"  legacy flat:  {stats['legacy_entries']} (migrated on next access)")
+    print(f"  tmp litter:   {stats['tmp_files']}")
+    print(f"  corrupt:      {stats['corrupt_entries']}")
+    for label, mtime in (("oldest", stats["oldest_mtime"]), ("newest", stats["newest_mtime"])):
+        if mtime is not None:
+            stamp = time.strftime("%Y-%m-%d %H:%M:%S", time.localtime(mtime))
+            print(f"  {label}:       {stamp}")
+    return 0
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     unknown = [name for name in args.experiments if name not in EXPERIMENTS]
     if unknown:
@@ -117,19 +187,42 @@ def _cmd_run(args: argparse.Namespace) -> int:
         what = f"unknown benchmark(s) {', '.join(sorted(set(bad)))}" if bad else "no benchmarks given"
         print(f"error: {what}; choose from {', '.join(BENCHMARK_NAMES)}", file=sys.stderr)
         return 2
+    if args.cache_max_mb is not None and args.cache_max_mb <= 0:
+        print("error: --cache-max-mb must be positive", file=sys.stderr)
+        return 2
     # normalise case so "bv" and "BV" share cache entries
     benchmarks = [name.upper() for name in args.benchmarks]
     workers = args.jobs if args.jobs > 0 else (os.cpu_count() or 1)
-    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    max_bytes = max(1, int(args.cache_max_mb * 1048576)) if args.cache_max_mb is not None else None
+    cache = None if args.no_cache else ResultCache(args.cache_dir, max_bytes=max_bytes)
+    policy = JobPolicy(
+        timeout=args.timeout,
+        retries=args.retries,
+        reseed_on_retry=args.reseed_on_retry,
+        on_error=args.on_error,
+    )
     progress = None if args.quiet else (lambda msg: print(f"  {msg}", file=sys.stderr))
 
+    failures = 0
     for name in args.experiments:
         spec = EXPERIMENTS[name]
         if not args.quiet:
             print(f"== {name}: {spec.title} (scale={args.scale}) ==", file=sys.stderr)
-        jobs = spec.build_jobs(scale=args.scale, benchmarks=benchmarks, seed=args.seed)
-        records, report = run_jobs_report(jobs, workers=workers, cache=cache, progress=progress)
+        records, report = run_experiment(
+            name,
+            scale=args.scale,
+            benchmarks=benchmarks,
+            seed=args.seed,
+            workers=workers,
+            cache=cache,
+            policy=policy,
+            checkpoint=Path(args.out_dir) / f"{name}.checkpoint.json",
+            progress=progress,
+        )
         text = spec.format_records(records)
+        if args.on_error == "record" and report.errors:
+            # failed cells stay visible in the table and the .txt artifact
+            text += "\n" + "\n".join(format_failed_rows(report.errors))
         paths = write_artifacts(
             name,
             records,
@@ -140,11 +233,23 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 "benchmarks": benchmarks,
                 "seed": args.seed,
             },
+            errors=report.errors if args.on_error == "record" else None,
         )
         print(text)
         print(f"[{name}] {report.summary()}")
+        if args.on_error == "record":
+            # skip mode stays quiet beyond the summary's failure count
+            for error in report.errors:
+                print(
+                    f"[{name}] FAILED {error.benchmark} ({error.key[:12]}…): "
+                    f"{error.error_type}: {error.message} "
+                    f"[{error.attempts} attempt{'s' if error.attempts != 1 else ''}, "
+                    f"{error.seconds:.1f}s]",
+                    file=sys.stderr,
+                )
+        failures += report.failed
         print(f"[{name}] artifacts: {paths['json']}, {paths['csv']}")
-    return 0
+    return 1 if failures else 0
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -152,6 +257,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(list(argv) if argv is not None else None)
     if args.command == "list":
         return _cmd_list()
+    if args.command == "cache-stats":
+        return _cmd_cache_stats(args.cache_dir)
     if args.command == "clean-cache":
         return _cmd_clean_cache(args.cache_dir)
     return _cmd_run(args)

@@ -10,6 +10,10 @@ The ``python -m repro`` CLI drives the same registry exposed here.
 from .engine import (
     SCALE_TIERS,
     Job,
+    JobError,
+    JobExecutionError,
+    JobPolicy,
+    JobTimeoutError,
     ResultCache,
     RunReport,
     config_key,
@@ -33,7 +37,7 @@ from .fig15_highway_density import (
     run_fig15,
 )
 from .fig16_structures import format_fig16, jobs_for_fig16, normalized_by_structure, run_fig16
-from .registry import EXPERIMENTS, ExperimentSpec, get_experiment
+from .registry import EXPERIMENTS, ExperimentSpec, get_experiment, run_experiment
 from .runner import ComparisonRecord, compare, format_records
 from .settings import (
     BENCHMARK_NAMES,
@@ -48,6 +52,10 @@ from .table2 import TABLE2_PAPER_REFERENCE, format_table2, jobs_for_table2, run_
 __all__ = [
     # engine
     "Job",
+    "JobError",
+    "JobExecutionError",
+    "JobPolicy",
+    "JobTimeoutError",
     "ResultCache",
     "RunReport",
     "SCALE_TIERS",
@@ -59,6 +67,7 @@ __all__ = [
     "EXPERIMENTS",
     "ExperimentSpec",
     "get_experiment",
+    "run_experiment",
     # runner
     "ComparisonRecord",
     "compare",

@@ -22,17 +22,30 @@ Job *tags* (e.g. the swept parameter value a record corresponds to) are
 deliberately excluded from the config hash and re-applied after cache
 retrieval: two jobs that perform the same computation share one cache entry
 no matter how the experiment labels them.
+
+Execution is fault tolerant: a :class:`JobPolicy` attaches a per-job
+wall-clock timeout, a retry budget and an ``on_error`` disposition to every
+dispatch, worker processes capture exceptions as structured :class:`JobError`
+records instead of poisoning the pool, and an optional checkpoint file tracks
+exactly which jobs are cached, completed, failed and still pending — so an
+interrupted or partially failed sweep loses nothing that already compiled and
+a rerun against the same cache executes only what remains.
 """
 
 from __future__ import annotations
 
+import builtins
+import contextlib
 import csv
 import hashlib
 import json
 import multiprocessing
 import os
+import signal
+import threading
 import time
-from dataclasses import asdict, dataclass, fields, replace
+import traceback
+from dataclasses import asdict, dataclass, field, fields, replace
 from pathlib import Path
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
@@ -43,11 +56,18 @@ from .runner import ComparisonRecord, compare, compile_pair
 
 __all__ = [
     "CACHE_VERSION",
+    "CHECKPOINT_VERSION",
+    "FAULT_INJECT_ENV",
     "SCALE_TIERS",
     "Job",
+    "JobError",
+    "JobExecutionError",
+    "JobPolicy",
+    "JobTimeoutError",
     "ResultCache",
     "RunReport",
     "config_key",
+    "error_row",
     "job_from_dict",
     "job_to_dict",
     "noise_from_items",
@@ -290,7 +310,18 @@ EXECUTORS: Dict[str, Callable[[Job], ComparisonRecord]] = {
 }
 
 
+#: Environment variable naming a benchmark whose jobs fail on purpose.  Used
+#: by the fault-injection tests and the CI smoke job to exercise the error
+#: path through a real CLI run without patching any code.
+FAULT_INJECT_ENV = "REPRO_FAULT_BENCHMARK"
+
+
 def _execute_job(job: Job) -> ComparisonRecord:
+    injected = os.environ.get(FAULT_INJECT_ENV)
+    if injected and job.benchmark.upper() == injected.upper():
+        raise RuntimeError(
+            f"injected fault for benchmark {job.benchmark!r} ({FAULT_INJECT_ENV} is set)"
+        )
     try:
         executor = EXECUTORS[job.kind]
     except KeyError as exc:
@@ -298,48 +329,266 @@ def _execute_job(job: Job) -> ComparisonRecord:
     return executor(job)
 
 
-def _execute_keyed(item: Tuple[str, Dict[str, object]]) -> Tuple[str, Dict[str, object]]:
-    """Worker entry point: (config key, job dict) -> (config key, record payload)."""
-    key, job_dict = item
-    record = _execute_job(job_from_dict(job_dict))
-    return key, record_to_payload(record)
+# --------------------------------------------------------------------------
+# fault tolerance
+
+
+class JobTimeoutError(Exception):
+    """A job exceeded its :attr:`JobPolicy.timeout` wall-clock budget."""
+
+
+@dataclass(frozen=True)
+class JobPolicy:
+    """Fault-tolerance policy applied to every job of a sweep.
+
+    ``timeout`` is a per-*attempt* wall-clock budget in seconds (None
+    disables it); ``retries`` re-runs a failed job up to that many extra
+    times, bumping the seed on each attempt when ``reseed_on_retry`` is set
+    (the result is still stored under the original job's config key).
+    ``on_error`` decides what happens once the attempts are exhausted:
+
+    * ``"raise"`` — re-raise the failure in the caller (the engine's historic
+      behaviour; everything that already finished stays cached);
+    * ``"skip"`` — drop the job from the returned records, count it in
+      :attr:`RunReport.failed` and keep sweeping;
+    * ``"record"`` — like ``"skip"``, but the :class:`JobError` additionally
+      flows into the artifacts as an error row.
+
+    Failed jobs are never cached, so a rerun against the same cache executes
+    only the jobs that failed.
+    """
+
+    timeout: Optional[float] = None
+    retries: int = 0
+    reseed_on_retry: bool = False
+    on_error: str = "raise"
+
+    ON_ERROR_CHOICES = ("raise", "skip", "record")
+
+    def __post_init__(self):
+        if self.on_error not in self.ON_ERROR_CHOICES:
+            raise ValueError(
+                f"on_error must be one of {self.ON_ERROR_CHOICES}, got {self.on_error!r}"
+            )
+        if self.retries < 0:
+            raise ValueError(f"retries must be >= 0, got {self.retries}")
+        if self.timeout is not None and self.timeout <= 0:
+            raise ValueError(f"timeout must be positive or None, got {self.timeout}")
+
+    def to_dict(self) -> Dict[str, object]:
+        return {f.name: getattr(self, f.name) for f in fields(JobPolicy)}
+
+
+@dataclass
+class JobError:
+    """Structured account of one job that failed every attempt."""
+
+    key: str
+    benchmark: str
+    kind: str
+    error_type: str
+    message: str
+    traceback_tail: str
+    attempts: int
+    seconds: float
+
+
+class JobExecutionError(RuntimeError):
+    """Raised by ``on_error="raise"`` when the original exception type cannot
+    be reconstructed in the parent process."""
+
+    def __init__(self, error: JobError):
+        super().__init__(
+            f"job {error.benchmark} ({error.key[:12]}…) failed after "
+            f"{error.attempts} attempt(s): {error.error_type}: {error.message}"
+        )
+        self.error = error
+
+
+def _raise_job_error(error: JobError) -> None:
+    """Re-raise a captured failure, preserving the original type if builtin."""
+    exc_cls = getattr(builtins, error.error_type, None)
+    if isinstance(exc_cls, type) and issubclass(exc_cls, Exception):
+        try:
+            exc = exc_cls(error.message)
+        except Exception:
+            exc = None
+        if isinstance(exc, Exception):
+            raise exc
+    raise JobExecutionError(error)
+
+
+@contextlib.contextmanager
+def _deadline(seconds: Optional[float]):
+    """Raise :class:`JobTimeoutError` in the body after ``seconds`` of wall
+    clock.  SIGALRM-based, so it only arms on platforms that have it and when
+    running on the main thread (worker processes always do); otherwise the
+    body runs un-timed."""
+    can_arm = (
+        seconds is not None
+        and seconds > 0
+        and hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+    if not can_arm:
+        yield
+        return
+
+    def _on_alarm(signum, frame):
+        raise JobTimeoutError(f"exceeded {seconds:g}s wall-clock timeout")
+
+    previous_handler = signal.signal(signal.SIGALRM, _on_alarm)
+    armed_at = time.monotonic()
+    previous_timer = signal.setitimer(signal.ITIMER_REAL, float(seconds))
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous_handler)
+        if previous_timer[0]:
+            # re-arm whatever the embedding process had running, less the
+            # time we consumed (a tiny epsilon if it already expired)
+            remaining = previous_timer[0] - (time.monotonic() - armed_at)
+            signal.setitimer(signal.ITIMER_REAL, max(remaining, 1e-6), previous_timer[1])
+
+
+#: How many trailing traceback lines a JobError keeps.
+_TRACEBACK_TAIL_LINES = 12
+
+WorkItem = Tuple[str, Dict[str, object], Optional[Dict[str, object]]]
+
+
+def _execute_keyed(item: WorkItem) -> Tuple[str, Dict[str, object]]:
+    """Worker entry point: (key, job dict, policy dict) -> (key, payload).
+
+    The payload is either a record payload or ``{"job_error": {...}}`` — the
+    worker never lets an exception (other than ``KeyboardInterrupt``) escape,
+    so one poisoned job cannot kill the pool or discard in-flight results.
+    """
+    key, job_dict, policy_dict = item
+    policy = JobPolicy(**policy_dict) if policy_dict else JobPolicy()
+    job = job_from_dict(job_dict)
+    start = time.perf_counter()
+    error: Optional[JobError] = None
+    for attempt in range(policy.retries + 1):
+        attempt_job = job
+        if policy.reseed_on_retry and attempt:
+            attempt_job = job.with_(seed=job.seed + attempt)
+        try:
+            with _deadline(policy.timeout):
+                record = _execute_job(attempt_job)
+        except Exception as exc:
+            tail = "\n".join(traceback.format_exc().splitlines()[-_TRACEBACK_TAIL_LINES:])
+            error = JobError(
+                key=key,
+                benchmark=job.benchmark,
+                kind=job.kind,
+                error_type=type(exc).__name__,
+                message=str(exc),
+                traceback_tail=tail,
+                attempts=attempt + 1,
+                seconds=time.perf_counter() - start,
+            )
+        else:
+            return key, record_to_payload(record)
+    assert error is not None
+    return key, {"job_error": asdict(error)}
 
 
 # --------------------------------------------------------------------------
 # on-disk cache
 
 
+#: Shard directories are the first two hex chars of the config hash.
+_SHARD_CHARS = 2
+_SHARD_GLOB = "[0-9a-f]" * _SHARD_CHARS
+#: Temp files older than this are considered litter from a crashed writer.
+_STALE_TMP_SECONDS = 3600.0
+
+
 class ResultCache:
     """On-disk JSON memo of comparison records, one file per config hash.
 
-    Entries are written atomically (temp file + rename) so concurrent runs
-    sharing a cache directory never observe torn files.  Payloads carry the
-    full job config alongside the record, which makes a cache directory
-    self-describing and debuggable with plain ``jq``.
+    Entries are sharded by hash prefix (``ab/abcd….json``) so paper-scale
+    sweeps never pile millions of files into one directory; flat entries from
+    the pre-shard layout are migrated transparently on first access (or in
+    bulk via :meth:`migrate`).  Writes are atomic (temp file + rename) so
+    concurrent runs sharing a cache directory never observe torn files, and
+    temp litter left by crashed writers is swept on :meth:`put`/:meth:`clear`.
+    Payloads carry the full job config alongside the record, which makes a
+    cache directory self-describing and debuggable with plain ``jq``.
+
+    ``max_bytes`` caps the cache size: after every write, least-recently-used
+    entries (by mtime — :meth:`get` touches entries it serves) are evicted
+    until the total drops under the cap.  Corrupt entries are deleted on
+    discovery and counted in :attr:`corrupt_seen` so cache rot surfaces in
+    :class:`RunReport` instead of silently recomputing forever.
     """
 
-    def __init__(self, cache_dir: Union[str, Path]):
+    def __init__(self, cache_dir: Union[str, Path], *, max_bytes: Optional[int] = None):
+        if max_bytes is not None and max_bytes <= 0:
+            raise ValueError(f"max_bytes must be positive or None, got {max_bytes}")
         self.cache_dir = Path(cache_dir)
+        self.max_bytes = max_bytes
+        #: Corrupt entries discovered (and removed) by this instance.
+        self.corrupt_seen = 0
+        #: Entries evicted by the LRU cap by this instance.
+        self.evicted = 0
+        #: Running size total; None until the first capped put() scans once.
+        self._total_bytes: Optional[int] = None
 
     def path_for(self, key: str) -> Path:
+        return self.cache_dir / key[:_SHARD_CHARS] / f"{key}.json"
+
+    def _legacy_path_for(self, key: str) -> Path:
         return self.cache_dir / f"{key}.json"
 
+    def _drop_corrupt(self, path: Path) -> None:
+        self.corrupt_seen += 1
+        try:
+            path.unlink()
+        except OSError:
+            pass
+
     def get(self, key: str) -> Optional[Dict[str, object]]:
-        """The cached record payload for ``key``, or None on a miss."""
+        """The cached record payload for ``key``, or None on a miss.
+
+        A hit refreshes the entry's mtime (its LRU rank); a flat legacy entry
+        is moved into its shard; a corrupt entry is deleted and counted.
+        """
         path = self.path_for(key)
+        if not path.exists():
+            legacy = self._legacy_path_for(key)
+            if not legacy.is_file():
+                return None
+            path.parent.mkdir(parents=True, exist_ok=True)
+            # a concurrent run may migrate the same entry first; losing the
+            # race is fine — the sharded copy is already in place
+            with contextlib.suppress(OSError):
+                os.replace(legacy, path)
         try:
             with open(path, "r", encoding="utf-8") as handle:
                 entry = json.load(handle)
-        except (FileNotFoundError, json.JSONDecodeError):
+        except FileNotFoundError:
             return None
-        if not isinstance(entry, dict) or entry.get("cache_version") != CACHE_VERSION:
+        except json.JSONDecodeError:
+            self._drop_corrupt(path)
             return None
+        if not isinstance(entry, dict):
+            self._drop_corrupt(path)
+            return None
+        if entry.get("cache_version") != CACHE_VERSION:
+            return None  # a legitimate version skew, not rot
         record = entry.get("record")
-        return dict(record) if isinstance(record, dict) else None
+        if not isinstance(record, dict):
+            self._drop_corrupt(path)
+            return None
+        with contextlib.suppress(OSError):
+            os.utime(path)
+        return dict(record)
 
     def put(self, key: str, job: Job, record_payload: Mapping[str, object]) -> Path:
         """Store one record payload under ``key`` (atomic write)."""
-        self.cache_dir.mkdir(parents=True, exist_ok=True)
         entry = {
             "cache_version": CACHE_VERSION,
             "key": key,
@@ -347,27 +596,168 @@ class ResultCache:
             "record": dict(record_payload),
         }
         path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
         tmp = path.with_name(f".{path.name}.tmp-{os.getpid()}")
         with open(tmp, "w", encoding="utf-8") as handle:
             json.dump(entry, handle, indent=1, sort_keys=True)
         os.replace(tmp, path)
+        self._sweep_tmp(stale_only=True, dirs=(path.parent, self.cache_dir))
+        if self.max_bytes:
+            # keep a running total so the common (under-cap) put is O(1);
+            # overwrites drift it upward, but every eviction pass recomputes
+            # the exact total, so the drift only ever triggers an early scan
+            if self._total_bytes is None:
+                self._total_bytes = sum(self._entry_sizes().values())
+            else:
+                with contextlib.suppress(OSError):
+                    self._total_bytes += path.stat().st_size
+            if self._total_bytes > self.max_bytes:
+                self._evict_to_cap()
         return path
 
     def entries(self) -> List[Path]:
+        """Every entry path — sharded and (legacy) flat — sorted by name."""
         if not self.cache_dir.is_dir():
             return []
-        return sorted(self.cache_dir.glob("*.json"))
+        paths = list(self.cache_dir.glob("*.json"))
+        paths += self.cache_dir.glob(f"{_SHARD_GLOB}/*.json")
+        return sorted(paths, key=lambda p: p.name)
+
+    def _tmp_files(self) -> List[Path]:
+        if not self.cache_dir.is_dir():
+            return []
+        litter = list(self.cache_dir.glob(".*.json.tmp-*"))
+        litter += self.cache_dir.glob(f"{_SHARD_GLOB}/.*.json.tmp-*")
+        return sorted(litter)
+
+    def _sweep_tmp(self, *, stale_only: bool, dirs: Optional[Sequence[Path]] = None) -> int:
+        """Remove temp litter from crashed writers; returns the count.
+
+        ``stale_only`` spares files younger than an hour, so a concurrent
+        writer mid-``put`` never loses its temp file.  ``dirs`` restricts the
+        sweep (``put`` passes just the shard it wrote and the cache root).
+        """
+        cutoff = time.time() - _STALE_TMP_SECONDS
+        removed = 0
+        if dirs is not None:
+            litter: List[Path] = []
+            for directory in dict.fromkeys(dirs):
+                litter += directory.glob(".*.json.tmp-*")
+        else:
+            litter = self._tmp_files()
+        for tmp in litter:
+            try:
+                if stale_only and tmp.stat().st_mtime > cutoff:
+                    continue
+                tmp.unlink()
+                removed += 1
+            except OSError:
+                continue
+        return removed
+
+    def _entry_sizes(self) -> Dict[Path, int]:
+        sizes: Dict[Path, int] = {}
+        for path in self.entries():
+            with contextlib.suppress(OSError):
+                sizes[path] = path.stat().st_size
+        return sizes
+
+    def _evict_to_cap(self) -> int:
+        """Evict least-recently-used entries until under ``max_bytes``."""
+        if not self.max_bytes:
+            return 0
+        sized = []
+        total = 0
+        for path in self.entries():
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            sized.append((stat.st_mtime, stat.st_size, path))
+            total += stat.st_size
+        evicted = 0
+        for mtime, size, path in sorted(sized, key=lambda item: (item[0], item[2].name)):
+            if total <= self.max_bytes:
+                break
+            with contextlib.suppress(OSError):
+                path.unlink()
+                total -= size
+                evicted += 1
+        self.evicted += evicted
+        self._total_bytes = total
+        return evicted
+
+    def migrate(self) -> int:
+        """Move every flat legacy entry into its shard; returns the count."""
+        moved = 0
+        if not self.cache_dir.is_dir():
+            return moved
+        for legacy in sorted(self.cache_dir.glob("*.json")):
+            target = self.cache_dir / legacy.stem[:_SHARD_CHARS] / legacy.name
+            target.parent.mkdir(parents=True, exist_ok=True)
+            os.replace(legacy, target)
+            moved += 1
+        return moved
 
     def __len__(self) -> int:
         return len(self.entries())
 
     def clear(self) -> int:
-        """Delete every cache entry; returns the number removed."""
+        """Delete every cache entry (and all temp litter); returns the number
+        of entries removed."""
         removed = 0
         for path in self.entries():
             path.unlink()
             removed += 1
+        self._sweep_tmp(stale_only=False)
+        if self.cache_dir.is_dir():
+            for shard in self.cache_dir.glob(_SHARD_GLOB):
+                if shard.is_dir():
+                    with contextlib.suppress(OSError):
+                        shard.rmdir()
+        self._total_bytes = None
         return removed
+
+    def stats(self) -> Dict[str, object]:
+        """Size/health summary of the cache directory (reads every entry)."""
+        total_bytes = 0
+        corrupt = 0
+        legacy = 0
+        shards = set()
+        oldest: Optional[float] = None
+        newest: Optional[float] = None
+        entries = self.entries()
+        for path in entries:
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            total_bytes += stat.st_size
+            oldest = stat.st_mtime if oldest is None else min(oldest, stat.st_mtime)
+            newest = stat.st_mtime if newest is None else max(newest, stat.st_mtime)
+            if path.parent == self.cache_dir:
+                legacy += 1
+            else:
+                shards.add(path.parent.name)
+            try:
+                with open(path, "r", encoding="utf-8") as handle:
+                    entry = json.load(handle)
+                if not isinstance(entry, dict) or not isinstance(entry.get("record"), dict):
+                    corrupt += 1
+            except (OSError, json.JSONDecodeError):
+                corrupt += 1
+        return {
+            "cache_dir": str(self.cache_dir),
+            "entries": len(entries),
+            "total_bytes": total_bytes,
+            "shards": len(shards),
+            "legacy_entries": legacy,
+            "tmp_files": len(self._tmp_files()),
+            "corrupt_entries": corrupt,
+            "max_bytes": self.max_bytes,
+            "oldest_mtime": oldest,
+            "newest_mtime": newest,
+        }
 
 
 def _coerce_cache(cache: Union[None, str, Path, ResultCache]) -> Optional[ResultCache]:
@@ -390,13 +780,42 @@ class RunReport:
     deduplicated: int = 0
     workers: int = 1
     seconds: float = 0.0
+    #: Jobs that exhausted every attempt (one :class:`JobError` each).
+    failed: int = 0
+    errors: List[JobError] = field(default_factory=list)
+    #: Corrupt cache entries discovered (and dropped) during this run.
+    corrupt_entries: int = 0
+    #: True when the dispatch loop was cut short by ``KeyboardInterrupt``.
+    interrupted: bool = False
 
     def summary(self) -> str:
+        extras = ""
+        if self.failed:
+            extras += f", {self.failed} failed"
+        if self.corrupt_entries:
+            extras += f", {self.corrupt_entries} corrupt cache entr"
+            extras += "y dropped" if self.corrupt_entries == 1 else "ies dropped"
         return (
             f"{self.total} jobs: {self.cache_hits} cached, {self.executed} executed"
+            f"{extras}"
             f" ({self.workers} worker{'s' if self.workers != 1 else ''},"
             f" {self.seconds:.1f}s)"
         )
+
+
+CHECKPOINT_VERSION = 1
+
+#: Minimum interval between routine (non-forced) checkpoint flushes.
+_CHECKPOINT_FLUSH_SECONDS = 1.0
+
+
+def _atomic_write_json(path: Path, document: Mapping[str, object]) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(f".{path.name}.tmp-{os.getpid()}")
+    with open(tmp, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=1, sort_keys=False)
+        handle.write("\n")
+    os.replace(tmp, path)
 
 
 def run_jobs_report(
@@ -405,6 +824,8 @@ def run_jobs_report(
     workers: int = 1,
     cache: Union[None, str, Path, ResultCache] = None,
     progress: Optional[Callable[[str], None]] = None,
+    policy: Optional[JobPolicy] = None,
+    checkpoint: Union[None, str, Path] = None,
 ) -> Tuple[List[ComparisonRecord], RunReport]:
     """Execute jobs (cache -> dedupe -> pool) and report what happened.
 
@@ -414,11 +835,26 @@ def run_jobs_report(
     over a ``multiprocessing`` pool.  ``cache`` may be a directory path or a
     :class:`ResultCache`; ``None`` disables memoization (identical jobs are
     still computed only once per call).
+
+    ``policy`` governs per-job timeouts, retries and error disposition (see
+    :class:`JobPolicy`; the default re-raises failures).  Jobs that fail under
+    ``on_error="skip"``/``"record"`` are dropped from the returned records and
+    reported in :attr:`RunReport.errors`.  ``checkpoint`` names a JSON file
+    kept up to date with exactly which jobs are cached, completed, failed and
+    pending — after a crash or ``KeyboardInterrupt`` it lists what a rerun
+    still has to execute.
     """
     store = _coerce_cache(cache)
+    policy = policy if policy is not None else JobPolicy()
     workers = max(1, int(workers))
     report = RunReport(total=len(jobs), workers=workers)
     start = time.perf_counter()
+    corrupt_base = store.corrupt_seen if store is not None else 0
+
+    unknown_kinds = sorted({job.kind for job in jobs} - set(EXECUTORS))
+    if unknown_kinds:
+        kinds = ", ".join(repr(kind) for kind in unknown_kinds)
+        raise ValueError(f"unknown job kind {kinds}; choose from {sorted(EXECUTORS)}")
 
     keys = [config_key(job) for job in jobs]
     payloads: Dict[str, Dict[str, object]] = {}
@@ -435,31 +871,99 @@ def run_jobs_report(
     report.deduplicated = len(jobs) - report.cache_hits - len(pending)
     report.executed = len(pending)
 
-    items = [(key, job_to_dict(job)) for key, job in pending.items()]
+    checkpoint_path = Path(checkpoint) if checkpoint is not None else None
+    errors: Dict[str, JobError] = {}
+    last_flush = 0.0
+
+    def flush_checkpoint(*, finished: bool, force: bool = True) -> None:
+        # routine per-job flushes are throttled so huge sweeps don't rewrite
+        # an O(jobs) file O(jobs) times; failures, interrupts and completion
+        # always flush, which is what the resume guarantee rests on
+        nonlocal last_flush
+        if checkpoint_path is None:
+            return
+        now = time.monotonic()
+        if not force and now - last_flush < _CHECKPOINT_FLUSH_SECONDS:
+            return
+        last_flush = now
+        remaining = [
+            {"key": key, "benchmark": job.benchmark, "kind": job.kind}
+            for key, job in pending.items()
+            if key not in payloads and key not in errors
+        ]
+        _atomic_write_json(
+            checkpoint_path,
+            {
+                "checkpoint_version": CHECKPOINT_VERSION,
+                "finished": finished,
+                "interrupted": report.interrupted,
+                "total_jobs": report.total,
+                "cache_hits": report.cache_hits,
+                "completed": [key for key in pending if key in payloads],
+                "failed": [asdict(error) for error in errors.values()],
+                "pending": remaining,
+            },
+        )
+
+    policy_dict = policy.to_dict()
+    items: List[WorkItem] = [
+        (key, job_to_dict(job), policy_dict) for key, job in pending.items()
+    ]
     done = 0
+    flush_checkpoint(finished=not items)
 
     def collect(key: str, payload: Dict[str, object]) -> None:
+        nonlocal done
+        done += 1
+        job_error = payload.get("job_error")
+        if isinstance(job_error, dict):
+            # never cache a failure: a rerun should retry exactly these jobs
+            error = JobError(**job_error)
+            errors[key] = error
+            report.errors.append(error)
+            flush_checkpoint(finished=False)
+            if progress is not None:
+                progress(
+                    f"{done}/{len(items)} jobs executed"
+                    f" ({error.benchmark} failed: {error.error_type})"
+                )
+            if policy.on_error == "raise":
+                report.failed = len(errors)
+                report.seconds = time.perf_counter() - start
+                _raise_job_error(error)
+            return
         # persist each result as it lands, so an interrupted or partially
         # failed sweep keeps everything that already compiled
         payloads[key] = payload
         if store is not None:
             store.put(key, pending[key], payload)
-        nonlocal done
-        done += 1
+        flush_checkpoint(finished=False, force=False)
         if progress is not None:
             progress(f"{done}/{len(items)} jobs executed")
 
-    if len(items) > 1 and workers > 1:
-        with multiprocessing.get_context().Pool(processes=min(workers, len(items))) as pool:
-            for key, payload in pool.imap_unordered(_execute_keyed, items, chunksize=1):
-                collect(key, payload)
-    else:
-        for item in items:
-            collect(*_execute_keyed(item))
+    try:
+        if len(items) > 1 and workers > 1:
+            with multiprocessing.get_context().Pool(processes=min(workers, len(items))) as pool:
+                for key, payload in pool.imap_unordered(_execute_keyed, items, chunksize=1):
+                    collect(key, payload)
+        else:
+            for item in items:
+                collect(*_execute_keyed(item))
+    except KeyboardInterrupt:
+        report.interrupted = True
+        flush_checkpoint(finished=False)
+        raise
+
+    report.failed = len(errors)
+    report.corrupt_entries = (store.corrupt_seen - corrupt_base) if store is not None else 0
+    flush_checkpoint(finished=True)
 
     records: List[ComparisonRecord] = []
     for job, key in zip(jobs, keys):
-        record = record_from_payload(payloads[key])
+        payload = payloads.get(key)
+        if payload is None:  # failed under on_error="skip"/"record"
+            continue
+        record = record_from_payload(payload)
         for tag, value in job.tags:
             record.extra[tag] = value
         records.append(record)
@@ -473,14 +977,31 @@ def run_jobs(
     workers: int = 1,
     cache: Union[None, str, Path, ResultCache] = None,
     progress: Optional[Callable[[str], None]] = None,
+    policy: Optional[JobPolicy] = None,
+    checkpoint: Union[None, str, Path] = None,
 ) -> List[ComparisonRecord]:
     """Like :func:`run_jobs_report`, returning only the records."""
-    records, _ = run_jobs_report(jobs, workers=workers, cache=cache, progress=progress)
+    records, _ = run_jobs_report(
+        jobs, workers=workers, cache=cache, progress=progress, policy=policy, checkpoint=checkpoint
+    )
     return records
 
 
 # --------------------------------------------------------------------------
 # artifacts
+
+
+def error_row(error: JobError) -> Dict[str, object]:
+    """Flat artifact row for one failed job (``status="error"``)."""
+    return {
+        "status": "error",
+        "benchmark": error.benchmark,
+        "error_type": error.error_type,
+        "error_message": error.message,
+        "attempts": error.attempts,
+        "seconds": round(error.seconds, 3),
+        "config_key": error.key,
+    }
 
 
 def write_artifacts(
@@ -490,17 +1011,22 @@ def write_artifacts(
     *,
     text: Optional[str] = None,
     metadata: Optional[Mapping[str, object]] = None,
+    errors: Optional[Sequence[JobError]] = None,
 ) -> Dict[str, Path]:
     """Write ``<out_dir>/<name>.json`` and ``.csv`` (and ``.txt`` if given).
 
     The JSON artifact holds one flat row per record (stored fields plus the
     derived paper metrics) under a small metadata header; the CSV holds the
     same rows with a stable column order (core fields first, then the union
-    of extra keys, sorted).
+    of extra keys, sorted).  ``errors`` (failed jobs' :class:`JobError`
+    records) land in the JSON document's ``errors`` list and as
+    ``status="error"`` rows at the bottom of the CSV, so a partially failed
+    sweep is visible in the artifacts instead of silently shrunken.
     """
     out = Path(out_dir)
     out.mkdir(parents=True, exist_ok=True)
-    rows = [record_row(record) for record in records]
+    rows = [dict(record_row(record), status="ok") for record in records]
+    error_rows = [error_row(error) for error in (errors or ())]
 
     json_path = out / f"{name}.json"
     document = {
@@ -508,6 +1034,7 @@ def write_artifacts(
         "cache_version": CACHE_VERSION,
         **(dict(metadata) if metadata else {}),
         "records": rows,
+        "errors": [asdict(error) for error in (errors or ())],
     }
     with open(json_path, "w", encoding="utf-8") as handle:
         json.dump(document, handle, indent=1, sort_keys=False)
@@ -529,14 +1056,16 @@ def write_artifacts(
         "highway_qubit_fraction",
         "baseline_seconds",
         "mech_seconds",
+        "status",
     ]
-    extra_columns = sorted({key for row in rows for key in row} - set(core))
+    all_rows = rows + error_rows
+    extra_columns = sorted({key for row in all_rows for key in row} - set(core))
     columns = core + extra_columns
     csv_path = out / f"{name}.csv"
     with open(csv_path, "w", encoding="utf-8", newline="") as handle:
         writer = csv.DictWriter(handle, fieldnames=columns, restval="")
         writer.writeheader()
-        for row in rows:
+        for row in all_rows:
             writer.writerow(row)
 
     paths = {"json": json_path, "csv": csv_path}

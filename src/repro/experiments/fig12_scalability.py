@@ -69,6 +69,7 @@ def run_fig12(
     seed: int = 0,
     workers: int = 1,
     cache=None,
+    policy=None,
 ) -> List[ComparisonRecord]:
     """Regenerate Fig. 12's data: one record per (array shape, benchmark)."""
     jobs = jobs_for_fig12(
@@ -79,7 +80,7 @@ def run_fig12(
         noise=noise,
         seed=seed,
     )
-    return run_jobs(jobs, workers=workers, cache=cache)
+    return run_jobs(jobs, workers=workers, cache=cache, policy=policy)
 
 
 def improvement_series(

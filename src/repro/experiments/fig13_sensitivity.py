@@ -142,6 +142,7 @@ def run_fig13(
     seed: int = 0,
     workers: int = 1,
     cache=None,
+    policy=None,
 ) -> List[SensitivityResult]:
     """Regenerate the three panels of Fig. 13."""
     jobs = jobs_for_fig13(
@@ -153,7 +154,7 @@ def run_fig13(
         base_noise=base_noise,
         seed=seed,
     )
-    records = run_jobs(jobs, workers=workers, cache=cache)
+    records = run_jobs(jobs, workers=workers, cache=cache, policy=policy)
     return sensitivity_results_from_records(records)
 
 

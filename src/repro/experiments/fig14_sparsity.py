@@ -78,6 +78,7 @@ def run_fig14(
     seed: int = 0,
     workers: int = 1,
     cache=None,
+    policy=None,
 ) -> List[ComparisonRecord]:
     """Regenerate Fig. 14: one record per (links-per-edge, benchmark)."""
     jobs = jobs_for_fig14(
@@ -87,7 +88,7 @@ def run_fig14(
         noise=noise,
         seed=seed,
     )
-    return run_jobs(jobs, workers=workers, cache=cache)
+    return run_jobs(jobs, workers=workers, cache=cache, policy=policy)
 
 
 def normalized_by_sparsity(

@@ -83,12 +83,13 @@ def run_fig15(
     seed: int = 0,
     workers: int = 1,
     cache=None,
+    policy=None,
 ) -> List[ComparisonRecord]:
     """Regenerate Fig. 15: one record per (highway density, benchmark)."""
     jobs = jobs_for_fig15(
         scale=scale, benchmarks=benchmarks, densities=densities, noise=noise, seed=seed
     )
-    return run_jobs(jobs, workers=workers, cache=cache)
+    return run_jobs(jobs, workers=workers, cache=cache, policy=policy)
 
 
 def normalized_by_density(

@@ -75,12 +75,13 @@ def run_fig16(
     seed: int = 0,
     workers: int = 1,
     cache=None,
+    policy=None,
 ) -> List[ComparisonRecord]:
     """Regenerate Fig. 16: one record per (coupling structure, benchmark)."""
     jobs = jobs_for_fig16(
         scale=scale, benchmarks=benchmarks, settings=settings, noise=noise, seed=seed
     )
-    return run_jobs(jobs, workers=workers, cache=cache)
+    return run_jobs(jobs, workers=workers, cache=cache, policy=policy)
 
 
 def normalized_by_structure(

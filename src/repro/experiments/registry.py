@@ -13,9 +13,17 @@ can run any figure/table through the same three calls::
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Sequence, Tuple
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
-from .engine import SCALE_TIERS, Job
+from .engine import (
+    SCALE_TIERS,
+    Job,
+    JobPolicy,
+    ResultCache,
+    RunReport,
+    run_jobs_report,
+)
 from .fig12_scalability import format_fig12, jobs_for_fig12
 from .fig13_sensitivity import format_fig13, jobs_for_fig13, sensitivity_results_from_records
 from .fig14_sparsity import format_fig14, jobs_for_fig14
@@ -24,7 +32,7 @@ from .fig16_structures import format_fig16, jobs_for_fig16
 from .runner import ComparisonRecord
 from .table2 import format_table2, jobs_for_table2
 
-__all__ = ["ExperimentSpec", "EXPERIMENTS", "get_experiment"]
+__all__ = ["ExperimentSpec", "EXPERIMENTS", "get_experiment", "run_experiment"]
 
 
 @dataclass(frozen=True)
@@ -96,3 +104,37 @@ def get_experiment(name: str) -> ExperimentSpec:
         raise ValueError(
             f"unknown experiment {name!r}; choose from {sorted(EXPERIMENTS)}"
         ) from exc
+
+
+def run_experiment(
+    name: str,
+    *,
+    scale: str = "small",
+    benchmarks: Optional[Sequence[str]] = None,
+    seed: int = 0,
+    workers: int = 1,
+    cache: Union[None, str, Path, ResultCache] = None,
+    policy: Optional[JobPolicy] = None,
+    checkpoint: Union[None, str, Path] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> Tuple[List[ComparisonRecord], RunReport]:
+    """Build and execute one registered experiment end to end.
+
+    The one-stop driver shared by the CLI and the harnesses: expands the
+    scale preset into jobs and runs them through the engine with the given
+    fault-tolerance ``policy`` and ``checkpoint`` file.  Returns the records
+    (healthy jobs only — failures are in ``report.errors``) and the report.
+    """
+    spec = get_experiment(name)
+    kwargs: Dict[str, object] = {"scale": scale, "seed": seed}
+    if benchmarks is not None:
+        kwargs["benchmarks"] = list(benchmarks)
+    jobs = spec.build_jobs(**kwargs)
+    return run_jobs_report(
+        jobs,
+        workers=workers,
+        cache=cache,
+        policy=policy,
+        checkpoint=checkpoint,
+        progress=progress,
+    )

@@ -22,7 +22,14 @@ from ..hardware.noise import DEFAULT_NOISE, NoiseModel
 from ..metrics import improvement, normalized_ratio
 from ..programs import build_benchmark
 
-__all__ = ["ComparisonRecord", "CompiledPair", "compare", "compile_pair", "format_records"]
+__all__ = [
+    "ComparisonRecord",
+    "CompiledPair",
+    "compare",
+    "compile_pair",
+    "format_failed_rows",
+    "format_records",
+]
 
 
 @dataclass
@@ -221,8 +228,18 @@ def compare(
     )
 
 
-def format_records(records: Sequence[ComparisonRecord], *, title: str = "") -> str:
-    """Render comparison records as a fixed-width text table (paper style)."""
+def format_records(
+    records: Sequence[ComparisonRecord],
+    *,
+    title: str = "",
+    errors: Optional[Sequence[object]] = None,
+) -> str:
+    """Render comparison records as a fixed-width text table (paper style).
+
+    ``errors`` (engine ``JobError`` records, or anything with ``benchmark``,
+    ``error_type``, ``message`` and ``attempts`` attributes) are appended as
+    FAILED rows so a partially failed sweep still prints every cell.
+    """
     lines: List[str] = []
     if title:
         lines.append(title)
@@ -239,4 +256,18 @@ def format_records(records: Sequence[ComparisonRecord], *, title: str = "") -> s
             f"{r.baseline_eff_cnots:>11.0f} {r.mech_eff_cnots:>11.0f} "
             f"{r.eff_cnots_improvement:>8.1%} {r.highway_qubit_fraction:>6.1%}"
         )
+    lines.extend(format_failed_rows(errors or ()))
     return "\n".join(lines)
+
+
+def format_failed_rows(errors: Sequence[object]) -> List[str]:
+    """One text-table line per failed job (engine ``JobError`` records)."""
+    rows = []
+    for e in errors:
+        attempts = getattr(e, "attempts", 1)
+        rows.append(
+            f"{getattr(e, 'benchmark', '?'):<14} FAILED after {attempts} "
+            f"attempt{'s' if attempts != 1 else ''}: "
+            f"{getattr(e, 'error_type', 'Error')}: {getattr(e, 'message', '')}"
+        )
+    return rows

@@ -105,6 +105,7 @@ def run_table2(
     qaoa_kwargs: Optional[Dict[str, object]] = None,
     workers: int = 1,
     cache=None,
+    policy=None,
 ) -> List[ComparisonRecord]:
     """Regenerate Table 2: one record per (chiplet size, benchmark)."""
     jobs = jobs_for_table2(
@@ -116,7 +117,7 @@ def run_table2(
         seed=seed,
         qaoa_kwargs=qaoa_kwargs,
     )
-    return run_jobs(jobs, workers=workers, cache=cache)
+    return run_jobs(jobs, workers=workers, cache=cache, policy=policy)
 
 
 def format_table2(records: Sequence[ComparisonRecord]) -> str:

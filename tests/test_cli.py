@@ -1,10 +1,12 @@
 """End-to-end tests for the ``python -m repro`` CLI."""
 
+import csv
 import json
 
 import pytest
 
 from repro.cli import main
+from repro.experiments.engine import FAULT_INJECT_ENV
 
 
 @pytest.fixture()
@@ -90,6 +92,88 @@ class TestCleanCache:
         # next run recomputes
         assert _run_fig12(dirs) == 0
         assert "0 cached, 3 executed" in capsys.readouterr().out
+
+
+class TestCacheStats:
+    def test_stats_on_a_populated_cache(self, dirs, capsys):
+        assert _run_fig12(dirs) == 0
+        capsys.readouterr()
+        assert main(["cache-stats", "--cache-dir", dirs["cache"]]) == 0
+        out = capsys.readouterr().out
+        assert "entries:      3" in out
+        assert "corrupt:      0" in out
+
+    def test_stats_on_an_empty_cache(self, dirs, capsys):
+        assert main(["cache-stats", "--cache-dir", dirs["cache"]]) == 0
+        assert "entries:      0" in capsys.readouterr().out
+
+
+class TestFaultTolerance:
+    def test_policy_flags_are_accepted(self, dirs):
+        assert (
+            _run_fig12(
+                dirs, "--timeout", "600", "--retries", "1", "--reseed-on-retry",
+                "--on-error", "record", "--cache-max-mb", "64",
+            )
+            == 0
+        )
+
+    def test_injected_failure_yields_exit_1_and_error_artifacts(
+        self, dirs, tmp_path, monkeypatch, capsys
+    ):
+        monkeypatch.setenv(FAULT_INJECT_ENV, "BV")
+        assert _run_fig12(dirs) == 1
+        captured = capsys.readouterr()
+        assert "FAILED BV" in captured.err
+        assert "injected fault" in captured.err
+        assert "3 failed" in captured.out
+
+        doc = json.loads((tmp_path / "artifacts" / "fig12.json").read_text())
+        assert doc["records"] == []
+        assert len(doc["errors"]) == 3
+        assert doc["errors"][0]["error_type"] == "RuntimeError"
+        with open(tmp_path / "artifacts" / "fig12.csv", newline="") as handle:
+            rows = list(csv.DictReader(handle))
+        assert [row["status"] for row in rows] == ["error"] * 3
+
+        checkpoint = json.loads(
+            (tmp_path / "artifacts" / "fig12.checkpoint.json").read_text()
+        )
+        assert checkpoint["finished"] is True
+        assert len(checkpoint["failed"]) == 3
+
+        # failures were not cached: clearing the fault and rerunning recovers
+        monkeypatch.delenv(FAULT_INJECT_ENV)
+        assert _run_fig12(dirs) == 0
+        assert "0 cached, 3 executed" in capsys.readouterr().out
+
+    def test_on_error_record_appends_failed_rows_to_the_table(
+        self, dirs, tmp_path, monkeypatch, capsys
+    ):
+        monkeypatch.setenv(FAULT_INJECT_ENV, "BV")
+        assert _run_fig12(dirs) == 1
+        assert "FAILED after 1 attempt" in capsys.readouterr().out
+        txt = (tmp_path / "artifacts" / "fig12.txt").read_text()
+        assert "FAILED after 1 attempt" in txt
+
+    def test_on_error_skip_omits_error_artifacts(self, dirs, tmp_path, monkeypatch, capsys):
+        monkeypatch.setenv(FAULT_INJECT_ENV, "BV")
+        assert _run_fig12(dirs, "--on-error", "skip") == 1
+        assert "FAILED" not in capsys.readouterr().err
+        doc = json.loads((tmp_path / "artifacts" / "fig12.json").read_text())
+        assert doc["errors"] == []
+
+    def test_non_positive_cache_max_mb_is_a_usage_error(self, dirs, capsys):
+        assert _run_fig12(dirs, "--cache-max-mb", "0") == 2
+        assert "--cache-max-mb" in capsys.readouterr().err
+
+    def test_healthy_run_writes_finished_checkpoint(self, dirs, tmp_path):
+        assert _run_fig12(dirs) == 0
+        checkpoint = json.loads(
+            (tmp_path / "artifacts" / "fig12.checkpoint.json").read_text()
+        )
+        assert checkpoint["finished"] is True
+        assert checkpoint["pending"] == [] and checkpoint["failed"] == []
 
 
 class TestBenchmarkValidation:

@@ -6,7 +6,9 @@ deduplication, tag handling and the JSON/CSV artifact writer.
 """
 
 import csv
+import hashlib
 import json
+import os
 
 import pytest
 
@@ -130,6 +132,159 @@ class TestCache:
         _, report2 = run_jobs_report([TINY], cache=tmp_path)
         assert report1.executed == 1
         assert report2.cache_hits == 1
+
+    def test_corrupt_entries_are_dropped_and_surfaced_in_the_report(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        run_jobs([TINY], cache=cache)
+        path = cache.path_for(config_key(TINY))
+        path.write_text("{not json")
+        _, report = run_jobs_report([TINY], cache=cache)
+        assert report.corrupt_entries == 1
+        assert report.executed == 1
+        assert cache.corrupt_seen == 1
+        assert "1 corrupt cache entry dropped" in report.summary()
+
+
+def _fake_key(label: str) -> str:
+    return hashlib.sha256(label.encode()).hexdigest()
+
+
+def _fake_payload(label: str) -> dict:
+    return {"benchmark": label, "padding": "x" * 64}
+
+
+class TestShardedCache:
+    """Layout, legacy migration, LRU eviction and temp-litter hygiene."""
+
+    def test_entries_are_sharded_by_hash_prefix(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = _fake_key("a")
+        path = cache.put(key, TINY, _fake_payload("a"))
+        assert path == tmp_path / key[:2] / f"{key}.json"
+        assert path.is_file()
+        assert cache.entries() == [path]
+        assert cache.get(key) == _fake_payload("a")
+
+    def test_flat_legacy_entry_migrates_on_get(self, tmp_path):
+        key = _fake_key("legacy")
+        legacy = tmp_path / f"{key}.json"
+        legacy.parent.mkdir(parents=True, exist_ok=True)
+        legacy.write_text(
+            json.dumps(
+                {"cache_version": CACHE_VERSION, "key": key, "record": _fake_payload("legacy")}
+            )
+        )
+        cache = ResultCache(tmp_path)
+        assert cache.get(key) == _fake_payload("legacy")
+        assert not legacy.exists()
+        assert cache.path_for(key).is_file()
+
+    def test_bulk_migrate(self, tmp_path):
+        keys = [_fake_key(str(i)) for i in range(3)]
+        tmp_path.mkdir(exist_ok=True)
+        for key in keys:
+            (tmp_path / f"{key}.json").write_text(
+                json.dumps({"cache_version": CACHE_VERSION, "record": _fake_payload(key)})
+            )
+        cache = ResultCache(tmp_path)
+        assert cache.stats()["legacy_entries"] == 3
+        assert cache.migrate() == 3
+        assert cache.stats()["legacy_entries"] == 0
+        assert len(cache) == 3
+        for key in keys:
+            assert cache.get(key) is not None
+
+    def test_clear_spans_shards_and_legacy_entries(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(_fake_key("a"), TINY, _fake_payload("a"))
+        key = _fake_key("flat")
+        (tmp_path / f"{key}.json").write_text("{}")
+        assert cache.clear() == 2
+        assert len(cache) == 0
+        # shard directories are pruned too
+        assert not any(p.is_dir() for p in tmp_path.iterdir())
+
+    def test_lru_eviction_removes_oldest_entries_first(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        p1 = cache.put(_fake_key("one"), TINY, _fake_payload("one"))
+        cache.max_bytes = int(p1.stat().st_size * 2.5)
+        os.utime(p1, (1000, 1000))
+        p2 = cache.put(_fake_key("two"), TINY, _fake_payload("two"))
+        os.utime(p2, (2000, 2000))
+        p3 = cache.put(_fake_key("three"), TINY, _fake_payload("three"))
+        assert not p1.exists()  # oldest evicted
+        assert p2.exists() and p3.exists()
+        assert cache.evicted == 1
+
+    def test_get_refreshes_lru_rank(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        p1 = cache.put(_fake_key("one"), TINY, _fake_payload("one"))
+        p2 = cache.put(_fake_key("two"), TINY, _fake_payload("two"))
+        os.utime(p1, (1000, 1000))
+        os.utime(p2, (2000, 2000))
+        assert cache.get(_fake_key("one")) is not None  # touches p1
+        cache.max_bytes = int(p1.stat().st_size * 2.5)
+        p3 = cache.put(_fake_key("three"), TINY, _fake_payload("three"))
+        assert p1.exists() and p3.exists()
+        assert not p2.exists()  # p2 became the least recently used
+
+    def test_stale_tmp_litter_swept_on_put(self, tmp_path):
+        # two keys in the same shard: the second put sweeps the first's litter
+        key1, key2 = "ab" + "1" * 62, "ab" + "2" * 62
+        cache = ResultCache(tmp_path)
+        first = cache.put(key1, TINY, _fake_payload("one"))
+        stale = first.parent / f".{'ab' + '3' * 62}.json.tmp-12345"
+        stale.write_text("partial write from a crashed run")
+        os.utime(stale, (1000, 1000))
+        fresh = first.parent / f".{'ab' + '4' * 62}.json.tmp-67890"
+        fresh.write_text("a concurrent writer mid-put")
+        root_stale = tmp_path / f".{'cd' + '5' * 62}.json.tmp-777"
+        root_stale.write_text("legacy-layout litter")
+        os.utime(root_stale, (1000, 1000))
+        cache.put(key2, TINY, _fake_payload("two"))
+        assert not stale.exists()
+        assert not root_stale.exists()  # the cache root is always swept too
+        assert fresh.exists()  # young files are never swept by put()
+
+    def test_clear_removes_all_tmp_litter(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        path = cache.put(_fake_key("a"), TINY, _fake_payload("a"))
+        litter_shard = path.parent / f".{_fake_key('x')}.json.tmp-1"
+        litter_shard.write_text("x")
+        litter_root = tmp_path / f".{_fake_key('y')}.json.tmp-2"
+        litter_root.write_text("y")
+        cache.clear()
+        assert not litter_shard.exists() and not litter_root.exists()
+
+    def test_non_positive_max_bytes_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="max_bytes"):
+            ResultCache(tmp_path, max_bytes=0)
+        with pytest.raises(ValueError, match="max_bytes"):
+            ResultCache(tmp_path, max_bytes=-1)
+
+    def test_migration_race_loser_still_gets_a_hit(self, tmp_path):
+        # two cache handles race to migrate the same legacy entry; the loser
+        # must fall through to the sharded copy instead of crashing
+        key = _fake_key("raced")
+        (tmp_path / f"{key}.json").write_text(
+            json.dumps({"cache_version": CACHE_VERSION, "record": _fake_payload("raced")})
+        )
+        winner, loser = ResultCache(tmp_path), ResultCache(tmp_path)
+        assert winner.get(key) == _fake_payload("raced")
+        assert loser.get(key) == _fake_payload("raced")
+
+    def test_stats(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(_fake_key("a"), TINY, _fake_payload("a"))
+        cache.put(_fake_key("b"), TINY, _fake_payload("b"))
+        cache.path_for(_fake_key("b")).write_text("{rotten")
+        stats = cache.stats()
+        assert stats["entries"] == 2
+        assert stats["corrupt_entries"] == 1
+        assert stats["total_bytes"] > 0
+        assert stats["legacy_entries"] == 0
+        assert stats["tmp_files"] == 0
+        assert stats["oldest_mtime"] <= stats["newest_mtime"]
 
 
 class TestExecution:
