@@ -19,13 +19,20 @@ More knobs plumb straight into the engine:
   {raise,skip,record}`` build the engine's :class:`JobPolicy` — useful at
   ``--repro-scale paper`` where one straggler baseline compilation would
   otherwise block a whole overnight benchmark run.  The default policy
-  (``raise``) matches the historic fail-fast behaviour.
+  (``raise``) matches the historic fail-fast behaviour;
+* ``--repro-checkpoint-dir PATH`` writes a resumable
+  ``<experiment>.checkpoint.json`` per benchmark.  An interrupted overnight
+  run (given ``--repro-cache-dir``) can then be finished with
+  ``repro resume PATH/<experiment>.checkpoint.json`` — only the jobs that
+  never completed execute.
 
 Each benchmark prints the regenerated table so the numbers land in the
 benchmark log, and reports the end-to-end wall time of one full regeneration
 through ``pytest-benchmark`` (a single round — compilation is deterministic
 and slow, so repeated rounds would only waste time).
 """
+
+from pathlib import Path
 
 import pytest
 
@@ -74,6 +81,13 @@ def pytest_addoption(parser):
         choices=list(JobPolicy.ON_ERROR_CHOICES),
         help="Failed-job disposition (engine --on-error; default raise).",
     )
+    parser.addoption(
+        "--repro-checkpoint-dir",
+        action="store",
+        default=None,
+        help="Directory for resumable <experiment>.checkpoint.json files"
+        " (resume an interrupted benchmark with `repro resume`).",
+    )
 
 
 @pytest.fixture(scope="session")
@@ -94,6 +108,23 @@ def engine_opts(request):
     if timeout is not None or retries or on_error != "raise":
         opts["policy"] = JobPolicy(timeout=timeout, retries=retries, on_error=on_error)
     return opts
+
+
+@pytest.fixture(scope="session")
+def checkpoint_for(request):
+    """``name -> checkpoint path`` (or None when no checkpoint dir is given).
+
+    Threads ``--repro-checkpoint-dir`` into each ``run_*`` call's
+    ``checkpoint`` argument so interrupted benchmark sweeps are resumable.
+    """
+    checkpoint_dir = request.config.getoption("--repro-checkpoint-dir")
+
+    def _path(name):
+        if checkpoint_dir is None:
+            return None
+        return str(Path(checkpoint_dir) / f"{name}.checkpoint.json")
+
+    return _path
 
 
 def run_once(benchmark, function, *args, **kwargs):

@@ -5,9 +5,11 @@ from conftest import run_once
 from repro.experiments import format_fig12, improvement_series, run_fig12
 
 
-def test_fig12_scalability(benchmark, repro_scale, engine_opts):
+def test_fig12_scalability(benchmark, repro_scale, engine_opts, checkpoint_for):
     """Improvements should not shrink as the chiplet array grows."""
-    records = run_once(benchmark, run_fig12, scale=repro_scale, **engine_opts)
+    records = run_once(
+        benchmark, run_fig12, scale=repro_scale, checkpoint=checkpoint_for("fig12"), **engine_opts
+    )
     print()
     print(format_fig12(records))
 

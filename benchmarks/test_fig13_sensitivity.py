@@ -5,9 +5,11 @@ from conftest import run_once
 from repro.experiments import format_fig13, run_fig13
 
 
-def test_fig13_sensitivity(benchmark, repro_scale, engine_opts):
+def test_fig13_sensitivity(benchmark, repro_scale, engine_opts, checkpoint_for):
     """Regenerate the three sensitivity panels and check their monotone trends."""
-    results = run_once(benchmark, run_fig13, scale=repro_scale, **engine_opts)
+    results = run_once(
+        benchmark, run_fig13, scale=repro_scale, checkpoint=checkpoint_for("fig13"), **engine_opts
+    )
     print()
     print(format_fig13(results))
 

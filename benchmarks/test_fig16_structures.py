@@ -5,9 +5,11 @@ from conftest import run_once
 from repro.experiments import format_fig16, normalized_by_structure, run_fig16
 
 
-def test_fig16_structures(benchmark, repro_scale, engine_opts):
+def test_fig16_structures(benchmark, repro_scale, engine_opts, checkpoint_for):
     """MECH should work (and keep its eff_CNOT advantage) on all four structures."""
-    records = run_once(benchmark, run_fig16, scale=repro_scale, **engine_opts)
+    records = run_once(
+        benchmark, run_fig16, scale=repro_scale, checkpoint=checkpoint_for("fig16"), **engine_opts
+    )
     print()
     print(format_fig16(records))
 

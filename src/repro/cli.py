@@ -5,9 +5,11 @@ Runs any of the paper's figures/tables through the orchestration engine::
     repro run fig12 --scale small --jobs 4
     repro run table2 fig16 --benchmarks BV QFT --out-dir artifacts
     repro run fig12 --timeout 3600 --retries 1 --on-error record
+    repro run fig12 --dry-run            # what would execute?  (--json for machines)
+    repro resume artifacts/fig12.checkpoint.json
     repro list
     repro cache-stats
-    repro clean-cache
+    repro clean-cache --older-than 30    # TTL sweep (add --dry-run to preview)
 
 Every run memoizes its per-job results in an on-disk cache (default
 ``.repro-cache/``, sharded by config-hash prefix), so re-running an
@@ -19,31 +21,112 @@ previous one — only compiles what is missing.  Each experiment emits
 retried ``--retries`` times and then, under the default ``--on-error
 record``, reported as error rows in the artifacts while every healthy job
 still completes; the exit code is 1 when any job failed.
+
+Execution is incremental: ``repro run --dry-run`` prints the exact
+cached/pending/failed plan a real run would execute (compiling nothing), and
+``repro resume <checkpoint>`` finishes an interrupted or partially failed
+sweep from its checkpoint file alone — the serialized job list is
+re-hydrated, completed jobs are served from the cache, only the remainder
+executes, and the merged artifacts match an uninterrupted run's.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 import time
 from pathlib import Path
-from typing import Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from .experiments.engine import (
     SCALE_TIERS,
+    Checkpoint,
+    CheckpointError,
     JobPolicy,
     ResultCache,
+    RunReport,
+    load_checkpoint,
+    plan_jobs,
+    plan_summary,
+    run_jobs_report,
     write_artifacts,
 )
-from .experiments.registry import EXPERIMENTS, run_experiment
-from .experiments.runner import format_failed_rows
+from .experiments.registry import EXPERIMENTS, plan_experiment, run_experiment
+from .experiments.runner import ComparisonRecord, format_failed_rows
 from .experiments.settings import BENCHMARK_NAMES
 
 __all__ = ["main", "build_parser"]
 
 DEFAULT_CACHE_DIR = ".repro-cache"
 DEFAULT_OUT_DIR = "artifacts"
+
+#: Seconds per day, for ``clean-cache --older-than DAYS``.
+_DAY_SECONDS = 86400.0
+
+
+def _add_cache_options(
+    parser: argparse.ArgumentParser, *, default_dir: Optional[str] = DEFAULT_CACHE_DIR
+) -> None:
+    if default_dir is not None:
+        dir_help = f"result-cache directory (default {default_dir})"
+    else:
+        dir_help = (
+            "result-cache directory (default: the cache dir recorded in the"
+            f" checkpoint, falling back to {DEFAULT_CACHE_DIR})"
+        )
+    parser.add_argument("--cache-dir", default=default_dir, help=dir_help)
+    parser.add_argument("--no-cache", action="store_true", help="disable the result cache")
+    parser.add_argument(
+        "--cache-max-mb",
+        type=float,
+        default=None,
+        metavar="MB",
+        help="LRU size cap for the result cache (least-recently-used entries"
+        " are evicted once the cache grows past this; default unlimited)",
+    )
+
+
+def _add_policy_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-job wall-clock timeout (per attempt; default none)",
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        metavar="N",
+        help="extra attempts for a failed job (default 0)",
+    )
+    parser.add_argument(
+        "--reseed-on-retry",
+        action="store_true",
+        help="bump the job seed on each retry (the result keeps the original cache key)",
+    )
+    parser.add_argument(
+        "--on-error",
+        choices=list(JobPolicy.ON_ERROR_CHOICES),
+        default="record",
+        help="what to do when a job exhausts its attempts: abort the sweep"
+        " (raise), drop the job (skip), or keep sweeping and emit a JobError"
+        " row in the artifacts (record; default)",
+    )
+
+
+def _add_worker_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes (0 = one per CPU; default 1)",
+    )
+    parser.add_argument("--quiet", action="store_true", help="suppress progress output")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -74,68 +157,82 @@ def build_parser() -> argparse.ArgumentParser:
         help=f"benchmark programs (default: {' '.join(BENCHMARK_NAMES)})",
     )
     run.add_argument("--seed", type=int, default=0)
-    run.add_argument(
-        "--jobs",
-        type=int,
-        default=1,
-        metavar="N",
-        help="worker processes (0 = one per CPU; default 1)",
-    )
-    run.add_argument(
-        "--cache-dir",
-        default=DEFAULT_CACHE_DIR,
-        help=f"result-cache directory (default {DEFAULT_CACHE_DIR})",
-    )
-    run.add_argument("--no-cache", action="store_true", help="disable the result cache")
-    run.add_argument(
-        "--cache-max-mb",
-        type=float,
-        default=None,
-        metavar="MB",
-        help="LRU size cap for the result cache (least-recently-used entries"
-        " are evicted once the cache grows past this; default unlimited)",
-    )
+    _add_worker_options(run)
+    _add_cache_options(run)
     run.add_argument(
         "--out-dir",
         default=DEFAULT_OUT_DIR,
         help=f"artifact directory (default {DEFAULT_OUT_DIR})",
     )
+    _add_policy_options(run)
     run.add_argument(
-        "--timeout",
-        type=float,
-        default=None,
-        metavar="SECONDS",
-        help="per-job wall-clock timeout (per attempt; default none)",
-    )
-    run.add_argument(
-        "--retries",
-        type=int,
-        default=0,
-        metavar="N",
-        help="extra attempts for a failed job (default 0)",
-    )
-    run.add_argument(
-        "--reseed-on-retry",
+        "--dry-run",
         action="store_true",
-        help="bump the job seed on each retry (the result keeps the original cache key)",
+        help="plan only: diff the expanded jobs against the cache and print"
+        " what a run would do (cached/pending/failed) without executing"
+        " anything or writing artifacts",
     )
     run.add_argument(
-        "--on-error",
-        choices=list(JobPolicy.ON_ERROR_CHOICES),
-        default="record",
-        help="what to do when a job exhausts its attempts: abort the sweep"
-        " (raise), drop the job (skip), or keep sweeping and emit a JobError"
-        " row in the artifacts (record; default)",
+        "--json",
+        action="store_true",
+        help="with --dry-run, print the plan as a JSON document",
     )
-    run.add_argument("--quiet", action="store_true", help="suppress progress output")
+
+    resume = sub.add_parser(
+        "resume",
+        help="finish an interrupted or partially failed run from its checkpoint file",
+        description="Re-hydrate the serialized job list of a <name>.checkpoint.json"
+        " (no experiment re-expansion), execute only the jobs that never"
+        " completed (completed jobs are cache hits), and write the merged"
+        " artifacts exactly as the uninterrupted run would have.",
+    )
+    resume.add_argument(
+        "checkpoint",
+        metavar="CHECKPOINT",
+        help="path to the <name>.checkpoint.json written by a previous run",
+    )
+    _add_worker_options(resume)
+    _add_cache_options(resume, default_dir=None)
+    resume.add_argument(
+        "--out-dir",
+        default=None,
+        help="artifact directory (default: the checkpoint's own directory)",
+    )
+    _add_policy_options(resume)
+    resume.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="plan only: print what the resume would execute and exit",
+    )
+    resume.add_argument(
+        "--json",
+        action="store_true",
+        help="with --dry-run, print the plan as a JSON document",
+    )
 
     sub.add_parser("list", help="list the available experiments and scale tiers")
 
     stats = sub.add_parser("cache-stats", help="summarise the result cache's size and health")
     stats.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR)
 
-    clean = sub.add_parser("clean-cache", help="delete every cached result (and temp litter)")
+    clean = sub.add_parser(
+        "clean-cache",
+        help="delete cached results: everything, or only entries older than a TTL",
+    )
     clean.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR)
+    clean.add_argument(
+        "--older-than",
+        type=float,
+        default=None,
+        metavar="DAYS",
+        help="only remove entries whose last use is older than DAYS days"
+        " (default: remove everything)",
+    )
+    clean.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="report what would be removed without deleting anything",
+    )
 
     return parser
 
@@ -149,9 +246,31 @@ def _cmd_list() -> int:
     return 0
 
 
-def _cmd_clean_cache(cache_dir: str) -> int:
-    removed = ResultCache(cache_dir).clear()
-    print(f"removed {removed} cache entr{'y' if removed == 1 else 'ies'} from {cache_dir}")
+def _entry_word(count: int) -> str:
+    return "entry" if count == 1 else "entries"
+
+
+def _cmd_clean_cache(args: argparse.Namespace) -> int:
+    cache = ResultCache(args.cache_dir)
+    if args.older_than is not None:
+        if not (args.older_than >= 0):  # inverted so NaN fails the check too
+            print("error: --older-than must be >= 0 days", file=sys.stderr)
+            return 2
+        result = cache.sweep_older_than(args.older_than * _DAY_SECONDS, dry_run=args.dry_run)
+        verb = "would remove" if args.dry_run else "removed"
+        print(
+            f"{verb} {result['removed']} of {result['scanned']} cache"
+            f" {_entry_word(result['scanned'])} older than {args.older_than:g}"
+            f" day{'s' if args.older_than != 1 else ''}"
+            f" ({result['freed_bytes'] / 1048576:.2f} MiB) from {args.cache_dir}"
+        )
+        return 0
+    if args.dry_run:
+        count = len(cache)
+        print(f"would remove {count} cache {_entry_word(count)} from {args.cache_dir}")
+        return 0
+    removed = cache.clear()
+    print(f"removed {removed} cache {_entry_word(removed)} from {args.cache_dir}")
     return 0
 
 
@@ -172,6 +291,150 @@ def _cmd_cache_stats(cache_dir: str) -> int:
     return 0
 
 
+def _validate_common_flags(args: argparse.Namespace) -> Optional[int]:
+    """Usage checks shared by ``run`` and ``resume``; an exit code or None."""
+    if args.cache_max_mb is not None and not (args.cache_max_mb > 0):
+        # the inverted comparison also catches NaN, which int() would crash on
+        print("error: --cache-max-mb must be positive", file=sys.stderr)
+        return 2
+    if args.json and not args.dry_run:
+        print("error: --json requires --dry-run", file=sys.stderr)
+        return 2
+    return None
+
+
+def _build_cache(args: argparse.Namespace) -> Optional[ResultCache]:
+    if args.no_cache:
+        return None
+    max_bytes = (
+        max(1, int(args.cache_max_mb * 1048576)) if args.cache_max_mb is not None else None
+    )
+    return ResultCache(args.cache_dir, max_bytes=max_bytes)
+
+
+def _build_policy(args: argparse.Namespace) -> JobPolicy:
+    return JobPolicy(
+        timeout=args.timeout,
+        retries=args.retries,
+        reseed_on_retry=args.reseed_on_retry,
+        on_error=args.on_error,
+    )
+
+
+def _workers(args: argparse.Namespace) -> int:
+    return args.jobs if args.jobs > 0 else (os.cpu_count() or 1)
+
+
+# --------------------------------------------------------------------------
+# dry-run plan rendering (a stable contract — golden-tested)
+
+
+def _plan_lines(name: str, summary: Dict[str, object]) -> List[str]:
+    duplicates = summary["duplicates"]
+    lines = [
+        f"{name}: {summary['total']} jobs, {summary['unique']} unique"
+        f" ({duplicates} duplicate{'s' if duplicates != 1 else ''})"
+        f" — {summary['cached']} cached, {summary['pending']} pending,"
+        f" {summary['failed']} failed"
+    ]
+    for kind, bucket in summary["by_kind"].items():
+        lines.append(
+            f"  kind {kind}: {bucket['cached']} cached,"
+            f" {bucket['pending']} pending, {bucket['failed']} failed"
+        )
+    for benchmark, bucket in summary["by_benchmark"].items():
+        lines.append(
+            f"  benchmark {benchmark}: {bucket['cached']} cached,"
+            f" {bucket['pending']} pending, {bucket['failed']} failed"
+        )
+    return lines
+
+
+_DRY_RUN_FOOTER = "dry-run: no jobs executed, no artifacts written"
+
+
+def _checkpoint_failed_keys(checkpoint_path: Path) -> frozenset:
+    """Failed-job keys from a previous run's checkpoint, if one is readable.
+
+    Reads just the ``failed`` field (every checkpoint version records it)
+    rather than fully re-hydrating the job list — dry-run classification
+    needs only the keys.  No checkpoint means a clean slate (nothing to
+    classify as failed); a checkpoint that exists but cannot be parsed is
+    *not* the same thing, so that case warns instead of silently reporting
+    zero failures.
+    """
+    if not checkpoint_path.exists():
+        return frozenset()
+    try:
+        with open(checkpoint_path, "r", encoding="utf-8") as handle:
+            doc = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(
+            f"warning: ignoring unreadable checkpoint for failed-job"
+            f" classification ({checkpoint_path}: {exc})",
+            file=sys.stderr,
+        )
+        return frozenset()
+    entries = doc.get("failed") if isinstance(doc, dict) else None
+    return frozenset(
+        str(entry["key"])
+        for entry in (entries if isinstance(entries, list) else ())
+        if isinstance(entry, dict) and "key" in entry
+    )
+
+
+def _emit_plans(plans: List[Dict[str, object]], header: Dict[str, object], as_json: bool) -> int:
+    if as_json:
+        print(json.dumps({"dry_run": True, **header, "experiments": plans}, indent=2))
+        return 0
+    for summary in plans:
+        print("\n".join(_plan_lines(summary["experiment"], summary)))
+    print(_DRY_RUN_FOOTER)
+    return 0
+
+
+# --------------------------------------------------------------------------
+# run / resume
+
+
+def _emit_experiment(
+    name: str,
+    records: Sequence[ComparisonRecord],
+    report: RunReport,
+    *,
+    out_dir: str,
+    metadata: Dict[str, object],
+    on_error: str,
+) -> None:
+    """Shared artifact/stdout emission for ``run`` and ``resume``."""
+    spec = EXPERIMENTS[name]
+    text = spec.format_records(records)
+    if on_error == "record" and report.errors:
+        # failed cells stay visible in the table and the .txt artifact
+        text += "\n" + "\n".join(format_failed_rows(report.errors))
+    paths = write_artifacts(
+        name,
+        records,
+        out_dir,
+        text=text,
+        metadata=metadata,
+        errors=report.errors if on_error == "record" else None,
+    )
+    print(text)
+    print(f"[{name}] {report.summary()}")
+    if on_error == "record":
+        # skip mode stays quiet beyond the summary's failure count
+        for error in report.errors:
+            print(
+                f"[{name}] FAILED {error.benchmark} ({error.key[:12]}…): "
+                f"{error.error_type}: {error.message} "
+                f"[{error.attempts} attempt{'s' if error.attempts != 1 else ''}, "
+                f"{error.seconds:.1f}s]",
+                file=sys.stderr,
+            )
+    print(f"[{name}] artifacts: {paths['json']}, {paths['csv']}")
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     unknown = [name for name in args.experiments if name not in EXPERIMENTS]
     if unknown:
@@ -187,22 +450,35 @@ def _cmd_run(args: argparse.Namespace) -> int:
         what = f"unknown benchmark(s) {', '.join(sorted(set(bad)))}" if bad else "no benchmarks given"
         print(f"error: {what}; choose from {', '.join(BENCHMARK_NAMES)}", file=sys.stderr)
         return 2
-    if args.cache_max_mb is not None and args.cache_max_mb <= 0:
-        print("error: --cache-max-mb must be positive", file=sys.stderr)
-        return 2
+    usage_error = _validate_common_flags(args)
+    if usage_error is not None:
+        return usage_error
     # normalise case so "bv" and "BV" share cache entries
     benchmarks = [name.upper() for name in args.benchmarks]
-    workers = args.jobs if args.jobs > 0 else (os.cpu_count() or 1)
-    max_bytes = max(1, int(args.cache_max_mb * 1048576)) if args.cache_max_mb is not None else None
-    cache = None if args.no_cache else ResultCache(args.cache_dir, max_bytes=max_bytes)
-    policy = JobPolicy(
-        timeout=args.timeout,
-        retries=args.retries,
-        reseed_on_retry=args.reseed_on_retry,
-        on_error=args.on_error,
-    )
-    progress = None if args.quiet else (lambda msg: print(f"  {msg}", file=sys.stderr))
+    cache = _build_cache(args)
 
+    if args.dry_run:
+        plans = []
+        for name in args.experiments:
+            plan = plan_experiment(
+                name, scale=args.scale, benchmarks=benchmarks, seed=args.seed, cache=cache
+            )
+            failed_keys = _checkpoint_failed_keys(
+                Path(args.out_dir) / f"{name}.checkpoint.json"
+            )
+            plans.append(
+                {"experiment": name, **plan_summary(plan, failed_keys=sorted(failed_keys))}
+            )
+        header = {
+            "scale": args.scale,
+            "benchmarks": benchmarks,
+            "seed": args.seed,
+            "cache_dir": None if args.no_cache else args.cache_dir,
+        }
+        return _emit_plans(plans, header, args.json)
+
+    policy = _build_policy(args)
+    progress = None if args.quiet else (lambda msg: print(f"  {msg}", file=sys.stderr))
     failures = 0
     for name in args.experiments:
         spec = EXPERIMENTS[name]
@@ -213,43 +489,110 @@ def _cmd_run(args: argparse.Namespace) -> int:
             scale=args.scale,
             benchmarks=benchmarks,
             seed=args.seed,
-            workers=workers,
+            workers=_workers(args),
             cache=cache,
             policy=policy,
             checkpoint=Path(args.out_dir) / f"{name}.checkpoint.json",
             progress=progress,
         )
-        text = spec.format_records(records)
-        if args.on_error == "record" and report.errors:
-            # failed cells stay visible in the table and the .txt artifact
-            text += "\n" + "\n".join(format_failed_rows(report.errors))
-        paths = write_artifacts(
+        _emit_experiment(
             name,
             records,
-            args.out_dir,
-            text=text,
-            metadata={
-                "scale": args.scale,
-                "benchmarks": benchmarks,
-                "seed": args.seed,
-            },
-            errors=report.errors if args.on_error == "record" else None,
+            report,
+            out_dir=args.out_dir,
+            metadata={"scale": args.scale, "benchmarks": benchmarks, "seed": args.seed},
+            on_error=args.on_error,
         )
-        print(text)
-        print(f"[{name}] {report.summary()}")
-        if args.on_error == "record":
-            # skip mode stays quiet beyond the summary's failure count
-            for error in report.errors:
-                print(
-                    f"[{name}] FAILED {error.benchmark} ({error.key[:12]}…): "
-                    f"{error.error_type}: {error.message} "
-                    f"[{error.attempts} attempt{'s' if error.attempts != 1 else ''}, "
-                    f"{error.seconds:.1f}s]",
-                    file=sys.stderr,
-                )
         failures += report.failed
-        print(f"[{name}] artifacts: {paths['json']}, {paths['csv']}")
     return 1 if failures else 0
+
+
+def _resume_experiment_name(checkpoint: Checkpoint) -> str:
+    name = checkpoint.meta.get("experiment")
+    if not isinstance(name, str) or name not in EXPERIMENTS:
+        raise CheckpointError(
+            f"checkpoint {checkpoint.path} does not name a known experiment"
+            f" (meta.experiment={name!r}); it cannot be resumed through the CLI"
+        )
+    return name
+
+
+def _cmd_resume(args: argparse.Namespace) -> int:
+    usage_error = _validate_common_flags(args)
+    if usage_error is not None:
+        return usage_error
+    try:
+        checkpoint = load_checkpoint(args.checkpoint)
+        name = _resume_experiment_name(checkpoint)
+    except CheckpointError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.cache_dir is None:
+        recorded = checkpoint.meta.get("cache_dir")
+        args.cache_dir = recorded if isinstance(recorded, str) else DEFAULT_CACHE_DIR
+        if recorded is None and "cache_dir" in checkpoint.meta and not args.no_cache:
+            # the original run opted out of caching, so nothing it completed
+            # was persisted — this resume starts from scratch (but caches)
+            print(
+                "note: the checkpointed run used --no-cache, so completed jobs"
+                f" were not persisted; every job will execute"
+                f" (caching into {args.cache_dir})",
+                file=sys.stderr,
+            )
+    cache = _build_cache(args)
+    out_dir = args.out_dir if args.out_dir is not None else str(checkpoint.path.parent)
+
+    if args.dry_run:
+        plan = plan_jobs(checkpoint.jobs, cache=cache, refresh=False)
+        summary = {
+            "experiment": name,
+            **plan_summary(plan, failed_keys=sorted(checkpoint.failed_keys)),
+        }
+        header = {
+            "checkpoint": str(checkpoint.path),
+            "cache_dir": None if args.no_cache else args.cache_dir,
+        }
+        return _emit_plans([summary], header, args.json)
+
+    # record the cache dir actually used, so a later bare `repro resume`
+    # against this checkpoint finds the results where this resume put them
+    meta = dict(checkpoint.meta)
+    if not args.no_cache:
+        meta["cache_dir"] = args.cache_dir
+
+    remaining = len(checkpoint.remaining_jobs())
+    if not args.quiet:
+        spec = EXPERIMENTS[name]
+        print(
+            f"== resume {name}: {spec.title}"
+            f" ({remaining} of {len(checkpoint.jobs)} jobs unfinished) ==",
+            file=sys.stderr,
+        )
+    progress = None if args.quiet else (lambda msg: print(f"  {msg}", file=sys.stderr))
+    records, report = run_jobs_report(
+        checkpoint.jobs,
+        workers=_workers(args),
+        cache=cache,
+        policy=_build_policy(args),
+        checkpoint=checkpoint.path,
+        checkpoint_meta=meta,
+        progress=progress,
+    )
+    _emit_experiment(
+        name,
+        records,
+        report,
+        out_dir=out_dir,
+        # the artifact metadata header must match an uninterrupted run's,
+        # which records only scale/benchmarks/seed
+        metadata={
+            key: value
+            for key, value in meta.items()
+            if key not in ("experiment", "cache_dir")
+        },
+        on_error=args.on_error,
+    )
+    return 1 if report.failed else 0
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -260,7 +603,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.command == "cache-stats":
         return _cmd_cache_stats(args.cache_dir)
     if args.command == "clean-cache":
-        return _cmd_clean_cache(args.cache_dir)
+        return _cmd_clean_cache(args)
+    if args.command == "resume":
+        return _cmd_resume(args)
     return _cmd_run(args)
 
 

@@ -9,6 +9,9 @@ The ``python -m repro`` CLI drives the same registry exposed here.
 
 from .engine import (
     SCALE_TIERS,
+    Checkpoint,
+    CheckpointError,
+    ExecutionPlan,
     Job,
     JobError,
     JobExecutionError,
@@ -17,6 +20,9 @@ from .engine import (
     ResultCache,
     RunReport,
     config_key,
+    load_checkpoint,
+    plan_jobs,
+    plan_summary,
     run_jobs,
     run_jobs_report,
     write_artifacts,
@@ -37,7 +43,15 @@ from .fig15_highway_density import (
     run_fig15,
 )
 from .fig16_structures import format_fig16, jobs_for_fig16, normalized_by_structure, run_fig16
-from .registry import EXPERIMENTS, ExperimentSpec, get_experiment, run_experiment
+from .registry import (
+    EXPERIMENTS,
+    ExperimentSpec,
+    build_experiment_jobs,
+    experiment_meta,
+    get_experiment,
+    plan_experiment,
+    run_experiment,
+)
 from .runner import ComparisonRecord, compare, format_records
 from .settings import (
     BENCHMARK_NAMES,
@@ -51,6 +65,9 @@ from .table2 import TABLE2_PAPER_REFERENCE, format_table2, jobs_for_table2, run_
 
 __all__ = [
     # engine
+    "Checkpoint",
+    "CheckpointError",
+    "ExecutionPlan",
     "Job",
     "JobError",
     "JobExecutionError",
@@ -60,13 +77,19 @@ __all__ = [
     "RunReport",
     "SCALE_TIERS",
     "config_key",
+    "load_checkpoint",
+    "plan_jobs",
+    "plan_summary",
     "run_jobs",
     "run_jobs_report",
     "write_artifacts",
     # registry
     "EXPERIMENTS",
     "ExperimentSpec",
+    "build_experiment_jobs",
+    "experiment_meta",
     "get_experiment",
+    "plan_experiment",
     "run_experiment",
     # runner
     "ComparisonRecord",

@@ -30,6 +30,16 @@ records instead of poisoning the pool, and an optional checkpoint file tracks
 exactly which jobs are cached, completed, failed and still pending — so an
 interrupted or partially failed sweep loses nothing that already compiled and
 a rerun against the same cache executes only what remains.
+
+Execution is also *incremental*: :func:`run_jobs_report` is split into a pure
+:func:`plan_jobs` phase (keys, cache consultation, deduplication — no
+compilation) and an execute phase that consumes the resulting
+:class:`ExecutionPlan`.  Dry runs reuse the exact plan a real run would
+execute (:func:`plan_summary` renders it as stable counts), checkpoints
+serialise the *full* job list under a versioned schema so
+:func:`load_checkpoint` can re-hydrate an interrupted sweep without
+re-expanding the experiment spec, and :meth:`ResultCache.sweep_older_than`
+adds an age-based (TTL) garbage collector next to the LRU size cap.
 """
 
 from __future__ import annotations
@@ -39,6 +49,7 @@ import contextlib
 import csv
 import hashlib
 import json
+import math
 import multiprocessing
 import os
 import signal
@@ -59,6 +70,9 @@ __all__ = [
     "CHECKPOINT_VERSION",
     "FAULT_INJECT_ENV",
     "SCALE_TIERS",
+    "Checkpoint",
+    "CheckpointError",
+    "ExecutionPlan",
     "Job",
     "JobError",
     "JobExecutionError",
@@ -68,10 +82,14 @@ __all__ = [
     "RunReport",
     "config_key",
     "error_row",
+    "experiment_checkpoint_meta",
     "job_from_dict",
     "job_to_dict",
+    "load_checkpoint",
     "noise_from_items",
     "noise_to_items",
+    "plan_jobs",
+    "plan_summary",
     "record_from_payload",
     "record_to_payload",
     "record_row",
@@ -587,6 +605,29 @@ class ResultCache:
             os.utime(path)
         return dict(record)
 
+    def peek(self, key: str) -> Optional[Dict[str, object]]:
+        """Like :meth:`get`, but strictly read-only.
+
+        No mtime refresh, no legacy migration, no corrupt-entry deletion —
+        the classification (hit or miss) matches what :meth:`get` would
+        return, which is what dry-run planning needs without perturbing the
+        LRU/TTL state it is previewing.
+        """
+        path = self.path_for(key)
+        if not path.exists():
+            path = self._legacy_path_for(key)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                entry = json.load(handle)
+        except FileNotFoundError:
+            return None
+        except json.JSONDecodeError:
+            return None  # :meth:`get` would classify this a miss too (and drop it)
+        if not isinstance(entry, dict) or entry.get("cache_version") != CACHE_VERSION:
+            return None
+        record = entry.get("record")
+        return dict(record) if isinstance(record, dict) else None
+
     def put(self, key: str, job: Job, record_payload: Mapping[str, object]) -> Path:
         """Store one record payload under ``key`` (atomic write)."""
         entry = {
@@ -699,6 +740,52 @@ class ResultCache:
             moved += 1
         return moved
 
+    def sweep_older_than(
+        self,
+        max_age_seconds: float,
+        *,
+        dry_run: bool = False,
+        now: Optional[float] = None,
+    ) -> Dict[str, int]:
+        """Age-based (TTL) garbage collection, shard-aware.
+
+        Removes every entry — sharded and legacy flat — whose mtime is
+        strictly older than ``now - max_age_seconds``; entries at or newer
+        than the cutoff are never touched (and a :meth:`get` refreshes an
+        entry's mtime, so recently *used* entries survive too).  ``dry_run``
+        counts what a sweep would remove without unlinking anything.
+        Returns ``{"scanned", "removed", "freed_bytes"}``.
+        """
+        # NaN would make every mtime-vs-cutoff comparison False and delete
+        # the whole cache, so it must not pass the range check
+        if math.isnan(max_age_seconds) or max_age_seconds < 0:
+            raise ValueError(f"max_age_seconds must be >= 0, got {max_age_seconds}")
+        cutoff = (time.time() if now is None else now) - max_age_seconds
+        scanned = removed = freed = 0
+        for path in self.entries():
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            scanned += 1
+            if stat.st_mtime >= cutoff:
+                continue
+            if not dry_run:
+                try:
+                    path.unlink()
+                except OSError:
+                    continue
+            removed += 1
+            freed += stat.st_size
+        if not dry_run and removed:
+            self._sweep_tmp(stale_only=True)
+            for shard in self.cache_dir.glob(_SHARD_GLOB):
+                if shard.is_dir():
+                    with contextlib.suppress(OSError):
+                        shard.rmdir()
+            self._total_bytes = None  # force a rescan on the next capped put
+        return {"scanned": scanned, "removed": removed, "freed_bytes": freed}
+
     def __len__(self) -> int:
         return len(self.entries())
 
@@ -767,6 +854,153 @@ def _coerce_cache(cache: Union[None, str, Path, ResultCache]) -> Optional[Result
 
 
 # --------------------------------------------------------------------------
+# planning
+
+
+@dataclass
+class ExecutionPlan:
+    """What a run would do, computed without executing anything.
+
+    The plan phase resolves every job's config key, consults the cache and
+    deduplicates — exactly the bookkeeping :func:`run_jobs_report` performs
+    before dispatching — so a dry run, a resume and a real run all share one
+    code path and therefore always agree on the cached/pending split.
+    """
+
+    #: The original job sequence, order and duplicates preserved.
+    jobs: List[Job]
+    #: Config keys, parallel to ``jobs``.
+    keys: List[str]
+    #: First job seen per distinct key, in first-appearance order.
+    unique: Dict[str, Job]
+    #: Cached record payloads, keyed by config key (the cache hits).
+    payloads: Dict[str, Dict[str, object]]
+    #: Unique jobs the run would actually execute.
+    pending: Dict[str, Job]
+
+    @property
+    def total(self) -> int:
+        return len(self.jobs)
+
+    @property
+    def cache_hits(self) -> int:
+        return len(self.payloads)
+
+    @property
+    def deduplicated(self) -> int:
+        return len(self.jobs) - len(self.unique)
+
+
+def plan_jobs(
+    jobs: Sequence[Job],
+    *,
+    cache: Union[None, str, Path, ResultCache] = None,
+    refresh: bool = False,
+) -> ExecutionPlan:
+    """The pure planning phase: validate kinds, hash, consult the cache, dedupe.
+
+    Compiles nothing, and by default mutates nothing either: the cache is
+    consulted through the strictly read-only :meth:`ResultCache.peek`, so
+    previewing a plan never marks entries "recently used" (which would
+    defeat a TTL sweep the operator is about to run).  A real run — which
+    *wants* its hits' LRU recency refreshed, legacy entries migrated and
+    corrupt entries dropped — passes ``refresh=True`` to consult
+    :meth:`ResultCache.get` instead; the hit/miss classification is the same
+    either way.
+    """
+    store = _coerce_cache(cache)
+    unknown_kinds = sorted({job.kind for job in jobs} - set(EXECUTORS))
+    if unknown_kinds:
+        kinds = ", ".join(repr(kind) for kind in unknown_kinds)
+        raise ValueError(f"unknown job kind {kinds}; choose from {sorted(EXECUTORS)}")
+
+    keys = [config_key(job) for job in jobs]
+    unique: Dict[str, Job] = {}
+    payloads: Dict[str, Dict[str, object]] = {}
+    pending: Dict[str, Job] = {}
+    for job, key in zip(jobs, keys):
+        if key in unique:
+            continue
+        unique[key] = job
+        if store is None:
+            hit = None
+        else:
+            hit = store.get(key) if refresh else store.peek(key)
+        if hit is not None:
+            payloads[key] = hit
+        else:
+            pending[key] = job
+    return ExecutionPlan(
+        jobs=list(jobs), keys=keys, unique=unique, payloads=payloads, pending=pending
+    )
+
+
+def experiment_checkpoint_meta(
+    name: str,
+    scale: str,
+    benchmarks: Optional[Sequence[str]],
+    seed: int,
+    cache: Union[None, str, Path, "ResultCache"] = None,
+) -> Dict[str, object]:
+    """The ``checkpoint_meta`` header every experiment entry point writes.
+
+    One shared shape (experiment name, scale, benchmarks, seed, cache dir) so
+    a checkpoint written by any driver — the CLI, a ``run_*`` helper, the
+    benchmark harness — can be resumed by ``repro resume`` against the same
+    cache without re-specifying flags, and re-emit artifacts with the same
+    metadata an uninterrupted run would.
+    """
+    if isinstance(cache, ResultCache):
+        cache_dir = str(cache.cache_dir)
+    elif cache is not None:
+        cache_dir = str(cache)
+    else:
+        cache_dir = None
+    return {
+        "experiment": name,
+        "scale": scale,
+        "benchmarks": list(benchmarks) if benchmarks is not None else None,
+        "seed": seed,
+        "cache_dir": cache_dir,
+    }
+
+
+def plan_summary(
+    plan: ExecutionPlan, *, failed_keys: Sequence[str] = ()
+) -> Dict[str, object]:
+    """Stable counts for a plan: totals plus per-kind/per-benchmark breakdowns.
+
+    Each unique job is classified ``cached`` (served from the cache),
+    ``failed`` (its key appears in ``failed_keys`` — typically a previous
+    run's checkpoint — and is not cached) or ``pending``.  This dict is the
+    machine-readable contract behind ``repro run --dry-run --json``.
+    """
+    failed = set(failed_keys)
+    counts = {"cached": 0, "pending": 0, "failed": 0}
+    by_kind: Dict[str, Dict[str, int]] = {}
+    by_benchmark: Dict[str, Dict[str, int]] = {}
+    for key, job in plan.unique.items():
+        if key in plan.payloads:
+            status = "cached"
+        elif key in failed:
+            status = "failed"
+        else:
+            status = "pending"
+        counts[status] += 1
+        for table, label in ((by_kind, job.kind), (by_benchmark, job.benchmark)):
+            bucket = table.setdefault(label, {"cached": 0, "pending": 0, "failed": 0})
+            bucket[status] += 1
+    return {
+        "total": plan.total,
+        "unique": len(plan.unique),
+        "duplicates": plan.deduplicated,
+        **counts,
+        "by_kind": {kind: by_kind[kind] for kind in sorted(by_kind)},
+        "by_benchmark": {name: by_benchmark[name] for name in sorted(by_benchmark)},
+    }
+
+
+# --------------------------------------------------------------------------
 # execution
 
 
@@ -803,7 +1037,11 @@ class RunReport:
         )
 
 
-CHECKPOINT_VERSION = 1
+#: Version 2 made checkpoints self-contained: the full job list (tags
+#: included) is serialised, so a resume re-hydrates jobs from the file alone
+#: instead of re-expanding the experiment spec.  Version-1 checkpoints only
+#: recorded keys and cannot be resumed.
+CHECKPOINT_VERSION = 2
 
 #: Minimum interval between routine (non-forced) checkpoint flushes.
 _CHECKPOINT_FLUSH_SECONDS = 1.0
@@ -818,6 +1056,113 @@ def _atomic_write_json(path: Path, document: Mapping[str, object]) -> None:
     os.replace(tmp, path)
 
 
+class CheckpointError(ValueError):
+    """A checkpoint file is missing, malformed or not resumable."""
+
+
+@dataclass
+class Checkpoint:
+    """A parsed, validated ``<name>.checkpoint.json`` file.
+
+    ``jobs`` is the run's *full* original job list (order, duplicates and
+    tags preserved), so re-running it through the engine against the same
+    cache reproduces the uninterrupted run's records exactly: completed jobs
+    are cache hits, only the pending/failed remainder executes.
+    """
+
+    path: Path
+    version: int
+    finished: bool
+    interrupted: bool
+    meta: Dict[str, object]
+    jobs: List[Job]
+    #: Keys served from the cache when the checkpointed run planned itself.
+    cached_keys: frozenset
+    #: Keys the checkpointed run executed to completion (and cached).
+    completed_keys: frozenset
+    failed: List[JobError]
+
+    @property
+    def failed_keys(self) -> frozenset:
+        return frozenset(error.key for error in self.failed)
+
+    def remaining_jobs(self) -> List[Job]:
+        """The unique jobs the original run did not finish (pending + failed)."""
+        done = self.completed_keys | self.cached_keys
+        remaining: Dict[str, Job] = {}
+        for job in self.jobs:
+            key = config_key(job)
+            if key not in done and key not in remaining:
+                remaining[key] = job
+        return list(remaining.values())
+
+
+def load_checkpoint(path: Union[str, Path]) -> Checkpoint:
+    """Parse and validate a checkpoint file written by :func:`run_jobs_report`.
+
+    Raises :class:`CheckpointError` on a missing/corrupt file, an
+    un-resumable version-1 checkpoint, or jobs that no longer round-trip
+    through :func:`job_from_dict` (e.g. a checkpoint from an incompatible
+    release).
+    """
+    path = Path(path)
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            doc = json.load(handle)
+    except FileNotFoundError as exc:
+        raise CheckpointError(f"checkpoint file not found: {path}") from exc
+    except (OSError, json.JSONDecodeError) as exc:
+        raise CheckpointError(f"unreadable checkpoint {path}: {exc}") from exc
+    if not isinstance(doc, dict):
+        raise CheckpointError(f"checkpoint {path} is not a JSON object")
+    version = doc.get("checkpoint_version")
+    if version == 1:
+        raise CheckpointError(
+            f"checkpoint {path} has version 1, which does not serialise its jobs"
+            " and cannot be resumed; re-run the experiment once (it writes a"
+            f" version-{CHECKPOINT_VERSION} checkpoint) and resume from that"
+        )
+    if version != CHECKPOINT_VERSION:
+        raise CheckpointError(
+            f"checkpoint {path} has unsupported version {version!r}"
+            f" (this release reads version {CHECKPOINT_VERSION})"
+        )
+    raw_jobs = doc.get("jobs")
+    if not isinstance(raw_jobs, list):
+        raise CheckpointError(f"checkpoint {path} has no serialised job list")
+    jobs: List[Job] = []
+    for index, raw in enumerate(raw_jobs):
+        try:
+            jobs.append(job_from_dict(raw))
+        except (KeyError, TypeError, AttributeError) as exc:
+            raise CheckpointError(
+                f"checkpoint {path}: job #{index} does not round-trip ({exc!r});"
+                " was it written by an incompatible release?"
+            ) from exc
+    error_fields = {f.name for f in fields(JobError)}
+    failed: List[JobError] = []
+    for raw in doc.get("failed") or ():
+        if not isinstance(raw, dict) or not error_fields <= set(raw):
+            raise CheckpointError(f"checkpoint {path} has a malformed failed-job entry")
+        failed.append(JobError(**{name: raw[name] for name in error_fields}))
+    meta = doc.get("meta")
+    try:
+        return Checkpoint(
+            path=path,
+            version=int(version),
+            finished=bool(doc.get("finished")),
+            interrupted=bool(doc.get("interrupted")),
+            meta=dict(meta) if isinstance(meta, dict) else {},
+            jobs=jobs,
+            cached_keys=frozenset(str(key) for key in doc.get("cached") or ()),
+            completed_keys=frozenset(str(key) for key in doc.get("completed") or ()),
+            failed=failed,
+        )
+    except (TypeError, ValueError) as exc:
+        # e.g. a non-iterable cached/completed list
+        raise CheckpointError(f"checkpoint {path} has malformed fields: {exc}") from exc
+
+
 def run_jobs_report(
     jobs: Sequence[Job],
     *,
@@ -826,52 +1171,51 @@ def run_jobs_report(
     progress: Optional[Callable[[str], None]] = None,
     policy: Optional[JobPolicy] = None,
     checkpoint: Union[None, str, Path] = None,
+    checkpoint_meta: Optional[Mapping[str, object]] = None,
 ) -> Tuple[List[ComparisonRecord], RunReport]:
-    """Execute jobs (cache -> dedupe -> pool) and report what happened.
+    """Execute jobs (plan -> pool) and report what happened.
 
     Records come back in job order regardless of the completion order of the
     pool, so a parallel run is record-for-record identical to a serial one.
     ``workers <= 1`` stays in-process; ``workers > 1`` dispatches cache misses
     over a ``multiprocessing`` pool.  ``cache`` may be a directory path or a
     :class:`ResultCache`; ``None`` disables memoization (identical jobs are
-    still computed only once per call).
+    still computed only once per call).  The cached/pending split comes from
+    :func:`plan_jobs` — the same phase ``repro run --dry-run`` prints.
 
     ``policy`` governs per-job timeouts, retries and error disposition (see
     :class:`JobPolicy`; the default re-raises failures).  Jobs that fail under
     ``on_error="skip"``/``"record"`` are dropped from the returned records and
     reported in :attr:`RunReport.errors`.  ``checkpoint`` names a JSON file
     kept up to date with exactly which jobs are cached, completed, failed and
-    pending — after a crash or ``KeyboardInterrupt`` it lists what a rerun
-    still has to execute.
+    pending; it serialises the full job list (plus the caller's
+    ``checkpoint_meta``, e.g. the experiment name), so after a crash or
+    ``KeyboardInterrupt`` it can be re-hydrated by :func:`load_checkpoint`
+    and resumed without re-expanding the experiment spec.
     """
     store = _coerce_cache(cache)
     policy = policy if policy is not None else JobPolicy()
     workers = max(1, int(workers))
-    report = RunReport(total=len(jobs), workers=workers)
     start = time.perf_counter()
     corrupt_base = store.corrupt_seen if store is not None else 0
 
-    unknown_kinds = sorted({job.kind for job in jobs} - set(EXECUTORS))
-    if unknown_kinds:
-        kinds = ", ".join(repr(kind) for kind in unknown_kinds)
-        raise ValueError(f"unknown job kind {kinds}; choose from {sorted(EXECUTORS)}")
-
-    keys = [config_key(job) for job in jobs]
-    payloads: Dict[str, Dict[str, object]] = {}
-    pending: Dict[str, Job] = {}
-    for job, key in zip(jobs, keys):
-        if key in payloads or key in pending:
-            continue
-        hit = store.get(key) if store is not None else None
-        if hit is not None:
-            payloads[key] = hit
-            report.cache_hits += 1
-        else:
-            pending[key] = job
-    report.deduplicated = len(jobs) - report.cache_hits - len(pending)
-    report.executed = len(pending)
+    plan = plan_jobs(jobs, cache=store, refresh=True)
+    keys = plan.keys
+    payloads = plan.payloads
+    pending = plan.pending
+    report = RunReport(
+        total=plan.total,
+        workers=workers,
+        cache_hits=plan.cache_hits,
+        deduplicated=plan.deduplicated,
+        executed=len(pending),
+    )
 
     checkpoint_path = Path(checkpoint) if checkpoint is not None else None
+    cached_keys = sorted(payloads)
+    serialized_jobs = (
+        [job_to_dict(job) for job in jobs] if checkpoint_path is not None else []
+    )
     errors: Dict[str, JobError] = {}
     last_flush = 0.0
 
@@ -897,11 +1241,14 @@ def run_jobs_report(
                 "checkpoint_version": CHECKPOINT_VERSION,
                 "finished": finished,
                 "interrupted": report.interrupted,
+                "meta": dict(checkpoint_meta) if checkpoint_meta else {},
                 "total_jobs": report.total,
                 "cache_hits": report.cache_hits,
+                "cached": cached_keys,
                 "completed": [key for key in pending if key in payloads],
                 "failed": [asdict(error) for error in errors.values()],
                 "pending": remaining,
+                "jobs": serialized_jobs,
             },
         )
 
@@ -921,7 +1268,10 @@ def run_jobs_report(
             error = JobError(**job_error)
             errors[key] = error
             report.errors.append(error)
-            flush_checkpoint(finished=False)
+            # throttled like success flushes — a mass-failure sweep would
+            # otherwise rewrite the O(jobs) file once per failure; the raise
+            # path forces because it abandons the run right after
+            flush_checkpoint(finished=False, force=policy.on_error == "raise")
             if progress is not None:
                 progress(
                     f"{done}/{len(items)} jobs executed"
@@ -979,10 +1329,17 @@ def run_jobs(
     progress: Optional[Callable[[str], None]] = None,
     policy: Optional[JobPolicy] = None,
     checkpoint: Union[None, str, Path] = None,
+    checkpoint_meta: Optional[Mapping[str, object]] = None,
 ) -> List[ComparisonRecord]:
     """Like :func:`run_jobs_report`, returning only the records."""
     records, _ = run_jobs_report(
-        jobs, workers=workers, cache=cache, progress=progress, policy=policy, checkpoint=checkpoint
+        jobs,
+        workers=workers,
+        cache=cache,
+        progress=progress,
+        policy=policy,
+        checkpoint=checkpoint,
+        checkpoint_meta=checkpoint_meta,
     )
     return records
 

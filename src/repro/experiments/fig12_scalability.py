@@ -13,7 +13,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..hardware.noise import DEFAULT_NOISE, NoiseModel
-from .engine import Job, noise_to_items, run_jobs
+from .engine import Job, experiment_checkpoint_meta, noise_to_items, run_jobs
 from .runner import ComparisonRecord
 from .settings import BENCHMARK_NAMES, FIG12_ARRAYS
 
@@ -70,8 +70,12 @@ def run_fig12(
     workers: int = 1,
     cache=None,
     policy=None,
+    checkpoint=None,
 ) -> List[ComparisonRecord]:
-    """Regenerate Fig. 12's data: one record per (array shape, benchmark)."""
+    """Regenerate Fig. 12's data: one record per (array shape, benchmark).
+
+    ``checkpoint`` names a resumable progress file (see ``repro resume``).
+    """
     jobs = jobs_for_fig12(
         scale=scale,
         benchmarks=benchmarks,
@@ -80,7 +84,14 @@ def run_fig12(
         noise=noise,
         seed=seed,
     )
-    return run_jobs(jobs, workers=workers, cache=cache, policy=policy)
+    return run_jobs(
+        jobs,
+        workers=workers,
+        cache=cache,
+        policy=policy,
+        checkpoint=checkpoint,
+        checkpoint_meta=experiment_checkpoint_meta("fig12", scale, benchmarks, seed, cache),
+    )
 
 
 def improvement_series(

@@ -24,7 +24,7 @@ from dataclasses import dataclass
 from typing import List, Sequence, Tuple
 
 from ..hardware.noise import DEFAULT_NOISE, NoiseModel
-from .engine import Job, noise_to_items, run_jobs
+from .engine import Job, experiment_checkpoint_meta, noise_to_items, run_jobs
 from .runner import ComparisonRecord
 from .settings import BENCHMARK_NAMES
 
@@ -143,6 +143,7 @@ def run_fig13(
     workers: int = 1,
     cache=None,
     policy=None,
+    checkpoint=None,
 ) -> List[SensitivityResult]:
     """Regenerate the three panels of Fig. 13."""
     jobs = jobs_for_fig13(
@@ -154,7 +155,14 @@ def run_fig13(
         base_noise=base_noise,
         seed=seed,
     )
-    records = run_jobs(jobs, workers=workers, cache=cache, policy=policy)
+    records = run_jobs(
+        jobs,
+        workers=workers,
+        cache=cache,
+        policy=policy,
+        checkpoint=checkpoint,
+        checkpoint_meta=experiment_checkpoint_meta("fig13", scale, benchmarks, seed, cache),
+    )
     return sensitivity_results_from_records(records)
 
 

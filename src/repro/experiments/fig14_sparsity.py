@@ -14,7 +14,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..hardware.array import ChipletArray
 from ..hardware.noise import DEFAULT_NOISE, NoiseModel
-from .engine import Job, noise_to_items, run_jobs
+from .engine import Job, experiment_checkpoint_meta, noise_to_items, run_jobs
 from .runner import ComparisonRecord
 from .settings import BENCHMARK_NAMES
 
@@ -79,6 +79,7 @@ def run_fig14(
     workers: int = 1,
     cache=None,
     policy=None,
+    checkpoint=None,
 ) -> List[ComparisonRecord]:
     """Regenerate Fig. 14: one record per (links-per-edge, benchmark)."""
     jobs = jobs_for_fig14(
@@ -88,7 +89,14 @@ def run_fig14(
         noise=noise,
         seed=seed,
     )
-    return run_jobs(jobs, workers=workers, cache=cache, policy=policy)
+    return run_jobs(
+        jobs,
+        workers=workers,
+        cache=cache,
+        policy=policy,
+        checkpoint=checkpoint,
+        checkpoint_meta=experiment_checkpoint_meta("fig14", scale, benchmarks, seed, cache),
+    )
 
 
 def normalized_by_sparsity(

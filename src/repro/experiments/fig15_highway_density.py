@@ -16,7 +16,7 @@ from typing import Dict, List, Sequence, Tuple
 from ..compiler import MechCompiler
 from ..hardware.array import ChipletArray
 from ..hardware.noise import DEFAULT_NOISE, NoiseModel
-from .engine import Job, noise_to_items, run_jobs
+from .engine import Job, experiment_checkpoint_meta, noise_to_items, run_jobs
 from .runner import ComparisonRecord
 from .settings import BENCHMARK_NAMES
 
@@ -84,12 +84,20 @@ def run_fig15(
     workers: int = 1,
     cache=None,
     policy=None,
+    checkpoint=None,
 ) -> List[ComparisonRecord]:
     """Regenerate Fig. 15: one record per (highway density, benchmark)."""
     jobs = jobs_for_fig15(
         scale=scale, benchmarks=benchmarks, densities=densities, noise=noise, seed=seed
     )
-    return run_jobs(jobs, workers=workers, cache=cache, policy=policy)
+    return run_jobs(
+        jobs,
+        workers=workers,
+        cache=cache,
+        policy=policy,
+        checkpoint=checkpoint,
+        checkpoint_meta=experiment_checkpoint_meta("fig15", scale, benchmarks, seed, cache),
+    )
 
 
 def normalized_by_density(

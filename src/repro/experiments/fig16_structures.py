@@ -12,7 +12,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..hardware.noise import DEFAULT_NOISE, NoiseModel
-from .engine import Job, noise_to_items, run_jobs
+from .engine import Job, experiment_checkpoint_meta, noise_to_items, run_jobs
 from .runner import ComparisonRecord
 from .settings import BENCHMARK_NAMES, TABLE1_SETTINGS, ArchitectureSetting, scaled_setting
 
@@ -76,12 +76,20 @@ def run_fig16(
     workers: int = 1,
     cache=None,
     policy=None,
+    checkpoint=None,
 ) -> List[ComparisonRecord]:
     """Regenerate Fig. 16: one record per (coupling structure, benchmark)."""
     jobs = jobs_for_fig16(
         scale=scale, benchmarks=benchmarks, settings=settings, noise=noise, seed=seed
     )
-    return run_jobs(jobs, workers=workers, cache=cache, policy=policy)
+    return run_jobs(
+        jobs,
+        workers=workers,
+        cache=cache,
+        policy=policy,
+        checkpoint=checkpoint,
+        checkpoint_meta=experiment_checkpoint_meta("fig16", scale, benchmarks, seed, cache),
+    )
 
 
 def normalized_by_structure(

@@ -18,10 +18,13 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from .engine import (
     SCALE_TIERS,
+    ExecutionPlan,
     Job,
     JobPolicy,
     ResultCache,
     RunReport,
+    experiment_checkpoint_meta,
+    plan_jobs,
     run_jobs_report,
 )
 from .fig12_scalability import format_fig12, jobs_for_fig12
@@ -32,7 +35,15 @@ from .fig16_structures import format_fig16, jobs_for_fig16
 from .runner import ComparisonRecord
 from .table2 import format_table2, jobs_for_table2
 
-__all__ = ["ExperimentSpec", "EXPERIMENTS", "get_experiment", "run_experiment"]
+__all__ = [
+    "ExperimentSpec",
+    "EXPERIMENTS",
+    "build_experiment_jobs",
+    "experiment_meta",
+    "get_experiment",
+    "plan_experiment",
+    "run_experiment",
+]
 
 
 @dataclass(frozen=True)
@@ -106,6 +117,60 @@ def get_experiment(name: str) -> ExperimentSpec:
         ) from exc
 
 
+def experiment_meta(
+    name: str,
+    *,
+    scale: str = "small",
+    benchmarks: Optional[Sequence[str]] = None,
+    seed: int = 0,
+    cache: Union[None, str, Path, ResultCache] = None,
+) -> Dict[str, object]:
+    """The checkpoint/artifact metadata header for one experiment run.
+
+    Stored verbatim in the checkpoint's ``meta`` field, this is what lets
+    ``repro resume`` recover the experiment (and thus its formatter), reuse
+    the original cache directory, and write artifacts with the same metadata
+    an uninterrupted run would.
+    """
+    get_experiment(name)  # fail early on unknown names
+    return experiment_checkpoint_meta(name, scale, benchmarks, seed, cache)
+
+
+def build_experiment_jobs(
+    name: str,
+    *,
+    scale: str = "small",
+    benchmarks: Optional[Sequence[str]] = None,
+    seed: int = 0,
+) -> List[Job]:
+    """Expand one registered experiment's scale preset into engine jobs."""
+    spec = get_experiment(name)
+    kwargs: Dict[str, object] = {"scale": scale, "seed": seed}
+    if benchmarks is not None:
+        kwargs["benchmarks"] = list(benchmarks)
+    return spec.build_jobs(**kwargs)
+
+
+def plan_experiment(
+    name: str,
+    *,
+    scale: str = "small",
+    benchmarks: Optional[Sequence[str]] = None,
+    seed: int = 0,
+    cache: Union[None, str, Path, ResultCache] = None,
+    refresh: bool = False,
+) -> ExecutionPlan:
+    """Expand one experiment and plan it against the cache without executing.
+
+    This is the ``repro run --dry-run`` entry point: the plan's
+    cached/pending split is exactly what :func:`run_experiment` with the same
+    arguments would do, and (like :func:`plan_jobs`) a preview leaves the
+    cache's LRU state untouched unless ``refresh=True``.
+    """
+    jobs = build_experiment_jobs(name, scale=scale, benchmarks=benchmarks, seed=seed)
+    return plan_jobs(jobs, cache=cache, refresh=refresh)
+
+
 def run_experiment(
     name: str,
     *,
@@ -125,16 +190,15 @@ def run_experiment(
     fault-tolerance ``policy`` and ``checkpoint`` file.  Returns the records
     (healthy jobs only — failures are in ``report.errors``) and the report.
     """
-    spec = get_experiment(name)
-    kwargs: Dict[str, object] = {"scale": scale, "seed": seed}
-    if benchmarks is not None:
-        kwargs["benchmarks"] = list(benchmarks)
-    jobs = spec.build_jobs(**kwargs)
+    jobs = build_experiment_jobs(name, scale=scale, benchmarks=benchmarks, seed=seed)
     return run_jobs_report(
         jobs,
         workers=workers,
         cache=cache,
         policy=policy,
         checkpoint=checkpoint,
+        checkpoint_meta=experiment_meta(
+            name, scale=scale, benchmarks=benchmarks, seed=seed, cache=cache
+        ),
         progress=progress,
     )

@@ -14,7 +14,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..hardware.noise import DEFAULT_NOISE, NoiseModel
-from .engine import Job, noise_to_items, run_jobs
+from .engine import Job, experiment_checkpoint_meta, noise_to_items, run_jobs
 from .runner import ComparisonRecord, format_records
 from .settings import BENCHMARK_NAMES, TABLE2_CHIPLET_SIZES
 
@@ -106,6 +106,7 @@ def run_table2(
     workers: int = 1,
     cache=None,
     policy=None,
+    checkpoint=None,
 ) -> List[ComparisonRecord]:
     """Regenerate Table 2: one record per (chiplet size, benchmark)."""
     jobs = jobs_for_table2(
@@ -117,7 +118,14 @@ def run_table2(
         seed=seed,
         qaoa_kwargs=qaoa_kwargs,
     )
-    return run_jobs(jobs, workers=workers, cache=cache, policy=policy)
+    return run_jobs(
+        jobs,
+        workers=workers,
+        cache=cache,
+        policy=policy,
+        checkpoint=checkpoint,
+        checkpoint_meta=experiment_checkpoint_meta("table2", scale, benchmarks, seed, cache),
+    )
 
 
 def format_table2(records: Sequence[ComparisonRecord]) -> str:

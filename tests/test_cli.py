@@ -2,11 +2,13 @@
 
 import csv
 import json
+import os
+import time
 
 import pytest
 
 from repro.cli import main
-from repro.experiments.engine import FAULT_INJECT_ENV
+from repro.experiments.engine import FAULT_INJECT_ENV, ResultCache
 
 
 @pytest.fixture()
@@ -192,3 +194,157 @@ class TestBenchmarkValidation:
         capsys.readouterr()
         assert main([*args, "--benchmarks", "BV"]) == 0
         assert "3 cached, 0 executed" in capsys.readouterr().out
+
+
+class TestDryRun:
+    """Golden tests: the dry-run plan output is a stable contract."""
+
+    COLD_PLAN = (
+        "fig12: 3 jobs, 3 unique (0 duplicates) — 0 cached, 3 pending, 0 failed\n"
+        "  kind compare: 0 cached, 3 pending, 0 failed\n"
+        "  benchmark BV: 0 cached, 3 pending, 0 failed\n"
+        "dry-run: no jobs executed, no artifacts written\n"
+    )
+    WARM_PLAN = (
+        "fig12: 3 jobs, 3 unique (0 duplicates) — 3 cached, 0 pending, 0 failed\n"
+        "  kind compare: 3 cached, 0 pending, 0 failed\n"
+        "  benchmark BV: 3 cached, 0 pending, 0 failed\n"
+        "dry-run: no jobs executed, no artifacts written\n"
+    )
+
+    def test_cold_cache_human_plan_is_golden(self, dirs, capsys):
+        assert _run_fig12(dirs, "--dry-run") == 0
+        assert capsys.readouterr().out == self.COLD_PLAN
+
+    def test_warm_cache_human_plan_is_golden(self, dirs, capsys):
+        assert _run_fig12(dirs) == 0
+        capsys.readouterr()
+        assert _run_fig12(dirs, "--dry-run") == 0
+        assert capsys.readouterr().out == self.WARM_PLAN
+
+    def test_cold_cache_json_plan_is_golden(self, dirs, capsys):
+        assert _run_fig12(dirs, "--dry-run", "--json") == 0
+        assert json.loads(capsys.readouterr().out) == {
+            "dry_run": True,
+            "scale": "small",
+            "benchmarks": ["BV"],
+            "seed": 0,
+            "cache_dir": dirs["cache"],
+            "experiments": [
+                {
+                    "experiment": "fig12",
+                    "total": 3,
+                    "unique": 3,
+                    "duplicates": 0,
+                    "cached": 0,
+                    "pending": 3,
+                    "failed": 0,
+                    "by_kind": {"compare": {"cached": 0, "pending": 3, "failed": 0}},
+                    "by_benchmark": {"BV": {"cached": 0, "pending": 3, "failed": 0}},
+                }
+            ],
+        }
+
+    def test_dry_run_executes_nothing_and_writes_nothing(self, dirs, tmp_path, capsys):
+        assert _run_fig12(dirs, "--dry-run") == 0
+        assert not (tmp_path / "artifacts").exists()
+        assert len(ResultCache(dirs["cache"])) == 0
+
+    def test_dry_run_counts_match_the_subsequent_real_run(self, dirs, capsys):
+        assert _run_fig12(dirs, "--dry-run", "--json") == 0
+        plan = json.loads(capsys.readouterr().out)["experiments"][0]
+        assert _run_fig12(dirs) == 0
+        out = capsys.readouterr().out
+        assert f"{plan['cached']} cached, {plan['pending']} executed" in out
+
+    def test_failed_jobs_from_the_checkpoint_are_classified(self, dirs, monkeypatch, capsys):
+        monkeypatch.setenv(FAULT_INJECT_ENV, "BV")
+        assert _run_fig12(dirs) == 1
+        monkeypatch.delenv(FAULT_INJECT_ENV)
+        capsys.readouterr()
+        assert _run_fig12(dirs, "--dry-run", "--json") == 0
+        plan = json.loads(capsys.readouterr().out)["experiments"][0]
+        assert (plan["cached"], plan["pending"], plan["failed"]) == (0, 0, 3)
+
+    def test_json_without_dry_run_is_a_usage_error(self, dirs, capsys):
+        assert _run_fig12(dirs, "--json") == 2
+        assert "--json requires --dry-run" in capsys.readouterr().err
+
+    def test_multiple_experiments_emit_one_plan_each(self, dirs, capsys):
+        args = ["run", "fig12", "table2", "--benchmarks", "BV", "--dry-run",
+                "--cache-dir", dirs["cache"], "--out-dir", dirs["out"]]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("fig12: ")
+        assert "\ntable2: " in out
+        assert out.count("dry-run: no jobs executed") == 1
+
+
+class TestCleanCacheTtl:
+    def _age_half_of_the_cache(self, dirs, days=40):
+        cache = ResultCache(dirs["cache"])
+        entries = cache.entries()
+        stamp = time.time() - days * 86400
+        aged = entries[: len(entries) // 2 or 1]
+        for path in aged:
+            os.utime(path, (stamp, stamp))
+        return len(entries), len(aged)
+
+    def test_older_than_removes_only_aged_entries(self, dirs, capsys):
+        assert _run_fig12(dirs) == 0
+        total, aged = self._age_half_of_the_cache(dirs)
+        capsys.readouterr()
+        assert main(["clean-cache", "--cache-dir", dirs["cache"], "--older-than", "30"]) == 0
+        out = capsys.readouterr().out
+        assert f"removed {aged} of {total} cache entries older than 30 days" in out
+        assert len(ResultCache(dirs["cache"])) == total - aged
+
+    def test_older_than_dry_run_removes_nothing(self, dirs, capsys):
+        assert _run_fig12(dirs) == 0
+        total, aged = self._age_half_of_the_cache(dirs)
+        capsys.readouterr()
+        assert main(
+            ["clean-cache", "--cache-dir", dirs["cache"], "--older-than", "30", "--dry-run"]
+        ) == 0
+        assert f"would remove {aged} of {total}" in capsys.readouterr().out
+        assert len(ResultCache(dirs["cache"])) == total
+
+    def test_full_clear_dry_run_reports_the_count(self, dirs, capsys):
+        assert _run_fig12(dirs) == 0
+        capsys.readouterr()
+        assert main(["clean-cache", "--cache-dir", dirs["cache"], "--dry-run"]) == 0
+        assert "would remove 3 cache entries" in capsys.readouterr().out
+        assert len(ResultCache(dirs["cache"])) == 3
+
+    def test_negative_older_than_is_a_usage_error(self, dirs, capsys):
+        assert main(["clean-cache", "--cache-dir", dirs["cache"], "--older-than", "-1"]) == 2
+        assert "--older-than" in capsys.readouterr().err
+
+    def test_swept_jobs_recompute_on_the_next_run(self, dirs, capsys):
+        assert _run_fig12(dirs) == 0
+        self._age_half_of_the_cache(dirs, days=40)
+        capsys.readouterr()
+        assert main(["clean-cache", "--cache-dir", dirs["cache"], "--older-than", "30"]) == 0
+        capsys.readouterr()
+        assert _run_fig12(dirs) == 0
+        assert "2 cached, 1 executed" in capsys.readouterr().out
+
+    def test_nan_older_than_is_a_usage_error(self, dirs, capsys):
+        assert _run_fig12(dirs) == 0
+        capsys.readouterr()
+        assert main(["clean-cache", "--cache-dir", dirs["cache"], "--older-than", "nan"]) == 2
+        assert "--older-than" in capsys.readouterr().err
+        assert len(ResultCache(dirs["cache"])) == 3  # the cache survived
+
+    def test_nan_cache_max_mb_is_a_usage_error(self, dirs, capsys):
+        assert _run_fig12(dirs, "--cache-max-mb", "nan") == 2
+        assert "--cache-max-mb" in capsys.readouterr().err
+
+    def test_unreadable_checkpoint_warns_during_dry_run(self, dirs, tmp_path, capsys):
+        out_dir = tmp_path / "artifacts"
+        out_dir.mkdir()
+        (out_dir / "fig12.checkpoint.json").write_text("{not json")
+        assert _run_fig12(dirs, "--dry-run") == 0
+        captured = capsys.readouterr()
+        assert "warning: ignoring unreadable checkpoint" in captured.err
+        assert "0 cached, 3 pending, 0 failed" in captured.out

@@ -1,8 +1,16 @@
 """Property-based tests (hypothesis) on the core data structures and invariants."""
 
+import json
+import os
+import tempfile
+import time
+from pathlib import Path
+
 import numpy as np
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
+
+from repro.experiments.engine import CACHE_VERSION, Job, ResultCache
 
 from repro.baseline import BaselineCompiler
 from repro.circuits import Circuit, DependencyDag, Simulator, circuit_unitary, commutes, expand_macros
@@ -189,3 +197,116 @@ class TestCompilerProperties:
         phase = product[0, 0]
         assert np.isclose(abs(phase), 1.0, atol=1e-7)
         assert np.allclose(product, phase * np.eye(u1.shape[0]), atol=1e-7)
+
+
+# --------------------------------------------------------------------------- #
+# result-cache invariants (LRU cap, TTL sweep, recency, shard migration)
+# --------------------------------------------------------------------------- #
+_CACHE_JOB = Job(benchmark="BV")
+_CACHE_PAYLOAD = {"benchmark": "BV", "architecture": "prop-1x1"}
+
+
+def _cache_key(index: int) -> str:
+    """A distinct, shardable (hex) config key per index."""
+    return f"{index:02x}" * 32
+
+
+class TestResultCacheProperties:
+    @given(
+        ages=st.lists(st.integers(0, 10_000), min_size=1, max_size=12),
+        max_age=st.integers(0, 10_000),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_ttl_sweep_never_evicts_entries_newer_than_the_cutoff(self, ages, max_age):
+        """Exactly the entries strictly older than ``now - max_age`` go."""
+        with tempfile.TemporaryDirectory() as tmp:
+            cache = ResultCache(tmp)
+            now = time.time()
+            paths = {}
+            for index, age in enumerate(ages):
+                key = _cache_key(index)
+                path = cache.put(key, _CACHE_JOB, _CACHE_PAYLOAD)
+                os.utime(path, (now - age, now - age))
+                paths[key] = (path, age)
+            result = cache.sweep_older_than(max_age, now=now)
+            for key, (path, age) in paths.items():
+                assert path.exists() == (age <= max_age), (age, max_age)
+            assert result["removed"] == sum(1 for _, age in paths.values() if age > max_age)
+            assert result["scanned"] == len(ages)
+
+    @given(
+        ages=st.lists(st.integers(0, 10_000), min_size=1, max_size=8),
+        max_age=st.integers(0, 10_000),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_ttl_dry_run_removes_nothing_but_counts_identically(self, ages, max_age):
+        with tempfile.TemporaryDirectory() as tmp:
+            cache = ResultCache(tmp)
+            now = time.time()
+            for index, age in enumerate(ages):
+                path = cache.put(_cache_key(index), _CACHE_JOB, _CACHE_PAYLOAD)
+                os.utime(path, (now - age, now - age))
+            preview = cache.sweep_older_than(max_age, dry_run=True, now=now)
+            assert len(cache) == len(ages)  # nothing deleted
+            real = cache.sweep_older_than(max_age, now=now)
+            assert preview == real
+
+    @given(n_entries=st.integers(1, 10), cap_entries=st.integers(1, 10))
+    @settings(max_examples=25, deadline=None)
+    def test_lru_cap_evicts_oldest_first_and_never_the_newest(self, n_entries, cap_entries):
+        """After a capped put, survivors are exactly the most recently used."""
+        with tempfile.TemporaryDirectory() as tmp:
+            uncapped = ResultCache(tmp)
+            now = time.time()
+            size = None
+            for index in range(n_entries):
+                path = uncapped.put(_cache_key(index), _CACHE_JOB, _CACHE_PAYLOAD)
+                # distinct mtimes: index 0 is the least recently used
+                stamp = now - (n_entries - index)
+                os.utime(path, (stamp, stamp))
+                size = path.stat().st_size
+            capped = ResultCache(tmp, max_bytes=size * cap_entries)
+            newest = _cache_key(n_entries)
+            capped.put(newest, _CACHE_JOB, _CACHE_PAYLOAD)  # mtime ~now, triggers eviction
+            survivors = {path.name[: -len(".json")] for path in capped.entries()}
+            expected = {
+                _cache_key(index)
+                for index in range(n_entries + 1)
+                if index >= (n_entries + 1) - cap_entries
+            }
+            assert survivors == expected
+            assert newest in survivors
+
+    @given(n_entries=st.integers(2, 10), data=st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_get_refreshes_recency_so_served_entries_survive_a_ttl_sweep(
+        self, n_entries, data
+    ):
+        with tempfile.TemporaryDirectory() as tmp:
+            cache = ResultCache(tmp)
+            now = time.time()
+            for index in range(n_entries):
+                path = cache.put(_cache_key(index), _CACHE_JOB, _CACHE_PAYLOAD)
+                os.utime(path, (now - 1000, now - 1000))
+            touched = data.draw(st.integers(0, n_entries - 1))
+            assert cache.get(_cache_key(touched)) == _CACHE_PAYLOAD  # refreshes mtime
+            cache.sweep_older_than(500, now=time.time())
+            survivors = {path.name[: -len(".json")] for path in cache.entries()}
+            assert survivors == {_cache_key(touched)}
+
+    @given(n_entries=st.integers(1, 12))
+    @settings(max_examples=20, deadline=None)
+    def test_shard_migration_is_idempotent_and_preserves_payloads(self, n_entries):
+        with tempfile.TemporaryDirectory() as tmp:
+            cache = ResultCache(tmp)
+            for index in range(n_entries):
+                key = _cache_key(index)
+                entry = {"cache_version": CACHE_VERSION, "key": key, "record": dict(_CACHE_PAYLOAD)}
+                (Path(tmp) / f"{key}.json").write_text(json.dumps(entry), encoding="utf-8")
+            assert cache.migrate() == n_entries
+            assert cache.migrate() == 0  # idempotent: nothing left to move
+            for path in cache.entries():
+                assert path.parent != cache.cache_dir  # everything sharded
+            for index in range(n_entries):
+                assert cache.get(_cache_key(index)) == _CACHE_PAYLOAD
+            assert cache.migrate() == 0  # gets did not un-shard anything
