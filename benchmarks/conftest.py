@@ -24,7 +24,10 @@ More knobs plumb straight into the engine:
   ``<experiment>.checkpoint.json`` per benchmark.  An interrupted overnight
   run (given ``--repro-cache-dir``) can then be finished with
   ``repro resume PATH/<experiment>.checkpoint.json`` — only the jobs that
-  never completed execute.
+  never completed execute;
+* ``--repro-compilers a,b,c`` compares N registered compiler backends
+  (reference first) instead of the default baseline-vs-MECH pair, exactly
+  like ``repro run --compilers``.
 
 Each benchmark prints the regenerated table so the numbers land in the
 benchmark log, and reports the end-to-end wall time of one full regeneration
@@ -88,6 +91,14 @@ def pytest_addoption(parser):
         help="Directory for resumable <experiment>.checkpoint.json files"
         " (resume an interrupted benchmark with `repro resume`).",
     )
+    parser.addoption(
+        "--repro-compilers",
+        action="store",
+        default=None,
+        help="Comma-separated registered compiler backends to compare"
+        " (reference first; engine --compilers, default baseline,mech;"
+        " see `repro compilers`).",
+    )
 
 
 @pytest.fixture(scope="session")
@@ -107,6 +118,9 @@ def engine_opts(request):
     on_error = request.config.getoption("--repro-on-error")
     if timeout is not None or retries or on_error != "raise":
         opts["policy"] = JobPolicy(timeout=timeout, retries=retries, on_error=on_error)
+    compilers = request.config.getoption("--repro-compilers")
+    if compilers is not None:
+        opts["compilers"] = [name.strip() for name in compilers.split(",") if name.strip()]
     return opts
 
 

@@ -32,6 +32,12 @@ Quick start::
 
 __version__ = "1.0.0"
 
+from .backends import (
+    CompilerBackend,
+    available_backends,
+    get_backend,
+    register_backend,
+)
 from .baseline import BaselineCompiler, SabreRouter
 from .circuits import (
     Circuit,
@@ -68,6 +74,11 @@ __all__ = [
     "BaselineCompiler",
     "SabreRouter",
     "CompilationResult",
+    # pluggable backends
+    "CompilerBackend",
+    "available_backends",
+    "get_backend",
+    "register_backend",
     # metrics
     "CircuitMetrics",
     "OperationCounts",

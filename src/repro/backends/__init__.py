@@ -1,0 +1,44 @@
+"""Pluggable compiler backends: protocol, registry and built-in compilers.
+
+This package is the seam that turns the repo's core comparison from a
+hard-coded MECH-vs-baseline pair into an open N-compiler sweep:
+
+* :class:`CompilerBackend` — the two-method protocol every compiler adapts to;
+* :func:`register_backend` / :func:`get_backend` / :func:`available_backends`
+  — the string-keyed registry everything above dispatches through;
+* built-ins — ``baseline``, ``mech``, ``mech-nofuse`` and ``sabre-x``
+  (importing this package registers all four).
+
+See :func:`repro.experiments.runner.compile_many` for the N-way driver and
+``repro run --compilers a,b,c`` / ``repro compilers`` for the CLI surface.
+"""
+
+from .base import CompilerBackend
+from .builtin import (
+    DEFAULT_COMPILERS,
+    BaselineBackend,
+    MechBackend,
+    MechNoFuseBackend,
+    SabreXBackend,
+)
+from .registry import (
+    available_backends,
+    backend_descriptions,
+    get_backend,
+    register_backend,
+    unregister_backend,
+)
+
+__all__ = [
+    "CompilerBackend",
+    "DEFAULT_COMPILERS",
+    "BaselineBackend",
+    "MechBackend",
+    "MechNoFuseBackend",
+    "SabreXBackend",
+    "available_backends",
+    "backend_descriptions",
+    "get_backend",
+    "register_backend",
+    "unregister_backend",
+]

@@ -1,0 +1,82 @@
+"""String-keyed registry of compiler backends.
+
+Concrete backends register a zero-argument factory under a stable lowercase
+name; everything above — the experiment runner's :func:`compile_many`, the
+engine's plan-time validation, the ``repro run --compilers`` flag and the
+``repro compilers`` listing — resolves backends exclusively through
+:func:`get_backend`, so adding a compiler to every sweep is one
+:func:`register_backend` call.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from .base import CompilerBackend
+
+__all__ = [
+    "available_backends",
+    "backend_descriptions",
+    "get_backend",
+    "register_backend",
+    "unregister_backend",
+]
+
+#: name -> zero-arg factory producing a *fresh, unconfigured* backend.
+_REGISTRY: Dict[str, Callable[[], CompilerBackend]] = {}
+
+
+def register_backend(
+    name: str, factory: Callable[[], CompilerBackend], *, replace: bool = False
+) -> None:
+    """Register ``factory`` (typically the backend class) under ``name``.
+
+    Names are normalised to lowercase.  Re-registering an existing name is an
+    error unless ``replace=True`` — silent shadowing of a built-in backend
+    would change every cache key's meaning without changing the key.
+
+    Worker processes re-import the registry rather than inheriting it, so a
+    backend that should be visible to parallel sweeps (``--jobs > 1`` on a
+    spawn-based platform) must be registered at import time of a module the
+    workers import — not from inside ``if __name__ == "__main__"``.  On
+    fork-based platforms (Linux) the parent's registrations are inherited.
+    """
+    key = name.strip().lower()
+    if not key:
+        raise ValueError("backend name must be a non-empty string")
+    if key in _REGISTRY and not replace:
+        raise ValueError(
+            f"backend {key!r} is already registered; pass replace=True to override"
+        )
+    _REGISTRY[key] = factory
+
+
+def unregister_backend(name: str) -> None:
+    """Remove a registered backend (primarily for tests)."""
+    _REGISTRY.pop(name.strip().lower(), None)
+
+
+def get_backend(name: str) -> CompilerBackend:
+    """A fresh, unconfigured instance of the backend registered as ``name``."""
+    key = str(name).strip().lower()
+    try:
+        factory = _REGISTRY[key]
+    except KeyError as exc:
+        raise ValueError(
+            f"unknown compiler {name!r}; choose from {available_backends()}"
+        ) from exc
+    return factory()
+
+
+def available_backends() -> List[str]:
+    """Sorted names of every registered backend."""
+    return sorted(_REGISTRY)
+
+
+def backend_descriptions() -> Dict[str, str]:
+    """``name -> one-line description`` for every registered backend, sorted."""
+    out: Dict[str, str] = {}
+    for name in available_backends():
+        backend = _REGISTRY[name]()
+        out[name] = getattr(backend, "description", "") or ""
+    return out

@@ -4,9 +4,12 @@ Runs any of the paper's figures/tables through the orchestration engine::
 
     repro run fig12 --scale small --jobs 4
     repro run table2 fig16 --benchmarks BV QFT --out-dir artifacts
+    repro run table2 --compilers baseline,mech,sabre-x   # N-way comparison
     repro run fig12 --timeout 3600 --retries 1 --on-error record
     repro run fig12 --dry-run            # what would execute?  (--json for machines)
     repro resume artifacts/fig12.checkpoint.json
+    repro resume artifacts/fig12.checkpoint.json --only-failed
+    repro compilers                      # registered compiler backends (--json)
     repro list
     repro cache-stats
     repro clean-cache --older-than 30    # TTL sweep (add --dry-run to preview)
@@ -40,6 +43,7 @@ import time
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence
 
+from .backends import DEFAULT_COMPILERS, available_backends, backend_descriptions
 from .experiments.engine import (
     SCALE_TIERS,
     Checkpoint,
@@ -53,8 +57,9 @@ from .experiments.engine import (
     run_jobs_report,
     write_artifacts,
 )
+from .experiments.engine import config_key
 from .experiments.registry import EXPERIMENTS, plan_experiment, run_experiment
-from .experiments.runner import ComparisonRecord, format_failed_rows
+from .experiments.runner import AnyRecord, format_failed_rows, normalize_compilers
 from .experiments.settings import BENCHMARK_NAMES
 
 __all__ = ["main", "build_parser"]
@@ -157,6 +162,14 @@ def build_parser() -> argparse.ArgumentParser:
         help=f"benchmark programs (default: {' '.join(BENCHMARK_NAMES)})",
     )
     run.add_argument("--seed", type=int, default=0)
+    run.add_argument(
+        "--compilers",
+        default=",".join(DEFAULT_COMPILERS),
+        metavar="A,B[,C...]",
+        help="comma-separated registered compiler backends to compare, the"
+        " first being the reference for improvement ratios (default"
+        f" {','.join(DEFAULT_COMPILERS)}; see `repro compilers` for the registry)",
+    )
     _add_worker_options(run)
     _add_cache_options(run)
     run.add_argument(
@@ -209,8 +222,25 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="with --dry-run, print the plan as a JSON document",
     )
+    resume.add_argument(
+        "--only-failed",
+        action="store_true",
+        help="re-execute only the checkpoint's failed jobs (plus cached"
+        " completions for the artifacts); jobs that never started are"
+        " dropped from this resume and from the rewritten checkpoint",
+    )
 
     sub.add_parser("list", help="list the available experiments and scale tiers")
+
+    compilers = sub.add_parser(
+        "compilers",
+        help="list the registered compiler backends (repro run --compilers)",
+    )
+    compilers.add_argument(
+        "--json",
+        action="store_true",
+        help="print the backend registry as a JSON document",
+    )
 
     stats = sub.add_parser("cache-stats", help="summarise the result cache's size and health")
     stats.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR)
@@ -244,6 +274,55 @@ def _cmd_list() -> int:
         spec = EXPERIMENTS[name]
         print(f"  {name:<{width}}  {spec.title}  [scales: {', '.join(spec.scales)}]")
     return 0
+
+
+def _cmd_compilers(as_json: bool) -> int:
+    """List the backend registry (the golden-tested ``repro compilers``)."""
+    descriptions = backend_descriptions()
+    if as_json:
+        document = {
+            "compilers": [
+                {"name": name, "description": descriptions[name]}
+                for name in sorted(descriptions)
+            ],
+            "default": list(DEFAULT_COMPILERS),
+        }
+        print(json.dumps(document, indent=2))
+        return 0
+    width = max(len(name) for name in descriptions)
+    print("registered compiler backends (repro run --compilers A,B[,C...]):")
+    for name in sorted(descriptions):
+        print(f"  {name:<{width}}  {descriptions[name]}")
+    print(
+        f"default comparison: {','.join(DEFAULT_COMPILERS)}"
+        " (the first name is the reference)"
+    )
+    return 0
+
+
+def _parse_compilers(value: str) -> Optional[List[str]]:
+    """Split/normalise a ``--compilers`` value; None signals a usage error.
+
+    Registry membership is checked here (with the mirrored unknown-name
+    error the experiment/benchmark validation uses); the shape rules — at
+    least two names, no duplicates, case folding — are the library's own
+    :func:`normalize_compilers`, so the CLI and the API cannot drift.
+    """
+    names = [part for part in value.split(",") if part.strip()]
+    known = set(available_backends())
+    bad = [name for name in (n.strip().lower() for n in names) if name not in known]
+    if bad:
+        print(
+            f"error: unknown compiler(s) {', '.join(sorted(set(bad)))}; "
+            f"choose from {', '.join(available_backends())}",
+            file=sys.stderr,
+        )
+        return None
+    try:
+        return list(normalize_compilers(names))
+    except ValueError as exc:
+        print(f"error: --compilers: {exc}", file=sys.stderr)
+        return None
 
 
 def _entry_word(count: int) -> str:
@@ -399,7 +478,7 @@ def _emit_plans(plans: List[Dict[str, object]], header: Dict[str, object], as_js
 
 def _emit_experiment(
     name: str,
-    records: Sequence[ComparisonRecord],
+    records: Sequence[AnyRecord],
     report: RunReport,
     *,
     out_dir: str,
@@ -455,13 +534,21 @@ def _cmd_run(args: argparse.Namespace) -> int:
         return usage_error
     # normalise case so "bv" and "BV" share cache entries
     benchmarks = [name.upper() for name in args.benchmarks]
+    compilers = _parse_compilers(args.compilers)
+    if compilers is None:
+        return 2
     cache = _build_cache(args)
 
     if args.dry_run:
         plans = []
         for name in args.experiments:
             plan = plan_experiment(
-                name, scale=args.scale, benchmarks=benchmarks, seed=args.seed, cache=cache
+                name,
+                scale=args.scale,
+                benchmarks=benchmarks,
+                seed=args.seed,
+                cache=cache,
+                compilers=compilers,
             )
             failed_keys = _checkpoint_failed_keys(
                 Path(args.out_dir) / f"{name}.checkpoint.json"
@@ -474,6 +561,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             "benchmarks": benchmarks,
             "seed": args.seed,
             "cache_dir": None if args.no_cache else args.cache_dir,
+            "compilers": compilers,
         }
         return _emit_plans(plans, header, args.json)
 
@@ -494,13 +582,19 @@ def _cmd_run(args: argparse.Namespace) -> int:
             policy=policy,
             checkpoint=Path(args.out_dir) / f"{name}.checkpoint.json",
             progress=progress,
+            compilers=compilers,
         )
         _emit_experiment(
             name,
             records,
             report,
             out_dir=args.out_dir,
-            metadata={"scale": args.scale, "benchmarks": benchmarks, "seed": args.seed},
+            metadata={
+                "scale": args.scale,
+                "benchmarks": benchmarks,
+                "seed": args.seed,
+                "compilers": compilers,
+            },
             on_error=args.on_error,
         )
         failures += report.failed
@@ -542,8 +636,27 @@ def _cmd_resume(args: argparse.Namespace) -> int:
     cache = _build_cache(args)
     out_dir = args.out_dir if args.out_dir is not None else str(checkpoint.path.parent)
 
+    jobs = checkpoint.jobs
+    skipped_pending = 0
+    if args.only_failed:
+        # plan-level filter on the *checkpoint's* classification (not the
+        # current cache state, which may have been swept or relocated): keep
+        # the jobs the original run finished — they stay in the artifacts,
+        # as cache hits or cheap re-executions — plus the failed jobs; drop
+        # only jobs the checkpoint says never started
+        if not checkpoint.failed:
+            print(
+                "error: --only-failed: the checkpoint records no failed jobs"
+                " (use a plain `repro resume` to finish pending work)",
+                file=sys.stderr,
+            )
+            return 2
+        keep = checkpoint.completed_keys | checkpoint.cached_keys | checkpoint.failed_keys
+        jobs = [job for job in checkpoint.jobs if config_key(job) in keep]
+        skipped_pending = len(checkpoint.jobs) - len(jobs)
+
     if args.dry_run:
-        plan = plan_jobs(checkpoint.jobs, cache=cache, refresh=False)
+        plan = plan_jobs(jobs, cache=cache, refresh=False)
         summary = {
             "experiment": name,
             **plan_summary(plan, failed_keys=sorted(checkpoint.failed_keys)),
@@ -551,6 +664,7 @@ def _cmd_resume(args: argparse.Namespace) -> int:
         header = {
             "checkpoint": str(checkpoint.path),
             "cache_dir": None if args.no_cache else args.cache_dir,
+            "only_failed": bool(args.only_failed),
         }
         return _emit_plans([summary], header, args.json)
 
@@ -563,14 +677,20 @@ def _cmd_resume(args: argparse.Namespace) -> int:
     remaining = len(checkpoint.remaining_jobs())
     if not args.quiet:
         spec = EXPERIMENTS[name]
+        note = (
+            f" (--only-failed: skipping {skipped_pending} never-started"
+            f" job{'s' if skipped_pending != 1 else ''})"
+            if args.only_failed and skipped_pending
+            else ""
+        )
         print(
             f"== resume {name}: {spec.title}"
-            f" ({remaining} of {len(checkpoint.jobs)} jobs unfinished) ==",
+            f" ({remaining} of {len(checkpoint.jobs)} jobs unfinished){note} ==",
             file=sys.stderr,
         )
     progress = None if args.quiet else (lambda msg: print(f"  {msg}", file=sys.stderr))
     records, report = run_jobs_report(
-        checkpoint.jobs,
+        jobs,
         workers=_workers(args),
         cache=cache,
         policy=_build_policy(args),
@@ -600,6 +720,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(list(argv) if argv is not None else None)
     if args.command == "list":
         return _cmd_list()
+    if args.command == "compilers":
+        return _cmd_compilers(args.json)
     if args.command == "cache-stats":
         return _cmd_cache_stats(args.cache_dir)
     if args.command == "clean-cache":

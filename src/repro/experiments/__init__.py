@@ -52,7 +52,17 @@ from .registry import (
     plan_experiment,
     run_experiment,
 )
-from .runner import ComparisonRecord, compare, format_records
+from .runner import (
+    ComparisonRecord,
+    CompiledSet,
+    MultiComparisonRecord,
+    compare,
+    compare_many,
+    compile_many,
+    format_multi_records,
+    format_records,
+    resolve_compilers,
+)
 from .settings import (
     BENCHMARK_NAMES,
     FIG12_ARRAYS,
@@ -93,8 +103,14 @@ __all__ = [
     "run_experiment",
     # runner
     "ComparisonRecord",
+    "CompiledSet",
+    "MultiComparisonRecord",
     "compare",
+    "compare_many",
+    "compile_many",
+    "format_multi_records",
     "format_records",
+    "resolve_compilers",
     # settings
     "ArchitectureSetting",
     "TABLE1_SETTINGS",

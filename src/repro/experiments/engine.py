@@ -2,10 +2,16 @@
 
 Every cell of the paper's tables and figures is modelled as a hashable
 :class:`Job`: the benchmark name, the device (structure, chiplet footprint,
-array shape, link density, highway density), the compiler knobs and the seed.
-The engine fans jobs out over a :mod:`multiprocessing` pool, memoizes each
-:class:`~repro.experiments.runner.ComparisonRecord` in an on-disk JSON cache
-keyed by the job's config hash, and emits JSON/CSV artifacts per experiment.
+array shape, link density, highway density), the compiler list (registered
+backend names, reference first — see :mod:`repro.backends`), the compiler
+knobs and the seed.  The engine fans jobs out over a :mod:`multiprocessing`
+pool, memoizes each record in an on-disk JSON cache keyed by the job's config
+hash (the compiler list is part of the hash), and emits JSON/CSV artifacts
+per experiment.  The default ``("baseline", "mech")`` pair produces the
+historic two-column :class:`~repro.experiments.runner.ComparisonRecord`; any
+other compiler list produces an N-way
+:class:`~repro.experiments.runner.MultiComparisonRecord` with per-backend
+columns.
 
 The design splits each experiment into three deterministic phases:
 
@@ -60,10 +66,17 @@ from dataclasses import asdict, dataclass, field, fields, replace
 from pathlib import Path
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
+from ..backends import DEFAULT_COMPILERS, available_backends
 from ..hardware.array import ChipletArray
 from ..hardware.noise import DEFAULT_NOISE, NoiseModel
 from ..metrics import improvement
-from .runner import ComparisonRecord, compare, compile_pair
+from .runner import (
+    AnyRecord,
+    ComparisonRecord,
+    MultiComparisonRecord,
+    backend_stat_extras,
+    compile_many,
+)
 
 __all__ = [
     "CACHE_VERSION",
@@ -99,8 +112,10 @@ __all__ = [
 ]
 
 #: Bump when the cache payload layout or the compilers' semantics change in a
-#: way that invalidates memoized records.
-CACHE_VERSION = 1
+#: way that invalidates memoized records.  Version 2: the pluggable-backend
+#: redesign — jobs carry an explicit compiler list (part of the config hash)
+#: and N-way payloads store per-backend columns.
+CACHE_VERSION = 2
 
 #: The scale tiers shared by every experiment's presets (and by the benchmark
 #: harness's ``--repro-scale`` option).
@@ -128,11 +143,14 @@ DEFAULT_NOISE_ITEMS: Items = noise_to_items(DEFAULT_NOISE)
 class Job:
     """One hashable cell of a figure/table: benchmark x device x knobs.
 
-    ``kind`` selects the executor: ``"compare"`` runs both compilers once and
-    records the paper's headline metrics; ``"sensitivity"`` compiles once and
-    re-scores the fixed circuits under the noise sweeps carried in ``params``
-    (Fig. 13's protocol).  ``tags`` annotate the resulting record's ``extra``
-    dict but do not enter the config hash.
+    ``kind`` selects the executor: ``"compare"`` runs every listed compiler
+    once and records the paper's headline metrics; ``"sensitivity"`` compiles
+    once and re-scores the fixed circuits under the noise sweeps carried in
+    ``params`` (Fig. 13's protocol).  ``compilers`` names the registered
+    backends to compare, reference first; it is part of the config hash, so
+    the same cell swept with different compiler sets caches separately.
+    ``tags`` annotate the resulting record's ``extra`` dict but do not enter
+    the config hash.
     """
 
     benchmark: str
@@ -151,6 +169,7 @@ class Job:
     benchmark_kwargs: Items = ()
     params: Tuple[Tuple[str, Tuple[float, ...]], ...] = ()
     tags: Items = ()
+    compilers: Tuple[str, ...] = DEFAULT_COMPILERS
 
     def build_array(self) -> ChipletArray:
         return ChipletArray(
@@ -169,7 +188,7 @@ class Job:
 
 
 #: Tuple-typed Job fields that JSON round-trips as (nested) lists.
-_TUPLE_FIELDS = ("noise", "benchmark_kwargs", "params", "tags")
+_TUPLE_FIELDS = ("noise", "benchmark_kwargs", "params", "tags", "compilers")
 
 
 def _listify(value):
@@ -194,9 +213,17 @@ def job_to_dict(job: Job) -> Dict[str, object]:
 
 
 def job_from_dict(data: Mapping[str, object]) -> Job:
-    """Inverse of :func:`job_to_dict`."""
+    """Inverse of :func:`job_to_dict`.
+
+    Fields absent from ``data`` fall back to the dataclass defaults, so
+    checkpoints serialised before a field existed (e.g. ``compilers``) keep
+    re-hydrating — an old job and its re-hydrated twin hash identically
+    because :func:`job_to_dict` re-adds the default before hashing.
+    """
     kwargs: Dict[str, object] = {}
     for f in fields(Job):
+        if f.name not in data:
+            continue
         value = data[f.name]
         kwargs[f.name] = _tuplify(value) if f.name in _TUPLE_FIELDS else value
     return Job(**kwargs)  # type: ignore[arg-type]
@@ -220,8 +247,27 @@ def config_key(job: Job) -> str:
 # record (de)serialisation
 
 
-def record_to_payload(record: ComparisonRecord) -> Dict[str, object]:
-    """All dataclass fields of a record as a JSON-serialisable dict."""
+def record_to_payload(record: AnyRecord) -> Dict[str, object]:
+    """All dataclass fields of a record as a JSON-serialisable dict.
+
+    Two-backend :class:`ComparisonRecord` payloads keep the historic flat
+    field layout; :class:`MultiComparisonRecord` payloads carry a
+    ``compilers`` list plus per-backend ``depths``/``eff_cnots``/``seconds``
+    maps — the marker :func:`record_from_payload` dispatches on.
+    """
+    if isinstance(record, MultiComparisonRecord):
+        return {
+            "compilers": list(record.compilers),
+            "benchmark": record.benchmark,
+            "architecture": record.architecture,
+            "num_data_qubits": record.num_data_qubits,
+            "num_physical_qubits": record.num_physical_qubits,
+            "depths": dict(record.depths),
+            "eff_cnots": dict(record.eff_cnots),
+            "highway_qubit_fraction": record.highway_qubit_fraction,
+            "seconds": dict(record.seconds),
+            "extra": dict(record.extra),
+        }
     return {
         "benchmark": record.benchmark,
         "architecture": record.architecture,
@@ -238,15 +284,38 @@ def record_to_payload(record: ComparisonRecord) -> Dict[str, object]:
     }
 
 
-def record_from_payload(payload: Mapping[str, object]) -> ComparisonRecord:
+def record_from_payload(payload: Mapping[str, object]) -> AnyRecord:
     """Inverse of :func:`record_to_payload` (always returns a fresh record)."""
     data = dict(payload)
     data["extra"] = dict(data.get("extra") or {})
+    if "compilers" in data:
+        data["compilers"] = tuple(data["compilers"])
+        data["depths"] = dict(data.get("depths") or {})
+        data["eff_cnots"] = dict(data.get("eff_cnots") or {})
+        data["seconds"] = dict(data.get("seconds") or {})
+        return MultiComparisonRecord(**data)  # type: ignore[arg-type]
     return ComparisonRecord(**data)  # type: ignore[arg-type]
 
 
-def record_row(record: ComparisonRecord) -> Dict[str, object]:
-    """Flat artifact row: stored fields plus the derived paper metrics."""
+def record_row(record: AnyRecord) -> Dict[str, object]:
+    """Flat artifact row: stored fields plus the derived paper metrics.
+
+    N-way records flatten to per-backend columns (``<name>_depth``,
+    ``<name>_eff_cnots``, ``<name>_seconds``, improvement/normalised ratios
+    against the reference backend) instead of the two-backend core columns.
+    """
+    if isinstance(record, MultiComparisonRecord):
+        row = record.as_dict()
+        extra_keys = sorted(record.extra)
+        for name in record.compilers:
+            if name != record.reference:
+                row[f"{name}_normalized_depth"] = record.normalized_depth_for(name)
+                row[f"{name}_normalized_eff_cnots"] = record.normalized_eff_cnots_for(name)
+            row[f"{name}_seconds"] = record.seconds.get(name, 0.0)
+        # re-append extras after the derived columns, sorted and stable
+        for key in extra_keys:
+            row[key] = row.pop(key)
+        return row
     row = record_to_payload(record)
     extra = row.pop("extra")
     row["depth_improvement"] = record.depth_improvement
@@ -262,11 +331,12 @@ def record_row(record: ComparisonRecord) -> Dict[str, object]:
 # executors
 
 
-def _run_compare_job(job: Job) -> ComparisonRecord:
-    """Execute a ``kind="compare"`` job (one baseline-vs-MECH compilation)."""
-    return compare(
+def _compile_job(job: Job):
+    """Compile a job's benchmark with every backend it lists."""
+    return compile_many(
         job.benchmark,
         job.build_array(),
+        compilers=job.compilers,
         noise=job.noise_model(),
         highway_density=job.highway_density,
         num_data_qubits=job.num_data_qubits,
@@ -277,52 +347,67 @@ def _run_compare_job(job: Job) -> ComparisonRecord:
     )
 
 
-def _run_sensitivity_job(job: Job) -> ComparisonRecord:
+def _run_compare_job(job: Job) -> AnyRecord:
+    """Execute a ``kind="compare"`` job (one N-way compilation).
+
+    Every backend named in ``job.compilers`` is resolved through
+    :func:`repro.backends.get_backend` and run once.  The default
+    ``("baseline", "mech")`` pair yields the historic two-column record —
+    metrics identical to the pre-registry engine; any other compiler list
+    yields a :class:`MultiComparisonRecord` with per-backend columns.
+    """
+    compiled = _compile_job(job)
+    extra = backend_stat_extras(compiled)
+    noise = job.noise_model()
+    if job.compilers == DEFAULT_COMPILERS:
+        return compiled.comparison_record(noise, extra=extra)
+    return compiled.record(noise, extra=extra)
+
+
+def _run_sensitivity_job(job: Job) -> AnyRecord:
     """Execute a ``kind="sensitivity"`` job (Fig. 13's compile-once protocol).
 
-    Both compilers run once under the job's base noise model; the emitted
-    circuits are then re-scored under each swept noise model.  The sweep
-    series land in the record's ``extra`` dict under ``<series>@<value>``
-    keys so they survive the JSON cache and the CSV artifacts.
+    Every backend runs once under the job's base noise model; the emitted
+    circuits are then re-scored under each swept noise model, against the
+    reference backend.  The sweep series land in the record's ``extra`` dict
+    under ``<series>@<value>`` keys (the primary backend) and
+    ``<backend>:<series>@<value>`` keys (any further non-reference backends)
+    so they survive the JSON cache and the CSV artifacts.
     """
     params = dict(job.params)
     base_noise = job.noise_model()
-    pair = compile_pair(
-        job.benchmark,
-        job.build_array(),
-        noise=base_noise,
-        highway_density=job.highway_density,
-        num_data_qubits=job.num_data_qubits,
-        min_components=job.min_components,
-        baseline_trials=job.baseline_trials,
-        seed=job.seed,
-        benchmark_kwargs=dict(job.benchmark_kwargs) or None,
-    )
+    compiled = _compile_job(job)
+    reference_result = compiled.results[compiled.reference]
 
     extra: Dict[str, float] = {}
-    for latency in params.get("meas_latencies", ()):
-        noise = base_noise.with_ratios(meas_latency=float(latency))
-        extra[f"depth_vs_latency@{float(latency):g}"] = improvement(
-            pair.baseline_result.metrics(noise).depth, pair.mech_result.metrics(noise).depth
-        )
-    for ratio in params.get("meas_error_ratios", ()):
-        noise = base_noise.with_ratios(meas_on_ratio=float(ratio))
-        extra[f"eff_vs_meas_error@{float(ratio):g}"] = improvement(
-            pair.baseline_result.metrics(noise).eff_cnots,
-            pair.mech_result.metrics(noise).eff_cnots,
-        )
-    for ratio in params.get("cross_error_ratios", ()):
-        noise = base_noise.with_ratios(cross_on_ratio=float(ratio))
-        extra[f"eff_vs_cross_error@{float(ratio):g}"] = improvement(
-            pair.baseline_result.metrics(noise).eff_cnots,
-            pair.mech_result.metrics(noise).eff_cnots,
-        )
-    return pair.record(base_noise, extra=extra)
+    for name in compiled.compilers:
+        if name == compiled.reference:
+            continue
+        result = compiled.results[name]
+        prefix = "" if name == compiled.primary else f"{name}:"
+        for latency in params.get("meas_latencies", ()):
+            noise = base_noise.with_ratios(meas_latency=float(latency))
+            extra[f"{prefix}depth_vs_latency@{float(latency):g}"] = improvement(
+                reference_result.metrics(noise).depth, result.metrics(noise).depth
+            )
+        for ratio in params.get("meas_error_ratios", ()):
+            noise = base_noise.with_ratios(meas_on_ratio=float(ratio))
+            extra[f"{prefix}eff_vs_meas_error@{float(ratio):g}"] = improvement(
+                reference_result.metrics(noise).eff_cnots, result.metrics(noise).eff_cnots
+            )
+        for ratio in params.get("cross_error_ratios", ()):
+            noise = base_noise.with_ratios(cross_on_ratio=float(ratio))
+            extra[f"{prefix}eff_vs_cross_error@{float(ratio):g}"] = improvement(
+                reference_result.metrics(noise).eff_cnots, result.metrics(noise).eff_cnots
+            )
+    if job.compilers == DEFAULT_COMPILERS:
+        return compiled.comparison_record(base_noise, extra=extra)
+    return compiled.record(base_noise, extra=extra)
 
 
 #: Executor registry, keyed by ``Job.kind``.  Both executors live in this
 #: module so worker processes only ever need to import the engine.
-EXECUTORS: Dict[str, Callable[[Job], ComparisonRecord]] = {
+EXECUTORS: Dict[str, Callable[[Job], AnyRecord]] = {
     "compare": _run_compare_job,
     "sensitivity": _run_sensitivity_job,
 }
@@ -334,7 +419,7 @@ EXECUTORS: Dict[str, Callable[[Job], ComparisonRecord]] = {
 FAULT_INJECT_ENV = "REPRO_FAULT_BENCHMARK"
 
 
-def _execute_job(job: Job) -> ComparisonRecord:
+def _execute_job(job: Job) -> AnyRecord:
     injected = os.environ.get(FAULT_INJECT_ENV)
     if injected and job.benchmark.upper() == injected.upper():
         raise RuntimeError(
@@ -908,12 +993,22 @@ def plan_jobs(
     :meth:`ResultCache.get` instead; the hit/miss classification is the same
     either way.
     """
-    store = _coerce_cache(cache)
+    # eager validation MUST precede any cache consultation: a plan (and thus
+    # a dry run or resume) against a misspelled kind or compiler fails loudly
+    # instead of classifying bogus jobs as pending
     unknown_kinds = sorted({job.kind for job in jobs} - set(EXECUTORS))
     if unknown_kinds:
         kinds = ", ".join(repr(kind) for kind in unknown_kinds)
         raise ValueError(f"unknown job kind {kinds}; choose from {sorted(EXECUTORS)}")
+    known_compilers = set(available_backends())
+    unknown_compilers = sorted(
+        {name for job in jobs for name in job.compilers} - known_compilers
+    )
+    if unknown_compilers:
+        names = ", ".join(repr(name) for name in unknown_compilers)
+        raise ValueError(f"unknown compiler {names}; choose from {available_backends()}")
 
+    store = _coerce_cache(cache)
     keys = [config_key(job) for job in jobs]
     unique: Dict[str, Job] = {}
     payloads: Dict[str, Dict[str, object]] = {}
@@ -941,14 +1036,17 @@ def experiment_checkpoint_meta(
     benchmarks: Optional[Sequence[str]],
     seed: int,
     cache: Union[None, str, Path, "ResultCache"] = None,
+    compilers: Optional[Sequence[str]] = None,
 ) -> Dict[str, object]:
     """The ``checkpoint_meta`` header every experiment entry point writes.
 
-    One shared shape (experiment name, scale, benchmarks, seed, cache dir) so
-    a checkpoint written by any driver — the CLI, a ``run_*`` helper, the
-    benchmark harness — can be resumed by ``repro resume`` against the same
-    cache without re-specifying flags, and re-emit artifacts with the same
-    metadata an uninterrupted run would.
+    One shared shape (experiment name, scale, benchmarks, seed, cache dir,
+    compiler list) so a checkpoint written by any driver — the CLI, a
+    ``run_*`` helper, the benchmark harness — can be resumed by
+    ``repro resume`` against the same cache without re-specifying flags, and
+    re-emit artifacts with the same metadata an uninterrupted run would.
+    ``compilers=None`` records the default pair (the jobs themselves carry
+    the authoritative per-job list either way).
     """
     if isinstance(cache, ResultCache):
         cache_dir = str(cache.cache_dir)
@@ -962,6 +1060,7 @@ def experiment_checkpoint_meta(
         "benchmarks": list(benchmarks) if benchmarks is not None else None,
         "seed": seed,
         "cache_dir": cache_dir,
+        "compilers": list(compilers) if compilers is not None else list(DEFAULT_COMPILERS),
     }
 
 
@@ -1172,7 +1271,7 @@ def run_jobs_report(
     policy: Optional[JobPolicy] = None,
     checkpoint: Union[None, str, Path] = None,
     checkpoint_meta: Optional[Mapping[str, object]] = None,
-) -> Tuple[List[ComparisonRecord], RunReport]:
+) -> Tuple[List[AnyRecord], RunReport]:
     """Execute jobs (plan -> pool) and report what happened.
 
     Records come back in job order regardless of the completion order of the
@@ -1308,7 +1407,7 @@ def run_jobs_report(
     report.corrupt_entries = (store.corrupt_seen - corrupt_base) if store is not None else 0
     flush_checkpoint(finished=True)
 
-    records: List[ComparisonRecord] = []
+    records: List[AnyRecord] = []
     for job, key in zip(jobs, keys):
         payload = payloads.get(key)
         if payload is None:  # failed under on_error="skip"/"record"
@@ -1330,7 +1429,7 @@ def run_jobs(
     policy: Optional[JobPolicy] = None,
     checkpoint: Union[None, str, Path] = None,
     checkpoint_meta: Optional[Mapping[str, object]] = None,
-) -> List[ComparisonRecord]:
+) -> List[AnyRecord]:
     """Like :func:`run_jobs_report`, returning only the records."""
     records, _ = run_jobs_report(
         jobs,
@@ -1363,7 +1462,7 @@ def error_row(error: JobError) -> Dict[str, object]:
 
 def write_artifacts(
     name: str,
-    records: Sequence[ComparisonRecord],
+    records: Sequence[AnyRecord],
     out_dir: Union[str, Path],
     *,
     text: Optional[str] = None,
@@ -1402,6 +1501,8 @@ def write_artifacts(
         "architecture",
         "num_data_qubits",
         "num_physical_qubits",
+        "compilers",
+        "reference",
         "baseline_depth",
         "mech_depth",
         "depth_improvement",
@@ -1416,8 +1517,13 @@ def write_artifacts(
         "status",
     ]
     all_rows = rows + error_rows
-    extra_columns = sorted({key for row in all_rows for key in row} - set(core))
-    columns = core + extra_columns
+    present = {key for row in all_rows for key in row}
+    # keep the stable core order but only emit columns some row actually has:
+    # a two-backend sweep keeps the historic header verbatim, an N-way sweep
+    # gets its per-backend columns without a block of empty legacy cells
+    core_present = [column for column in core if column in present or column == "status"]
+    extra_columns = sorted(present - set(core))
+    columns = core_present + extra_columns
     csv_path = out / f"{name}.csv"
     with open(csv_path, "w", encoding="utf-8", newline="") as handle:
         writer = csv.DictWriter(handle, fieldnames=columns, restval="")

@@ -14,7 +14,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..hardware.noise import DEFAULT_NOISE, NoiseModel
 from .engine import Job, experiment_checkpoint_meta, noise_to_items, run_jobs
-from .runner import ComparisonRecord
+from .runner import AnyRecord, resolve_compilers
 from .settings import BENCHMARK_NAMES, FIG12_ARRAYS
 
 __all__ = ["jobs_for_fig12", "run_fig12", "improvement_series", "format_fig12"]
@@ -37,6 +37,7 @@ def jobs_for_fig12(
     array_shapes: Optional[Sequence[Tuple[int, int]]] = None,
     noise: NoiseModel = DEFAULT_NOISE,
     seed: int = 0,
+    compilers: Optional[Sequence[str]] = None,
 ) -> List[Job]:
     """One job per (array shape, benchmark) of the Fig. 12 sweep."""
     if scale not in _SCALE_WIDTH:
@@ -44,6 +45,7 @@ def jobs_for_fig12(
     width = chiplet_width if chiplet_width is not None else _SCALE_WIDTH[scale]
     shapes = tuple(array_shapes) if array_shapes is not None else _SCALE_ARRAYS[scale]
     noise_items = noise_to_items(noise)
+    compiler_names = resolve_compilers(compilers)
     return [
         Job(
             benchmark=name,
@@ -53,6 +55,7 @@ def jobs_for_fig12(
             cols=cols,
             seed=seed,
             noise=noise_items,
+            compilers=compiler_names,
         )
         for rows, cols in shapes
         for name in benchmarks
@@ -67,11 +70,12 @@ def run_fig12(
     array_shapes: Optional[Sequence[Tuple[int, int]]] = None,
     noise: NoiseModel = DEFAULT_NOISE,
     seed: int = 0,
+    compilers: Optional[Sequence[str]] = None,
     workers: int = 1,
     cache=None,
     policy=None,
     checkpoint=None,
-) -> List[ComparisonRecord]:
+) -> List[AnyRecord]:
     """Regenerate Fig. 12's data: one record per (array shape, benchmark).
 
     ``checkpoint`` names a resumable progress file (see ``repro resume``).
@@ -83,6 +87,7 @@ def run_fig12(
         array_shapes=array_shapes,
         noise=noise,
         seed=seed,
+        compilers=compilers,
     )
     return run_jobs(
         jobs,
@@ -90,12 +95,14 @@ def run_fig12(
         cache=cache,
         policy=policy,
         checkpoint=checkpoint,
-        checkpoint_meta=experiment_checkpoint_meta("fig12", scale, benchmarks, seed, cache),
+        checkpoint_meta=experiment_checkpoint_meta(
+            "fig12", scale, benchmarks, seed, cache, compilers=resolve_compilers(compilers)
+        ),
     )
 
 
 def improvement_series(
-    records: Sequence[ComparisonRecord],
+    records: Sequence[AnyRecord],
 ) -> Dict[str, List[Tuple[int, float, float]]]:
     """Per-benchmark series ``(num_chiplets, depth_improvement, eff_improvement)``.
 
@@ -114,7 +121,7 @@ def improvement_series(
     return series
 
 
-def format_fig12(records: Sequence[ComparisonRecord]) -> str:
+def format_fig12(records: Sequence[AnyRecord]) -> str:
     """Text rendering of the two improvement-vs-chiplet-count panels."""
     series = improvement_series(records)
     lines = ["Fig. 12: improvement vs number of chiplets (square chiplets)"]

@@ -21,11 +21,11 @@ benchmark's three panels and the whole figure caches like any other.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from ..hardware.noise import DEFAULT_NOISE, NoiseModel
 from .engine import Job, experiment_checkpoint_meta, noise_to_items, run_jobs
-from .runner import ComparisonRecord
+from .runner import AnyRecord, resolve_compilers
 from .settings import BENCHMARK_NAMES
 
 __all__ = [
@@ -76,6 +76,7 @@ def jobs_for_fig13(
     cross_error_ratios: Sequence[float] = CROSS_ERROR_RATIOS,
     base_noise: NoiseModel = DEFAULT_NOISE,
     seed: int = 0,
+    compilers: Optional[Sequence[str]] = None,
 ) -> List[Job]:
     """One ``"sensitivity"`` job per benchmark, carrying all three sweeps."""
     if scale not in _SCALE_DEVICE:
@@ -87,6 +88,7 @@ def jobs_for_fig13(
         ("cross_error_ratios", tuple(float(v) for v in cross_error_ratios)),
     )
     noise_items = noise_to_items(base_noise)
+    compiler_names = resolve_compilers(compilers)
     return [
         Job(
             benchmark=name,
@@ -98,17 +100,18 @@ def jobs_for_fig13(
             seed=seed,
             noise=noise_items,
             params=params,
+            compilers=compiler_names,
         )
         for name in benchmarks
     ]
 
 
 def sensitivity_results_from_records(
-    records: Sequence[ComparisonRecord],
+    records: Sequence[AnyRecord],
 ) -> List[SensitivityResult]:
     """Decode the ``<series>@<value>`` extras of sensitivity records."""
 
-    def series(record: ComparisonRecord, prefix: str) -> List[Tuple[float, float]]:
+    def series(record: AnyRecord, prefix: str) -> List[Tuple[float, float]]:
         marker = prefix + "@"
         points = [
             (float(key[len(marker):]), value)
@@ -140,6 +143,7 @@ def run_fig13(
     cross_error_ratios: Sequence[float] = CROSS_ERROR_RATIOS,
     base_noise: NoiseModel = DEFAULT_NOISE,
     seed: int = 0,
+    compilers: Optional[Sequence[str]] = None,
     workers: int = 1,
     cache=None,
     policy=None,
@@ -154,6 +158,7 @@ def run_fig13(
         cross_error_ratios=cross_error_ratios,
         base_noise=base_noise,
         seed=seed,
+        compilers=compilers,
     )
     records = run_jobs(
         jobs,
@@ -161,7 +166,9 @@ def run_fig13(
         cache=cache,
         policy=policy,
         checkpoint=checkpoint,
-        checkpoint_meta=experiment_checkpoint_meta("fig13", scale, benchmarks, seed, cache),
+        checkpoint_meta=experiment_checkpoint_meta(
+            "fig13", scale, benchmarks, seed, cache, compilers=resolve_compilers(compilers)
+        ),
     )
     return sensitivity_results_from_records(records)
 

@@ -15,7 +15,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..hardware.array import ChipletArray
 from ..hardware.noise import DEFAULT_NOISE, NoiseModel
 from .engine import Job, experiment_checkpoint_meta, noise_to_items, run_jobs
-from .runner import ComparisonRecord
+from .runner import AnyRecord, resolve_compilers
 from .settings import BENCHMARK_NAMES
 
 __all__ = ["jobs_for_fig14", "run_fig14", "normalized_by_sparsity", "format_fig14"]
@@ -36,6 +36,7 @@ def jobs_for_fig14(
     sparsity_levels: Optional[Sequence[int]] = None,
     noise: NoiseModel = DEFAULT_NOISE,
     seed: int = 0,
+    compilers: Optional[Sequence[str]] = None,
 ) -> List[Job]:
     """One job per (links-per-edge, benchmark) of the Fig. 14 sweep."""
     if scale not in _SCALE_DEVICE:
@@ -43,6 +44,7 @@ def jobs_for_fig14(
     structure, width, rows, cols, default_levels = _SCALE_DEVICE[scale]
     levels = tuple(sparsity_levels) if sparsity_levels is not None else default_levels
     noise_items = noise_to_items(noise)
+    compiler_names = resolve_compilers(compilers)
     jobs: List[Job] = []
     for links in levels:
         # the full per-edge link count is a property of the (cheap) topology,
@@ -64,6 +66,7 @@ def jobs_for_fig14(
                     seed=seed,
                     noise=noise_items,
                     tags=tags,
+                    compilers=compiler_names,
                 )
             )
     return jobs
@@ -76,11 +79,12 @@ def run_fig14(
     sparsity_levels: Optional[Sequence[int]] = None,
     noise: NoiseModel = DEFAULT_NOISE,
     seed: int = 0,
+    compilers: Optional[Sequence[str]] = None,
     workers: int = 1,
     cache=None,
     policy=None,
     checkpoint=None,
-) -> List[ComparisonRecord]:
+) -> List[AnyRecord]:
     """Regenerate Fig. 14: one record per (links-per-edge, benchmark)."""
     jobs = jobs_for_fig14(
         scale=scale,
@@ -88,6 +92,7 @@ def run_fig14(
         sparsity_levels=sparsity_levels,
         noise=noise,
         seed=seed,
+        compilers=compilers,
     )
     return run_jobs(
         jobs,
@@ -95,12 +100,14 @@ def run_fig14(
         cache=cache,
         policy=policy,
         checkpoint=checkpoint,
-        checkpoint_meta=experiment_checkpoint_meta("fig14", scale, benchmarks, seed, cache),
+        checkpoint_meta=experiment_checkpoint_meta(
+            "fig14", scale, benchmarks, seed, cache, compilers=resolve_compilers(compilers)
+        ),
     )
 
 
 def normalized_by_sparsity(
-    records: Sequence[ComparisonRecord],
+    records: Sequence[AnyRecord],
 ) -> Dict[str, List[Tuple[str, float, float]]]:
     """Per-benchmark series ``(sparsity label, normalised depth, normalised eff_CNOTs)``."""
     series: Dict[str, List[Tuple[str, float, float]]] = {}
@@ -114,7 +121,7 @@ def normalized_by_sparsity(
     return series
 
 
-def format_fig14(records: Sequence[ComparisonRecord]) -> str:
+def format_fig14(records: Sequence[AnyRecord]) -> str:
     """Text rendering of the two normalised-metric panels of Fig. 14."""
     series = normalized_by_sparsity(records)
     lines = ["Fig. 14: normalised performance vs cross-chip link sparsity"]

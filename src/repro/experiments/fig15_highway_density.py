@@ -11,13 +11,13 @@ eventually ticks back up).
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..compiler import MechCompiler
 from ..hardware.array import ChipletArray
 from ..hardware.noise import DEFAULT_NOISE, NoiseModel
 from .engine import Job, experiment_checkpoint_meta, noise_to_items, run_jobs
-from .runner import ComparisonRecord
+from .runner import AnyRecord, resolve_compilers
 from .settings import BENCHMARK_NAMES
 
 __all__ = ["jobs_for_fig15", "run_fig15", "normalized_by_density", "format_fig15"]
@@ -40,6 +40,7 @@ def jobs_for_fig15(
     densities: Sequence[int] = DENSITIES,
     noise: NoiseModel = DEFAULT_NOISE,
     seed: int = 0,
+    compilers: Optional[Sequence[str]] = None,
 ) -> List[Job]:
     """One job per (highway density, benchmark) of the Fig. 15 sweep.
 
@@ -56,6 +57,7 @@ def jobs_for_fig15(
     ]
     circuit_width = min(capacities)
     noise_items = noise_to_items(noise)
+    compiler_names = resolve_compilers(compilers)
     return [
         Job(
             benchmark=name,
@@ -68,6 +70,7 @@ def jobs_for_fig15(
             seed=seed,
             noise=noise_items,
             tags=(("highway_density", float(density)),),
+            compilers=compiler_names,
         )
         for density in densities
         for name in benchmarks
@@ -81,14 +84,20 @@ def run_fig15(
     densities: Sequence[int] = DENSITIES,
     noise: NoiseModel = DEFAULT_NOISE,
     seed: int = 0,
+    compilers: Optional[Sequence[str]] = None,
     workers: int = 1,
     cache=None,
     policy=None,
     checkpoint=None,
-) -> List[ComparisonRecord]:
+) -> List[AnyRecord]:
     """Regenerate Fig. 15: one record per (highway density, benchmark)."""
     jobs = jobs_for_fig15(
-        scale=scale, benchmarks=benchmarks, densities=densities, noise=noise, seed=seed
+        scale=scale,
+        benchmarks=benchmarks,
+        densities=densities,
+        noise=noise,
+        seed=seed,
+        compilers=compilers,
     )
     return run_jobs(
         jobs,
@@ -96,12 +105,14 @@ def run_fig15(
         cache=cache,
         policy=policy,
         checkpoint=checkpoint,
-        checkpoint_meta=experiment_checkpoint_meta("fig15", scale, benchmarks, seed, cache),
+        checkpoint_meta=experiment_checkpoint_meta(
+            "fig15", scale, benchmarks, seed, cache, compilers=resolve_compilers(compilers)
+        ),
     )
 
 
 def normalized_by_density(
-    records: Sequence[ComparisonRecord],
+    records: Sequence[AnyRecord],
 ) -> Dict[str, List[Tuple[int, float, float, float]]]:
     """Per-benchmark series ``(density, highway %, normalised depth, normalised eff)``."""
     series: Dict[str, List[Tuple[int, float, float, float]]] = {}
@@ -120,7 +131,7 @@ def normalized_by_density(
     return series
 
 
-def format_fig15(records: Sequence[ComparisonRecord]) -> str:
+def format_fig15(records: Sequence[AnyRecord]) -> str:
     """Text rendering of the two normalised-metric panels of Fig. 15."""
     series = normalized_by_density(records)
     lines = ["Fig. 15: normalised performance vs highway qubit percentage"]

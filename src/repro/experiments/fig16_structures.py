@@ -13,7 +13,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..hardware.noise import DEFAULT_NOISE, NoiseModel
 from .engine import Job, experiment_checkpoint_meta, noise_to_items, run_jobs
-from .runner import ComparisonRecord
+from .runner import AnyRecord, resolve_compilers
 from .settings import BENCHMARK_NAMES, TABLE1_SETTINGS, ArchitectureSetting, scaled_setting
 
 __all__ = [
@@ -40,6 +40,7 @@ def jobs_for_fig16(
     settings: Optional[Sequence[ArchitectureSetting]] = None,
     noise: NoiseModel = DEFAULT_NOISE,
     seed: int = 0,
+    compilers: Optional[Sequence[str]] = None,
 ) -> List[Job]:
     """One job per (coupling structure, benchmark) of the Fig. 16 sweep."""
     chosen = (
@@ -48,6 +49,7 @@ def jobs_for_fig16(
         else [scaled_setting(TABLE1_SETTINGS[key], scale) for key in FIG16_SETTINGS]
     )
     noise_items = noise_to_items(noise)
+    compiler_names = resolve_compilers(compilers)
     return [
         Job(
             benchmark=name,
@@ -60,6 +62,7 @@ def jobs_for_fig16(
             seed=seed,
             noise=noise_items,
             tags=(("structure", setting.structure),),
+            compilers=compiler_names,
         )
         for setting in chosen
         for name in benchmarks
@@ -73,14 +76,20 @@ def run_fig16(
     settings: Optional[Sequence[ArchitectureSetting]] = None,
     noise: NoiseModel = DEFAULT_NOISE,
     seed: int = 0,
+    compilers: Optional[Sequence[str]] = None,
     workers: int = 1,
     cache=None,
     policy=None,
     checkpoint=None,
-) -> List[ComparisonRecord]:
+) -> List[AnyRecord]:
     """Regenerate Fig. 16: one record per (coupling structure, benchmark)."""
     jobs = jobs_for_fig16(
-        scale=scale, benchmarks=benchmarks, settings=settings, noise=noise, seed=seed
+        scale=scale,
+        benchmarks=benchmarks,
+        settings=settings,
+        noise=noise,
+        seed=seed,
+        compilers=compilers,
     )
     return run_jobs(
         jobs,
@@ -88,12 +97,14 @@ def run_fig16(
         cache=cache,
         policy=policy,
         checkpoint=checkpoint,
-        checkpoint_meta=experiment_checkpoint_meta("fig16", scale, benchmarks, seed, cache),
+        checkpoint_meta=experiment_checkpoint_meta(
+            "fig16", scale, benchmarks, seed, cache, compilers=resolve_compilers(compilers)
+        ),
     )
 
 
 def normalized_by_structure(
-    records: Sequence[ComparisonRecord],
+    records: Sequence[AnyRecord],
 ) -> Dict[str, List[Tuple[str, float, float]]]:
     """Per-benchmark series ``(structure, normalised depth, normalised eff_CNOTs)``."""
     series: Dict[str, List[Tuple[str, float, float]]] = {}
@@ -105,7 +116,7 @@ def normalized_by_structure(
     return series
 
 
-def format_fig16(records: Sequence[ComparisonRecord]) -> str:
+def format_fig16(records: Sequence[AnyRecord]) -> str:
     """Text rendering of the two normalised-metric panels of Fig. 16."""
     series = normalized_by_structure(records)
     lines = ["Fig. 16: normalised performance across coupling structures"]

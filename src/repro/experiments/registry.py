@@ -32,7 +32,7 @@ from .fig13_sensitivity import format_fig13, jobs_for_fig13, sensitivity_results
 from .fig14_sparsity import format_fig14, jobs_for_fig14
 from .fig15_highway_density import format_fig15, jobs_for_fig15
 from .fig16_structures import format_fig16, jobs_for_fig16
-from .runner import ComparisonRecord
+from .runner import AnyRecord, resolve_compilers
 from .table2 import format_table2, jobs_for_table2
 
 __all__ = [
@@ -53,14 +53,14 @@ class ExperimentSpec:
     name: str
     title: str
     #: Expands a scale preset into engine jobs.  Accepts at least the keyword
-    #: arguments ``scale``, ``benchmarks`` and ``seed``.
+    #: arguments ``scale``, ``benchmarks``, ``seed`` and ``compilers``.
     build_jobs: Callable[..., List[Job]]
     #: Renders the experiment's records as the paper-style text table.
-    format_records: Callable[[Sequence[ComparisonRecord]], str]
+    format_records: Callable[[Sequence[AnyRecord]], str]
     scales: Tuple[str, ...] = SCALE_TIERS
 
 
-def _format_fig13_records(records: Sequence[ComparisonRecord]) -> str:
+def _format_fig13_records(records: Sequence[AnyRecord]) -> str:
     return format_fig13(sensitivity_results_from_records(records))
 
 
@@ -124,16 +124,19 @@ def experiment_meta(
     benchmarks: Optional[Sequence[str]] = None,
     seed: int = 0,
     cache: Union[None, str, Path, ResultCache] = None,
+    compilers: Optional[Sequence[str]] = None,
 ) -> Dict[str, object]:
     """The checkpoint/artifact metadata header for one experiment run.
 
     Stored verbatim in the checkpoint's ``meta`` field, this is what lets
     ``repro resume`` recover the experiment (and thus its formatter), reuse
-    the original cache directory, and write artifacts with the same metadata
-    an uninterrupted run would.
+    the original cache directory and compiler list, and write artifacts with
+    the same metadata an uninterrupted run would.
     """
     get_experiment(name)  # fail early on unknown names
-    return experiment_checkpoint_meta(name, scale, benchmarks, seed, cache)
+    return experiment_checkpoint_meta(
+        name, scale, benchmarks, seed, cache, compilers=resolve_compilers(compilers)
+    )
 
 
 def build_experiment_jobs(
@@ -142,12 +145,19 @@ def build_experiment_jobs(
     scale: str = "small",
     benchmarks: Optional[Sequence[str]] = None,
     seed: int = 0,
+    compilers: Optional[Sequence[str]] = None,
 ) -> List[Job]:
-    """Expand one registered experiment's scale preset into engine jobs."""
+    """Expand one registered experiment's scale preset into engine jobs.
+
+    ``compilers`` threads the backend list (reference first) into every job;
+    ``None`` keeps the default baseline-vs-MECH pair.
+    """
     spec = get_experiment(name)
     kwargs: Dict[str, object] = {"scale": scale, "seed": seed}
     if benchmarks is not None:
         kwargs["benchmarks"] = list(benchmarks)
+    if compilers is not None:
+        kwargs["compilers"] = list(compilers)
     return spec.build_jobs(**kwargs)
 
 
@@ -159,6 +169,7 @@ def plan_experiment(
     seed: int = 0,
     cache: Union[None, str, Path, ResultCache] = None,
     refresh: bool = False,
+    compilers: Optional[Sequence[str]] = None,
 ) -> ExecutionPlan:
     """Expand one experiment and plan it against the cache without executing.
 
@@ -167,7 +178,9 @@ def plan_experiment(
     arguments would do, and (like :func:`plan_jobs`) a preview leaves the
     cache's LRU state untouched unless ``refresh=True``.
     """
-    jobs = build_experiment_jobs(name, scale=scale, benchmarks=benchmarks, seed=seed)
+    jobs = build_experiment_jobs(
+        name, scale=scale, benchmarks=benchmarks, seed=seed, compilers=compilers
+    )
     return plan_jobs(jobs, cache=cache, refresh=refresh)
 
 
@@ -182,15 +195,19 @@ def run_experiment(
     policy: Optional[JobPolicy] = None,
     checkpoint: Union[None, str, Path] = None,
     progress: Optional[Callable[[str], None]] = None,
-) -> Tuple[List[ComparisonRecord], RunReport]:
+    compilers: Optional[Sequence[str]] = None,
+) -> Tuple[List[AnyRecord], RunReport]:
     """Build and execute one registered experiment end to end.
 
     The one-stop driver shared by the CLI and the harnesses: expands the
-    scale preset into jobs and runs them through the engine with the given
-    fault-tolerance ``policy`` and ``checkpoint`` file.  Returns the records
-    (healthy jobs only — failures are in ``report.errors``) and the report.
+    scale preset into jobs (each carrying the requested compiler list) and
+    runs them through the engine with the given fault-tolerance ``policy``
+    and ``checkpoint`` file.  Returns the records (healthy jobs only —
+    failures are in ``report.errors``) and the report.
     """
-    jobs = build_experiment_jobs(name, scale=scale, benchmarks=benchmarks, seed=seed)
+    jobs = build_experiment_jobs(
+        name, scale=scale, benchmarks=benchmarks, seed=seed, compilers=compilers
+    )
     return run_jobs_report(
         jobs,
         workers=workers,
@@ -198,7 +215,8 @@ def run_experiment(
         policy=policy,
         checkpoint=checkpoint,
         checkpoint_meta=experiment_meta(
-            name, scale=scale, benchmarks=benchmarks, seed=seed, cache=cache
+            name, scale=scale, benchmarks=benchmarks, seed=seed, cache=cache,
+            compilers=compilers,
         ),
         progress=progress,
     )

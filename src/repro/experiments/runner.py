@@ -1,35 +1,78 @@
-"""Shared experiment runner: compile one benchmark with both compilers and
-collect the paper's metrics.
+"""Shared experiment runner: compile one benchmark with N registered compiler
+backends and collect the paper's metrics.
 
-Every table/figure module builds on :func:`compare`: it constructs the
+Every table/figure module builds on :func:`compile_many`: it constructs the
 benchmark circuit sized to the highway configuration's data-qubit count (the
 paper sizes its circuits "by the numbers of data qubits in our framework"),
-compiles it with the MECH compiler and with the baseline, and returns a
-:class:`ComparisonRecord` holding depths, effective CNOT counts, improvements
-and compiler statistics.
+compiles it with every requested backend resolved through the
+:mod:`repro.backends` registry, and returns a :class:`CompiledSet` from which
+records are assembled.  The first listed compiler is the *reference*: every
+improvement ratio and normalised metric is computed against it.
+
+Two record shapes exist:
+
+* :class:`ComparisonRecord` — the historic two-column baseline-vs-MECH record;
+  still what the default ``("baseline", "mech")`` comparison produces, field
+  for field identical to the pre-registry runner.
+* :class:`MultiComparisonRecord` — per-backend depth/eff-CNOT/seconds columns
+  for any other compiler list, with improvements against the reference.  Its
+  compatibility properties (``depth_improvement``, ``normalized_depth``, ...)
+  report the *primary* backend — ``"mech"`` when present, else the last
+  non-reference compiler — so figure-series helpers work on either shape.
+
+:func:`compile_pair` and :func:`compare` survive as thin two-backend wrappers
+over the new API and emit a :class:`DeprecationWarning` pointing at
+:func:`compile_many` / :func:`compare_many`.
 """
 
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
-from ..baseline import BaselineCompiler
+from ..backends import DEFAULT_COMPILERS, CompilerBackend, get_backend
 from ..compiler import CompilationResult, MechCompiler
 from ..hardware.array import ChipletArray
 from ..hardware.noise import DEFAULT_NOISE, NoiseModel
+from ..highway.layout import HighwayLayout
 from ..metrics import improvement, normalized_ratio
 from ..programs import build_benchmark
 
 __all__ = [
     "ComparisonRecord",
     "CompiledPair",
+    "CompiledSet",
+    "MultiComparisonRecord",
+    "backend_stat_extras",
     "compare",
+    "compare_many",
+    "compile_many",
     "compile_pair",
     "format_failed_rows",
+    "format_multi_records",
     "format_records",
+    "normalize_compilers",
+    "primary_compiler",
+    "resolve_compilers",
 ]
+
+#: Benchmarks whose circuit builders take a randomness seed.
+_SEEDED_BENCHMARKS = ("QAOA", "VQE", "BV")
+
+
+def primary_compiler(compilers: Sequence[str]) -> str:
+    """The compiler whose improvement the compatibility properties report.
+
+    ``"mech"`` when present (the paper's headline comparison), otherwise the
+    last non-reference compiler of the list.
+    """
+    names = [str(name) for name in compilers]
+    non_reference = [name for name in names[1:]] or names
+    if "mech" in non_reference:
+        return "mech"
+    return non_reference[-1]
 
 
 @dataclass
@@ -83,13 +126,344 @@ class ComparisonRecord:
 
 
 @dataclass
-class CompiledPair:
-    """Both compilers' outputs for one benchmark on one array.
+class MultiComparisonRecord:
+    """Per-backend metrics for one benchmark cell compiled by N backends.
 
-    This is the shared substrate of :func:`compare` and the engine's
-    sensitivity executor: the latter re-scores ``mech_result`` /
-    ``baseline_result`` under swept noise models without recompiling.
+    ``compilers`` preserves the comparison order; its first element is the
+    *reference* backend every improvement is measured against.  ``depths``,
+    ``eff_cnots`` and ``seconds`` are keyed by backend name.
     """
+
+    benchmark: str
+    architecture: str
+    num_data_qubits: int
+    num_physical_qubits: int
+    compilers: Tuple[str, ...]
+    depths: Dict[str, float]
+    eff_cnots: Dict[str, float]
+    highway_qubit_fraction: float
+    seconds: Dict[str, float] = field(default_factory=dict)
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def reference(self) -> str:
+        return self.compilers[0]
+
+    @property
+    def primary(self) -> str:
+        return primary_compiler(self.compilers)
+
+    # ---------------------------------------------------------------- #
+    # per-backend metrics against the reference
+    # ---------------------------------------------------------------- #
+    def depth_improvement_for(self, name: str) -> float:
+        return improvement(self.depths[self.reference], self.depths[name])
+
+    def eff_cnots_improvement_for(self, name: str) -> float:
+        return improvement(self.eff_cnots[self.reference], self.eff_cnots[name])
+
+    def normalized_depth_for(self, name: str) -> float:
+        return normalized_ratio(self.depths[self.reference], self.depths[name])
+
+    def normalized_eff_cnots_for(self, name: str) -> float:
+        return normalized_ratio(self.eff_cnots[self.reference], self.eff_cnots[name])
+
+    # ---------------------------------------------------------------- #
+    # ComparisonRecord-compatible properties (report the primary backend),
+    # so figure-series helpers accept either record shape
+    # ---------------------------------------------------------------- #
+    @property
+    def depth_improvement(self) -> float:
+        return self.depth_improvement_for(self.primary)
+
+    @property
+    def eff_cnots_improvement(self) -> float:
+        return self.eff_cnots_improvement_for(self.primary)
+
+    @property
+    def normalized_depth(self) -> float:
+        return self.normalized_depth_for(self.primary)
+
+    @property
+    def normalized_eff_cnots(self) -> float:
+        return self.normalized_eff_cnots_for(self.primary)
+
+    def as_dict(self) -> Dict[str, object]:
+        """Flat per-backend columns (``<name>_depth``, ``<name>_eff_cnots``, ...)."""
+        out: Dict[str, object] = {
+            "benchmark": self.benchmark,
+            "architecture": self.architecture,
+            "num_data_qubits": self.num_data_qubits,
+            "num_physical_qubits": self.num_physical_qubits,
+            "compilers": ",".join(self.compilers),
+            "reference": self.reference,
+        }
+        for name in self.compilers:
+            out[f"{name}_depth"] = self.depths[name]
+            out[f"{name}_eff_cnots"] = self.eff_cnots[name]
+        for name in self.compilers:
+            if name == self.reference:
+                continue
+            out[f"{name}_depth_improvement"] = self.depth_improvement_for(name)
+            out[f"{name}_eff_cnots_improvement"] = self.eff_cnots_improvement_for(name)
+        out["highway_qubit_fraction"] = self.highway_qubit_fraction
+        out.update(self.extra)
+        return out
+
+
+#: Either record shape, as returned by the engine.
+AnyRecord = Union[ComparisonRecord, MultiComparisonRecord]
+
+
+@dataclass
+class CompiledSet:
+    """Every requested backend's output for one benchmark on one array.
+
+    The shared substrate of :func:`compare_many` and the engine's executors:
+    the sensitivity executor re-scores the per-backend ``results`` under
+    swept noise models without recompiling.
+    """
+
+    benchmark: str
+    array: ChipletArray
+    compilers: Tuple[str, ...]
+    circuit_width: int
+    highway_qubit_fraction: float
+    backends: Dict[str, CompilerBackend]
+    results: Dict[str, CompilationResult]
+    seconds: Dict[str, float]
+
+    @property
+    def reference(self) -> str:
+        return self.compilers[0]
+
+    @property
+    def primary(self) -> str:
+        return primary_compiler(self.compilers)
+
+    def record(
+        self, noise: NoiseModel, extra: Optional[Dict[str, float]] = None
+    ) -> MultiComparisonRecord:
+        """Assemble the N-way comparison record under ``noise``."""
+        depths: Dict[str, float] = {}
+        eff: Dict[str, float] = {}
+        for name in self.compilers:
+            metrics = self.results[name].metrics(noise)
+            depths[name] = metrics.depth
+            eff[name] = metrics.eff_cnots
+        return MultiComparisonRecord(
+            benchmark=self.benchmark.upper(),
+            architecture=self.array.topology.name,
+            num_data_qubits=self.circuit_width,
+            num_physical_qubits=self.array.num_qubits,
+            compilers=self.compilers,
+            depths=depths,
+            eff_cnots=eff,
+            highway_qubit_fraction=self.highway_qubit_fraction,
+            seconds=dict(self.seconds),
+            extra=dict(extra or {}),
+        )
+
+    def comparison_record(
+        self, noise: NoiseModel, extra: Optional[Dict[str, float]] = None
+    ) -> ComparisonRecord:
+        """The historic two-column record; only the default pair has one."""
+        if self.compilers != DEFAULT_COMPILERS:
+            raise ValueError(
+                f"comparison_record needs the default {DEFAULT_COMPILERS} pair,"
+                f" got {self.compilers}; use record() for N-way comparisons"
+            )
+        mech_metrics = self.results["mech"].metrics(noise)
+        baseline_metrics = self.results["baseline"].metrics(noise)
+        return ComparisonRecord(
+            benchmark=self.benchmark.upper(),
+            architecture=self.array.topology.name,
+            num_data_qubits=self.circuit_width,
+            num_physical_qubits=self.array.num_qubits,
+            baseline_depth=baseline_metrics.depth,
+            mech_depth=mech_metrics.depth,
+            baseline_eff_cnots=baseline_metrics.eff_cnots,
+            mech_eff_cnots=mech_metrics.eff_cnots,
+            highway_qubit_fraction=self.highway_qubit_fraction,
+            baseline_seconds=self.seconds["baseline"],
+            mech_seconds=self.seconds["mech"],
+            extra=dict(extra or {}),
+        )
+
+
+def backend_stat_extras(compiled: CompiledSet) -> Dict[str, float]:
+    """Per-backend compiler statistics as record extras.
+
+    Every backend contributes ``<name>_swaps``; non-reference backends add
+    ``<name>_shuttles`` and ``<name>_highway_gates``.  For the default
+    ``("baseline", "mech")`` pair this yields exactly the four keys the
+    historic :func:`compare` recorded (``baseline_swaps``, ``mech_swaps``,
+    ``mech_shuttles``, ``mech_highway_gates``).
+    """
+    extra: Dict[str, float] = {}
+    for name in compiled.compilers:
+        stats = compiled.results[name].stats
+        if name != compiled.reference:
+            extra[f"{name}_shuttles"] = stats.get("shuttles", 0.0)
+        extra[f"{name}_swaps"] = stats.get("swaps_inserted", 0.0)
+        if name != compiled.reference:
+            extra[f"{name}_highway_gates"] = stats.get("highway_gates", 0.0)
+    return extra
+
+
+def normalize_compilers(compilers: Sequence[str]) -> Tuple[str, ...]:
+    """Lowercased, stripped compiler names with shape validation.
+
+    At least two compilers (the first is the reference) and no duplicates;
+    existence in the registry is checked at resolution time by
+    :func:`~repro.backends.get_backend`.
+    """
+    names = tuple(str(name).strip().lower() for name in compilers)
+    if len(names) < 2:
+        raise ValueError(
+            f"a comparison needs at least two compilers (the first is the"
+            f" reference), got {list(names)}"
+        )
+    duplicates = sorted({name for name in names if names.count(name) > 1})
+    if duplicates:
+        raise ValueError(f"duplicate compiler(s) {duplicates} in {list(names)}")
+    return names
+
+
+def resolve_compilers(compilers: Optional[Sequence[str]]) -> Tuple[str, ...]:
+    """``None`` -> the default pair; anything else normalised and validated.
+
+    The one-liner every jobs builder uses to thread an optional compiler
+    list: case-folding keeps ``--compilers MECH,baseline`` and
+    ``mech,baseline`` on the same cache keys.
+    """
+    if compilers is None:
+        return DEFAULT_COMPILERS
+    return normalize_compilers(compilers)
+
+
+def compile_many(
+    benchmark: str,
+    array: ChipletArray,
+    *,
+    compilers: Sequence[str] = DEFAULT_COMPILERS,
+    noise: NoiseModel = DEFAULT_NOISE,
+    highway_density: int = 1,
+    num_data_qubits: Optional[int] = None,
+    min_components: int = 2,
+    baseline_trials: int = 1,
+    seed: int = 0,
+    benchmark_kwargs: Optional[Dict[str, object]] = None,
+) -> CompiledSet:
+    """Compile one benchmark with every listed backend on the same array.
+
+    Parameters
+    ----------
+    benchmark:
+        Benchmark name: ``"QFT"``, ``"QAOA"``, ``"VQE"`` or ``"BV"``.
+    array:
+        The chiplet array.
+    compilers:
+        Registered backend names, reference first (improvements are measured
+        against it).  Unknown names raise the registry's ``ValueError``.
+    noise:
+        Error/latency model passed to every backend.
+    highway_density:
+        Highway lines per chiplet per direction (Fig. 15 sweeps this); also
+        determines the default circuit width.
+    num_data_qubits:
+        Circuit width; defaults to the number of data qubits left by the
+        highway layout (the paper's convention).
+    min_components:
+        Aggregation threshold for highway gates (MECH-family knob).
+    baseline_trials:
+        Routing-trial budget for SABRE-family backends.
+    seed:
+        Seed for randomised benchmark inputs (QAOA graph, BV secret, VQE
+        parameters), also offered to every backend's ``configure``.
+    benchmark_kwargs:
+        Extra arguments forwarded to the benchmark circuit builder.
+    """
+    names = normalize_compilers(compilers)
+    backends = {name: get_backend(name) for name in names}
+
+    layout = HighwayLayout(array, density=highway_density)
+    width = num_data_qubits if num_data_qubits is not None else layout.num_data_qubits
+    kwargs = dict(benchmark_kwargs or {})
+    if benchmark.upper() in _SEEDED_BENCHMARKS:
+        kwargs.setdefault("seed", seed)
+    circuit = build_benchmark(benchmark, width, **kwargs)
+
+    results: Dict[str, CompilationResult] = {}
+    seconds: Dict[str, float] = {}
+    for name in names:
+        backend = backends[name].configure(
+            array,
+            noise=noise,
+            seed=seed,
+            highway_density=highway_density,
+            min_components=min_components,
+            baseline_trials=baseline_trials,
+            # the capacity layout above is read-only during compilation, so
+            # MECH-family backends reuse it instead of rebuilding their own
+            layout=layout,
+        )
+        start = time.perf_counter()
+        results[name] = backend.compile(circuit)
+        seconds[name] = time.perf_counter() - start
+
+    return CompiledSet(
+        benchmark=benchmark,
+        array=array,
+        compilers=names,
+        circuit_width=circuit.num_qubits,
+        highway_qubit_fraction=layout.qubit_overhead(),
+        backends=backends,
+        results=results,
+        seconds=seconds,
+    )
+
+
+def compare_many(
+    benchmark: str,
+    array: ChipletArray,
+    *,
+    compilers: Sequence[str] = DEFAULT_COMPILERS,
+    noise: NoiseModel = DEFAULT_NOISE,
+    highway_density: int = 1,
+    num_data_qubits: Optional[int] = None,
+    min_components: int = 2,
+    baseline_trials: int = 1,
+    seed: int = 0,
+    benchmark_kwargs: Optional[Dict[str, object]] = None,
+) -> MultiComparisonRecord:
+    """Compile with every listed backend and record the paper's metrics N-way.
+
+    See :func:`compile_many` for the parameters.
+    """
+    compiled = compile_many(
+        benchmark,
+        array,
+        compilers=compilers,
+        noise=noise,
+        highway_density=highway_density,
+        num_data_qubits=num_data_qubits,
+        min_components=min_components,
+        baseline_trials=baseline_trials,
+        seed=seed,
+        benchmark_kwargs=benchmark_kwargs,
+    )
+    return compiled.record(noise, extra=backend_stat_extras(compiled))
+
+
+# --------------------------------------------------------------------------
+# deprecated two-backend wrappers
+
+
+@dataclass
+class CompiledPair:
+    """Both compilers' outputs for one benchmark on one array (deprecated
+    shape; :class:`CompiledSet` is the N-way replacement)."""
 
     benchmark: str
     array: ChipletArray
@@ -120,6 +494,14 @@ class CompiledPair:
         )
 
 
+def _deprecated(old: str, new: str) -> None:
+    warnings.warn(
+        f"{old} is deprecated; use {new} (the N-way backend API) instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
 def compile_pair(
     benchmark: str,
     array: ChipletArray,
@@ -132,61 +514,36 @@ def compile_pair(
     seed: int = 0,
     benchmark_kwargs: Optional[Dict[str, object]] = None,
 ) -> CompiledPair:
-    """Compile one benchmark with MECH and the baseline on the same array.
+    """Deprecated: compile with MECH and the baseline only.
 
-    Parameters
-    ----------
-    benchmark:
-        Benchmark name: ``"QFT"``, ``"QAOA"``, ``"VQE"`` or ``"BV"``.
-    array:
-        The chiplet array.
-    noise:
-        Error/latency model passed to the compilers.
-    highway_density:
-        Highway lines per chiplet per direction (Fig. 15 sweeps this).
-    num_data_qubits:
-        Circuit width; defaults to the number of data qubits left by the
-        highway layout (the paper's convention).
-    min_components:
-        Aggregation threshold for highway gates.
-    baseline_trials:
-        Routing trials for the baseline (best result kept).
-    seed:
-        Seed for randomised benchmark inputs (QAOA graph, BV secret, VQE
-        parameters).
-    benchmark_kwargs:
-        Extra arguments forwarded to the benchmark circuit builder.
+    Thin wrapper over :func:`compile_many` with the default
+    ``("baseline", "mech")`` backend pair; produces metrics identical to the
+    historic hard-coded implementation.
     """
-    mech = MechCompiler(
+    _deprecated("compile_pair", "compile_many")
+    compiled = compile_many(
+        benchmark,
         array,
-        highway_density=highway_density,
-        min_components=min_components,
+        compilers=DEFAULT_COMPILERS,
         noise=noise,
+        highway_density=highway_density,
+        num_data_qubits=num_data_qubits,
+        min_components=min_components,
+        baseline_trials=baseline_trials,
+        seed=seed,
+        benchmark_kwargs=benchmark_kwargs,
     )
-    width = num_data_qubits if num_data_qubits is not None else mech.num_data_qubits
-    kwargs = dict(benchmark_kwargs or {})
-    if benchmark.upper() in ("QAOA", "VQE", "BV"):
-        kwargs.setdefault("seed", seed)
-    circuit = build_benchmark(benchmark, width, **kwargs)
-
-    start = time.perf_counter()
-    mech_result = mech.compile(circuit)
-    mech_seconds = time.perf_counter() - start
-
-    baseline = BaselineCompiler(array.topology, noise=noise, trials=baseline_trials)
-    start = time.perf_counter()
-    baseline_result = baseline.compile(circuit)
-    baseline_seconds = time.perf_counter() - start
-
+    mech_backend = compiled.backends["mech"]
+    assert isinstance(mech_backend.compiler, MechCompiler)
     return CompiledPair(
         benchmark=benchmark,
         array=array,
-        mech=mech,
-        circuit_width=circuit.num_qubits,
-        mech_result=mech_result,
-        baseline_result=baseline_result,
-        mech_seconds=mech_seconds,
-        baseline_seconds=baseline_seconds,
+        mech=mech_backend.compiler,
+        circuit_width=compiled.circuit_width,
+        mech_result=compiled.results["mech"],
+        baseline_result=compiled.results["baseline"],
+        mech_seconds=compiled.seconds["mech"],
+        baseline_seconds=compiled.seconds["baseline"],
     )
 
 
@@ -202,13 +559,16 @@ def compare(
     seed: int = 0,
     benchmark_kwargs: Optional[Dict[str, object]] = None,
 ) -> ComparisonRecord:
-    """Compile with both compilers and record the paper's headline metrics.
+    """Deprecated: two-backend comparison; use :func:`compare_many`.
 
-    See :func:`compile_pair` for the parameters.
+    Still returns the exact record the historic implementation produced —
+    same metrics, same ``extra`` statistics keys.
     """
-    pair = compile_pair(
+    _deprecated("compare", "compare_many")
+    compiled = compile_many(
         benchmark,
         array,
+        compilers=DEFAULT_COMPILERS,
         noise=noise,
         highway_density=highway_density,
         num_data_qubits=num_data_qubits,
@@ -217,29 +577,31 @@ def compare(
         seed=seed,
         benchmark_kwargs=benchmark_kwargs,
     )
-    return pair.record(
-        noise,
-        extra={
-            "mech_shuttles": pair.mech_result.stats.get("shuttles", 0.0),
-            "mech_swaps": pair.mech_result.stats.get("swaps_inserted", 0.0),
-            "baseline_swaps": pair.baseline_result.stats.get("swaps_inserted", 0.0),
-            "mech_highway_gates": pair.mech_result.stats.get("highway_gates", 0.0),
-        },
-    )
+    return compiled.comparison_record(noise, extra=backend_stat_extras(compiled))
+
+
+# --------------------------------------------------------------------------
+# text rendering
 
 
 def format_records(
-    records: Sequence[ComparisonRecord],
+    records: Sequence[AnyRecord],
     *,
     title: str = "",
     errors: Optional[Sequence[object]] = None,
 ) -> str:
     """Render comparison records as a fixed-width text table (paper style).
 
+    Two-backend records render in the historic baseline/MECH column layout;
+    any :class:`MultiComparisonRecord` in the sequence switches the whole
+    table to the long-format N-way layout (one line per record x backend).
+
     ``errors`` (engine ``JobError`` records, or anything with ``benchmark``,
     ``error_type``, ``message`` and ``attempts`` attributes) are appended as
     FAILED rows so a partially failed sweep still prints every cell.
     """
+    if any(isinstance(record, MultiComparisonRecord) for record in records):
+        return format_multi_records(records, title=title, errors=errors)
     lines: List[str] = []
     if title:
         lines.append(title)
@@ -256,6 +618,65 @@ def format_records(
             f"{r.baseline_eff_cnots:>11.0f} {r.mech_eff_cnots:>11.0f} "
             f"{r.eff_cnots_improvement:>8.1%} {r.highway_qubit_fraction:>6.1%}"
         )
+    lines.extend(format_failed_rows(errors or ()))
+    return "\n".join(lines)
+
+
+def format_multi_records(
+    records: Sequence[AnyRecord],
+    *,
+    title: str = "",
+    errors: Optional[Sequence[object]] = None,
+) -> str:
+    """Long-format N-way table: one line per (record, backend).
+
+    The reference backend is marked with ``*`` and leaves its improvement
+    columns blank (it is its own yardstick).  Two-backend
+    :class:`ComparisonRecord` rows mixed into the sequence render as their
+    baseline/mech pair.
+    """
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = (
+        f"{'program':<14} {'arch':<22} {'compiler':<14} {'depth':>11} "
+        f"{'eff CNOTs':>11} {'depth impr':>10} {'eff impr':>9} {'hw %':>6}"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for r in records:
+        program = f"{r.benchmark}-{r.num_data_qubits}"
+        if isinstance(r, MultiComparisonRecord):
+            rows = [
+                (
+                    name,
+                    r.depths[name],
+                    r.eff_cnots[name],
+                    None if name == r.reference else r.depth_improvement_for(name),
+                    None if name == r.reference else r.eff_cnots_improvement_for(name),
+                )
+                for name in r.compilers
+            ]
+            reference = r.reference
+        else:
+            rows = [
+                ("baseline", r.baseline_depth, r.baseline_eff_cnots, None, None),
+                ("mech", r.mech_depth, r.mech_eff_cnots, r.depth_improvement, r.eff_cnots_improvement),
+            ]
+            reference = "baseline"
+        for index, (name, depth, eff, depth_impr, eff_impr) in enumerate(rows):
+            label = f"{name}*" if name == reference else name
+            prefix = (
+                f"{program:<14} {r.architecture:<22}"
+                if index == 0
+                else f"{'':<14} {'':<22}"
+            )
+            depth_cell = f"{depth_impr:>10.1%}" if depth_impr is not None else f"{'—':>10}"
+            eff_cell = f"{eff_impr:>9.1%}" if eff_impr is not None else f"{'—':>9}"
+            lines.append(
+                f"{prefix} {label:<14} {depth:>11.0f} {eff:>11.0f} "
+                f"{depth_cell} {eff_cell} {r.highway_qubit_fraction:>6.1%}"
+            )
     lines.extend(format_failed_rows(errors or ()))
     return "\n".join(lines)
 

@@ -15,7 +15,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..hardware.noise import DEFAULT_NOISE, NoiseModel
 from .engine import Job, experiment_checkpoint_meta, noise_to_items, run_jobs
-from .runner import ComparisonRecord, format_records
+from .runner import AnyRecord, format_records, resolve_compilers
 from .settings import BENCHMARK_NAMES, TABLE2_CHIPLET_SIZES
 
 __all__ = ["jobs_for_table2", "run_table2", "format_table2", "TABLE2_PAPER_REFERENCE"]
@@ -61,10 +61,13 @@ def jobs_for_table2(
     noise: NoiseModel = DEFAULT_NOISE,
     seed: int = 0,
     qaoa_kwargs: Optional[Dict[str, object]] = None,
+    compilers: Optional[Sequence[str]] = None,
 ) -> List[Job]:
     """One job per (chiplet size, benchmark) of the Table 2 sweep.
 
-    ``chiplet_sizes`` and ``array_shape`` override the ``scale`` preset.
+    ``chiplet_sizes`` and ``array_shape`` override the ``scale`` preset;
+    ``compilers`` selects the registered backends to compare (reference
+    first; default baseline vs MECH).
     """
     try:
         preset_sizes, preset_shape = SCALE_PRESETS[scale]
@@ -75,6 +78,7 @@ def jobs_for_table2(
     sizes = tuple(chiplet_sizes) if chiplet_sizes is not None else preset_sizes
     rows, cols = array_shape if array_shape is not None else preset_shape
     noise_items = noise_to_items(noise)
+    compiler_names = resolve_compilers(compilers)
     jobs: List[Job] = []
     for width in sizes:
         for name in benchmarks:
@@ -89,6 +93,7 @@ def jobs_for_table2(
                     seed=seed,
                     noise=noise_items,
                     benchmark_kwargs=tuple(sorted(kwargs.items())),
+                    compilers=compiler_names,
                 )
             )
     return jobs
@@ -103,11 +108,12 @@ def run_table2(
     noise: NoiseModel = DEFAULT_NOISE,
     seed: int = 0,
     qaoa_kwargs: Optional[Dict[str, object]] = None,
+    compilers: Optional[Sequence[str]] = None,
     workers: int = 1,
     cache=None,
     policy=None,
     checkpoint=None,
-) -> List[ComparisonRecord]:
+) -> List[AnyRecord]:
     """Regenerate Table 2: one record per (chiplet size, benchmark)."""
     jobs = jobs_for_table2(
         scale=scale,
@@ -117,6 +123,7 @@ def run_table2(
         noise=noise,
         seed=seed,
         qaoa_kwargs=qaoa_kwargs,
+        compilers=compilers,
     )
     return run_jobs(
         jobs,
@@ -124,10 +131,12 @@ def run_table2(
         cache=cache,
         policy=policy,
         checkpoint=checkpoint,
-        checkpoint_meta=experiment_checkpoint_meta("table2", scale, benchmarks, seed, cache),
+        checkpoint_meta=experiment_checkpoint_meta(
+            "table2", scale, benchmarks, seed, cache, compilers=resolve_compilers(compilers)
+        ),
     )
 
 
-def format_table2(records: Sequence[ComparisonRecord]) -> str:
+def format_table2(records: Sequence[AnyRecord]) -> str:
     """Text rendering in the style of the paper's Table 2."""
     return format_records(records, title="Table 2: baseline vs MECH (square chiplets)")

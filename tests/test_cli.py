@@ -230,6 +230,7 @@ class TestDryRun:
             "benchmarks": ["BV"],
             "seed": 0,
             "cache_dir": dirs["cache"],
+            "compilers": ["baseline", "mech"],
             "experiments": [
                 {
                     "experiment": "fig12",

@@ -201,11 +201,23 @@ class TestCheckpointSchema:
 
     def test_malformed_job_is_rejected(self, tmp_path):
         path = tmp_path / "mangled.json"
+        # a job with no benchmark at all cannot round-trip
         path.write_text(
-            json.dumps({"checkpoint_version": 2, "jobs": [{"benchmark": "A"}]})
+            json.dumps({"checkpoint_version": 2, "jobs": [{"kind": "compare"}]})
         )
         with pytest.raises(CheckpointError, match="round-trip"):
             load_checkpoint(path)
+
+    def test_pre_backend_job_rehydrates_with_default_compilers(self, tmp_path):
+        # checkpoints written before the Job.compilers field existed must
+        # keep loading: absent fields fall back to the dataclass defaults
+        path = tmp_path / "old.json"
+        path.write_text(
+            json.dumps({"checkpoint_version": 2, "jobs": [{"benchmark": "A"}]})
+        )
+        checkpoint = load_checkpoint(path)
+        assert checkpoint.jobs == [Job(benchmark="A")]
+        assert checkpoint.jobs[0].compilers == ("baseline", "mech")
 
 
 class TestEngineResume:
