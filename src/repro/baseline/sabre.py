@@ -14,6 +14,23 @@ algorithm from scratch so the reproduction runs offline:
 
 SWAPs are emitted as ``swap`` macros; metric accounting later expands them to
 three CNOTs, exactly as the paper counts them.
+
+The hot path is vectorized (PR 5) while staying **output-identical** to the
+original gate-by-gate implementation (the golden suite in
+``tests/test_routing_equivalence.py`` pins this):
+
+* the logical<->physical mapping lives in numpy index arrays instead of dicts;
+* all candidate SWAPs are scored in one batched distance-matrix gather
+  instead of a per-candidate Python loop (a scalar fallback reproduces the
+  historic float-accumulation order for the rare non-integer distance
+  matrices, where summation order could flip a tie at the 1e-12 threshold);
+* the executable front is drained generation by generation through a ready
+  queue — after a SWAP only the blocked gates touching the swapped qubits are
+  re-examined — instead of re-scanning ``sorted(front)`` until a full pass
+  makes no progress;
+* the extended set is only re-derived when a gate actually executed since the
+  previous SWAP (its membership depends on the front layer alone, not on the
+  mapping), and its BFS walks the DAG's cached successor lists.
 """
 
 from __future__ import annotations
@@ -22,7 +39,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
-from ..circuits.circuit import Circuit
+from ..circuits.circuit import Circuit, _rebuild_trusted
 from ..circuits.dag import DependencyDag
 from ..circuits.gates import Gate
 from ..hardware.topology import Topology
@@ -30,6 +47,9 @@ from ..compiler.result import CompilationResult
 from .layout import initial_layout
 
 __all__ = ["SabreRouter"]
+
+#: Absolute score slack under which two candidate SWAPs count as tied.
+_TIE_EPS = 1e-12
 
 
 class SabreRouter:
@@ -79,6 +99,31 @@ class SabreRouter:
         self.respect_commutation = respect_commutation
         self._rng = np.random.default_rng(seed)
         self._distance = topology.distance_matrix(cross_chip_weight=cross_chip_weight)
+        self._coupled = topology.adjacency_matrix()
+        # Batched scoring sums distance deltas in a different order than the
+        # historic per-candidate loop.  When every distance is an exactly
+        # representable integer (the ubiquitous case: hop counts, possibly
+        # with integer cross-chip weights) float addition is exact in any
+        # order, so the batched scores are bit-identical; otherwise fall back
+        # to the scalar loop to preserve the historic rounding near ties.
+        self._exact_distances = bool(
+            np.all(np.isfinite(self._distance))
+            and np.all(self._distance == np.floor(self._distance))
+        )
+        # Candidate generation tables: every normalized edge once, ascending
+        # lexicographically (the historic sorted-set-of-tuples order), plus
+        # per-qubit arrays of indices into that list.  A SWAP's candidate set
+        # is then a boolean scatter over edge ids — no per-swap sorting.
+        n = topology.num_qubits
+        edges = sorted(topology.edges())
+        self._edge_list = np.asarray(edges, dtype=np.int64).reshape(-1, 2)
+        edge_ids_of: Dict[int, List[int]] = {q: [] for q in range(n)}
+        for index, (u, v) in enumerate(edges):
+            edge_ids_of[u].append(index)
+            edge_ids_of[v].append(index)
+        self._edge_ids: List[np.ndarray] = [
+            np.asarray(edge_ids_of[q], dtype=np.int64) for q in range(n)
+        ]
 
     # ------------------------------------------------------------------ #
     # public entry point
@@ -93,82 +138,212 @@ class SabreRouter:
         """Compile ``circuit`` and return the routed physical circuit."""
         if layout is None:
             layout = initial_layout(circuit.num_qubits, self.topology, layout_strategy)
-        logical_to_physical = dict(layout)
-        physical_to_logical = {p: l for l, p in logical_to_physical.items()}
-        if len(physical_to_logical) != len(logical_to_physical):
-            raise ValueError("initial layout maps two logical qubits to one physical qubit")
+        num_physical = self.topology.num_qubits
+        l2p = np.full(circuit.num_qubits, -1, dtype=np.int64)
+        p2l = np.full(num_physical, -1, dtype=np.int64)
+        for logical, physical in layout.items():
+            if not 0 <= logical < circuit.num_qubits:
+                raise ValueError(
+                    f"layout maps logical qubit {logical}, which is outside"
+                    f" the circuit's 0..{circuit.num_qubits - 1} register"
+                )
+            l2p[logical] = physical
+            if p2l[physical] >= 0:
+                raise ValueError(
+                    "initial layout maps two logical qubits to one physical qubit"
+                )
+            p2l[physical] = logical
+
+        if len(layout) < circuit.num_qubits:
+            # the historic dict-based mapping failed loudly (KeyError) when a
+            # gate touched a logical qubit the explicit layout did not map;
+            # -1 sentinels in the index array would route silently instead,
+            # so reject partial layouts up front (idle unmapped qubits are
+            # fine, as before)
+            for op in circuit.operations:
+                for qubit in op.qubits:
+                    if l2p[qubit] < 0:
+                        raise ValueError(
+                            f"layout does not map logical qubit {qubit},"
+                            f" which is used by {op}"
+                        )
 
         dag = DependencyDag(circuit, commutation_aware=self.respect_commutation)
-        in_degree = {node.index: len(node.predecessors) for node in dag}
-        front: Set[int] = {node.index for node in dag if in_degree[node.index] == 0}
-        executed: Set[int] = set()
+        ops: List[Gate] = [node.op for node in dag]
+        successors = dag.successor_lists()
+        in_degree = dag.in_degrees()
+        num_nodes = len(dag)
+        # NOTE: ``front`` must stay a plain set with the same add/discard
+        # history as the historic implementation — the extended-set BFS seeds
+        # from ``list(front)``, whose iteration order decides which lookahead
+        # gates make the size cut.
+        front: Set[int] = {i for i in range(num_nodes) if in_degree[i] == 0}
+        executed = 0
 
-        out = Circuit(self.topology.num_qubits, name=f"{circuit.name}@{self.topology.name}")
-        decay = np.ones(self.topology.num_qubits)
+        out = Circuit(num_physical, name=f"{circuit.name}@{self.topology.name}")
+        # direct op-list append: every emitted qubit index is an l2p value or
+        # a topology edge endpoint, both < num_physical by construction
+        out_append = out.operations.append
+        decay = np.ones(num_physical)
         swaps_inserted = 0
         steps_since_progress = 0
 
-        def physical(op: Gate) -> Tuple[int, ...]:
-            return tuple(logical_to_physical[q] for q in op.qubits)
+        # Lazily rebuilt whenever a gate executes (the front layer changed).
+        # Pairs live in LOGICAL space (stable between SWAPs): the *unique*
+        # logical pairs feed the delta term as per-qubit partner CSR tables
+        # (the historic scorer dedups affected physical pairs, and an
+        # injective layout makes logical dedup equivalent), and the involved
+        # physical qubits / base distance sums are maintained incrementally
+        # across SWAPs — a SWAP exchanges two occupancies and shifts each base
+        # by exactly its own scored delta.
+        front_pairs: Optional[np.ndarray] = None  # logical (F, 2)
+        ext_pairs: Optional[np.ndarray] = None  # logical (E, 2)
+        merged_csr = None
+        involved = np.zeros(num_physical, dtype=bool)
+        base_front = 0.0
+        base_ext = 0.0
+        front_dirty = True
+        num_logical = circuit.num_qubits
+        edge_u = self._edge_list[:, 0]
+        edge_v = self._edge_list[:, 1]
+        dist = self._distance
 
-        def execute(index: int) -> None:
-            node = dag.node(index)
-            mapped = node.op
-            out.append(_remap_gate(mapped, logical_to_physical))
-            executed.add(index)
-            front.discard(index)
-            for succ in node.successors:
-                in_degree[succ] -= 1
-                if in_degree[succ] == 0:
-                    front.add(succ)
+        # blocked 2-qubit front gates bucketed by their *current* physical
+        # endpoints: after a SWAP of (a, b) only bucket[a] | bucket[b] can
+        # have become executable, so nothing else is re-examined.  The
+        # parallel ``blocked_pairs`` map keeps their logical pairs at hand so
+        # dirty rebuilds need not re-scan the whole front (batched path only
+        # — the scalar fallback replays the historic front-set scan order).
+        buckets: List[Set[int]] = [set() for _ in range(num_physical)]
+        blocked_pairs: Dict[int, Tuple[int, ...]] = {}
 
-        while len(executed) < len(dag):
-            # 1. execute everything currently executable
-            progressed = True
-            while progressed:
-                progressed = False
-                for index in sorted(front):
-                    op = dag.node(index).op
-                    if op.num_qubits <= 1 or op.is_barrier or op.is_measurement:
-                        execute(index)
-                        progressed = True
-                    elif op.num_qubits == 2:
-                        a, b = physical(op)
-                        if self.topology.is_coupled(a, b):
-                            execute(index)
-                            progressed = True
-                    else:
+        def drain(generation: List[int]) -> None:
+            """Execute every executable gate, generation by generation.
+
+            ``generation`` is an ascending-index snapshot of candidate nodes;
+            successors readied by an execution form the next generation (again
+            ascending), which reproduces the emission order of the historic
+            rescan-``sorted(front)``-until-stuck loop without re-examining
+            blocked gates whose mapping did not change.
+            """
+            nonlocal executed, front_dirty
+            while generation:
+                ready: List[int] = []
+                for index in generation:
+                    op = ops[index]
+                    qubits = op.qubits
+                    if len(qubits) == 2 and not (op.is_barrier or op.is_measurement):
+                        a, b = l2p[qubits[0]], l2p[qubits[1]]
+                        if not self._coupled[a, b]:
+                            # stays blocked: only a SWAP can free it
+                            buckets[a].add(index)
+                            buckets[b].add(index)
+                            blocked_pairs[index] = qubits
+                            continue
+                        buckets[a].discard(index)
+                        buckets[b].discard(index)
+                        blocked_pairs.pop(index, None)
+                    elif len(qubits) > 2 and not (op.is_barrier or op.is_measurement):
                         raise ValueError(
-                            "baseline router only handles 1- and 2-qubit operations; "
-                            f"got {op}"
+                            "baseline router only handles 1- and 2-qubit "
+                            f"operations; got {op}"
                         )
-            if len(executed) == len(dag):
-                break
+                    if len(qubits) == 2:
+                        mapped = (int(l2p[qubits[0]]), int(l2p[qubits[1]]))
+                    elif len(qubits) == 1:
+                        mapped = (int(l2p[qubits[0]]),)
+                    else:
+                        mapped = tuple(int(l2p[q]) for q in qubits)
+                    out_append(_rebuild_trusted(op, mapped))
+                    executed += 1
+                    front_dirty = True
+                    front.discard(index)
+                    for succ in successors[index]:
+                        in_degree[succ] -= 1
+                        if in_degree[succ] == 0:
+                            front.add(succ)
+                            ready.append(succ)
+                generation = sorted(ready)
 
-            # 2. pick the best SWAP for the blocked front layer
-            blocked = [
-                dag.node(i).op
-                for i in front
-                if dag.node(i).op.num_qubits == 2
-            ]
-            if not blocked:  # pragma: no cover - defensive; should not happen
-                raise RuntimeError("router made no progress but no 2-qubit gate is blocked")
-            extended = self._extended_set(dag, front, in_degree)
-            candidates = self._candidate_swaps(blocked, logical_to_physical)
-            best_swap = self._select_swap(
-                candidates, blocked, extended, logical_to_physical, decay
-            )
-            a, b = best_swap
-            out.swap(a, b)
+        drain(sorted(front))
+        while executed < num_nodes:
+            if front_dirty:
+                if self._exact_distances:
+                    # the batched scorer is order-insensitive (exact sums),
+                    # so the maintained blocked map replaces the front scan
+                    front_list = list(blocked_pairs.values())
+                else:
+                    front_list = self._front_pairs(ops, front)
+                ext_list = self._extended_pairs(ops, successors, front)
+                front_pairs = _pair_array(front_list)
+                ext_pairs = _pair_array(ext_list)
+                merged_csr = _partner_csr(
+                    dict.fromkeys(front_list), dict.fromkeys(ext_list), num_logical
+                )
+                involved[:] = False
+                if len(front_pairs):
+                    involved[l2p[front_pairs].ravel()] = True
+                base_front = _base_sum(dist, l2p, front_pairs)
+                base_ext = _base_sum(dist, l2p, ext_pairs)
+                front_dirty = False
+            if front_pairs is None or not len(front_pairs):  # pragma: no cover
+                raise RuntimeError(
+                    "router made no progress but no 2-qubit gate is blocked"
+                )
+
+            # candidate SWAPs: every edge with an involved endpoint, in the
+            # pre-sorted edge list's (historic sorted-set) order
+            candidates = self._edge_list[involved[edge_u] | involved[edge_v]]
+            if self._exact_distances:
+                scores, delta_front, delta_ext = self._score_swaps_batched(
+                    candidates,
+                    front_pairs,
+                    ext_pairs,
+                    merged_csr,
+                    base_front,
+                    base_ext,
+                    l2p,
+                    p2l,
+                    decay,
+                )
+            else:
+                delta_front = delta_ext = None
+                scores = self._score_swaps_scalar(
+                    candidates, front_pairs, ext_pairs, l2p, decay
+                )
+            chosen, (a, b) = self._pick_swap(candidates, scores)
+            out_append(Gate.trusted("swap", (a, b)))
             swaps_inserted += 1
-            self._apply_swap(a, b, logical_to_physical, physical_to_logical)
+            la, lb = p2l[a], p2l[b]
+            if la >= 0:
+                l2p[la] = b
+            if lb >= 0:
+                l2p[lb] = a
+            p2l[a], p2l[b] = lb, la
             decay[a] += self.decay_factor
             decay[b] += self.decay_factor
             steps_since_progress += 1
             if steps_since_progress % self.decay_reset_interval == 0:
                 decay[:] = 1.0
 
-        final_layout = dict(logical_to_physical)
+            # the SWAP exchanged the two qubits' blocked-gate populations;
+            # only those gates can have become executable
+            buckets[a], buckets[b] = buckets[b], buckets[a]
+            drain(sorted(buckets[a] | buckets[b]))
+            if not front_dirty:
+                # nothing executed: the front is unchanged, so the involved
+                # set just exchanged the two occupancies and each base moved
+                # by exactly the chosen SWAP's (exact-integer) delta
+                involved[a], involved[b] = bool(involved[b]), bool(involved[a])
+                if delta_front is not None:
+                    base_front = base_front + float(delta_front[chosen])
+                    base_ext = base_ext + float(delta_ext[chosen])
+
+        final_layout = {
+            int(logical): int(physical)
+            for logical, physical in enumerate(l2p)
+            if physical >= 0
+        }
         return CompilationResult(
             circuit=out,
             topology=self.topology,
@@ -181,67 +356,174 @@ class SabreRouter:
     # ------------------------------------------------------------------ #
     # heuristic machinery
     # ------------------------------------------------------------------ #
-    def _extended_set(
-        self, dag: DependencyDag, front: Set[int], in_degree: Dict[int, int]
-    ) -> List[Gate]:
-        """Upcoming 2-qubit gates reachable from the front layer (lookahead)."""
-        extended: List[Gate] = []
+    @staticmethod
+    def _front_pairs(ops: Sequence[Gate], front: Set[int]) -> List[Tuple[int, ...]]:
+        """Logical qubit pairs of the blocked 2-qubit front gates.
+
+        Iterates ``front`` in set order like the historic list comprehension;
+        the order is irrelevant to the batched scorer (exact sums) but keeps
+        the scalar fallback's accumulation sequence identical.
+        """
+        return [
+            ops[i].qubits
+            for i in front
+            if len(ops[i].qubits) == 2
+            and not (ops[i].is_barrier or ops[i].is_measurement)
+        ]
+
+    def _extended_pairs(
+        self,
+        ops: Sequence[Gate],
+        successors: Sequence[Sequence[int]],
+        front: Set[int],
+    ) -> List[Tuple[int, ...]]:
+        """Logical pairs of upcoming 2-qubit gates (the lookahead window).
+
+        Breadth-first over the dependency DAG from the front layer, truncated
+        at ``extended_set_size`` — the exact traversal (and therefore the
+        exact membership at the truncation boundary) of the historic
+        implementation, seeded from ``list(front)`` and walking the cached
+        successor lists in their sets' iteration order.
+        """
+        limit = self.extended_set_size
+        extended: List[Tuple[int, ...]] = []
         seen: Set[int] = set()
         frontier = list(front)
-        while frontier and len(extended) < self.extended_set_size:
+        while frontier and len(extended) < limit:
             next_frontier: List[int] = []
             for index in frontier:
-                for succ in dag.node(index).successors:
+                for succ in successors[index]:
                     if succ in seen:
                         continue
                     seen.add(succ)
-                    op = dag.node(succ).op
+                    op = ops[succ]
                     if op.num_qubits == 2:
-                        extended.append(op)
-                        if len(extended) >= self.extended_set_size:
+                        extended.append(op.qubits)
+                        if len(extended) >= limit:
                             break
                     next_frontier.append(succ)
-                if len(extended) >= self.extended_set_size:
+                if len(extended) >= limit:
                     break
             frontier = next_frontier
         return extended
 
-    def _candidate_swaps(
-        self, blocked: Sequence[Gate], logical_to_physical: Dict[int, int]
-    ) -> List[Tuple[int, int]]:
-        """Edges touching any physical qubit involved in a blocked gate."""
-        involved: Set[int] = set()
-        for op in blocked:
-            involved.update(logical_to_physical[q] for q in op.qubits)
-        candidates: Set[Tuple[int, int]] = set()
-        for phys in involved:
-            for nb in self.topology.neighbors(phys):
-                candidates.add((min(phys, nb), max(phys, nb)))
-        return sorted(candidates)
+    def _candidate_swaps(self, front_pairs: np.ndarray, l2p: np.ndarray) -> np.ndarray:
+        """Edges touching any physical qubit involved in a blocked gate, (K, 2).
 
-    def _select_swap(
+        Rows ascend lexicographically with ``row[0] < row[1]``, matching the
+        historic ``sorted(set(...))`` of normalized edge tuples: the edge list
+        is pre-sorted, so masking it by involved endpoints reads back in that
+        same order.  (The run loop maintains the involved mask incrementally;
+        this method recomputes it from scratch.)
+        """
+        involved = np.zeros(self.topology.num_qubits, dtype=bool)
+        if len(front_pairs):
+            involved[l2p[front_pairs].ravel()] = True
+        return self._edge_list[
+            involved[self._edge_list[:, 0]] | involved[self._edge_list[:, 1]]
+        ]
+
+    def _score_swaps_batched(
         self,
-        candidates: Sequence[Tuple[int, int]],
-        blocked: Sequence[Gate],
-        extended: Sequence[Gate],
-        logical_to_physical: Dict[int, int],
+        candidates: np.ndarray,
+        front_pairs: np.ndarray,
+        ext_pairs: np.ndarray,
+        merged_csr: Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray],
+        base_front: float,
+        base_ext: float,
+        l2p: np.ndarray,
+        p2l: np.ndarray,
         decay: np.ndarray,
-    ) -> Tuple[int, int]:
-        """Score candidate SWAPs with the SABRE heuristic and pick the best.
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Score all candidate SWAPs in one batched distance-matrix gather.
 
-        Scoring is incremental: a SWAP of physical qubits ``(a, b)`` only
-        changes the distance of gates whose endpoints sit on ``a`` or ``b``, so
-        only those deltas are recomputed per candidate.
+        For a SWAP ``(a, b)`` only gates with an endpoint on ``a`` or ``b``
+        change distance, and (matching the historic set-based accumulation)
+        duplicated physical pairs contribute their delta once — the per-qubit
+        partner CSR tables over the *unique logical* pairs are that dedup,
+        built once per front change.  The delta is assembled adjacency-list
+        style over both candidate endpoints at once, so the work is
+        proportional to the affected pairs — the historic algorithm's
+        complexity — rather than candidates x pairs.  All distances are
+        exactly representable integers here, so the vector sums equal the
+        historic per-candidate accumulation bit for bit.
+
+        Returns ``(scores, delta_front, delta_ext)``; the caller advances the
+        cached base sums by the chosen candidate's deltas.
         """
         dist = self._distance
-        blocked_phys = [
-            (logical_to_physical[op.qubits[0]], logical_to_physical[op.qubits[1]])
-            for op in blocked
-        ]
-        ext_phys = [
-            (logical_to_physical[op.qubits[0]], logical_to_physical[op.qubits[1]])
-            for op in extended
-        ]
+        a = candidates[:, 0]
+        b = candidates[:, 1]
+        num_candidates = len(candidates)
+        # both endpoints of every candidate in one flat batch: rows 0..K-1
+        # twice, owning qubit a then b, partner-facing qubit b then a; the
+        # front and extended groups ride the same batch (group-tagged CSR),
+        # so each SWAP pays for one gather pipeline, not two
+        own_phys = np.concatenate((a, b))
+        other_phys = np.concatenate((b, a))
+        own_log = p2l[own_phys]
+        occupied = own_log >= 0
+        safe_log = np.where(occupied, own_log, 0)
+        counts, starts, partners, groups = merged_csr
+
+        delta_front = np.zeros(num_candidates)
+        delta_ext = np.zeros(num_candidates)
+        if len(partners):
+            cnt = np.where(occupied, counts[safe_log], 0)
+            total = int(cnt.sum())
+            if total:
+                row_of = np.concatenate(
+                    (np.arange(num_candidates), np.arange(num_candidates))
+                )
+                rows = np.repeat(row_of, cnt)
+                prefix = np.zeros(len(cnt), dtype=np.int64)
+                np.cumsum(cnt[:-1], out=prefix[1:])
+                within = np.arange(total) - np.repeat(prefix, cnt)
+                flat = np.repeat(starts[safe_log], cnt) + within
+                partner_phys = l2p[partners[flat]]
+                other_r = np.repeat(other_phys, cnt)
+                # a pair whose endpoints are *both* swapped keeps its distance
+                # (the matrix is symmetric) — the historic np_/nq remap
+                terms = dist[other_r, partner_phys] - dist[
+                    np.repeat(own_phys, cnt), partner_phys
+                ]
+                terms[partner_phys == other_r] = 0.0
+                # one histogram over (row, group): first K bins = front, next
+                # K bins = extended
+                merged = np.bincount(
+                    rows + groups[flat] * num_candidates,
+                    weights=terms,
+                    minlength=2 * num_candidates,
+                )
+                delta_front = merged[:num_candidates]
+                delta_ext = merged[num_candidates:]
+
+        n_front = max(len(front_pairs), 1)
+        n_ext = max(len(ext_pairs), 1)
+        front_cost = (base_front + delta_front) / n_front
+        ext_cost = (base_ext + delta_ext) / n_ext
+        decay_max = np.maximum(decay[a], decay[b])
+        scores = decay_max * (front_cost + self.extended_set_weight * ext_cost)
+        return scores, delta_front, delta_ext
+
+    def _score_swaps_scalar(
+        self,
+        candidates: Sequence[Tuple[int, int]],
+        front_pairs: np.ndarray,
+        ext_pairs: np.ndarray,
+        l2p: np.ndarray,
+        decay: np.ndarray,
+    ) -> np.ndarray:
+        """The historic per-candidate scoring loop (non-integer distances).
+
+        Kept verbatim so float accumulation order — and therefore tie
+        membership at the 1e-12 threshold — matches the original router when
+        distance sums are not exact.
+        """
+        dist = self._distance
+        candidates = [(int(a), int(b)) for a, b in candidates]
+        blocked_phys = [(int(p), int(q)) for p, q in l2p[front_pairs]]
+        ext_phys = [(int(p), int(q)) for p, q in l2p[ext_pairs]] if len(ext_pairs) else []
         n_front = max(len(blocked_phys), 1)
         n_ext = max(len(ext_phys), 1)
         base_front = sum(dist[p, q] for p, q in blocked_phys)
@@ -268,47 +550,97 @@ class SabreRouter:
                 change += dist[np_, nq] - dist[p, q]
             return change
 
-        best_score = float("inf")
-        best: List[Tuple[int, int]] = []
-        for a, b in candidates:
+        scores = np.empty(len(candidates))
+        for i, (a, b) in enumerate(candidates):
             front_cost = (base_front + delta(touching_front, a, b)) / n_front
             ext_cost = (base_ext + delta(touching_ext, a, b)) / n_ext
-            score = max(decay[a], decay[b]) * (
+            scores[i] = max(decay[a], decay[b]) * (
                 front_cost + self.extended_set_weight * ext_cost
             )
-            if score < best_score - 1e-12:
+        return scores
+
+    def _pick_swap(
+        self, candidates: np.ndarray, scores: np.ndarray
+    ) -> Tuple[int, Tuple[int, int]]:
+        """The historic sequential tie-break over ascending candidates.
+
+        The running-best chain (a candidate within ``1e-12`` of the current
+        best joins the tie *without* lowering the bar) is order-sensitive, so
+        it is replayed candidate by candidate over the precomputed scores;
+        ties consume one draw from the router's RNG exactly as before.
+        """
+        # Fast paths.  (1) When no other score lands within 2*eps of the
+        # minimum, the chain provably ends as [argmin] — no tie, no RNG draw.
+        # (2) Otherwise, scores above smin + 4*eps cannot influence the final
+        # tie set: the first score <= smin + 2*eps strictly resets whatever
+        # best they produced (gap > eps), and afterwards they are ignored
+        # (gap > eps again), so the chain restricted to the <= smin + 2*eps
+        # subsequence is exact — unless the (2*eps, 4*eps] band is occupied,
+        # where a bridge through a band score could alter an append/reset
+        # decision; then the full replay runs.
+        smin = scores.min()
+        near_mask = scores <= smin + 2 * _TIE_EPS
+        near = int(near_mask.sum())
+        if near == 1:
+            chosen = int(np.argmin(scores))
+            return chosen, (int(candidates[chosen, 0]), int(candidates[chosen, 1]))
+        if int((scores <= smin + 4 * _TIE_EPS).sum()) == near:
+            indices = np.flatnonzero(near_mask)
+            replay = zip(indices.tolist(), scores[indices].tolist())
+        else:
+            replay = enumerate(scores.tolist())
+        best_score = float("inf")
+        best: List[int] = []
+        for i, score in replay:
+            if score < best_score - _TIE_EPS:
                 best_score = score
-                best = [(a, b)]
-            elif abs(score - best_score) <= 1e-12:
-                best.append((a, b))
-        index = int(self._rng.integers(len(best))) if len(best) > 1 else 0
-        return best[index]
-
-    @staticmethod
-    def _apply_swap(
-        a: int,
-        b: int,
-        logical_to_physical: Dict[int, int],
-        physical_to_logical: Dict[int, int],
-    ) -> None:
-        la = physical_to_logical.get(a)
-        lb = physical_to_logical.get(b)
-        if la is not None:
-            logical_to_physical[la] = b
-        if lb is not None:
-            logical_to_physical[lb] = a
-        if la is not None:
-            physical_to_logical[b] = la
-        elif b in physical_to_logical:
-            del physical_to_logical[b]
-        if lb is not None:
-            physical_to_logical[a] = lb
-        elif a in physical_to_logical:
-            del physical_to_logical[a]
+                best = [i]
+            elif abs(score - best_score) <= _TIE_EPS:
+                best.append(i)
+        chosen = best[int(self._rng.integers(len(best)))] if len(best) > 1 else best[0]
+        return chosen, (int(candidates[chosen, 0]), int(candidates[chosen, 1]))
 
 
-def _remap_gate(op: Gate, logical_to_physical: Dict[int, int]) -> Gate:
-    """Rebuild ``op`` acting on physical qubits."""
-    from ..circuits.circuit import _rebuild  # local import to avoid cycle at module load
+def _pair_array(pairs: List[Tuple[int, ...]]) -> np.ndarray:
+    """Qubit-pair tuples as an (N, 2) int64 array (empty-safe)."""
+    if not pairs:
+        return np.empty((0, 2), dtype=np.int64)
+    return np.asarray(pairs, dtype=np.int64)
 
-    return _rebuild(op, tuple(logical_to_physical[q] for q in op.qubits))
+
+def _partner_csr(
+    front_unique, ext_unique, num_logical: int
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Per-logical-qubit partner lists of both unique-pair groups, CSR layout.
+
+    ``(counts, starts, partners, groups)`` where the partners of logical
+    qubit ``q`` are ``partners[starts[q] : starts[q] + counts[q]]`` and
+    ``groups`` tags each slot 0 (front) or 1 (extended).  Built once per
+    front change; the scorer gathers through the current layout to land in
+    physical space and splits its histogram by the group tag.
+    """
+    f = _pair_array(list(front_unique))
+    e = _pair_array(list(ext_unique))
+    u = np.concatenate((f, e)) if len(e) else f
+    if not len(u):
+        empty = np.zeros(num_logical, dtype=np.int64)
+        return empty, np.zeros(num_logical + 1, dtype=np.int64), u[:, :1].ravel(), u[:, :1].ravel()
+    tag = np.concatenate(
+        (np.zeros(len(f), dtype=np.int64), np.ones(len(e), dtype=np.int64))
+    )
+    ends = np.concatenate((u[:, 0], u[:, 1]))
+    partners = np.concatenate((u[:, 1], u[:, 0]))
+    group = np.concatenate((tag, tag))
+    order = np.argsort(ends, kind="stable")
+    counts = np.bincount(ends, minlength=num_logical)
+    starts = np.zeros(num_logical + 1, dtype=np.int64)
+    np.cumsum(counts, out=starts[1:])
+    return counts, starts, partners[order], group[order]
+
+
+def _base_sum(dist: np.ndarray, l2p: np.ndarray, pairs: np.ndarray) -> float:
+    """Total current distance of a pair group (float, exact for hop counts)."""
+    if not len(pairs):
+        return 0.0
+    phys = l2p[pairs]
+    return float(dist[phys[:, 0], phys[:, 1]].sum())

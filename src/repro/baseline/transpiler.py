@@ -17,6 +17,7 @@ from ..circuits.circuit import Circuit
 from ..compiler.result import CompilationResult
 from ..hardware.noise import DEFAULT_NOISE, NoiseModel
 from ..hardware.topology import Topology
+from ..perf.timers import PhaseTimer
 from .layout import initial_layout
 from .sabre import SabreRouter
 
@@ -66,7 +67,14 @@ class BaselineCompiler:
     def compile(
         self, circuit: Circuit, *, layout: Optional[Dict[int, int]] = None
     ) -> CompilationResult:
-        """Compile ``circuit`` onto the device and return the best trial."""
+        """Compile ``circuit`` onto the device and return the best trial.
+
+        The returned stats carry a per-phase wall-clock breakdown accumulated
+        over every trial: ``layout`` (initial placement), ``route`` (SABRE
+        SWAP insertion) and ``simulate`` (metric evaluation for trial
+        selection).
+        """
+        timer = PhaseTimer()
         best: Optional[CompilationResult] = None
         best_score = float("inf")
         for trial in range(self.trials):
@@ -79,14 +87,18 @@ class BaselineCompiler:
             )
             chosen_layout = layout
             if chosen_layout is None:
-                chosen_layout = initial_layout(
-                    circuit.num_qubits, self.topology, self.layout_strategy
-                )
-            result = router.run(circuit, layout=chosen_layout)
-            score = result.metrics(self.noise).eff_cnots
+                with timer.phase("layout"):
+                    chosen_layout = initial_layout(
+                        circuit.num_qubits, self.topology, self.layout_strategy
+                    )
+            with timer.phase("route"):
+                result = router.run(circuit, layout=chosen_layout)
+            with timer.phase("simulate"):
+                score = result.metrics(self.noise).eff_cnots
             if score < best_score:
                 best_score = score
                 best = result
         assert best is not None
         best.stats["trials"] = float(self.trials)
+        timer.write_stats(best.stats)
         return best

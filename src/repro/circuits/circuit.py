@@ -15,7 +15,7 @@ list of gates/measurements over an integer-indexed register, with
 from __future__ import annotations
 
 from collections import Counter
-from typing import Callable, Dict, Iterable, Iterator, List, Mapping, Sequence
+from typing import Callable, Dict, Iterable, Iterator, List, Mapping, Sequence, Tuple
 
 from . import gates as g
 from .gates import Barrier, Gate, GateError, Measurement
@@ -319,3 +319,15 @@ def _rebuild(op: Gate, new_qubits: Sequence[int]) -> Gate:
     if isinstance(op, Barrier):
         return Barrier("barrier", tuple(new_qubits))
     return Gate(op.name, tuple(new_qubits), op.params, op.condition)
+
+
+def _rebuild_trusted(op: Gate, new_qubits: Tuple[int, ...]) -> Gate:
+    """Hot-path :func:`_rebuild` for injective remappings of validated gates.
+
+    ``new_qubits`` must be a tuple of distinct built-in ``int``s (routers remap
+    through injective logical-to-physical layouts, so distinctness holds by
+    construction); measurements and barriers still take the validating path.
+    """
+    if type(op) is Gate:
+        return Gate.trusted(op.name, new_qubits, op.params, op.condition)
+    return _rebuild(op, new_qubits)

@@ -62,6 +62,7 @@ class DependencyDag:
         self.nodes: List[DagNode] = [
             DagNode(i, op) for i, op in enumerate(circuit.operations)
         ]
+        self._successor_lists: Optional[List[List[int]]] = None
         self._build()
 
     # ------------------------------------------------------------------ #
@@ -167,13 +168,35 @@ class DependencyDag:
             buckets.setdefault(lvl, []).append(node)
         return [buckets[k] for k in sorted(buckets)]
 
+    def successor_lists(self) -> List[List[int]]:
+        """Per-node successor lists, cached after the first call.
+
+        The edge sets are frozen once :meth:`_build` returns, so the lists are
+        a stable snapshot; crucially they preserve each ``successors`` set's
+        own iteration order, which keeps traversal-order-sensitive consumers
+        (the SABRE extended-set lookahead) bit-identical to iterating the sets
+        directly while being much cheaper to walk in a hot loop.
+        """
+        if self._successor_lists is None:
+            self._successor_lists = [list(node.successors) for node in self.nodes]
+        return self._successor_lists
+
+    def in_degrees(self) -> List[int]:
+        """Predecessor count per node (a fresh list; callers mutate it)."""
+        return [len(node.predecessors) for node in self.nodes]
+
     def descendants(self, index: int) -> Set[int]:
-        """All node indices reachable from ``index`` (excluding itself)."""
+        """All node indices reachable from ``index`` (excluding itself).
+
+        Iterative (no recursion, no memo table): one explicit stack over the
+        cached successor lists, so repeated calls allocate nothing beyond the
+        result set.
+        """
+        successors = self.successor_lists()
         seen: Set[int] = set()
         stack = [index]
         while stack:
-            current = stack.pop()
-            for succ in self.nodes[current].successors:
+            for succ in successors[stack.pop()]:
                 if succ not in seen:
                     seen.add(succ)
                     stack.append(succ)

@@ -128,6 +128,30 @@ class Gate:
         if self.name in _MULTI_TARGET_GATES and len(self.qubits) < 2:
             raise GateError(f"{self.name} needs a control and at least one target")
 
+    @classmethod
+    def trusted(
+        cls,
+        name: str,
+        qubits: Tuple[int, ...],
+        params: Tuple[float, ...] = (),
+        condition: Tuple[Tuple[int, ...], int] | None = None,
+    ) -> "Gate":
+        """Build a plain :class:`Gate` without re-running validation.
+
+        Only for hot paths that rebuild *already validated* gates on new qubit
+        indices (router/scheduler emission, circuit remapping): ``qubits`` must
+        be a tuple of distinct built-in ``int``s and ``params`` an
+        already-coerced float tuple, exactly as found on an existing gate.
+        Always builds a plain ``Gate`` — subclasses (measurements, barriers)
+        carry extra invariants and go through their validating constructors.
+        """
+        gate = object.__new__(Gate)
+        object.__setattr__(gate, "name", name)
+        object.__setattr__(gate, "qubits", qubits)
+        object.__setattr__(gate, "params", params)
+        object.__setattr__(gate, "condition", condition)
+        return gate
+
     # ------------------------------------------------------------------ #
     # classification helpers
     # ------------------------------------------------------------------ #
@@ -214,8 +238,18 @@ class Gate:
         return _gate_matrix(self.name, self.params)
 
     def with_condition(self, cbits: Iterable[int], value: int = 1) -> "Gate":
-        """Return a copy of the gate conditioned on the parity of ``cbits``."""
-        return Gate(self.name, self.qubits, self.params, (tuple(cbits), value))
+        """Return a copy of the gate conditioned on the parity of ``cbits``.
+
+        The gate's own fields are already validated/coerced, so only the
+        condition is normalised here (the exact coercion ``__post_init__``
+        would apply) before taking the trusted construction path.
+        """
+        return Gate.trusted(
+            self.name,
+            self.qubits,
+            self.params,
+            (tuple(int(c) for c in cbits), int(value) & 1),
+        )
 
     def components(self) -> Tuple["Gate", ...]:
         """Decompose a multi-target gate into its 2-qubit components.

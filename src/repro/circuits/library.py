@@ -15,7 +15,7 @@ from __future__ import annotations
 from typing import Iterable, List, Sequence, Tuple
 
 from .circuit import Circuit
-from .gates import Gate, cx
+from .gates import Gate
 
 __all__ = [
     "swap_to_cnots",
@@ -27,8 +27,14 @@ __all__ = [
 
 
 def swap_to_cnots(a: int, b: int) -> List[Gate]:
-    """Decompose ``SWAP(a, b)`` into three CNOTs (paper Fig. 2a)."""
-    return [cx(a, b), cx(b, a), cx(a, b)]
+    """Decompose ``SWAP(a, b)`` into three CNOTs (paper Fig. 2a).
+
+    A routed circuit expands tens of thousands of SWAPs during metric
+    evaluation, so the CNOTs skip re-validation (the SWAP's qubits are
+    already validated distinct ints).
+    """
+    first = Gate.trusted("cx", (a, b))
+    return [first, Gate.trusted("cx", (b, a)), first]
 
 
 def bridge_cnot(control: int, middle: int, target: int) -> List[Gate]:
@@ -38,12 +44,9 @@ def bridge_cnot(control: int, middle: int, target: int) -> List[Gate]:
     qubits that are not directly coupled, using a shared neighbour, without
     permuting any qubits.
     """
-    return [
-        cx(control, middle),
-        cx(middle, target),
-        cx(control, middle),
-        cx(middle, target),
-    ]
+    upper = Gate.trusted("cx", (control, middle))
+    lower = Gate.trusted("cx", (middle, target))
+    return [upper, lower, upper, lower]
 
 
 def ghz_chain_circuit(qubits: Sequence[int], num_qubits: int | None = None) -> Circuit:
@@ -94,11 +97,15 @@ def expand_macros(circuit: Circuit) -> Circuit:
     their per-target components).
     """
     out = Circuit(circuit.num_qubits, circuit.name)
+    # every expanded gate acts on qubits of an already validated operation,
+    # so the expansion appends straight to the op list (routed circuits
+    # expand hundreds of thousands of operations during metric evaluation)
+    ops_out = out.operations
     for op in circuit:
         if op.name == "swap":
-            out.extend(swap_to_cnots(op.qubits[0], op.qubits[1]))
+            ops_out.extend(swap_to_cnots(op.qubits[0], op.qubits[1]))
         elif op.is_multi_target:
-            out.extend(op.components())
+            ops_out.extend(op.components())
         else:
-            out.append(op)
+            ops_out.append(op)
     return out

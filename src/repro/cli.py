@@ -10,8 +10,10 @@ Runs any of the paper's figures/tables through the orchestration engine::
     repro resume artifacts/fig12.checkpoint.json
     repro resume artifacts/fig12.checkpoint.json --only-failed
     repro compilers                      # registered compiler backends (--json)
+    repro bench --quick                  # pinned perf suite -> BENCH_<ts>.json
+    repro bench --suite fig12 --against artifacts/BENCH_20260730-120000.json
     repro list
-    repro cache-stats
+    repro cache-stats [--json]           # size/health + hit-rate telemetry
     repro clean-cache --older-than 30    # TTL sweep (add --dry-run to preview)
 
 Every run memoizes its per-job results in an on-disk cache (default
@@ -232,6 +234,68 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("list", help="list the available experiments and scale tiers")
 
+    bench = sub.add_parser(
+        "bench",
+        help="compile a pinned workload suite per backend and track wall-clock",
+        description="Run the pinned compile workloads of a bench suite with"
+        " every requested backend, print the timing table and write a"
+        " BENCH_<timestamp>.json document.  With --against FILE the run is"
+        " compared to a previous document (old timings rescaled by the"
+        " recorded machine-calibration ratio) and the exit code is 1 when the"
+        " geometric-mean wall-clock regresses beyond --max-regression.",
+    )
+    bench.add_argument(
+        "--suite",
+        default="quick",
+        choices=["quick", "fig12", "full"],
+        help="pinned workload suite (default quick; fig12 = the paper's"
+        " large 7x7-chiplet scalability presets)",
+    )
+    bench.add_argument(
+        "--quick",
+        action="store_true",
+        help="alias for --suite quick (the CI smoke tier)",
+    )
+    bench.add_argument(
+        "--compilers",
+        default=",".join(DEFAULT_COMPILERS),
+        metavar="A,B[,C...]",
+        help="registered compiler backends to benchmark (default"
+        f" {','.join(DEFAULT_COMPILERS)})",
+    )
+    bench.add_argument(
+        "--repeat",
+        type=int,
+        default=1,
+        metavar="N",
+        help="compile each workload N times and keep the fastest (default 1)",
+    )
+    bench.add_argument(
+        "--out-dir",
+        default=DEFAULT_OUT_DIR,
+        help=f"directory for the BENCH_*.json document (default {DEFAULT_OUT_DIR})",
+    )
+    bench.add_argument(
+        "--against",
+        metavar="FILE",
+        default=None,
+        help="compare this run against a previous BENCH_*.json document",
+    )
+    bench.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.25,
+        metavar="FRACTION",
+        help="with --against, fail (exit 1) when the geometric-mean"
+        " wall-clock grows by more than this fraction (default 0.25)",
+    )
+    bench.add_argument(
+        "--json",
+        action="store_true",
+        help="print the bench document (and comparison) as JSON",
+    )
+    bench.add_argument("--quiet", action="store_true", help="suppress progress output")
+
     compilers = sub.add_parser(
         "compilers",
         help="list the registered compiler backends (repro run --compilers)",
@@ -244,6 +308,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     stats = sub.add_parser("cache-stats", help="summarise the result cache's size and health")
     stats.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR)
+    stats.add_argument(
+        "--json",
+        action="store_true",
+        help="print the full stats document (per-entry access counts,"
+        " hit-rate summary) as JSON",
+    )
 
     clean = sub.add_parser(
         "clean-cache",
@@ -353,8 +423,11 @@ def _cmd_clean_cache(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_cache_stats(cache_dir: str) -> int:
+def _cmd_cache_stats(cache_dir: str, as_json: bool = False) -> int:
     stats = ResultCache(cache_dir).stats()
+    if as_json:
+        print(json.dumps(stats, indent=2, sort_keys=True))
+        return 0
     print(f"cache {stats['cache_dir']}:")
     print(
         f"  entries:      {stats['entries']}"
@@ -367,7 +440,84 @@ def _cmd_cache_stats(cache_dir: str) -> int:
         if mtime is not None:
             stamp = time.strftime("%Y-%m-%d %H:%M:%S", time.localtime(mtime))
             print(f"  {label}:       {stamp}")
+    access = stats["access"]
+    if access["recorded"]:
+        rate = access["hit_rate"]
+        print(
+            f"  accesses:     {access['recorded']}"
+            f" ({access['hits']} hits / {access['misses']} misses,"
+            f" {rate:.1%} hit rate)"
+        )
+        for entry in access["top_entries"][:5]:
+            print(f"    {entry['key'][:16]}…  {entry['hits']} hits")
+    else:
+        print("  accesses:     none recorded")
     return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from .perf import (
+        compare_bench,
+        format_bench,
+        format_comparison,
+        load_bench,
+        run_bench,
+        write_bench,
+    )
+
+    if args.repeat < 1:
+        print("error: --repeat must be at least 1", file=sys.stderr)
+        return 2
+    if not (args.max_regression >= 0):  # inverted so NaN fails too
+        print("error: --max-regression must be >= 0", file=sys.stderr)
+        return 2
+    compilers = _parse_compilers(args.compilers)
+    if compilers is None:
+        return 2
+    suite = "quick" if args.quick else args.suite
+    baseline_doc = None
+    if args.against is not None:
+        try:
+            baseline_doc = load_bench(args.against)
+        except (OSError, ValueError, json.JSONDecodeError) as exc:
+            print(f"error: --against: {exc}", file=sys.stderr)
+            return 2
+
+    progress = None if args.quiet else (lambda msg: print(f"  {msg}", file=sys.stderr))
+    document = run_bench(
+        suite, compilers=compilers, repeat=args.repeat, progress=progress
+    )
+    path = write_bench(document, args.out_dir)
+
+    comparison = None
+    if baseline_doc is not None:
+        comparison = compare_bench(
+            baseline_doc, document, max_regression=args.max_regression
+        )
+        if comparison["matched"] == 0:
+            # a comparison that matches nothing must not pass as "no
+            # regression" — that would silently disable the CI gate whenever
+            # the suite's workloads or compiler list drift
+            print(
+                f"error: --against: no (workload, backend) rows in common with"
+                f" {args.against}; unmatched: {', '.join(comparison['missing'][:6])}"
+                f"{'...' if len(comparison['missing']) > 6 else ''}",
+                file=sys.stderr,
+            )
+            return 2
+
+    if args.json:
+        payload = {"bench": document, "path": str(path)}
+        if comparison is not None:
+            payload["comparison"] = comparison
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(format_bench(document))
+        print(f"bench document: {path}")
+        if comparison is not None:
+            print()
+            print(format_comparison(comparison))
+    return 1 if comparison is not None and comparison["regressed"] else 0
 
 
 def _validate_common_flags(args: argparse.Namespace) -> Optional[int]:
@@ -723,9 +873,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.command == "compilers":
         return _cmd_compilers(args.json)
     if args.command == "cache-stats":
-        return _cmd_cache_stats(args.cache_dir)
+        return _cmd_cache_stats(args.cache_dir, args.json)
     if args.command == "clean-cache":
         return _cmd_clean_cache(args)
+    if args.command == "bench":
+        return _cmd_bench(args)
     if args.command == "resume":
         return _cmd_resume(args)
     return _cmd_run(args)

@@ -19,6 +19,7 @@ gates" rule.
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass
 from typing import Dict, List, Tuple, Union
 
@@ -119,6 +120,17 @@ def aggregate(dag: DependencyDag, *, min_components: int = 2) -> List[ExecutionU
 
 
 def _aggregate_layer(layer, min_components: int) -> List[ExecutionUnit]:
+    """Greedy hub selection via a lazy max-heap.
+
+    Reproduces the historic rebuild-all-candidates-per-round loop exactly —
+    same winner each round, including its tie-breaks — in near-linear time.
+    The historic ``max`` compared ``(group size, -hub qubit)`` and fell back
+    to dict insertion order, i.e. the scan position of the key's first
+    *unassigned* contributor; with sizes only ever shrinking and first
+    positions only ever advancing, every key's true rank worsens
+    monotonically, so a heap with validate-on-pop (stale entries are
+    re-pushed at their corrected rank) always yields the historic winner.
+    """
     aggregatable = []
     passthrough: List[SingleUnit] = []
     for node in layer:
@@ -131,28 +143,51 @@ def _aggregate_layer(layer, min_components: int) -> List[ExecutionUnit]:
     assigned: Dict[int, bool] = {node.index: False for node in aggregatable}
     units: List[ExecutionUnit] = []
 
-    while True:
-        # hub candidates: (qubit, kind) -> nodes that could join
-        candidates: Dict[Tuple[int, str], List] = {}
-        for node in aggregatable:
+    # (qubit, kind) -> contributors as (scan position, node), in scan order.
+    # A node contributes its control key first, then its target-side key —
+    # the historic setdefault order — but two keys can only tie on
+    # (size, qubit, first position) if they share qubit *and* first
+    # contributor, which a 2-qubit gate's distinct qubits rule out.
+    key_nodes: Dict[Tuple[int, str], List] = {}
+    for position, node in enumerate(aggregatable):
+        op = node.op
+        control, target = op.qubits
+        key_nodes.setdefault((control, "control"), []).append((position, node))
+        if op.name in _SYMMETRIC_GATES:
+            key_nodes.setdefault((target, "control"), []).append((position, node))
+        elif op.name == "cx":
+            key_nodes.setdefault((target, "target"), []).append((position, node))
+
+    counts: Dict[Tuple[int, str], int] = {
+        key: len(entries) for key, entries in key_nodes.items()
+    }
+    pointers: Dict[Tuple[int, str], int] = {key: 0 for key in key_nodes}
+    heap = [
+        (-len(entries), key[0], entries[0][0], key)
+        for key, entries in key_nodes.items()
+    ]
+    heapq.heapify(heap)
+
+    while heap:
+        neg_count, qubit, first_pos, key = heapq.heappop(heap)
+        entries = key_nodes[key]
+        pointer = pointers[key]
+        while pointer < len(entries) and assigned[entries[pointer][1].index]:
+            pointer += 1
+        pointers[key] = pointer
+        count = counts[key]
+        current_first = entries[pointer][0] if pointer < len(entries) else len(aggregatable)
+        if (-neg_count, first_pos) != (count, current_first):
+            if count > 0:
+                heapq.heappush(heap, (-count, qubit, current_first, key))
+            continue
+        if count < min_components or count < 2:
+            break
+        hub, kind = key
+        components = []
+        for _, node in entries:
             if assigned[node.index]:
                 continue
-            op = node.op
-            control, target = op.qubits
-            candidates.setdefault((control, "control"), []).append(node)
-            if op.name in _SYMMETRIC_GATES:
-                candidates.setdefault((target, "control"), []).append(node)
-            elif op.name == "cx":
-                candidates.setdefault((target, "target"), []).append(node)
-        if not candidates:
-            break
-        (hub, kind), nodes = max(
-            candidates.items(), key=lambda item: (len(item[1]), -item[0][0])
-        )
-        if len(nodes) < min_components or len(nodes) < 2:
-            break
-        components = []
-        for node in nodes:
             op = node.op
             control, target = op.qubits
             # the spoke is simply "the other qubit": for control-shared groups
@@ -164,6 +199,11 @@ def _aggregate_layer(layer, min_components: int) -> List[ExecutionUnit]:
                 GateComponent(node.index, spoke, op.name, op.params)
             )
             assigned[node.index] = True
+            counts[(control, "control")] -= 1
+            if op.name in _SYMMETRIC_GATES:
+                counts[(target, "control")] -= 1
+            elif op.name == "cx":
+                counts[(target, "target")] -= 1
         units.append(HighwayGateUnit(hub, tuple(components), kind))
 
     for node in aggregatable:

@@ -8,9 +8,13 @@ entangled highway state, so routing never swaps through them.  Interval qubits
 of the interleaved highway sections are ordinary data qubits and remain
 available for routing, which keeps the data subgraph connected.
 
-The router pre-computes an all-pairs distance matrix over the data subgraph so
-path extraction is a cheap greedy descent; it returns SWAP pair lists and
-leaves the mapping bookkeeping to the scheduler.
+The router pre-computes an all-pairs distance matrix over the data subgraph
+(the sparse adjacency is assembled with numpy masks over the topology's cached
+edge list, no Python edge loop) so path extraction is cheap; per-destination
+next-hop tables are derived lazily from the distance matrix, turning the
+former sort-all-neighbours-per-hop descent of :meth:`path` into a table walk.
+It returns SWAP pair lists and leaves the mapping bookkeeping to the
+scheduler.
 """
 
 from __future__ import annotations
@@ -30,12 +34,21 @@ class RoutingError(RuntimeError):
     """Raised when no data-qubit path exists between the requested positions."""
 
 
+#: Sentinel distinguishing "memoized None" from "not memoized yet".
+_MISS = object()
+
+
 class LocalRouter:
     """Shortest-path SWAP routing restricted to the data-qubit subgraph."""
 
     def __init__(self, topology: Topology, highway_qubits: Iterable[int] = ()) -> None:
         self.topology = topology
         self.highway_qubits = frozenset(highway_qubits)
+        n = topology.num_qubits
+        is_data = np.ones(n, dtype=bool)
+        for q in self.highway_qubits:
+            is_data[q] = False
+        self._is_data = is_data
         self._neighbors: Dict[int, List[int]] = {}
         for q in topology.qubits():
             if q in self.highway_qubits:
@@ -44,18 +57,31 @@ class LocalRouter:
                 nb for nb in topology.neighbors(q) if nb not in self.highway_qubits
             ]
         self._distances = self._compute_distances()
+        # per-destination greedy next hop, derived lazily from the distance
+        # matrix; replaces the per-hop neighbour re-sort of the historic path()
+        self._next_hop: Dict[int, np.ndarray] = {}
+        # padded (n, max_degree) data-neighbour matrix backing the next-hop
+        # derivation; -1 marks padding
+        self._padded_neighbors: Optional[np.ndarray] = None
+        # per-anchor parking candidates (data neighbours in ascending order),
+        # shared by nearest_parking / swaps_to_adjacency
+        self._parking: Dict[int, np.ndarray] = {}
+        # nearest_parking is a pure function of the static distance matrix
+        # when nothing is excluded; the scheduler probes it once per entrance
+        # candidate per gate component, so memoize those answers
+        self._nearest_memo: Dict[Tuple[int, int], Optional[int]] = {}
 
     # ------------------------------------------------------------------ #
     # distances and paths
     # ------------------------------------------------------------------ #
     def _compute_distances(self) -> np.ndarray:
         n = self.topology.num_qubits
-        rows: List[int] = []
-        cols: List[int] = []
-        for q, neighbors in self._neighbors.items():
-            for nb in neighbors:
-                rows.append(q)
-                cols.append(nb)
+        edges = np.asarray(self.topology.edges(), dtype=np.int64).reshape(-1, 2)
+        if len(edges):
+            keep = self._is_data[edges[:, 0]] & self._is_data[edges[:, 1]]
+            edges = edges[keep]
+        rows = np.concatenate((edges[:, 0], edges[:, 1]))
+        cols = np.concatenate((edges[:, 1], edges[:, 0]))
         matrix = csr_matrix((np.ones(len(rows)), (rows, cols)), shape=(n, n))
         return dijkstra(matrix, directed=False, unweighted=True)
 
@@ -68,6 +94,37 @@ class LocalRouter:
     def is_data(self, qubit: int) -> bool:
         """Whether ``qubit`` is a data (non-highway) position."""
         return qubit not in self.highway_qubits
+
+    def _next_hop_table(self, destination: int) -> np.ndarray:
+        """Greedy next hop towards ``destination`` for every data position.
+
+        ``table[q]`` is the data neighbour of ``q`` minimising
+        ``(distance to destination, neighbour index)`` — exactly the key the
+        historic per-hop ``min`` used — or ``-1`` where no neighbour leads
+        anywhere.  Hop distances are small integers, so packing the pair into
+        ``distance * n + neighbour`` keeps the lexicographic order exact.
+        """
+        table = self._next_hop.get(destination)
+        if table is not None:
+            return table
+        n = self.topology.num_qubits
+        padded = self._padded_neighbors
+        if padded is None:
+            width = max((len(nbs) for nbs in self._neighbors.values()), default=1)
+            padded = np.full((n, max(width, 1)), -1, dtype=np.int64)
+            for q, nbs in self._neighbors.items():
+                padded[q, : len(nbs)] = nbs
+            self._padded_neighbors = padded
+        valid = padded >= 0
+        dist = np.where(
+            valid, self._distances[padded.clip(min=0), destination], np.inf
+        )
+        key = np.where(np.isfinite(dist), dist * n + padded, np.inf)
+        best = key.argmin(axis=1)
+        table = padded[np.arange(n), best]
+        table[~np.isfinite(key[np.arange(n), best])] = -1
+        self._next_hop[destination] = table
+        return table
 
     def path(self, source: int, destination: int) -> List[int]:
         """A shortest data-qubit path from ``source`` to ``destination`` (inclusive).
@@ -83,13 +140,11 @@ class LocalRouter:
             raise RoutingError(
                 f"no data-qubit path between {source} and {destination}"
             )
+        table = self._next_hop_table(destination)
         path = [source]
         current = source
         while current != destination:
-            current = min(
-                self._neighbors[current],
-                key=lambda nb: (self._distances[nb, destination], nb),
-            )
+            current = int(table[current])
             path.append(current)
         return path
 
@@ -100,6 +155,21 @@ class LocalRouter:
         """SWAPs moving the qubit at ``source`` onto ``destination``."""
         route = self.path(source, destination)
         return [(a, b) for a, b in zip(route, route[1:])]
+
+    def _parking_spots(self, anchor: int) -> np.ndarray:
+        """Data neighbours of ``anchor`` in ascending order (cached)."""
+        spots = self._parking.get(anchor)
+        if spots is None:
+            spots = np.asarray(
+                [
+                    nb
+                    for nb in self.topology.neighbors(anchor)
+                    if nb not in self.highway_qubits
+                ],
+                dtype=np.int64,
+            )
+            self._parking[anchor] = spots
+        return spots
 
     def swaps_to_adjacency(self, mover: int, anchor: int) -> List[Tuple[int, int]]:
         """SWAPs moving the qubit at ``mover`` until it is coupled to ``anchor``.
@@ -112,15 +182,16 @@ class LocalRouter:
         if self.topology.is_coupled(mover, anchor):
             return []
         self._check_data(mover)
+        spots = self._parking_spots(anchor)
         best_target: Optional[int] = None
         best_cost = np.inf
-        for nb in self.topology.neighbors(anchor):
-            if nb in self.highway_qubits or nb == mover:
-                continue
-            cost = self._distances[mover, nb]
-            if cost < best_cost:
-                best_cost = cost
-                best_target = nb
+        if len(spots):
+            costs = self._distances[mover, spots]
+            costs = np.where(spots == mover, np.inf, costs)
+            index = int(costs.argmin())
+            if np.isfinite(costs[index]):
+                best_target = int(spots[index])
+                best_cost = costs[index]
         if best_target is None or not np.isfinite(best_cost):
             raise RoutingError(
                 f"cannot bring position {mover} adjacent to {anchor} through data qubits"
@@ -142,18 +213,30 @@ class LocalRouter:
         usable parking spot.
         """
         excluded = set(exclude)
-        best: Optional[int] = None
-        best_cost = np.inf
-        for nb in self.topology.neighbors(entrance):
-            if nb in self.highway_qubits or nb in excluded:
-                continue
-            cost = self._distances[source, nb] if source != nb else 0.0
-            if cost < best_cost:
-                best_cost = cost
-                best = nb
-        if best is None or not np.isfinite(best_cost):
+        if not excluded:
+            key = (source, entrance)
+            cached = self._nearest_memo.get(key, _MISS)
+            if cached is not _MISS:
+                return cached
+            result = self._nearest_parking_uncached(source, entrance, excluded)
+            self._nearest_memo[key] = result
+            return result
+        return self._nearest_parking_uncached(source, entrance, excluded)
+
+    def _nearest_parking_uncached(
+        self, source: int, entrance: int, excluded: set
+    ) -> Optional[int]:
+        spots = self._parking_spots(entrance)
+        if not len(spots):
             return None
-        return best
+        costs = self._distances[source, spots]
+        if excluded:
+            mask = np.asarray([int(s) in excluded for s in spots])
+            costs = np.where(mask, np.inf, costs)
+        index = int(costs.argmin())
+        if not np.isfinite(costs[index]):
+            return None
+        return int(spots[index])
 
     def _check_data(self, qubit: int) -> None:
         if qubit in self.highway_qubits:

@@ -26,6 +26,7 @@ from ..hardware.array import ChipletArray
 from ..hardware.noise import DEFAULT_NOISE, NoiseModel
 from ..hardware.topology import Topology
 from ..highway.layout import HighwayLayout
+from ..perf.timers import PhaseTimer
 from .aggregation import HighwayGateUnit, aggregate
 from .result import CompilationResult
 from .rewrite import fuse_zz_ladders
@@ -114,25 +115,29 @@ class MechCompiler:
         initial_mapping: Optional[Dict[int, int]] = None,
     ) -> CompilationResult:
         """Compile ``circuit`` and return the physical result with statistics."""
-        mapping = (
-            dict(initial_mapping)
-            if initial_mapping is not None
-            else self.default_mapping(circuit.num_qubits)
-        )
-        if self.rewrite_zz:
-            circuit = fuse_zz_ladders(circuit)
-        dag = DependencyDag(circuit)
-        units = aggregate(dag, min_components=self.min_components)
-        scheduler = MechScheduler(
-            self.topology,
-            self.layout,
-            noise=self.noise,
-            entrance_candidates=self.entrance_candidates,
-        )
-        result = scheduler.run(circuit, units, mapping)
+        timer = PhaseTimer()
+        with timer.phase("layout"):
+            mapping = (
+                dict(initial_mapping)
+                if initial_mapping is not None
+                else self.default_mapping(circuit.num_qubits)
+            )
+            if self.rewrite_zz:
+                circuit = fuse_zz_ladders(circuit)
+            dag = DependencyDag(circuit)
+            units = aggregate(dag, min_components=self.min_components)
+            scheduler = MechScheduler(
+                self.topology,
+                self.layout,
+                noise=self.noise,
+                entrance_candidates=self.entrance_candidates,
+            )
+        with timer.phase("schedule"):
+            result = scheduler.run(circuit, units, mapping)
         result.stats["aggregated_units"] = float(
             sum(1 for u in units if isinstance(u, HighwayGateUnit))
         )
         result.stats["highway_qubit_fraction"] = self.highway_qubit_fraction
         result.stats["num_data_qubits"] = float(self.num_data_qubits)
+        timer.write_stats(result.stats)
         return result

@@ -23,7 +23,7 @@ from __future__ import annotations
 from typing import Dict, Optional, Sequence, Tuple
 
 from ..circuits import gates as g
-from ..circuits.circuit import Circuit, _rebuild
+from ..circuits.circuit import Circuit, _rebuild_trusted
 from ..circuits.gates import Gate
 from ..hardware.noise import DEFAULT_NOISE, NoiseModel
 from ..hardware.topology import Topology
@@ -120,16 +120,26 @@ class MechScheduler:
     # emission helpers
     # ------------------------------------------------------------------ #
     def _emit(self, op: Gate, weight: float) -> None:
-        self._out.append(op)
+        # direct op-list append: the scheduler only emits on validated
+        # physical positions, so the per-qubit range check is redundant
+        self._out.operations.append(op)
+        clock = self._clock
+        qubits = op.qubits
         if op.is_barrier:
-            sync = max((self._clock[q] for q in op.qubits), default=0.0)
-            for q in op.qubits:
-                self._clock[q] = sync
+            sync = max((clock[q] for q in qubits), default=0.0)
+            for q in qubits:
+                clock[q] = sync
             return
-        start = max(self._clock[q] for q in op.qubits)
+        if len(qubits) == 2:
+            ca, cb = clock[qubits[0]], clock[qubits[1]]
+            start = ca if ca >= cb else cb
+        elif len(qubits) == 1:
+            start = clock[qubits[0]]
+        else:
+            start = max(clock[q] for q in qubits)
         finish = start + weight
-        for q in op.qubits:
-            self._clock[q] = finish
+        for q in qubits:
+            clock[q] = finish
 
     def _emit_plain(self, op: Gate) -> None:
         """Emit an operation with the paper's default weights."""
@@ -144,7 +154,8 @@ class MechScheduler:
 
     def _emit_swap(self, a: int, b: int) -> None:
         """Emit a SWAP between two data positions and update the mapping."""
-        self._emit(g.swap(a, b), _SWAP_WEIGHT)
+        # positions come from the router's (validated-int, distinct) chains
+        self._emit(Gate.trusted("swap", (a, b)), _SWAP_WEIGHT)
         la = self._p2l.get(a)
         lb = self._p2l.get(b)
         if la is not None:
@@ -174,7 +185,7 @@ class MechScheduler:
     def _execute_single(self, unit: SingleUnit) -> None:
         op = unit.op
         if op.is_barrier or op.is_measurement or op.num_qubits == 1:
-            self._emit_plain(_rebuild(op, tuple(self._l2p[q] for q in op.qubits)))
+            self._emit_plain(_rebuild_trusted(op, tuple(self._l2p[q] for q in op.qubits)))
             return
         if op.num_qubits != 2:
             raise SchedulerError(f"unsupported operation {op}")
@@ -204,7 +215,7 @@ class MechScheduler:
             self._apply_swaps(swaps)
             a = self._l2p[op.qubits[0]]
             b = self._l2p[op.qubits[1]]
-        self._emit_plain(_rebuild(op, (a, b)))
+        self._emit_plain(_rebuild_trusted(op, (a, b)))
         self._stats["regular_two_qubit_gates"] += 1.0
 
     # ------------------------------------------------------------------ #

@@ -605,6 +605,12 @@ def _execute_keyed(item: WorkItem) -> Tuple[str, Dict[str, object]]:
 #: Shard directories are the first two hex chars of the config hash.
 _SHARD_CHARS = 2
 _SHARD_GLOB = "[0-9a-f]" * _SHARD_CHARS
+#: Append-only hit/miss log backing ``repro cache-stats`` telemetry.
+_ACCESS_LOG = "access.log"
+#: Compact the log into aggregated counts once it grows past this size.
+_ACCESS_LOG_MAX_BYTES = 4 * 1024 * 1024
+#: How many appends between log-size checks (keeps the hot path stat-free).
+_ACCESS_COMPACT_EVERY = 1024
 #: Temp files older than this are considered litter from a crashed writer.
 _STALE_TMP_SECONDS = 3600.0
 
@@ -628,17 +634,137 @@ class ResultCache:
     :class:`RunReport` instead of silently recomputing forever.
     """
 
-    def __init__(self, cache_dir: Union[str, Path], *, max_bytes: Optional[int] = None):
+    def __init__(
+        self,
+        cache_dir: Union[str, Path],
+        *,
+        max_bytes: Optional[int] = None,
+        record_access: bool = True,
+    ):
         if max_bytes is not None and max_bytes <= 0:
             raise ValueError(f"max_bytes must be positive or None, got {max_bytes}")
         self.cache_dir = Path(cache_dir)
         self.max_bytes = max_bytes
+        #: Whether get() appends hit/miss lines to the access log.
+        self.record_access = record_access
         #: Corrupt entries discovered (and removed) by this instance.
         self.corrupt_seen = 0
         #: Entries evicted by the LRU cap by this instance.
         self.evicted = 0
         #: Running size total; None until the first capped put() scans once.
         self._total_bytes: Optional[int] = None
+        #: Appends by this instance, for periodic compaction checks.
+        self._accesses_logged = 0
+
+    @property
+    def access_log_path(self) -> Path:
+        return self.cache_dir / _ACCESS_LOG
+
+    def _log_access(self, kind: str, key: str) -> None:
+        """Append one ``H <key>`` / ``M <key>`` line to the access log.
+
+        Single short appends are atomic on POSIX, so concurrent runs sharing
+        a cache directory interleave whole lines.  A cache directory that does
+        not exist yet (a read against a never-written cache) is left alone —
+        pure reads must not create state on disk.  Every
+        ``_ACCESS_COMPACT_EVERY`` appends the log size is checked and, past
+        ``_ACCESS_LOG_MAX_BYTES``, the line-per-access history is compacted
+        into aggregated ``A``/``T`` records so a long-lived farm cache never
+        grows an unbounded log.
+        """
+        if not self.record_access or not self.cache_dir.is_dir():
+            return
+        with contextlib.suppress(OSError):
+            with open(self.access_log_path, "a", encoding="utf-8") as handle:
+                handle.write(f"{kind} {key}\n")
+            self._accesses_logged += 1
+            if self._accesses_logged % _ACCESS_COMPACT_EVERY == 0:
+                if self.access_log_path.stat().st_size > _ACCESS_LOG_MAX_BYTES:
+                    self._compact_access_log()
+
+    def _parse_access_log(self) -> Tuple[int, int, Dict[str, int]]:
+        """Totals and per-key hit counts from the (possibly compacted) log.
+
+        Three line kinds: ``H <key>`` / ``M <key>`` raw accesses, and the
+        compacted forms ``A <key> <hits>`` (aggregated per-entry hits) and
+        ``T <hits> <misses>`` (carried-over totals).
+        """
+        hits = 0
+        misses = 0
+        per_key: Dict[str, int] = {}
+        with open(self.access_log_path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                parts = line.split()
+                if len(parts) < 2:
+                    continue
+                kind = parts[0]
+                if kind == "H":
+                    hits += 1
+                    per_key[parts[1]] = per_key.get(parts[1], 0) + 1
+                elif kind == "M":
+                    misses += 1
+                elif kind == "A" and len(parts) == 3:
+                    with contextlib.suppress(ValueError):
+                        count = int(parts[2])
+                        hits += count
+                        per_key[parts[1]] = per_key.get(parts[1], 0) + count
+                elif kind == "T" and len(parts) == 3:
+                    with contextlib.suppress(ValueError):
+                        hits += int(parts[1])
+                        misses += int(parts[2])
+        return hits, misses, per_key
+
+    def _compact_access_log(self) -> None:
+        """Rewrite the access log as aggregated counts (atomic, lossless).
+
+        A concurrent writer may append a few raw lines between the read and
+        the rename; losing those costs a handful of telemetry counts, never
+        cached results.
+        """
+        with contextlib.suppress(OSError):
+            hits, misses, per_key = self._parse_access_log()
+            aggregated_hits = sum(per_key.values())
+            tmp = self.access_log_path.with_name(
+                f".{_ACCESS_LOG}.tmp-{os.getpid()}"
+            )
+            with open(tmp, "w", encoding="utf-8") as handle:
+                handle.write(f"T {hits - aggregated_hits} {misses}\n")
+                for key in sorted(per_key):
+                    handle.write(f"A {key} {per_key[key]}\n")
+            os.replace(tmp, self.access_log_path)
+
+    def access_stats(self, *, top: int = 10) -> Dict[str, object]:
+        """Hit/miss tallies and per-entry access counts from the access log.
+
+        The groundwork for the ROADMAP's GC daemon: a shared farm cache can
+        rank entries by how often they are actually served (``top_entries``)
+        instead of only by recency.  ``top_entries`` only lists entries that
+        still exist on disk (history survives TTL sweeps and LRU eviction,
+        which would otherwise let long-gone entries crowd the ranking);
+        ``tracked_entries`` counts every key ever served.  Returns zero
+        counts when no log exists (or access recording is off).
+        """
+        try:
+            hits, misses, per_key = self._parse_access_log()
+        except OSError:
+            hits = misses = 0
+            per_key = {}
+        total = hits + misses
+        ranked = sorted(per_key.items(), key=lambda item: (-item[1], item[0]))
+        top_entries = []
+        for key, count in ranked:
+            if len(top_entries) >= max(top, 0):
+                break
+            if self.path_for(key).exists() or self._legacy_path_for(key).exists():
+                top_entries.append({"key": key, "hits": count})
+        return {
+            "recorded": total,
+            "hits": hits,
+            "misses": misses,
+            "hit_rate": (hits / total) if total else None,
+            "tracked_entries": len(per_key),
+            "top_entries": top_entries,
+        }
 
     def path_for(self, key: str) -> Path:
         return self.cache_dir / key[:_SHARD_CHARS] / f"{key}.json"
@@ -656,9 +782,15 @@ class ResultCache:
     def get(self, key: str) -> Optional[Dict[str, object]]:
         """The cached record payload for ``key``, or None on a miss.
 
-        A hit refreshes the entry's mtime (its LRU rank); a flat legacy entry
-        is moved into its shard; a corrupt entry is deleted and counted.
+        A hit refreshes the entry's mtime (its LRU rank) and appends to the
+        access log (see :meth:`access_stats`); a flat legacy entry is moved
+        into its shard; a corrupt entry is deleted and counted.
         """
+        record = self._get(key)
+        self._log_access("H" if record is not None else "M", key)
+        return record
+
+    def _get(self, key: str) -> Optional[Dict[str, object]]:
         path = self.path_for(key)
         if not path.exists():
             legacy = self._legacy_path_for(key)
@@ -882,6 +1014,12 @@ class ResultCache:
             path.unlink()
             removed += 1
         self._sweep_tmp(stale_only=False)
+        with contextlib.suppress(OSError):
+            self.access_log_path.unlink()
+        if self.cache_dir.is_dir():
+            for litter in self.cache_dir.glob(f".{_ACCESS_LOG}.tmp-*"):
+                with contextlib.suppress(OSError):
+                    litter.unlink()
         if self.cache_dir.is_dir():
             for shard in self.cache_dir.glob(_SHARD_GLOB):
                 if shard.is_dir():
@@ -929,6 +1067,7 @@ class ResultCache:
             "max_bytes": self.max_bytes,
             "oldest_mtime": oldest,
             "newest_mtime": newest,
+            "access": self.access_stats(),
         }
 
 

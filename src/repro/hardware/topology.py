@@ -47,9 +47,20 @@ class Topology:
         nodes = sorted(graph.nodes())
         if nodes != list(range(len(nodes))):
             raise TopologyError("qubit indices must be 0..n-1 without gaps")
-        self.graph = graph
+        # The graph is immutable once wrapped (derived topologies go through
+        # subtopology()/copy(), which build fresh Topology objects), so query
+        # results are cached as tuples with no invalidation protocol at all;
+        # freezing makes a violating add_edge/add_node fail loudly instead of
+        # silently invalidating the caches.
+        self.graph = nx.freeze(graph)
         self.name = name
         self._dist_cache: Dict[float, np.ndarray] = {}
+        self._qubits: Optional[Tuple[int, ...]] = None
+        self._edges: Optional[Tuple[Tuple[int, int], ...]] = None
+        self._cross_chip_edges: Optional[Tuple[Tuple[int, int], ...]] = None
+        self._on_chip_edges: Optional[Tuple[Tuple[int, int], ...]] = None
+        self._neighbors: Dict[int, Tuple[int, ...]] = {}
+        self._adjacency: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------ #
     # basic queries
@@ -62,14 +73,24 @@ class Topology:
     def num_edges(self) -> int:
         return self.graph.number_of_edges()
 
-    def qubits(self) -> List[int]:
-        return sorted(self.graph.nodes())
+    def qubits(self) -> Tuple[int, ...]:
+        if self._qubits is None:
+            self._qubits = tuple(sorted(self.graph.nodes()))
+        return self._qubits
 
-    def edges(self) -> List[Tuple[int, int]]:
-        return [(min(a, b), max(a, b)) for a, b in self.graph.edges()]
+    def edges(self) -> Tuple[Tuple[int, int], ...]:
+        if self._edges is None:
+            self._edges = tuple(
+                (min(a, b), max(a, b)) for a, b in self.graph.edges()
+            )
+        return self._edges
 
-    def neighbors(self, qubit: int) -> List[int]:
-        return sorted(self.graph.neighbors(qubit))
+    def neighbors(self, qubit: int) -> Tuple[int, ...]:
+        cached = self._neighbors.get(qubit)
+        if cached is None:
+            cached = tuple(sorted(self.graph.neighbors(qubit)))
+            self._neighbors[qubit] = cached
+        return cached
 
     def degree(self, qubit: int) -> int:
         return self.graph.degree(qubit)
@@ -77,25 +98,45 @@ class Topology:
     def is_coupled(self, a: int, b: int) -> bool:
         return self.graph.has_edge(a, b)
 
+    def adjacency_matrix(self) -> np.ndarray:
+        """Dense boolean coupling matrix (``adj[a, b]`` iff a and b are coupled).
+
+        Routers use this for O(1) numpy coupling checks in their inner loops;
+        like every other query result it is cached forever (the graph never
+        mutates).
+        """
+        if self._adjacency is None:
+            n = self.num_qubits
+            adjacency = np.zeros((n, n), dtype=bool)
+            for a, b in self.graph.edges():
+                adjacency[a, b] = True
+                adjacency[b, a] = True
+            self._adjacency = adjacency
+        return self._adjacency
+
     def is_cross_chip(self, a: int, b: int) -> bool:
         """Whether the coupler between ``a`` and ``b`` is a cross-chip link."""
         if not self.graph.has_edge(a, b):
             raise TopologyError(f"qubits {a} and {b} are not coupled")
         return bool(self.graph.edges[a, b].get("cross_chip", False))
 
-    def cross_chip_edges(self) -> List[Tuple[int, int]]:
-        return [
-            (min(a, b), max(a, b))
-            for a, b, data in self.graph.edges(data=True)
-            if data.get("cross_chip", False)
-        ]
+    def cross_chip_edges(self) -> Tuple[Tuple[int, int], ...]:
+        if self._cross_chip_edges is None:
+            self._cross_chip_edges = tuple(
+                (min(a, b), max(a, b))
+                for a, b, data in self.graph.edges(data=True)
+                if data.get("cross_chip", False)
+            )
+        return self._cross_chip_edges
 
-    def on_chip_edges(self) -> List[Tuple[int, int]]:
-        return [
-            (min(a, b), max(a, b))
-            for a, b, data in self.graph.edges(data=True)
-            if not data.get("cross_chip", False)
-        ]
+    def on_chip_edges(self) -> Tuple[Tuple[int, int], ...]:
+        if self._on_chip_edges is None:
+            self._on_chip_edges = tuple(
+                (min(a, b), max(a, b))
+                for a, b, data in self.graph.edges(data=True)
+                if not data.get("cross_chip", False)
+            )
+        return self._on_chip_edges
 
     def position(self, qubit: int) -> Optional[Coordinate]:
         """Grid coordinate of ``qubit``, if known."""
@@ -186,7 +227,9 @@ class Topology:
         return Topology(sub, name or f"{self.name}-sub")
 
     def copy(self) -> "Topology":
-        return Topology(self.graph.copy(), self.name)
+        # nx.Graph.copy() of a frozen graph yields a fresh mutable graph,
+        # which the new Topology freezes again
+        return Topology(nx.Graph(self.graph), self.name)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

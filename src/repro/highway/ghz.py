@@ -65,7 +65,8 @@ class GhzPrepPlan:
 def _entangling_cnot(control: int, target: int, via: Optional[int]) -> List[Gate]:
     """CNOT between neighbouring highway qubits, bridging an interval qubit if needed."""
     if via is None:
-        return [g.cx(control, target)]
+        # highway positions are validated distinct ints; skip re-validation
+        return [Gate.trusted("cx", (control, target))]
     return bridge_cnot(control, via, target)
 
 
@@ -119,7 +120,7 @@ def measurement_based_ghz(
 
     # Step 1: every even position goes to |+>; odd positions stay |0>.
     for qubit in members:
-        plan.operations.append(g.h(qubit))
+        plan.operations.append(Gate.trusted("h", (qubit,)))
 
     # Step 2: entangle each odd position with both neighbours.  The CNOTs are
     # emitted in two sweeps — first every "left" CNOT, then every "right" CNOT

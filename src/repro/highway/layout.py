@@ -89,6 +89,12 @@ class HighwayLayout:
         self._crossroads: Set[int] = set()
         self._segments: List[HighwaySegment] = []
         self._highway_graph = nx.Graph()
+        # per-qubit entrance rankings and the distance-to-highway vector are
+        # pure functions of the finished layout; both are cached lazily
+        # because the schedulers query them once per gate component
+        self._entrance_rank: Dict[int, List[int]] = {}
+        self._entrance_within: Dict[int, List[int]] = {}
+        self._dist_to_highway = None
 
         self._build()
 
@@ -142,20 +148,34 @@ class HighwayLayout:
         An entrance is a highway qubit; the data qubit needs to be routed to
         one of the entrance's non-highway neighbours before the protocol can
         consume it.  ``radius`` bounds the search distance, growing as needed
-        so at least one candidate is always returned.
+        so at least one candidate is always returned.  The full ranking (and
+        the default-radius prefix) is cached per qubit — the scheduler asks
+        for entrances once per gate component, with varying ``limit``s.
         """
         distances = self.topology.distance_matrix()
-        highway = sorted(self._highway_qubits)
-        ranked = sorted(highway, key=lambda h: (distances[qubit, h], h))
-        within = [h for h in ranked if distances[qubit, h] <= radius]
+        ranked = self._entrance_rank.get(qubit)
+        if ranked is None:
+            highway = sorted(self._highway_qubits)
+            ranked = sorted(highway, key=lambda h: (distances[qubit, h], h))
+            self._entrance_rank[qubit] = ranked
+        if radius == 2:
+            within = self._entrance_within.get(qubit)
+            if within is None:
+                within = [h for h in ranked if distances[qubit, h] <= radius]
+                self._entrance_within[qubit] = within
+        else:
+            within = [h for h in ranked if distances[qubit, h] <= radius]
         if not within:
             within = ranked[:limit]
         return within[:limit]
 
     def distance_to_highway(self, qubit: int) -> float:
         """Hop distance from ``qubit`` to the nearest highway qubit."""
-        distances = self.topology.distance_matrix()
-        return min(float(distances[qubit, h]) for h in self._highway_qubits)
+        if self._dist_to_highway is None:
+            distances = self.topology.distance_matrix()
+            highway = sorted(self._highway_qubits)
+            self._dist_to_highway = distances[:, highway].min(axis=1)
+        return float(self._dist_to_highway[qubit])
 
     def segment_between(self, a: int, b: int) -> Optional[HighwaySegment]:
         """The segment joining highway qubits ``a`` and ``b``, if any."""

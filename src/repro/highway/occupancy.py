@@ -22,10 +22,9 @@ Two of the paper's optimisations live here:
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence
-
-import networkx as nx
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from .layout import HighwayLayout
 
@@ -74,6 +73,12 @@ class HighwayManager:
         self.num_claims: int = 0
         #: total highway qubits claimed over the whole compilation
         self.total_claimed: int = 0
+        # the highway graph is frozen once the layout is built, so its
+        # adjacency is snapshotted for the per-gate route searches (the lists
+        # keep networkx's own adjacency iteration order)
+        self._adjacency: Dict[int, List[int]] = {
+            node: list(self.graph[node]) for node in self.graph
+        }
 
     # ------------------------------------------------------------------ #
     # entrances
@@ -116,17 +121,55 @@ class HighwayManager:
             raise ValueError(f"target entrances {missing} are not highway qubits")
 
         while pending:
-            lengths, paths = nx.multi_source_dijkstra(
-                self.graph, set(route.adjacency), weight=lambda u, v, d: 1.0
-            )
+            lengths, pred = self._bfs_from(set(route.adjacency), targets=pending)
             reachable = [t for t in pending if t in lengths]
             if not reachable:  # pragma: no cover - highway graph is connected
                 raise ValueError("highway graph is disconnected; cannot route gate")
             best = min(reachable, key=lambda t: lengths[t])
-            for a, b in zip(paths[best], paths[best][1:]):
+            path = [best]
+            while pred[path[-1]] is not None:
+                path.append(pred[path[-1]])
+            path.reverse()
+            for a, b in zip(path, path[1:]):
                 self._attach(route, a, b)
             pending.remove(best)
         return route
+
+    def _bfs_from(
+        self, sources: Set[int], *, targets: Optional[Sequence[int]] = None
+    ) -> Tuple[Dict[int, int], Dict[int, Optional[int]]]:
+        """Multi-source BFS over the highway graph: distances and predecessors.
+
+        All highway edges weigh 1, so this reproduces the
+        ``nx.multi_source_dijkstra`` search it replaced *including* its
+        equal-length tie-breaking: the dijkstra heap pops equal distances in
+        push (= discovery) order, which is exactly BFS FIFO order, and both
+        keep the first discovered predecessor.  Seeding iterates the same
+        ``set`` of route nodes and expansion walks the snapshotted adjacency
+        lists, so discovery order — and therefore every chosen path — is
+        unchanged.  When ``targets`` is given the search stops once every
+        target is discovered; distances and paths found up to that point are
+        the same prefix the full search would record.
+        """
+        lengths: Dict[int, int] = {s: 0 for s in sources}
+        pred: Dict[int, Optional[int]] = {s: None for s in sources}
+        remaining = (
+            sum(1 for t in targets if t not in lengths) if targets is not None else -1
+        )
+        queue = deque(sources)
+        adjacency = self._adjacency
+        target_set = set(targets) if targets is not None else ()
+        while queue and remaining != 0:
+            u = queue.popleft()
+            d = lengths[u] + 1
+            for v in adjacency[u]:
+                if v not in lengths:
+                    lengths[v] = d
+                    pred[v] = u
+                    queue.append(v)
+                    if v in target_set:
+                        remaining -= 1
+        return lengths, pred
 
     def _attach(self, route: HighwayRoute, parent: int, child: int) -> None:
         if child in route.adjacency:

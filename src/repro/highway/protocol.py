@@ -72,20 +72,19 @@ def fan_out(
     gate_name: str = "cx",
     params: Tuple[float, ...] = (),
 ) -> List[Gate]:
-    """Stage 2: apply the controlled operation from each member to its target."""
-    ops: List[Gate] = []
-    for member, target in member_target_pairs:
-        if gate_name == "cx":
-            ops.append(g.cx(member, target))
-        elif gate_name == "cz":
-            ops.append(g.cz(member, target))
-        elif gate_name == "cp":
-            ops.append(g.cp(params[0], member, target))
-        elif gate_name == "crz":
-            ops.append(g.crz(params[0], member, target))
-        else:
-            raise ValueError(f"unsupported fan-out gate {gate_name!r}")
-    return ops
+    """Stage 2: apply the controlled operation from each member to its target.
+
+    Members are highway qubits and targets are data qubits (always distinct,
+    already validated ints), so the gates take the trusted construction path
+    — fan-outs are emitted once per spoke of every highway gate.
+    """
+    if gate_name not in ("cx", "cz", "cp", "crz"):
+        raise ValueError(f"unsupported fan-out gate {gate_name!r}")
+    gate_params = (float(params[0]),) if gate_name in ("cp", "crz") else ()
+    return [
+        Gate.trusted(gate_name, (member, target), gate_params)
+        for member, target in member_target_pairs
+    ]
 
 
 def cat_disentangler(

@@ -103,11 +103,23 @@ def count_operations(
     it uses; with ``strict=True`` an operation on an uncoupled pair raises,
     which doubles as a routing-correctness check.
     """
-    expanded = expand_macros(circuit)
+    return _count_expanded(expand_macros(circuit), topology, strict=strict)
+
+
+def _count_expanded(
+    expanded: Circuit, topology: Optional[Topology], *, strict: bool
+) -> OperationCounts:
+    """Count operations of an already macro-expanded circuit."""
     on_chip = 0
     cross_chip = 0
     measurements = 0
     one_qubit = 0
+    # set-based coupling lookups: routed circuits classify hundreds of
+    # thousands of CNOTs, and the cached edge tuples make both membership
+    # tests O(1) without touching the networkx graph per operation
+    if topology is not None:
+        coupled_edges = frozenset(topology.edges())
+        cross_edges = frozenset(topology.cross_chip_edges())
     for op in expanded:
         if op.is_barrier:
             continue
@@ -116,17 +128,20 @@ def count_operations(
         elif op.name in _TWO_QUBIT_NAMES:
             if topology is None:
                 on_chip += 1
-            elif topology.is_coupled(*op.qubits):
-                if topology.is_cross_chip(*op.qubits):
-                    cross_chip += 1
+            else:
+                a, b = op.qubits
+                edge = (a, b) if a < b else (b, a)
+                if edge in coupled_edges:
+                    if edge in cross_edges:
+                        cross_chip += 1
+                    else:
+                        on_chip += 1
+                elif strict:
+                    raise ValueError(
+                        f"2-qubit operation {op} acts on uncoupled qubits {op.qubits}"
+                    )
                 else:
                     on_chip += 1
-            elif strict:
-                raise ValueError(
-                    f"2-qubit operation {op} acts on uncoupled qubits {op.qubits}"
-                )
-            else:
-                on_chip += 1
         elif op.num_qubits == 1:
             one_qubit += 1
         else:
@@ -143,7 +158,7 @@ def circuit_metrics(
 ) -> CircuitMetrics:
     """Compute the paper's depth and eff_CNOT metrics for a physical circuit."""
     expanded = expand_macros(circuit)
-    counts = count_operations(expanded, topology, strict=strict)
+    counts = _count_expanded(expanded, topology, strict=strict)
     depth = expanded.depth(meas_latency=noise.meas_latency)
     return CircuitMetrics(
         depth=depth,

@@ -1,0 +1,44 @@
+"""Performance-tracking subsystem (PR 5).
+
+Two pieces keep the compiler hot paths honest:
+
+* :mod:`repro.perf.timers` — lightweight phase timers threaded through
+  ``CompilationResult.stats`` (``phase_<name>_seconds`` keys for the
+  layout/route/schedule/simulate phases), so every compiled circuit carries
+  its own wall-clock breakdown;
+* :mod:`repro.perf.bench` — the ``repro bench`` machinery: pinned compile
+  workload suites per registered backend, ``BENCH_<timestamp>.json``
+  emission, and the ``--against`` comparison mode that reports speedups and
+  regressions (machine-speed differences are normalised by a calibration
+  scalar recorded in every document).
+"""
+
+from .bench import (
+    BENCH_SCHEMA_VERSION,
+    SUITES,
+    BenchWorkload,
+    compare_bench,
+    format_bench,
+    format_comparison,
+    load_bench,
+    measure_calibration,
+    run_bench,
+    write_bench,
+)
+from .timers import PHASE_PREFIX, PhaseTimer, phase_breakdown
+
+__all__ = [
+    "BENCH_SCHEMA_VERSION",
+    "SUITES",
+    "BenchWorkload",
+    "PHASE_PREFIX",
+    "PhaseTimer",
+    "compare_bench",
+    "format_bench",
+    "format_comparison",
+    "load_bench",
+    "measure_calibration",
+    "phase_breakdown",
+    "run_bench",
+    "write_bench",
+]

@@ -1,0 +1,70 @@
+"""Compile one bench workload with a set of registered backends.
+
+Separated from :mod:`repro.perf.bench` so the document/compare machinery stays
+importable without touching compiler modules (the CLI loads it for
+``--against`` comparisons of existing files too).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Sequence
+
+from ..backends import get_backend
+from ..hardware.array import ChipletArray
+from ..highway.layout import HighwayLayout
+from ..programs import build_benchmark
+from .timers import phase_breakdown
+
+__all__ = ["compile_workload"]
+
+#: Benchmark builders that take a randomness seed (mirrors the runner).
+_SEEDED_BENCHMARKS = ("QAOA", "VQE", "BV")
+
+
+def compile_workload(workload, compilers: Sequence[str]) -> Dict[str, Dict[str, object]]:
+    """Compile ``workload`` with every backend; one bench row per backend.
+
+    Mirrors the runner's conventions (:func:`repro.experiments.runner.
+    compile_many`): the circuit is sized to the highway layout's data-qubit
+    count, seeded builders get the workload seed, and every backend is
+    configured with the shared read-only layout.  ``seconds`` times
+    ``backend.compile`` alone; the metrics evaluation is timed separately and
+    reported as the ``simulate`` phase next to the phases the compiler itself
+    recorded.
+    """
+    array = ChipletArray(
+        workload.structure, workload.chiplet_width, workload.rows, workload.cols
+    )
+    layout = HighwayLayout(array, density=1)
+    width = layout.num_data_qubits
+    kwargs = {"seed": workload.seed} if workload.benchmark.upper() in _SEEDED_BENCHMARKS else {}
+    circuit = build_benchmark(workload.benchmark, width, **kwargs)
+
+    rows: Dict[str, Dict[str, object]] = {}
+    for name in compilers:
+        backend = get_backend(name).configure(array, seed=workload.seed, layout=layout)
+        start = time.perf_counter()
+        result = backend.compile(circuit)
+        seconds = time.perf_counter() - start
+        sim_start = time.perf_counter()
+        metrics = result.metrics()
+        phases = phase_breakdown(result.stats)
+        # accumulate onto any simulate time the compiler itself recorded
+        # (multi-trial baselines evaluate metrics to pick their best trial)
+        phases["simulate"] = phases.get("simulate", 0.0) + (
+            time.perf_counter() - sim_start
+        )
+        rows[name] = {
+            "workload": workload.name,
+            "benchmark": workload.benchmark,
+            "architecture": array.topology.name,
+            "num_data_qubits": width,
+            "backend": name,
+            "seconds": seconds,
+            "swaps": float(result.stats.get("swaps_inserted", 0.0)),
+            "depth": metrics.depth,
+            "eff_cnots": metrics.eff_cnots,
+            "phases": phases,
+        }
+    return rows

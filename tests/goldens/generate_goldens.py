@@ -1,0 +1,97 @@
+"""Regenerate the routing-equivalence goldens (``routing_goldens.json``).
+
+The goldens pin the *exact* routed output — swap sequence, depth, effective
+CNOTs, operation counts — of every registered compiler backend on fixed-seed
+GHZ/QFT/QAOA inputs at two device sizes.  They were recorded from the
+pre-vectorization routers (PR 5), so the optimized hot paths are provably
+output-identical and every paper figure is unchanged.
+
+Run from the repository root to re-record (only after an *intentional*
+routing-behaviour change, never to paper over a diff)::
+
+    PYTHONPATH=src python tests/goldens/generate_goldens.py
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+GOLDEN_PATH = Path(__file__).resolve().parent / "routing_goldens.json"
+
+#: (case name, structure, chiplet_width, rows, cols) — one small and one
+#: medium device, both fast enough for the tier-1 suite.
+ARRAYS = [
+    ("square-4x4-1x2", "square", 4, 1, 2),
+    ("square-5x5-2x2", "square", 5, 2, 2),
+]
+
+BENCHMARKS = ("GHZ", "QFT", "QAOA")
+
+SEED = 7
+
+
+def build_case_circuit(benchmark: str, width: int):
+    from repro.programs import build_benchmark
+    from repro.programs.ghz import ghz_circuit
+
+    if benchmark == "GHZ":
+        return ghz_circuit(width, measure=False)
+    kwargs = {"seed": SEED} if benchmark == "QAOA" else {}
+    return build_benchmark(benchmark, width, **kwargs)
+
+
+def record_result(result) -> dict:
+    """The equivalence fingerprint of one compiled circuit."""
+    circuit = result.circuit
+    swaps = [list(op.qubits) for op in circuit if op.name == "swap"]
+    counts = {}
+    for op in circuit:
+        counts[op.name] = counts.get(op.name, 0) + 1
+    metrics = result.metrics()
+    return {
+        "num_operations": len(circuit),
+        "op_counts": dict(sorted(counts.items())),
+        "swap_sequence": swaps,
+        "depth": metrics.depth,
+        "eff_cnots": metrics.eff_cnots,
+        "swaps_inserted": result.stats.get("swaps_inserted", 0.0),
+        "final_layout": {str(k): int(v) for k, v in sorted(result.final_layout.items())},
+    }
+
+
+def generate() -> dict:
+    from repro.backends import available_backends, get_backend
+    from repro.hardware.array import ChipletArray
+    from repro.highway.layout import HighwayLayout
+
+    cases = []
+    for case_name, structure, width, rows, cols in ARRAYS:
+        array = ChipletArray(structure, width, rows, cols)
+        layout = HighwayLayout(array, density=1)
+        n = layout.num_data_qubits
+        for benchmark in BENCHMARKS:
+            circuit = build_case_circuit(benchmark, n)
+            for backend_name in available_backends():
+                backend = get_backend(backend_name).configure(
+                    array, seed=SEED, layout=layout
+                )
+                result = backend.compile(circuit)
+                cases.append(
+                    {
+                        "case": f"{case_name}/{benchmark}/{backend_name}",
+                        "array": [structure, width, rows, cols],
+                        "benchmark": benchmark,
+                        "backend": backend_name,
+                        "seed": SEED,
+                        "num_data_qubits": n,
+                        **record_result(result),
+                    }
+                )
+    return {"version": 1, "seed": SEED, "cases": cases}
+
+
+if __name__ == "__main__":
+    document = generate()
+    GOLDEN_PATH.write_text(json.dumps(document, indent=1, sort_keys=True) + "\n")
+    print(f"wrote {len(document['cases'])} cases to {GOLDEN_PATH}")

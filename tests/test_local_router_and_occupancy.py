@@ -171,3 +171,60 @@ class TestHighwayManager:
         # non-edges return None
         data = layout.data_qubits
         assert lookup(data[0], data[1]) is None
+
+
+class TestNextHopTables:
+    """PR-5: path() walks a per-destination next-hop table; the table must
+    reproduce the historic per-hop ``min((distance, neighbour))`` descent."""
+
+    def test_paths_match_historic_greedy_descent(self, router, layout):
+        data = layout.data_qubits
+        dist = router._distances
+        for source in data[:6]:
+            for destination in (data[-1], data[len(data) // 2]):
+                if source == destination:
+                    continue
+                fast = router.path(source, destination)
+                slow = [source]
+                current = source
+                while current != destination:
+                    current = min(
+                        router._neighbors[current],
+                        key=lambda nb: (dist[nb, destination], nb),
+                    )
+                    slow.append(current)
+                assert fast == slow
+
+    def test_next_hop_table_is_cached(self, router, layout):
+        destination = layout.data_qubits[-1]
+        table = router._next_hop_table(destination)
+        assert table is router._next_hop_table(destination)
+
+    def test_nearest_parking_matches_historic_scan(self, router, layout, array):
+        topo = array.topology
+        import numpy as np
+
+        for entrance in sorted(layout.highway_qubits)[:8]:
+            for source in layout.data_qubits[:8]:
+                best, best_cost = None, np.inf
+                for nb in topo.neighbors(entrance):
+                    if nb in router.highway_qubits:
+                        continue
+                    cost = router._distances[source, nb] if source != nb else 0.0
+                    if cost < best_cost:
+                        best_cost = cost
+                        best = nb
+                if best is None or not np.isfinite(best_cost):
+                    best = None
+                assert router.nearest_parking(source, entrance) == best
+
+    def test_nearest_parking_exclusion_still_works(self, router, layout):
+        entrance = next(
+            h
+            for h in sorted(layout.highway_qubits)
+            if sum(not layout.is_highway(n) for n in router.topology.neighbors(h)) >= 2
+        )
+        source = layout.data_qubits[0]
+        first = router.nearest_parking(source, entrance)
+        second = router.nearest_parking(source, entrance, exclude=(first,))
+        assert second is not None and second != first

@@ -1,0 +1,433 @@
+"""Tests for the PR-5 performance subsystem: phase timers, the ``repro
+bench`` suites/documents/comparisons, the CLI command, and the cache access
+telemetry behind ``repro cache-stats --json``."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.experiments.engine import Job, ResultCache, noise_to_items
+from repro.hardware.noise import DEFAULT_NOISE
+from repro.perf import (
+    BENCH_SCHEMA_VERSION,
+    SUITES,
+    BenchWorkload,
+    PhaseTimer,
+    compare_bench,
+    format_bench,
+    format_comparison,
+    load_bench,
+    measure_calibration,
+    phase_breakdown,
+    run_bench,
+    write_bench,
+)
+
+TINY_SUITE = (
+    BenchWorkload(
+        name="square4-1x2/qft",
+        benchmark="QFT",
+        structure="square",
+        chiplet_width=4,
+        rows=1,
+        cols=2,
+    ),
+)
+
+
+@pytest.fixture
+def tiny_suite(monkeypatch):
+    """Shrink the quick suite to one workload so CLI tests stay fast."""
+    import repro.perf.bench as bench_module
+
+    monkeypatch.setitem(bench_module.SUITES, "quick", TINY_SUITE)
+    return TINY_SUITE
+
+
+# --------------------------------------------------------------------------
+# timers
+
+
+class TestPhaseTimer:
+    def test_phases_accumulate_and_write_stats(self):
+        timer = PhaseTimer()
+        with timer.phase("route"):
+            pass
+        with timer.phase("route"):
+            pass
+        timer.add("simulate", 0.25)
+        stats = {"swaps_inserted": 3.0}
+        timer.write_stats(stats)
+        assert stats["phase_simulate_seconds"] == 0.25
+        assert stats["phase_route_seconds"] >= 0.0
+        assert stats["swaps_inserted"] == 3.0
+        assert all(isinstance(v, float) for v in stats.values())
+
+    def test_phase_breakdown_roundtrip(self):
+        stats = {
+            "phase_route_seconds": 1.5,
+            "phase_layout_seconds": 0.5,
+            "swaps_inserted": 7.0,
+            "phase__seconds": 9.0,  # empty phase name is ignored
+        }
+        assert phase_breakdown(stats) == {"route": 1.5, "layout": 0.5}
+
+    def test_compilers_record_phases(self):
+        from repro.backends import get_backend
+        from repro.hardware.array import ChipletArray
+
+        array = ChipletArray("square", 4, 1, 2)
+        for name, expected in (("baseline", "route"), ("mech", "schedule")):
+            result = get_backend(name).configure(array, seed=1).compile(
+                _tiny_circuit(array)
+            )
+            phases = phase_breakdown(result.stats)
+            assert expected in phases and phases[expected] > 0
+            assert "layout" in phases
+
+
+def _tiny_circuit(array):
+    from repro.highway.layout import HighwayLayout
+    from repro.programs import qft_circuit
+
+    return qft_circuit(HighwayLayout(array, density=1).num_data_qubits)
+
+
+# --------------------------------------------------------------------------
+# bench documents
+
+
+class TestBenchDocument:
+    def test_suites_are_pinned(self):
+        assert set(SUITES) == {"quick", "fig12", "full"}
+        for workloads in SUITES.values():
+            assert workloads  # never empty
+        fig12 = SUITES["fig12"]
+        assert all(w.chiplet_width == 7 for w in fig12)
+        assert {(w.rows, w.cols) for w in fig12} == {(2, 2), (2, 3), (3, 3), (3, 4)}
+
+    def test_document_schema(self, tiny_suite, tmp_path):
+        doc = run_bench("quick", compilers=("baseline", "mech"))
+        assert doc["schema_version"] == BENCH_SCHEMA_VERSION
+        assert doc["suite"] == "quick"
+        assert doc["compilers"] == ["baseline", "mech"]
+        assert doc["calibration_seconds"] > 0
+        assert len(doc["rows"]) == len(tiny_suite) * 2
+        for row in doc["rows"]:
+            for field in (
+                "workload",
+                "benchmark",
+                "architecture",
+                "num_data_qubits",
+                "backend",
+                "seconds",
+                "swaps",
+                "depth",
+                "eff_cnots",
+                "phases",
+            ):
+                assert field in row
+            assert row["seconds"] > 0
+            assert isinstance(row["phases"], dict) and row["phases"]
+        path = write_bench(doc, tmp_path)
+        assert path.name.startswith("BENCH_") and path.suffix == ".json"
+        assert load_bench(path)["rows"] == doc["rows"]
+        assert format_bench(doc)  # renders without raising
+
+    def test_write_bench_never_overwrites(self, tiny_suite, tmp_path):
+        doc = run_bench("quick", compilers=("baseline", "mech"))
+        first = write_bench(doc, tmp_path)
+        second = write_bench(doc, tmp_path)
+        assert first != second and first.exists() and second.exists()
+
+    def test_unknown_suite_rejected(self):
+        with pytest.raises(ValueError, match="unknown bench suite"):
+            run_bench("nope")
+
+    def test_load_rejects_wrong_schema(self, tmp_path):
+        path = tmp_path / "BENCH_bad.json"
+        path.write_text(json.dumps({"schema_version": 99, "rows": []}))
+        with pytest.raises(ValueError, match="schema"):
+            load_bench(path)
+
+    def test_calibration_is_positive_and_repeatable(self):
+        assert measure_calibration(repeats=1) > 0
+
+
+def _fake_doc(seconds_by_row, calibration=1.0):
+    return {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "suite": "quick",
+        "seed": 7,
+        "compilers": ["baseline"],
+        "calibration_seconds": calibration,
+        "rows": [
+            {"workload": workload, "backend": backend, "seconds": seconds}
+            for (workload, backend), seconds in seconds_by_row.items()
+        ],
+    }
+
+
+class TestCompareBench:
+    def test_speedup_and_geomean(self):
+        old = _fake_doc({("w1", "baseline"): 4.0, ("w2", "baseline"): 9.0})
+        new = _fake_doc({("w1", "baseline"): 1.0, ("w2", "baseline"): 1.0})
+        cmp = compare_bench(old, new)
+        assert cmp["matched"] == 2
+        assert cmp["geomean_speedup"] == pytest.approx(6.0)
+        assert not cmp["regressed"]
+        assert format_comparison(cmp)
+
+    def test_regression_detected_beyond_threshold(self):
+        old = _fake_doc({("w1", "baseline"): 1.0})
+        new = _fake_doc({("w1", "baseline"): 1.5})
+        cmp = compare_bench(old, new, max_regression=0.25)
+        assert cmp["regressed"]
+        assert "REGRESSION" in format_comparison(cmp)
+        ok = compare_bench(old, _fake_doc({("w1", "baseline"): 1.2}))
+        assert not ok["regressed"]
+
+    def test_calibration_rescales_old_timings(self):
+        # old machine was 2x faster (calibration 0.5 vs 1.0): its 1.0s
+        # workload corresponds to 2.0s here, so a 2.0s run is no regression
+        old = _fake_doc({("w1", "baseline"): 1.0}, calibration=0.5)
+        new = _fake_doc({("w1", "baseline"): 2.0}, calibration=1.0)
+        cmp = compare_bench(old, new)
+        assert cmp["calibration_ratio"] == pytest.approx(2.0)
+        assert cmp["rows"][0]["speedup"] == pytest.approx(1.0)
+        assert not cmp["regressed"]
+
+    def test_unmatched_rows_reported(self):
+        old = _fake_doc({("w1", "baseline"): 1.0})
+        new = _fake_doc({("w2", "baseline"): 1.0})
+        cmp = compare_bench(old, new)
+        assert cmp["matched"] == 0
+        assert set(cmp["missing"]) == {"w1::baseline", "w2::baseline"}
+
+
+# --------------------------------------------------------------------------
+# CLI
+
+
+class TestBenchCli:
+    def test_bench_quick_writes_document(self, tiny_suite, tmp_path, capsys):
+        code = main(["bench", "--quick", "--out-dir", str(tmp_path), "--quiet"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "square4-1x2/qft" in out and "bench document:" in out
+        files = list(tmp_path.glob("BENCH_*.json"))
+        assert len(files) == 1
+        doc = json.loads(files[0].read_text())
+        assert doc["schema_version"] == BENCH_SCHEMA_VERSION
+
+    def test_bench_json_mode(self, tiny_suite, tmp_path, capsys):
+        code = main(
+            ["bench", "--quick", "--out-dir", str(tmp_path), "--quiet", "--json"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["bench"]["suite"] == "quick"
+        assert payload["path"].endswith(".json")
+
+    def test_bench_against_passes_and_fails(self, tiny_suite, tmp_path, capsys):
+        assert main(["bench", "--quick", "--out-dir", str(tmp_path), "--quiet"]) == 0
+        baseline = next(iter(tmp_path.glob("BENCH_*.json")))
+        code = main(
+            [
+                "bench",
+                "--quick",
+                "--out-dir",
+                str(tmp_path),
+                "--quiet",
+                "--against",
+                str(baseline),
+                "--max-regression",
+                "1000",
+            ]
+        )
+        assert code == 0
+        assert "geometric-mean speedup" in capsys.readouterr().out
+        # doctor the baseline to claim near-zero old timings -> regression
+        doc = json.loads(baseline.read_text())
+        for row in doc["rows"]:
+            row["seconds"] = 1e-9
+        fast = tmp_path / "BENCH_fast.json"
+        fast.write_text(json.dumps(doc))
+        code = main(
+            [
+                "bench",
+                "--quick",
+                "--out-dir",
+                str(tmp_path),
+                "--quiet",
+                "--against",
+                str(fast),
+            ]
+        )
+        assert code == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_bench_usage_errors(self, tmp_path, capsys):
+        assert main(["bench", "--repeat", "0"]) == 2
+        assert main(["bench", "--compilers", "baseline,nope"]) == 2
+        assert main(["bench", "--against", str(tmp_path / "missing.json")]) == 2
+        capsys.readouterr()
+
+
+# --------------------------------------------------------------------------
+# cache access telemetry
+
+
+def _job(seed=0):
+    return Job(
+        benchmark="QFT",
+        structure="square",
+        chiplet_width=4,
+        rows=1,
+        cols=2,
+        seed=seed,
+        noise=noise_to_items(DEFAULT_NOISE),
+    )
+
+
+class TestCacheAccessTelemetry:
+    def test_hits_and_misses_logged(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        cache.put("aa11", _job(), {"kind": "compare", "record": {"x": 1.0}})
+        assert cache.get("aa11") is not None
+        assert cache.get("aa11") is not None
+        assert cache.get("bb22") is None
+        stats = cache.access_stats()
+        assert stats["hits"] == 2 and stats["misses"] == 1
+        assert stats["hit_rate"] == pytest.approx(2 / 3)
+        assert stats["top_entries"] == [{"key": "aa11", "hits": 2}]
+
+    def test_read_against_missing_cache_creates_nothing(self, tmp_path):
+        cache_dir = tmp_path / "never-written"
+        cache = ResultCache(cache_dir)
+        assert cache.get("aa11") is None
+        assert not cache_dir.exists()
+        assert cache.access_stats()["recorded"] == 0
+
+    def test_record_access_off_keeps_log_empty(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache", record_access=False)
+        cache.put("aa11", _job(), {"kind": "compare", "record": {"x": 1.0}})
+        cache.get("aa11")
+        assert not cache.access_log_path.exists()
+        assert cache.access_stats()["recorded"] == 0
+
+    def test_peek_is_silent(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        cache.put("aa11", _job(), {"kind": "compare", "record": {"x": 1.0}})
+        cache.peek("aa11")
+        cache.peek("bb22")
+        assert cache.access_stats()["recorded"] == 0
+
+    def test_clear_removes_log(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        cache.put("aa11", _job(), {"kind": "compare", "record": {"x": 1.0}})
+        cache.get("aa11")
+        assert cache.access_log_path.exists()
+        cache.clear()
+        assert not cache.access_log_path.exists()
+
+    def test_stats_embeds_access_summary(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        cache.put("aa11", _job(), {"kind": "compare", "record": {"x": 1.0}})
+        cache.get("aa11")
+        assert cache.stats()["access"]["hits"] == 1
+
+    def test_cache_stats_cli_json(self, tmp_path, capsys):
+        cache = ResultCache(tmp_path / "cache")
+        cache.put("aa11", _job(), {"kind": "compare", "record": {"x": 1.0}})
+        cache.get("aa11")
+        cache.get("cc33")
+        code = main(["cache-stats", "--cache-dir", str(tmp_path / "cache"), "--json"])
+        assert code == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["entries"] == 1
+        assert doc["access"]["hits"] == 1
+        assert doc["access"]["misses"] == 1
+        assert doc["access"]["hit_rate"] == pytest.approx(0.5)
+
+    def test_cache_stats_cli_human_mentions_accesses(self, tmp_path, capsys):
+        cache = ResultCache(tmp_path / "cache")
+        cache.put("aa11", _job(), {"kind": "compare", "record": {"x": 1.0}})
+        cache.get("aa11")
+        assert main(["cache-stats", "--cache-dir", str(tmp_path / "cache")]) == 0
+        assert "hit rate" in capsys.readouterr().out
+
+
+class TestAccessLogCompaction:
+    def test_compaction_preserves_totals_and_counts(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        cache.put("aa11", _job(), {"kind": "compare", "record": {"x": 1.0}})
+        for _ in range(3):
+            cache.get("aa11")
+        cache.get("bb22")
+        before = cache.access_stats()
+        cache._compact_access_log()
+        text = cache.access_log_path.read_text()
+        assert text.startswith("T ") and "A aa11 3" in text
+        assert cache.access_stats() == before
+        # further accesses append on top of the compacted history
+        cache.get("aa11")
+        after = cache.access_stats()
+        assert after["hits"] == 4 and after["misses"] == 1
+        assert after["top_entries"] == [{"key": "aa11", "hits": 4}]
+
+    def test_compaction_triggers_past_size_cap(self, tmp_path, monkeypatch):
+        import repro.experiments.engine as engine_module
+
+        monkeypatch.setattr(engine_module, "_ACCESS_LOG_MAX_BYTES", 64)
+        monkeypatch.setattr(engine_module, "_ACCESS_COMPACT_EVERY", 8)
+        cache = ResultCache(tmp_path / "cache")
+        cache.put("aa11", _job(), {"kind": "compare", "record": {"x": 1.0}})
+        for _ in range(64):
+            cache.get("aa11")
+        assert cache.access_log_path.stat().st_size < 64 + 8 * len("H aa11\n")
+        stats = cache.access_stats()
+        assert stats["hits"] == 64
+
+    def test_top_entries_only_list_live_cache_entries(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        cache.put("aa11", _job(), {"kind": "compare", "record": {"x": 1.0}})
+        cache.put("bb22", _job(1), {"kind": "compare", "record": {"x": 2.0}})
+        cache.get("aa11")
+        cache.get("bb22")
+        cache.path_for("bb22").unlink()  # evicted / swept entry
+        stats = cache.access_stats()
+        assert stats["top_entries"] == [{"key": "aa11", "hits": 1}]
+        assert stats["tracked_entries"] == 2
+
+
+class TestZeroMatchComparisonFails:
+    def test_cli_rejects_comparison_with_no_common_rows(self, tiny_suite, tmp_path, capsys):
+        foreign = tmp_path / "BENCH_foreign.json"
+        foreign.write_text(
+            json.dumps(
+                _fake_doc({("some-other-workload", "baseline"): 1.0})
+            )
+        )
+        code = main(
+            [
+                "bench",
+                "--quick",
+                "--out-dir",
+                str(tmp_path),
+                "--quiet",
+                "--against",
+                str(foreign),
+            ]
+        )
+        assert code == 2
+        assert "no (workload, backend) rows in common" in capsys.readouterr().err
+
+    def test_format_comparison_mentions_unmatched_rows(self):
+        old = _fake_doc({("w1", "baseline"): 1.0, ("w2", "baseline"): 1.0})
+        new = _fake_doc({("w1", "baseline"): 1.0})
+        text = format_comparison(compare_bench(old, new))
+        assert "unmatched row" in text and "w2::baseline" in text

@@ -1,0 +1,188 @@
+"""Golden-output equivalence suite for the vectorized routing cores (PR 5).
+
+``tests/goldens/routing_goldens.json`` pins the exact routed output — swap
+sequence, operation counts, depth, effective CNOTs, final layout — that the
+*pre-vectorization* SABRE router and MECH scheduler produced for fixed-seed
+GHZ/QFT/QAOA inputs at two device sizes, for **every registered backend**
+(the PR-4 contract surface).  The optimized hot paths must reproduce those
+circuits bit for bit, which is what keeps every paper figure unchanged.
+
+If a future PR changes routing behaviour *on purpose*, regenerate with::
+
+    PYTHONPATH=src python tests/goldens/generate_goldens.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "goldens"))
+
+from generate_goldens import (  # noqa: E402  (path inserted above)
+    GOLDEN_PATH,
+    build_case_circuit,
+    record_result,
+)
+from repro.backends import available_backends, get_backend  # noqa: E402
+from repro.baseline.sabre import SabreRouter  # noqa: E402
+from repro.hardware.array import ChipletArray  # noqa: E402
+from repro.highway.layout import HighwayLayout  # noqa: E402
+from repro.programs import qft_circuit  # noqa: E402
+
+GOLDENS = json.loads(Path(GOLDEN_PATH).read_text())
+
+#: Fields a case must reproduce exactly (everything record_result captures).
+COMPARED_FIELDS = (
+    "num_operations",
+    "op_counts",
+    "swap_sequence",
+    "depth",
+    "eff_cnots",
+    "swaps_inserted",
+    "final_layout",
+)
+
+
+@pytest.fixture(scope="module")
+def environments():
+    """Shared arrays/layouts/circuits so 24 cases build each device once."""
+    built = {}
+    for case in GOLDENS["cases"]:
+        key = tuple(case["array"])
+        if key not in built:
+            structure, width, rows, cols = case["array"]
+            array = ChipletArray(structure, width, rows, cols)
+            built[key] = (array, HighwayLayout(array, density=1), {})
+    return built
+
+
+def test_goldens_cover_every_registered_backend():
+    """New backends must be added to the golden suite, not silently skipped."""
+    recorded = {case["backend"] for case in GOLDENS["cases"]}
+    assert set(available_backends()) <= recorded
+
+
+def test_golden_file_shape():
+    assert GOLDENS["version"] == 1
+    assert len(GOLDENS["cases"]) >= 24
+    for case in GOLDENS["cases"]:
+        for field in COMPARED_FIELDS:
+            assert field in case, f"{case['case']} lacks {field}"
+
+
+@pytest.mark.parametrize(
+    "case", GOLDENS["cases"], ids=[c["case"] for c in GOLDENS["cases"]]
+)
+def test_routed_output_matches_golden(case, environments):
+    array, layout, circuits = environments[tuple(case["array"])]
+    benchmark = case["benchmark"]
+    if benchmark not in circuits:
+        circuits[benchmark] = build_case_circuit(benchmark, case["num_data_qubits"])
+    backend = get_backend(case["backend"]).configure(
+        array, seed=case["seed"], layout=layout
+    )
+    result = backend.compile(circuits[benchmark])
+    recorded = record_result(result)
+    for field in COMPARED_FIELDS:
+        assert recorded[field] == case[field], (
+            f"{case['case']}: optimized router diverged on {field!r} — routing"
+            " is no longer output-identical to the recorded implementation"
+        )
+
+
+class TestScalarFallbackEquivalence:
+    """The batched scorer and the historic scalar scorer agree bit for bit
+    whenever the distance matrix is integral (the default everywhere)."""
+
+    def test_batched_and_scalar_scores_identical(self):
+        from repro.baseline.sabre import _base_sum, _partner_csr
+
+        array = ChipletArray("square", 4, 1, 2)
+        topo = array.topology
+        router = SabreRouter(topo, seed=3)
+        assert router._exact_distances
+        circuit = qft_circuit(topo.num_qubits - 4)
+        num_logical = circuit.num_qubits
+        rng = np.random.default_rng(0)
+        l2p = np.arange(topo.num_qubits, dtype=np.int64)
+        rng.shuffle(l2p)
+        l2p = l2p[:num_logical]
+        p2l = np.full(topo.num_qubits, -1, dtype=np.int64)
+        p2l[l2p] = np.arange(num_logical)
+        front_list = [(0, 5), (1, 9), (2, 5), (0, 5)]  # duplicate pair on purpose
+        ext_list = [(3, 7), (0, 5), (4, 8)]
+        front_pairs = np.asarray(front_list, dtype=np.int64)
+        ext_pairs = np.asarray(ext_list, dtype=np.int64)
+        decay = np.ones(topo.num_qubits)
+        decay[3] = 1.002
+        candidates = router._candidate_swaps(front_pairs, l2p)
+        batched, delta_front, delta_ext = router._score_swaps_batched(
+            candidates,
+            front_pairs,
+            ext_pairs,
+            _partner_csr(
+                dict.fromkeys(front_list), dict.fromkeys(ext_list), num_logical
+            ),
+            _base_sum(router._distance, l2p, front_pairs),
+            _base_sum(router._distance, l2p, ext_pairs),
+            l2p,
+            p2l,
+            decay,
+        )
+        scalar = router._score_swaps_scalar(
+            candidates, front_pairs, ext_pairs, l2p, decay
+        )
+        assert batched.tolist() == scalar.tolist()
+        assert len(delta_front) == len(candidates) == len(delta_ext)
+
+    def test_non_integer_distances_use_scalar_path(self):
+        array = ChipletArray("square", 4, 1, 2)
+        router = SabreRouter(array.topology, cross_chip_weight=1.5)
+        # 1.5 is exactly representable, sums may not stay integral -> fallback
+        assert not router._exact_distances
+
+    def test_non_integer_weight_routing_still_works(self):
+        array = ChipletArray("square", 4, 1, 2)
+        router = SabreRouter(array.topology, cross_chip_weight=2.5)
+        circuit = qft_circuit(8)
+        result = router.run(circuit)
+        assert result.stats["swaps_inserted"] >= 0
+        assert result.metrics().depth > 0
+
+
+class TestPartialLayoutRejected:
+    """A partial explicit layout must fail loudly (the historic dict-based
+    mapping raised KeyError at the first unmapped gate; the index-array
+    mapping rejects it up front instead of routing qubit -1)."""
+
+    def test_partial_layout_raises(self):
+        from repro.circuits.circuit import Circuit
+
+        array = ChipletArray("square", 4, 1, 2)
+        router = SabreRouter(array.topology, seed=0)
+        circuit = Circuit(3).h(0).cx(0, 1).cx(1, 2)
+        with pytest.raises(ValueError, match="does not map logical qubit 2"):
+            router.run(circuit, layout={0: 0, 1: 1})
+
+    def test_idle_unmapped_qubit_still_allowed(self):
+        from repro.circuits.circuit import Circuit
+
+        array = ChipletArray("square", 4, 1, 2)
+        router = SabreRouter(array.topology, seed=0)
+        circuit = Circuit(3).h(0).cx(0, 1)  # qubit 2 never used
+        result = router.run(circuit, layout={0: 0, 1: 1})
+        assert result.final_layout == {0: 0, 1: 1}
+
+    def test_out_of_range_layout_key_rejected(self):
+        from repro.circuits.circuit import Circuit
+
+        array = ChipletArray("square", 4, 1, 2)
+        router = SabreRouter(array.topology, seed=0)
+        with pytest.raises(ValueError, match="outside"):
+            router.run(Circuit(2).cx(0, 1), layout={0: 0, 1: 1, 7: 2})

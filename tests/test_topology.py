@@ -21,9 +21,9 @@ class TestBasicQueries:
         t = line_topology(5)
         assert t.num_qubits == 5
         assert t.num_edges == 4
-        assert t.neighbors(2) == [1, 3]
+        assert t.neighbors(2) == (1, 3)
         assert t.degree(0) == 1
-        assert t.qubits() == [0, 1, 2, 3, 4]
+        assert t.qubits() == (0, 1, 2, 3, 4)
 
     def test_coupling_queries(self):
         t = line_topology(4, cross_at=1)
@@ -36,7 +36,7 @@ class TestBasicQueries:
 
     def test_edge_lists(self):
         t = line_topology(4, cross_at=2)
-        assert t.cross_chip_edges() == [(2, 3)]
+        assert t.cross_chip_edges() == ((2, 3),)
         assert len(t.on_chip_edges()) == 2
         assert len(t.edges()) == 3
 
@@ -111,5 +111,43 @@ class TestDerived:
     def test_copy_is_independent(self):
         t = line_topology(3)
         c = t.copy()
-        c.graph.add_edge(0, 2)
-        assert not t.is_coupled(0, 2)
+        assert c.graph is not t.graph
+        assert c.edges() == t.edges()
+
+    def test_wrapped_graph_is_frozen(self):
+        # the invalidation-free query caches rely on graph immutability, so
+        # a mutation attempt must fail loudly instead of staling the caches
+        t = line_topology(3)
+        with pytest.raises(nx.NetworkXError):
+            t.graph.add_edge(0, 2)
+        c = t.copy()
+        with pytest.raises(nx.NetworkXError):
+            c.graph.add_edge(0, 2)
+
+
+class TestQueryCaches:
+    """PR-5 satellite: query results are cached as tuples (graph immutable)."""
+
+    def test_cached_tuples_are_stable_objects(self):
+        t = line_topology(5)
+        assert t.edges() is t.edges()
+        assert t.qubits() is t.qubits()
+        assert t.neighbors(2) is t.neighbors(2)
+        assert t.cross_chip_edges() is t.cross_chip_edges()
+        assert t.on_chip_edges() is t.on_chip_edges()
+
+    def test_cached_values_match_graph(self):
+        t = line_topology(6, cross_at=3)
+        assert t.edges() == tuple((q, q + 1) for q in range(5))
+        assert t.cross_chip_edges() == ((3, 4),)
+        assert len(t.on_chip_edges()) == 4
+        for q in range(6):
+            assert t.neighbors(q) == tuple(sorted(t.graph.neighbors(q)))
+
+    def test_adjacency_matrix_matches_is_coupled(self):
+        t = line_topology(5, cross_at=2)
+        adj = t.adjacency_matrix()
+        assert adj is t.adjacency_matrix()
+        for a in range(5):
+            for b in range(5):
+                assert bool(adj[a, b]) == t.is_coupled(a, b)
