@@ -18,7 +18,10 @@ from .builtin import (
     DEFAULT_COMPILERS,
     BaselineBackend,
     MechBackend,
+    MechNoAggBackend,
     MechNoFuseBackend,
+    MechSingleEntryBackend,
+    SabreNoiseBackend,
     SabreXBackend,
 )
 from .registry import (
@@ -34,7 +37,10 @@ __all__ = [
     "DEFAULT_COMPILERS",
     "BaselineBackend",
     "MechBackend",
+    "MechNoAggBackend",
     "MechNoFuseBackend",
+    "MechSingleEntryBackend",
+    "SabreNoiseBackend",
     "SabreXBackend",
     "available_backends",
     "backend_descriptions",

@@ -1,13 +1,20 @@
-"""Built-in compiler backends: MECH, the SABRE baseline, and two variants.
+"""Built-in compiler backends: MECH, the SABRE baseline, and their variants.
 
 ``mech`` and ``baseline`` adapt the pre-existing :class:`MechCompiler` and
 :class:`BaselineCompiler` to the :class:`CompilerBackend` protocol with
 *identical* construction parameters to the historic two-compiler runner, so a
 default ``("baseline", "mech")`` sweep reproduces the pre-registry metrics
-bit for bit.  ``sabre-x`` (an extended-effort SABRE: more routing trials and
-a deeper lookahead window) and ``mech-nofuse`` (MECH with the CX-RZ-CX
-fusion rewrite disabled) prove the seam: genuinely new compilers that join
-every sweep through the registry alone.
+bit for bit.  The variants price the paper's individual mechanisms and
+strengthen the baseline side of every comparison:
+
+* ``mech-nofuse`` — MECH with the CX-RZ-CX fusion rewrite disabled;
+* ``mech-noagg`` — MECH with the commuting-gate aggregation pass disabled
+  (every gate routed individually, never as a multi-target highway gate);
+* ``mech-singleentry`` — MECH with one entrance candidate per gate component
+  (the *multi-entry* scheduling freedom of the highway ablated);
+* ``sabre-x`` — extended-effort SABRE: more routing trials, deeper lookahead;
+* ``sabre-noise`` — SABRE over a noise-adaptive initial layout packed into
+  the lowest-noise on-chip region instead of a fixed corner.
 """
 
 from __future__ import annotations
@@ -26,7 +33,10 @@ __all__ = [
     "DEFAULT_COMPILERS",
     "BaselineBackend",
     "MechBackend",
+    "MechNoAggBackend",
     "MechNoFuseBackend",
+    "MechSingleEntryBackend",
+    "SabreNoiseBackend",
     "SabreXBackend",
 ]
 
@@ -39,8 +49,12 @@ class MechBackend:
 
     name = "mech"
     description = "MECH highway compiler: aggregation + highway-mediated communication"
-    #: Subclass hook: the paper's circuit-rewriting pass on/off.
+    #: Subclass hooks: the paper's circuit-rewriting pass on/off, the
+    #: aggregation pass on/off, and the entrance-candidate budget per gate
+    #: component (1 = single-entry ablation).
     rewrite_zz = True
+    aggregate_gates = True
+    entrance_candidates = 4
 
     def __init__(self) -> None:
         self.compiler: Optional[MechCompiler] = None
@@ -65,6 +79,8 @@ class MechBackend:
             # shared by the caller; MechCompiler only reads it
             layout=layout,  # type: ignore[arg-type]
             rewrite_zz=self.rewrite_zz,
+            aggregate_gates=self.aggregate_gates,
+            entrance_candidates=self.entrance_candidates,
         )
         return self
 
@@ -82,6 +98,34 @@ class MechNoFuseBackend(MechBackend):
     name = "mech-nofuse"
     description = "MECH ablation: highway routing with the CX-RZ-CX fusion rewrite disabled"
     rewrite_zz = False
+
+
+class MechNoAggBackend(MechBackend):
+    """MECH ablation: the commuting-gate aggregation pass disabled.
+
+    Every gate stays a :class:`SingleUnit` on the ordinary routed path — no
+    multi-target highway gates are ever formed — so the difference to
+    ``mech`` is exactly the measured price of the paper's aggregation
+    mechanism (§6.2).
+    """
+
+    name = "mech-noagg"
+    description = "MECH ablation: commuting-gate aggregation disabled (no highway gates)"
+    aggregate_gates = False
+
+
+class MechSingleEntryBackend(MechBackend):
+    """MECH ablation: one entrance candidate per gate component.
+
+    The scheduler normally scores several nearby highway entrances per data
+    qubit and picks the earliest-available one — the *multi-entry* freedom
+    the paper's highway is named for.  Pinning every component to its single
+    nearest usable entrance prices that freedom.
+    """
+
+    name = "mech-singleentry"
+    description = "MECH ablation: one highway-entrance candidate per component (multi-entry off)"
+    entrance_candidates = 1
 
 
 class BaselineBackend:
@@ -159,5 +203,54 @@ class SabreXBackend:
         return result
 
 
-for _backend_cls in (BaselineBackend, MechBackend, MechNoFuseBackend, SabreXBackend):
+class SabreNoiseBackend:
+    """SABRE over a noise-adaptive initial layout.
+
+    Same router and trial budget as ``baseline``; only the initial placement
+    differs — logical qubits are packed into the lowest-noise connected
+    region (couplers weighted by the noise model's cross-chip error ratio)
+    instead of breadth-first from a fixed corner.  The delta to ``baseline``
+    is the measured value of noise-aware placement for a SWAP-chain router.
+    """
+
+    name = "sabre-noise"
+    description = "noise-adaptive SABRE baseline (layout packed into the lowest-noise region)"
+
+    def __init__(self) -> None:
+        self.compiler: Optional[BaselineCompiler] = None
+
+    def configure(
+        self,
+        array: ChipletArray,
+        *,
+        noise: NoiseModel = DEFAULT_NOISE,
+        seed: int = 0,
+        baseline_trials: int = 1,
+        **knobs: object,
+    ) -> "SabreNoiseBackend":
+        self.compiler = BaselineCompiler(
+            array.topology,
+            noise=noise,
+            trials=baseline_trials,
+            layout_strategy="noise",
+        )
+        return self
+
+    def compile(self, circuit: Circuit) -> CompilationResult:
+        if self.compiler is None:
+            raise RuntimeError(f"backend {self.name!r} must be configured before compile()")
+        result = self.compiler.compile(circuit)
+        result.compiler = self.name
+        return result
+
+
+for _backend_cls in (
+    BaselineBackend,
+    MechBackend,
+    MechNoAggBackend,
+    MechNoFuseBackend,
+    MechSingleEntryBackend,
+    SabreNoiseBackend,
+    SabreXBackend,
+):
     register_backend(_backend_cls.name, _backend_cls)

@@ -10,16 +10,23 @@ simple strategies are provided:
   order from a corner, which keeps interacting qubits of shallow circuits on
   nearby chiplets and is a reasonable stand-in for a density-aware layout
   pass.
+* ``noise`` — a noise-adaptive packing: each physical qubit is scored by the
+  summed relative error of its incident couplers (a cross-chip link costs
+  ``cross_on_ratio``, an on-chip link 1), and logical qubits are packed into
+  a connected region grown lowest-score-first, so shallow circuits sit away
+  from the error-prone chiplet boundaries.
 """
 
 from __future__ import annotations
 
+import heapq
 from collections import deque
-from typing import Dict, List
+from typing import Dict, List, Optional
 
+from ..hardware.noise import DEFAULT_NOISE, NoiseModel
 from ..hardware.topology import Topology
 
-__all__ = ["trivial_layout", "compact_layout", "initial_layout"]
+__all__ = ["trivial_layout", "compact_layout", "noise_adaptive_layout", "initial_layout"]
 
 
 def trivial_layout(num_logical: int, topology: Topology) -> Dict[int, int]:
@@ -52,12 +59,60 @@ def compact_layout(num_logical: int, topology: Topology) -> Dict[int, int]:
     return {i: order[i] for i in range(num_logical)}
 
 
-def initial_layout(num_logical: int, topology: Topology, strategy: str = "compact") -> Dict[int, int]:
+def noise_adaptive_layout(
+    num_logical: int, topology: Topology, noise: Optional[NoiseModel] = None
+) -> Dict[int, int]:
+    """Pack logical qubits into the lowest-noise connected region.
+
+    Every physical qubit is scored by the summed relative error rate of its
+    incident couplers under ``noise`` (cross-chip links weigh
+    ``cross_on_ratio``, on-chip links 1).  The region is grown greedily from
+    the best-scored qubit, always extending by the lowest-scored frontier
+    qubit (ties broken by index, so the layout is deterministic): the result
+    stays connected like ``compact`` but hugs the chip interior instead of
+    radiating from a fixed corner across chiplet boundaries.
+    """
+    noise = DEFAULT_NOISE if noise is None else noise
+    _check_size(num_logical, topology)
+    score: Dict[int, float] = {
+        q: sum(
+            noise.cross_on_ratio if topology.is_cross_chip(q, nb) else 1.0
+            for nb in topology.neighbors(q)
+        )
+        for q in topology.qubits()
+    }
+    start = min(topology.qubits(), key=lambda q: (score[q], q))
+    order: List[int] = []
+    seen = {start}
+    frontier = [(score[start], start)]
+    while frontier:
+        _, q = heapq.heappop(frontier)
+        order.append(q)
+        for nb in topology.neighbors(q):
+            if nb not in seen:
+                seen.add(nb)
+                heapq.heappush(frontier, (score[nb], nb))
+    # devices are connected, but guard against isolated qubits anyway
+    for q in sorted(topology.qubits(), key=lambda q: (score[q], q)):
+        if q not in seen:
+            order.append(q)
+    return {i: order[i] for i in range(num_logical)}
+
+
+def initial_layout(
+    num_logical: int,
+    topology: Topology,
+    strategy: str = "compact",
+    *,
+    noise: Optional[NoiseModel] = None,
+) -> Dict[int, int]:
     """Dispatch on the layout ``strategy`` name."""
     if strategy == "trivial":
         return trivial_layout(num_logical, topology)
     if strategy == "compact":
         return compact_layout(num_logical, topology)
+    if strategy == "noise":
+        return noise_adaptive_layout(num_logical, topology, noise)
     raise ValueError(f"unknown layout strategy {strategy!r}")
 
 

@@ -89,7 +89,10 @@ class BaselineCompiler:
             if chosen_layout is None:
                 with timer.phase("layout"):
                     chosen_layout = initial_layout(
-                        circuit.num_qubits, self.topology, self.layout_strategy
+                        circuit.num_qubits,
+                        self.topology,
+                        self.layout_strategy,
+                        noise=self.noise,
                     )
             with timer.phase("route"):
                 result = router.run(circuit, layout=chosen_layout)

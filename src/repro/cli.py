@@ -11,7 +11,9 @@ Runs any of the paper's figures/tables through the orchestration engine::
     repro resume artifacts/fig12.checkpoint.json --only-failed
     repro compilers                      # registered compiler backends (--json)
     repro bench --quick                  # pinned perf suite -> BENCH_<ts>.json
+    repro bench --quick --backends all   # sweep every registered backend
     repro bench --suite fig12 --against artifacts/BENCH_20260730-120000.json
+    repro bench --history benchmarks/history   # trends over accumulated docs
     repro list
     repro cache-stats [--json]           # size/health + hit-rate telemetry
     repro clean-cache --older-than 30    # TTL sweep (add --dry-run to preview)
@@ -242,7 +244,11 @@ def build_parser() -> argparse.ArgumentParser:
         " BENCH_<timestamp>.json document.  With --against FILE the run is"
         " compared to a previous document (old timings rescaled by the"
         " recorded machine-calibration ratio) and the exit code is 1 when the"
-        " geometric-mean wall-clock regresses beyond --max-regression.",
+        " geometric-mean wall-clock regresses beyond --max-regression.  With"
+        " --history DIR no compilation happens at all: every accumulated"
+        " BENCH_*.json under DIR is analysed into per-backend trend series"
+        " and a TREND_<timestamp>.json report, exiting 1 when any backend's"
+        " wall-clock drifted beyond --max-drift since the previous document.",
     )
     bench.add_argument(
         "--suite",
@@ -258,9 +264,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument(
         "--compilers",
+        "--backends",
+        dest="compilers",
         default=",".join(DEFAULT_COMPILERS),
         metavar="A,B[,C...]",
-        help="registered compiler backends to benchmark (default"
+        help="registered compiler backends to benchmark — one name, a"
+        " comma list, or the sentinel 'all' for the whole registry (default"
         f" {','.join(DEFAULT_COMPILERS)})",
     )
     bench.add_argument(
@@ -288,6 +297,23 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FRACTION",
         help="with --against, fail (exit 1) when the geometric-mean"
         " wall-clock grows by more than this fraction (default 0.25)",
+    )
+    bench.add_argument(
+        "--history",
+        metavar="DIR",
+        default=None,
+        help="analyse every BENCH_*.json under DIR into a per-backend trend"
+        " report instead of compiling anything (writes TREND_*.json to"
+        " --out-dir)",
+    )
+    bench.add_argument(
+        "--max-drift",
+        type=float,
+        default=0.5,
+        metavar="FRACTION",
+        help="with --history, fail (exit 1) when any backend's geomean"
+        " wall-clock grew by more than this fraction since the previous"
+        " document (default 0.5)",
     )
     bench.add_argument(
         "--json",
@@ -395,6 +421,38 @@ def _parse_compilers(value: str) -> Optional[List[str]]:
         return None
 
 
+def _parse_bench_backends(value: str) -> Optional[List[str]]:
+    """Split/normalise a bench ``--compilers``/``--backends`` value.
+
+    Unlike :func:`_parse_compilers`, a bench sweep has no reference backend,
+    so a single name is fine, and the sentinel ``all`` expands to the whole
+    registry.  None signals a usage error (already printed).
+    """
+    names = [part.strip().lower() for part in value.split(",") if part.strip()]
+    if names == ["all"]:
+        return list(available_backends())
+    known = set(available_backends())
+    bad = [name for name in names if name not in known]
+    if bad:
+        print(
+            f"error: unknown compiler(s) {', '.join(sorted(set(bad)))}; "
+            f"choose from {', '.join(available_backends())} (or 'all')",
+            file=sys.stderr,
+        )
+        return None
+    if not names:
+        print("error: --backends must name at least one backend", file=sys.stderr)
+        return None
+    duplicates = sorted({name for name in names if names.count(name) > 1})
+    if duplicates:
+        print(
+            f"error: duplicate compiler(s) {', '.join(duplicates)} in --backends",
+            file=sys.stderr,
+        )
+        return None
+    return names
+
+
 def _entry_word(count: int) -> str:
     return "entry" if count == 1 else "entries"
 
@@ -465,13 +523,15 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         write_bench,
     )
 
+    if args.history is not None:
+        return _cmd_bench_history(args)
     if args.repeat < 1:
         print("error: --repeat must be at least 1", file=sys.stderr)
         return 2
     if not (args.max_regression >= 0):  # inverted so NaN fails too
         print("error: --max-regression must be >= 0", file=sys.stderr)
         return 2
-    compilers = _parse_compilers(args.compilers)
+    compilers = _parse_bench_backends(args.compilers)
     if compilers is None:
         return 2
     suite = "quick" if args.quick else args.suite
@@ -518,6 +578,41 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             print()
             print(format_comparison(comparison))
     return 1 if comparison is not None and comparison["regressed"] else 0
+
+
+def _cmd_bench_history(args: argparse.Namespace) -> int:
+    """``repro bench --history DIR``: analysis only, no compilation."""
+    from .perf import (
+        HistoryError,
+        compute_history,
+        format_history,
+        load_history,
+        write_trend,
+    )
+
+    if args.against is not None:
+        print(
+            "error: --history and --against are mutually exclusive"
+            " (--history already compares every document to its neighbours)",
+            file=sys.stderr,
+        )
+        return 2
+    if not (args.max_drift >= 0):  # inverted so NaN fails too
+        print("error: --max-drift must be >= 0", file=sys.stderr)
+        return 2
+    try:
+        documents, skipped = load_history(args.history)
+    except HistoryError as exc:
+        print(f"error: --history: {exc}", file=sys.stderr)
+        return 2
+    report = compute_history(documents, max_drift=args.max_drift, skipped=skipped)
+    path = write_trend(report, args.out_dir)
+    if args.json:
+        print(json.dumps({"trend": report, "path": str(path)}, indent=2, sort_keys=True))
+    else:
+        print(format_history(report))
+        print(f"trend report: {path}")
+    return 1 if report["regressed"] else 0
 
 
 def _validate_common_flags(args: argparse.Namespace) -> Optional[int]:

@@ -57,6 +57,15 @@ class MechCompiler:
     rewrite_zz:
         Apply the CX-RZ-CX -> controlled-phase fusion pass before aggregation
         (the paper's circuit rewriting); the baseline never rewrites.
+    aggregate_gates:
+        Run the commuting-gate aggregation pass (paper §6.2).  When disabled
+        — the ``mech-noagg`` ablation — every gate stays a ``SingleUnit``
+        routed off the highway, which prices the aggregation mechanism alone.
+    entrance_candidates:
+        How many candidate highway entrances the scheduler scores per gate
+        component; 1 is the ``mech-singleentry`` ablation (each data qubit is
+        pinned to its nearest entrance, forfeiting the multi-entry freedom
+        the paper's scheduler exploits).
     """
 
     def __init__(
@@ -70,9 +79,12 @@ class MechCompiler:
         layout: Optional[HighwayLayout] = None,
         entrance_candidates: int = 4,
         rewrite_zz: bool = True,
+        aggregate_gates: bool = True,
     ) -> None:
         if min_components < 1:
             raise ValueError("min_components must be at least 1")
+        if entrance_candidates < 1:
+            raise ValueError("entrance_candidates must be at least 1")
         self.array = array
         self.topology: Topology = array.topology
         self.layout = layout if layout is not None else HighwayLayout(
@@ -82,6 +94,7 @@ class MechCompiler:
         self.noise = noise
         self.entrance_candidates = entrance_candidates
         self.rewrite_zz = rewrite_zz
+        self.aggregate_gates = aggregate_gates
 
     # ------------------------------------------------------------------ #
     # capacity queries
@@ -125,7 +138,12 @@ class MechCompiler:
             if self.rewrite_zz:
                 circuit = fuse_zz_ladders(circuit)
             dag = DependencyDag(circuit)
-            units = aggregate(dag, min_components=self.min_components)
+            # with aggregation ablated no group can reach the threshold, so
+            # every gate stays a SingleUnit on the ordinary routed path
+            min_components = (
+                self.min_components if self.aggregate_gates else len(circuit) + 1
+            )
+            units = aggregate(dag, min_components=min_components)
             scheduler = MechScheduler(
                 self.topology,
                 self.layout,

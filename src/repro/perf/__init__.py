@@ -10,7 +10,12 @@ Two pieces keep the compiler hot paths honest:
   workload suites per registered backend, ``BENCH_<timestamp>.json``
   emission, and the ``--against`` comparison mode that reports speedups and
   regressions (machine-speed differences are normalised by a calibration
-  scalar recorded in every document).
+  scalar recorded in every document);
+* :mod:`repro.perf.history` — longitudinal analytics over an accumulated
+  directory of bench documents: calibration-rescaled per-backend trend
+  series, geomean deltas vs. the oldest and the previous document, a
+  ``TREND_<timestamp>.json`` report, and the ``--max-drift`` gate the CI
+  bench-history job fails on.
 """
 
 from .bench import (
@@ -24,21 +29,39 @@ from .bench import (
     measure_calibration,
     run_bench,
     write_bench,
+    write_document,
+)
+from .history import (
+    TREND_SCHEMA_VERSION,
+    HistoryError,
+    compute_history,
+    format_history,
+    history_report,
+    load_history,
+    write_trend,
 )
 from .timers import PHASE_PREFIX, PhaseTimer, phase_breakdown
 
 __all__ = [
     "BENCH_SCHEMA_VERSION",
+    "TREND_SCHEMA_VERSION",
     "SUITES",
     "BenchWorkload",
+    "HistoryError",
     "PHASE_PREFIX",
     "PhaseTimer",
     "compare_bench",
+    "compute_history",
     "format_bench",
     "format_comparison",
+    "format_history",
+    "history_report",
     "load_bench",
+    "load_history",
     "measure_calibration",
     "phase_breakdown",
     "run_bench",
     "write_bench",
+    "write_document",
+    "write_trend",
 ]

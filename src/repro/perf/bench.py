@@ -19,6 +19,7 @@ slower machine does not masquerade as a compiler change.
 from __future__ import annotations
 
 import json
+import os
 import time
 from dataclasses import dataclass
 from pathlib import Path
@@ -27,7 +28,6 @@ from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Uni
 import numpy as np
 
 from ..metrics import geometric_mean
-from .timers import phase_breakdown
 
 __all__ = [
     "BENCH_SCHEMA_VERSION",
@@ -40,6 +40,7 @@ __all__ = [
     "measure_calibration",
     "run_bench",
     "write_bench",
+    "write_document",
 ]
 
 #: Version stamp of the BENCH_*.json document schema.
@@ -133,15 +134,27 @@ def run_bench(
     ``repeat`` re-compiles each workload N times and keeps the fastest
     wall-clock per backend (metrics are identical across repeats — the
     compilers are deterministic at fixed seeds).
+
+    Unlike an experiment comparison, a bench sweep has no reference backend,
+    so ``compilers`` may be a single name (or the whole registry — the CLI's
+    ``--backends all``); ``None`` keeps the default pair.
     """
-    from ..experiments.runner import resolve_compilers
+    from ..backends import DEFAULT_COMPILERS
     from .workloads import compile_workload
 
     if suite not in SUITES:
         raise ValueError(f"unknown bench suite {suite!r}; choose from {sorted(SUITES)}")
     if repeat < 1:
         raise ValueError("repeat must be at least 1")
-    names = resolve_compilers(compilers)
+    if compilers is None:
+        names: Tuple[str, ...] = DEFAULT_COMPILERS
+    else:
+        names = tuple(str(name).strip().lower() for name in compilers)
+        if not names:
+            raise ValueError("compilers must name at least one backend")
+        duplicates = sorted({name for name in names if names.count(name) > 1})
+        if duplicates:
+            raise ValueError(f"duplicate compiler(s) {duplicates} in {list(names)}")
     rows: List[Dict[str, object]] = []
     for workload in SUITES[suite]:
         if progress is not None:
@@ -171,20 +184,37 @@ def run_bench(
     }
 
 
-def write_bench(document: Mapping[str, object], out_dir: Union[str, Path]) -> Path:
-    """Write ``document`` as ``BENCH_<timestamp>.json`` under ``out_dir``."""
+def write_document(
+    document: Mapping[str, object], out_dir: Union[str, Path], prefix: str
+) -> Path:
+    """Write ``document`` as ``<prefix>_<timestamp>-p<pid>[.N].json``, never
+    clobbering an existing file.
+
+    The timestamp alone is second-granular, so two runs starting in the same
+    second used to race each other onto the same name; the pid separates
+    concurrent processes and the counter separates same-process rewrites.
+    Creation is atomic (``open(..., "x")``), so even a pid collision across
+    reboots degrades to a counter bump instead of an overwrite.
+    """
     out = Path(out_dir)
     out.mkdir(parents=True, exist_ok=True)
-    stamp = time.strftime("%Y%m%d-%H%M%S")
-    path = out / f"BENCH_{stamp}.json"
+    stamp = f"{time.strftime('%Y%m%d-%H%M%S')}-p{os.getpid()}"
     counter = 0
-    while path.exists():
-        counter += 1
-        path = out / f"BENCH_{stamp}-{counter}.json"
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(document, handle, indent=1, sort_keys=True)
-        handle.write("\n")
-    return path
+    while True:
+        suffix = f".{counter}" if counter else ""
+        path = out / f"{prefix}_{stamp}{suffix}.json"
+        try:
+            with open(path, "x", encoding="utf-8") as handle:
+                json.dump(document, handle, indent=1, sort_keys=True)
+                handle.write("\n")
+            return path
+        except FileExistsError:
+            counter += 1
+
+
+def write_bench(document: Mapping[str, object], out_dir: Union[str, Path]) -> Path:
+    """Write ``document`` as a unique ``BENCH_*.json`` under ``out_dir``."""
+    return write_document(document, out_dir, "BENCH")
 
 
 def load_bench(path: Union[str, Path]) -> Dict[str, object]:

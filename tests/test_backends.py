@@ -26,7 +26,15 @@ from repro.hardware.noise import DEFAULT_NOISE
 from repro.highway.layout import HighwayLayout
 from repro.programs import ghz_circuit, qft_circuit
 
-BUILTINS = ("baseline", "mech", "mech-nofuse", "sabre-x")
+BUILTINS = (
+    "baseline",
+    "mech",
+    "mech-noagg",
+    "mech-nofuse",
+    "mech-singleentry",
+    "sabre-noise",
+    "sabre-x",
+)
 
 
 @pytest.fixture(scope="module")
@@ -194,3 +202,32 @@ class TestBackendDifferences:
         assert without_rewrite.stats.get("fused_zz", 0.0) == 0.0
         assert with_rewrite.stats.get("fused_zz", 0.0) >= 0.0
         assert_semantically_equivalent(ladder, without_rewrite)
+
+    def test_mech_noagg_never_forms_highway_gates(self, tiny_array):
+        aggregated = _configured("mech", tiny_array)
+        ablated = _configured("mech-noagg", tiny_array)
+        qft = qft_circuit(5, measure=False)
+        with_agg = aggregated.compile(qft)
+        without_agg = ablated.compile(qft)
+        # QFT is the aggregation pass's best case (all-commuting controlled
+        # phases); the ablation must route every gate individually
+        assert with_agg.stats.get("aggregated_units", 0.0) > 0.0
+        assert without_agg.stats.get("aggregated_units", 0.0) == 0.0
+        assert_semantically_equivalent(qft, without_agg)
+
+    def test_mech_singleentry_pins_one_entrance(self, tiny_array):
+        multi = _configured("mech", tiny_array)
+        single = _configured("mech-singleentry", tiny_array)
+        assert multi.compiler.entrance_candidates > 1
+        assert single.compiler.entrance_candidates == 1
+        qft = qft_circuit(5, measure=False)
+        assert_semantically_equivalent(qft, single.compile(qft))
+
+    def test_sabre_noise_changes_the_layout(self, tiny_array):
+        corner = _configured("baseline", tiny_array)
+        adaptive = _configured("sabre-noise", tiny_array)
+        qft = qft_circuit(5, measure=False)
+        corner_result = corner.compile(qft)
+        adaptive_result = adaptive.compile(qft)
+        assert adaptive_result.initial_layout != corner_result.initial_layout
+        assert_semantically_equivalent(qft, adaptive_result)

@@ -301,9 +301,24 @@ class TestCompilersCommand:
                     " aggregation + highway-mediated communication",
                 },
                 {
+                    "name": "mech-noagg",
+                    "description": "MECH ablation: commuting-gate aggregation"
+                    " disabled (no highway gates)",
+                },
+                {
                     "name": "mech-nofuse",
                     "description": "MECH ablation: highway routing with the"
                     " CX-RZ-CX fusion rewrite disabled",
+                },
+                {
+                    "name": "mech-singleentry",
+                    "description": "MECH ablation: one highway-entrance"
+                    " candidate per component (multi-entry off)",
+                },
+                {
+                    "name": "sabre-noise",
+                    "description": "noise-adaptive SABRE baseline"
+                    " (layout packed into the lowest-noise region)",
                 },
                 {
                     "name": "sabre-x",

@@ -5,6 +5,7 @@ telemetry behind ``repro cache-stats --json``."""
 from __future__ import annotations
 
 import json
+import os
 
 import pytest
 
@@ -142,6 +143,28 @@ class TestBenchDocument:
         first = write_bench(doc, tmp_path)
         second = write_bench(doc, tmp_path)
         assert first != second and first.exists() and second.exists()
+
+    def test_same_second_writes_do_not_collide(self, tmp_path, monkeypatch):
+        # regression: BENCH_<timestamp>.json is second-granular, so two runs
+        # starting in the same second used to race onto the same filename;
+        # the name now carries the pid and a counter, and creation is atomic
+        import repro.perf.bench as bench_module
+
+        monkeypatch.setattr(
+            bench_module.time, "strftime", lambda fmt: "20260101-000000"
+        )
+        doc = _fake_doc({("w1", "baseline"): 1.0})
+        paths = [write_bench(doc, tmp_path) for _ in range(3)]
+        assert len(set(paths)) == 3
+        assert all(p.exists() for p in paths)
+        pid = f"-p{os.getpid()}"
+        assert all(pid in p.name for p in paths)
+        # the counter kicks in, never an overwrite
+        assert paths[0].name == f"BENCH_20260101-000000{pid}.json"
+        assert paths[1].name == f"BENCH_20260101-000000{pid}.1.json"
+        assert paths[2].name == f"BENCH_20260101-000000{pid}.2.json"
+        for path in paths:
+            assert json.loads(path.read_text())["rows"] == doc["rows"]
 
     def test_unknown_suite_rejected(self):
         with pytest.raises(ValueError, match="unknown bench suite"):
