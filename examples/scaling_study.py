@@ -52,7 +52,7 @@ def main() -> None:
         f"{'eff impr':>9} {'compile s':>10}"
     )
     print("-" * 62)
-    for (rows, cols), record in zip(shapes, records):
+    for (rows, cols), record in zip(shapes, records, strict=False):
         print(
             f"{f'{rows}x{cols}':>6} {rows * cols:>8d} {record.num_data_qubits:>11d} "
             f"{record.depth_improvement:>10.1%} "

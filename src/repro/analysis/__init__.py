@@ -1,0 +1,46 @@
+"""Static analysis of compiled circuit IR.
+
+``repro.analysis`` certifies that a :class:`~repro.compiler.result.
+CompilationResult` is *correct*, not merely unchanged: hardware legality of
+every emitted 2-qubit gate, semantic preservation of the input circuit under
+movement elision, the highway protocol's occupancy/establishment invariants,
+and consistency of the reported statistics.  See
+:func:`~repro.analysis.verifier.verify_compilation`.
+"""
+
+from .consistency import check_consistency
+from .hardware import check_hardware_legality
+from .replay import ReplayOutcome, check_replay, replay_result
+from .verifier import assert_verified, verify_compilation
+from .violations import (
+    ALL_RULES,
+    RULE_HARDWARE,
+    RULE_HIGHWAY,
+    RULE_METRICS,
+    RULE_SEMANTICS,
+    VerificationError,
+    VerificationReport,
+    Violation,
+    format_report,
+    report_from_dict,
+)
+
+__all__ = [
+    "ALL_RULES",
+    "RULE_HARDWARE",
+    "RULE_HIGHWAY",
+    "RULE_METRICS",
+    "RULE_SEMANTICS",
+    "ReplayOutcome",
+    "VerificationError",
+    "VerificationReport",
+    "Violation",
+    "assert_verified",
+    "check_consistency",
+    "check_hardware_legality",
+    "check_replay",
+    "format_report",
+    "replay_result",
+    "report_from_dict",
+    "verify_compilation",
+]

@@ -1,0 +1,109 @@
+"""Rule 4 — consistency of the compiler's reported statistics and metrics.
+
+The compilers report bookkeeping alongside the circuit: ``swaps_inserted``,
+``ghz_preparations``, and (cached on the result) the depth / eff-CNOT
+metrics.  Each is independently recomputable from the emitted IR, so a
+mismatch means the stats cannot be trusted — exactly the kind of silent drift
+a refactor of the scheduler or a new backend could introduce.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..compiler.result import CompilationResult
+from ..hardware.noise import DEFAULT_NOISE, NoiseModel
+from ..metrics import circuit_metrics
+from .replay import ReplayOutcome
+from .violations import RULE_METRICS, Violation
+
+__all__ = ["check_consistency"]
+
+#: Absolute tolerance for float metric comparisons (values are sums of small
+#: integer-weighted terms, so exact agreement is expected; the slack only
+#: covers accumulation order).
+_ATOL = 1e-6
+
+
+def check_consistency(
+    result: CompilationResult,
+    *,
+    noise: NoiseModel = DEFAULT_NOISE,
+    replay: ReplayOutcome | None = None,
+    expected_depth: float | None = None,
+    expected_eff_cnots: float | None = None,
+) -> list[Violation]:
+    """Cross-check reported stats/metrics against recomputed values.
+
+    ``expected_depth`` / ``expected_eff_cnots`` let callers verify values they
+    recorded elsewhere (a bench row, an experiment record) against the IR.
+    When the result carries a cached metrics object (the value every consumer
+    has already read), it is compared against a fresh recomputation too.
+    """
+    violations: list[Violation] = []
+    stats = result.stats
+
+    swap_count = sum(1 for op in result.circuit.operations if op.name == "swap")
+    reported_swaps = stats.get("swaps_inserted")
+    if reported_swaps is not None and int(reported_swaps) != swap_count:
+        violations.append(
+            Violation(
+                rule=RULE_METRICS,
+                code="swap-count-mismatch",
+                message=(
+                    f"stats report {int(reported_swaps)} inserted SWAPs but the circuit "
+                    f"contains {swap_count}"
+                ),
+                counterexample={"reported": reported_swaps, "recomputed": swap_count},
+            )
+        )
+
+    reported_ghz = stats.get("ghz_preparations")
+    if replay is not None and reported_ghz is not None:
+        recomputed_ghz = replay.protocol_instances
+        if int(reported_ghz) != recomputed_ghz:
+            violations.append(
+                Violation(
+                    rule=RULE_METRICS,
+                    code="ghz-count-mismatch",
+                    message=(
+                        f"stats report {int(reported_ghz)} GHZ preparations but the replay "
+                        f"found {recomputed_ghz} highway protocol instance(s)"
+                    ),
+                    counterexample={"reported": reported_ghz, "recomputed": recomputed_ghz},
+                )
+            )
+
+    recomputed = circuit_metrics(result.circuit, result.topology, noise, strict=False)
+    comparisons = [
+        ("depth", expected_depth, recomputed.depth, "depth-mismatch"),
+        ("eff_cnots", expected_eff_cnots, recomputed.eff_cnots, "eff-cnots-mismatch"),
+    ]
+    cached = result._metrics_cache
+    if cached is not None and result._metrics_noise == noise:
+        comparisons.append(("depth", cached.depth, recomputed.depth, "depth-mismatch"))
+        comparisons.append(
+            ("eff_cnots", cached.eff_cnots, recomputed.eff_cnots, "eff-cnots-mismatch")
+        )
+    seen: set[tuple[str, float]] = set()
+    for label, reported, fresh, code in comparisons:
+        if reported is None:
+            continue
+        if math.isclose(reported, fresh, rel_tol=0.0, abs_tol=_ATOL):
+            continue
+        dedup = (code, float(reported))
+        if dedup in seen:
+            continue
+        seen.add(dedup)
+        violations.append(
+            Violation(
+                rule=RULE_METRICS,
+                code=code,
+                message=(
+                    f"reported {label} {reported} disagrees with the value {fresh} "
+                    f"recomputed from the emitted circuit"
+                ),
+                counterexample={"reported": reported, "recomputed": fresh},
+            )
+        )
+    return violations

@@ -1,0 +1,67 @@
+"""Rule 1 — hardware legality of the emitted circuit.
+
+Every 2-qubit operation of a compiled circuit must act on a coupled physical
+pair of the device :class:`~repro.hardware.topology.Topology`.  SWAPs and the
+multi-target macros are expanded to their CNOT-level realisations first (the
+same expansion the metric accounting uses), so a ``swap`` on an uncoupled pair
+is flagged exactly like the three illegal CNOTs it would execute as.
+"""
+
+from __future__ import annotations
+
+from ..circuits.gates import Gate
+from ..circuits.library import swap_to_cnots
+from ..compiler.result import CompilationResult
+from .violations import RULE_HARDWARE, Violation
+
+__all__ = ["check_hardware_legality"]
+
+
+def check_hardware_legality(result: CompilationResult) -> list[Violation]:
+    """Return one violation per emitted operation that is physically illegal."""
+    topology = result.topology
+    num_qubits = topology.num_qubits
+    violations: list[Violation] = []
+    for index, op in enumerate(result.circuit.operations):
+        out_of_range = tuple(q for q in op.qubits if not 0 <= q < num_qubits)
+        if out_of_range:
+            violations.append(
+                Violation(
+                    rule=RULE_HARDWARE,
+                    code="unknown-qubit",
+                    message=(
+                        f"{op.name} references qubit(s) {list(out_of_range)} outside the "
+                        f"{num_qubits}-qubit device"
+                    ),
+                    gate_index=index,
+                    qubits=op.qubits,
+                )
+            )
+            continue
+        expansion: list[Gate] | tuple[Gate, ...]
+        if op.name == "swap":
+            expansion = swap_to_cnots(op.qubits[0], op.qubits[1])
+        elif op.is_multi_target:
+            expansion = op.components()
+        else:
+            expansion = [op]
+        for sub in expansion:
+            if len(sub.qubits) != 2 or sub.is_measurement or sub.is_barrier:
+                continue
+            a, b = sub.qubits
+            if not topology.is_coupled(a, b):
+                violations.append(
+                    Violation(
+                        rule=RULE_HARDWARE,
+                        code="uncoupled-2q",
+                        message=(
+                            f"{op.name} acts on physical pair ({a}, {b}) which is not an "
+                            f"edge of {topology.name}"
+                        ),
+                        gate_index=index,
+                        qubits=(a, b),
+                        counterexample={"operation": op.name, "pair": (a, b)},
+                    )
+                )
+                break
+    return violations

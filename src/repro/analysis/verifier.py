@@ -1,0 +1,112 @@
+"""`verify_compilation` — the one-call entry point of the static verifier.
+
+Composes the four rule families over a ``(source circuit, CompilationResult)``
+pair and returns a :class:`~repro.analysis.violations.VerificationReport`.
+``assert_verified`` is the fail-fast wrapper the engine's ``--verify`` hook
+and the bench runner use.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from ..circuits.circuit import Circuit
+from ..compiler.result import CompilationResult
+from ..hardware.noise import DEFAULT_NOISE, NoiseModel
+from .consistency import check_consistency
+from .hardware import check_hardware_legality
+from .replay import check_replay
+from .violations import (
+    ALL_RULES,
+    RULE_HARDWARE,
+    RULE_HIGHWAY,
+    RULE_METRICS,
+    RULE_SEMANTICS,
+    VerificationError,
+    VerificationReport,
+    Violation,
+)
+
+__all__ = ["assert_verified", "verify_compilation"]
+
+
+def verify_compilation(
+    source: Circuit,
+    result: CompilationResult,
+    *,
+    noise: NoiseModel = DEFAULT_NOISE,
+    rules: Sequence[str] = ALL_RULES,
+    expected_depth: float | None = None,
+    expected_eff_cnots: float | None = None,
+) -> VerificationReport:
+    """Statically verify a compilation against its input circuit.
+
+    Parameters
+    ----------
+    source:
+        The logical circuit that was handed to the compiler.
+    result:
+        The compiler's output.
+    noise:
+        Noise model used for the depth recomputation (must match the one the
+        metrics being checked were computed with).
+    rules:
+        Subset of :data:`~repro.analysis.violations.ALL_RULES` to run.
+    expected_depth / expected_eff_cnots:
+        Externally recorded metric values to cross-check against the IR
+        (e.g. the numbers written into a bench row).
+    """
+    selected = tuple(rule for rule in ALL_RULES if rule in set(rules))
+    unknown = set(rules) - set(ALL_RULES)
+    if unknown:
+        raise ValueError(f"unknown verifier rule(s) {sorted(unknown)}; choose from {ALL_RULES}")
+
+    violations: list[Violation] = []
+    ops_checked = len(result.circuit.operations)
+    protocol_instances = 0
+
+    if RULE_HARDWARE in selected:
+        violations.extend(check_hardware_legality(result))
+
+    replay = None
+    if RULE_SEMANTICS in selected or RULE_HIGHWAY in selected:
+        replay = check_replay(source, result, noise=noise)
+        protocol_instances = replay.protocol_instances
+        if RULE_SEMANTICS in selected:
+            violations.extend(replay.semantic_violations)
+        if RULE_HIGHWAY in selected:
+            violations.extend(replay.highway_violations)
+
+    if RULE_METRICS in selected:
+        violations.extend(
+            check_consistency(
+                result,
+                noise=noise,
+                replay=replay,
+                expected_depth=expected_depth,
+                expected_eff_cnots=expected_eff_cnots,
+            )
+        )
+
+    return VerificationReport(
+        compiler=result.compiler,
+        rules_checked=selected,
+        violations=tuple(violations),
+        ops_checked=ops_checked,
+        protocol_instances=protocol_instances,
+    )
+
+
+def assert_verified(
+    source: Circuit,
+    result: CompilationResult,
+    *,
+    noise: NoiseModel = DEFAULT_NOISE,
+    rules: Sequence[str] = ALL_RULES,
+    context: str = "",
+) -> VerificationReport:
+    """Run :func:`verify_compilation` and raise ``VerificationError`` if dirty."""
+    report = verify_compilation(source, result, noise=noise, rules=rules)
+    if not report.ok:
+        raise VerificationError(report, context)
+    return report

@@ -1,0 +1,174 @@
+"""Structured violation records produced by the static circuit-IR verifier.
+
+Every check in :mod:`repro.analysis` reports its findings as
+:class:`Violation` records instead of raising, so a single verification pass
+can surface *all* problems of a compiled circuit at once, each with a
+gate-level counterexample.  Violations are grouped into four rule families
+(the ``rule`` field), mirroring the paper's statically checkable claims:
+
+``hardware``
+    Every emitted 2-qubit gate acts on a coupled physical pair.
+``semantics``
+    The routed circuit, movement elided, is a dependency-preserving
+    reordering of the input DAG modulo commutation, and the tracked final
+    layout matches the reported one.
+``highway``
+    GHZ chains are established before use, occupancy windows of consecutive
+    shuttles never overlap, and aggregated units commute.
+``metrics``
+    Recomputed depth / eff-CNOT / swap counts equal what the compiler
+    reported.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from collections.abc import Mapping
+
+__all__ = [
+    "ALL_RULES",
+    "RULE_HARDWARE",
+    "RULE_HIGHWAY",
+    "RULE_METRICS",
+    "RULE_SEMANTICS",
+    "VerificationError",
+    "VerificationReport",
+    "Violation",
+    "format_report",
+    "report_from_dict",
+]
+
+RULE_HARDWARE = "hardware"
+RULE_SEMANTICS = "semantics"
+RULE_HIGHWAY = "highway"
+RULE_METRICS = "metrics"
+
+#: All rule families, in the order the verifier runs them.
+ALL_RULES = (RULE_HARDWARE, RULE_SEMANTICS, RULE_HIGHWAY, RULE_METRICS)
+
+
+@dataclass(frozen=True, eq=False)
+class Violation:
+    """One verifier finding.
+
+    Attributes
+    ----------
+    rule:
+        Rule family (one of :data:`ALL_RULES`).
+    code:
+        Specific check within the family (``"uncoupled-2q"``,
+        ``"dependency-order"``, ...).
+    message:
+        Human-readable one-liner.
+    gate_index:
+        Index into the *compiled* circuit's operation list, when the finding
+        anchors to a specific emitted operation.
+    qubits:
+        Offending physical qubits, when applicable.
+    counterexample:
+        Free-form structured evidence: mapping snapshots, the logical gate a
+        physical operation was interpreted as, unmet DAG predecessors, the
+        mismatching metric values, ...
+    """
+
+    rule: str
+    code: str
+    message: str
+    gate_index: int | None = None
+    qubits: tuple[int, ...] = ()
+    counterexample: Mapping[str, object] = field(default_factory=dict)
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "rule": self.rule,
+            "code": self.code,
+            "message": self.message,
+            "gate_index": self.gate_index,
+            "qubits": list(self.qubits),
+            "counterexample": dict(self.counterexample),
+        }
+
+    def __str__(self) -> str:
+        where = f" @op[{self.gate_index}]" if self.gate_index is not None else ""
+        qubits = f" qubits={list(self.qubits)}" if self.qubits else ""
+        return f"[{self.rule}/{self.code}]{where}{qubits} {self.message}"
+
+
+@dataclass(frozen=True)
+class VerificationReport:
+    """Outcome of one :func:`repro.analysis.verify_compilation` pass."""
+
+    compiler: str
+    rules_checked: tuple[str, ...]
+    violations: tuple[Violation, ...]
+    ops_checked: int = 0
+    protocol_instances: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def by_rule(self) -> dict[str, list[Violation]]:
+        grouped: dict[str, list[Violation]] = {rule: [] for rule in self.rules_checked}
+        for violation in self.violations:
+            grouped.setdefault(violation.rule, []).append(violation)
+        return grouped
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "compiler": self.compiler,
+            "ok": self.ok,
+            "rules_checked": list(self.rules_checked),
+            "ops_checked": self.ops_checked,
+            "protocol_instances": self.protocol_instances,
+            "violations": [violation.as_dict() for violation in self.violations],
+        }
+
+
+def report_from_dict(data: Mapping[str, object]) -> VerificationReport:
+    """Inverse of :meth:`VerificationReport.as_dict` (JSON round-trip)."""
+    return VerificationReport(
+        compiler=str(data["compiler"]),
+        rules_checked=tuple(data.get("rules_checked") or ()),
+        violations=tuple(
+            Violation(
+                rule=str(v["rule"]),
+                code=str(v["code"]),
+                message=str(v["message"]),
+                gate_index=v.get("gate_index"),
+                qubits=tuple(v.get("qubits") or ()),
+                counterexample=dict(v.get("counterexample") or {}),
+            )
+            for v in (data.get("violations") or ())
+        ),
+        ops_checked=int(data.get("ops_checked") or 0),
+        protocol_instances=int(data.get("protocol_instances") or 0),
+    )
+
+
+def format_report(report: VerificationReport, *, limit: int = 25) -> str:
+    """Render a report as the text block the CLI and test failures print."""
+    head = (
+        f"verify[{report.compiler}]: "
+        f"{'clean' if report.ok else f'{len(report.violations)} violation(s)'} "
+        f"({report.ops_checked} ops, {report.protocol_instances} highway protocol instance(s), "
+        f"rules: {', '.join(report.rules_checked)})"
+    )
+    lines = [head]
+    for violation in report.violations[:limit]:
+        lines.append(f"  - {violation}")
+        if violation.counterexample:
+            lines.append(f"    counterexample: {dict(violation.counterexample)!r}")
+    if len(report.violations) > limit:
+        lines.append(f"  ... and {len(report.violations) - limit} more")
+    return "\n".join(lines)
+
+
+class VerificationError(RuntimeError):
+    """Raised by the fail-fast wrappers when a report has violations."""
+
+    def __init__(self, report: VerificationReport, context: str = "") -> None:
+        self.report = report
+        self.context = context
+        prefix = f"{context}: " if context else ""
+        super().__init__(prefix + format_report(report))

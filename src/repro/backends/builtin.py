@@ -19,7 +19,6 @@ strengthen the baseline side of every comparison:
 
 from __future__ import annotations
 
-from typing import Optional
 
 from ..baseline import BaselineCompiler
 from ..circuits.circuit import Circuit
@@ -57,7 +56,7 @@ class MechBackend:
     entrance_candidates = 4
 
     def __init__(self) -> None:
-        self.compiler: Optional[MechCompiler] = None
+        self.compiler: MechCompiler | None = None
 
     def configure(
         self,
@@ -140,7 +139,7 @@ class BaselineBackend:
     description = "SABRE-routed SWAP baseline (layout selection + SWAP-chain routing)"
 
     def __init__(self) -> None:
-        self.compiler: Optional[BaselineCompiler] = None
+        self.compiler: BaselineCompiler | None = None
 
     def configure(
         self,
@@ -175,7 +174,7 @@ class SabreXBackend:
     description = "extended-effort SABRE baseline (4x routing trials, deeper lookahead)"
 
     def __init__(self) -> None:
-        self.compiler: Optional[BaselineCompiler] = None
+        self.compiler: BaselineCompiler | None = None
 
     def configure(
         self,
@@ -217,7 +216,7 @@ class SabreNoiseBackend:
     description = "noise-adaptive SABRE baseline (layout packed into the lowest-noise region)"
 
     def __init__(self) -> None:
-        self.compiler: Optional[BaselineCompiler] = None
+        self.compiler: BaselineCompiler | None = None
 
     def configure(
         self,

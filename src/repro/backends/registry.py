@@ -10,7 +10,7 @@ engine's plan-time validation, the ``repro run --compilers`` flag and the
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List
+from collections.abc import Callable
 
 from .base import CompilerBackend
 
@@ -23,7 +23,7 @@ __all__ = [
 ]
 
 #: name -> zero-arg factory producing a *fresh, unconfigured* backend.
-_REGISTRY: Dict[str, Callable[[], CompilerBackend]] = {}
+_REGISTRY: dict[str, Callable[[], CompilerBackend]] = {}
 
 
 def register_backend(
@@ -68,14 +68,14 @@ def get_backend(name: str) -> CompilerBackend:
     return factory()
 
 
-def available_backends() -> List[str]:
+def available_backends() -> list[str]:
     """Sorted names of every registered backend."""
     return sorted(_REGISTRY)
 
 
-def backend_descriptions() -> Dict[str, str]:
+def backend_descriptions() -> dict[str, str]:
     """``name -> one-line description`` for every registered backend, sorted."""
-    out: Dict[str, str] = {}
+    out: dict[str, str] = {}
     for name in available_backends():
         backend = _REGISTRY[name]()
         out[name] = getattr(backend, "description", "") or ""

@@ -21,7 +21,6 @@ from __future__ import annotations
 
 import heapq
 from collections import deque
-from typing import Dict, List, Optional
 
 from ..hardware.noise import DEFAULT_NOISE, NoiseModel
 from ..hardware.topology import Topology
@@ -29,20 +28,20 @@ from ..hardware.topology import Topology
 __all__ = ["trivial_layout", "compact_layout", "noise_adaptive_layout", "initial_layout"]
 
 
-def trivial_layout(num_logical: int, topology: Topology) -> Dict[int, int]:
+def trivial_layout(num_logical: int, topology: Topology) -> dict[int, int]:
     """Place logical qubit ``i`` on physical qubit ``i``."""
     _check_size(num_logical, topology)
     return {i: i for i in range(num_logical)}
 
 
-def compact_layout(num_logical: int, topology: Topology) -> Dict[int, int]:
+def compact_layout(num_logical: int, topology: Topology) -> dict[int, int]:
     """Pack logical qubits in BFS order from physical qubit 0.
 
     A breadth-first ordering keeps the used region of the device connected and
     compact, which reduces worst-case routing distances for the baseline.
     """
     _check_size(num_logical, topology)
-    order: List[int] = []
+    order: list[int] = []
     seen = {0}
     queue = deque([0])
     while queue:
@@ -60,8 +59,8 @@ def compact_layout(num_logical: int, topology: Topology) -> Dict[int, int]:
 
 
 def noise_adaptive_layout(
-    num_logical: int, topology: Topology, noise: Optional[NoiseModel] = None
-) -> Dict[int, int]:
+    num_logical: int, topology: Topology, noise: NoiseModel | None = None
+) -> dict[int, int]:
     """Pack logical qubits into the lowest-noise connected region.
 
     Every physical qubit is scored by the summed relative error rate of its
@@ -74,7 +73,7 @@ def noise_adaptive_layout(
     """
     noise = DEFAULT_NOISE if noise is None else noise
     _check_size(num_logical, topology)
-    score: Dict[int, float] = {
+    score: dict[int, float] = {
         q: sum(
             noise.cross_on_ratio if topology.is_cross_chip(q, nb) else 1.0
             for nb in topology.neighbors(q)
@@ -82,7 +81,7 @@ def noise_adaptive_layout(
         for q in topology.qubits()
     }
     start = min(topology.qubits(), key=lambda q: (score[q], q))
-    order: List[int] = []
+    order: list[int] = []
     seen = {start}
     frontier = [(score[start], start)]
     while frontier:
@@ -104,8 +103,8 @@ def initial_layout(
     topology: Topology,
     strategy: str = "compact",
     *,
-    noise: Optional[NoiseModel] = None,
-) -> Dict[int, int]:
+    noise: NoiseModel | None = None,
+) -> dict[int, int]:
     """Dispatch on the layout ``strategy`` name."""
     if strategy == "trivial":
         return trivial_layout(num_logical, topology)

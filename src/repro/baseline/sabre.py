@@ -35,7 +35,7 @@ original gate-by-gate implementation (the golden suite in
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -117,11 +117,11 @@ class SabreRouter:
         n = topology.num_qubits
         edges = sorted(topology.edges())
         self._edge_list = np.asarray(edges, dtype=np.int64).reshape(-1, 2)
-        edge_ids_of: Dict[int, List[int]] = {q: [] for q in range(n)}
+        edge_ids_of: dict[int, list[int]] = {q: [] for q in range(n)}
         for index, (u, v) in enumerate(edges):
             edge_ids_of[u].append(index)
             edge_ids_of[v].append(index)
-        self._edge_ids: List[np.ndarray] = [
+        self._edge_ids: list[np.ndarray] = [
             np.asarray(edge_ids_of[q], dtype=np.int64) for q in range(n)
         ]
 
@@ -132,7 +132,7 @@ class SabreRouter:
         self,
         circuit: Circuit,
         *,
-        layout: Optional[Dict[int, int]] = None,
+        layout: dict[int, int] | None = None,
         layout_strategy: str = "compact",
     ) -> CompilationResult:
         """Compile ``circuit`` and return the routed physical circuit."""
@@ -169,7 +169,7 @@ class SabreRouter:
                         )
 
         dag = DependencyDag(circuit, commutation_aware=self.respect_commutation)
-        ops: List[Gate] = [node.op for node in dag]
+        ops: list[Gate] = [node.op for node in dag]
         successors = dag.successor_lists()
         in_degree = dag.in_degrees()
         num_nodes = len(dag)
@@ -177,7 +177,7 @@ class SabreRouter:
         # history as the historic implementation — the extended-set BFS seeds
         # from ``list(front)``, whose iteration order decides which lookahead
         # gates make the size cut.
-        front: Set[int] = {i for i in range(num_nodes) if in_degree[i] == 0}
+        front: set[int] = {i for i in range(num_nodes) if in_degree[i] == 0}
         executed = 0
 
         out = Circuit(num_physical, name=f"{circuit.name}@{self.topology.name}")
@@ -196,8 +196,8 @@ class SabreRouter:
         # physical qubits / base distance sums are maintained incrementally
         # across SWAPs — a SWAP exchanges two occupancies and shifts each base
         # by exactly its own scored delta.
-        front_pairs: Optional[np.ndarray] = None  # logical (F, 2)
-        ext_pairs: Optional[np.ndarray] = None  # logical (E, 2)
+        front_pairs: np.ndarray | None = None  # logical (F, 2)
+        ext_pairs: np.ndarray | None = None  # logical (E, 2)
         merged_csr = None
         involved = np.zeros(num_physical, dtype=bool)
         base_front = 0.0
@@ -214,10 +214,10 @@ class SabreRouter:
         # parallel ``blocked_pairs`` map keeps their logical pairs at hand so
         # dirty rebuilds need not re-scan the whole front (batched path only
         # — the scalar fallback replays the historic front-set scan order).
-        buckets: List[Set[int]] = [set() for _ in range(num_physical)]
-        blocked_pairs: Dict[int, Tuple[int, ...]] = {}
+        buckets: list[set[int]] = [set() for _ in range(num_physical)]
+        blocked_pairs: dict[int, tuple[int, ...]] = {}
 
-        def drain(generation: List[int]) -> None:
+        def drain(generation: list[int]) -> None:
             """Execute every executable gate, generation by generation.
 
             ``generation`` is an ascending-index snapshot of candidate nodes;
@@ -228,7 +228,7 @@ class SabreRouter:
             """
             nonlocal executed, front_dirty
             while generation:
-                ready: List[int] = []
+                ready: list[int] = []
                 for index in generation:
                     op = ops[index]
                     qubits = op.qubits
@@ -357,7 +357,7 @@ class SabreRouter:
     # heuristic machinery
     # ------------------------------------------------------------------ #
     @staticmethod
-    def _front_pairs(ops: Sequence[Gate], front: Set[int]) -> List[Tuple[int, ...]]:
+    def _front_pairs(ops: Sequence[Gate], front: set[int]) -> list[tuple[int, ...]]:
         """Logical qubit pairs of the blocked 2-qubit front gates.
 
         Iterates ``front`` in set order like the historic list comprehension;
@@ -375,8 +375,8 @@ class SabreRouter:
         self,
         ops: Sequence[Gate],
         successors: Sequence[Sequence[int]],
-        front: Set[int],
-    ) -> List[Tuple[int, ...]]:
+        front: set[int],
+    ) -> list[tuple[int, ...]]:
         """Logical pairs of upcoming 2-qubit gates (the lookahead window).
 
         Breadth-first over the dependency DAG from the front layer, truncated
@@ -386,11 +386,11 @@ class SabreRouter:
         successor lists in their sets' iteration order.
         """
         limit = self.extended_set_size
-        extended: List[Tuple[int, ...]] = []
-        seen: Set[int] = set()
+        extended: list[tuple[int, ...]] = []
+        seen: set[int] = set()
         frontier = list(front)
         while frontier and len(extended) < limit:
-            next_frontier: List[int] = []
+            next_frontier: list[int] = []
             for index in frontier:
                 for succ in successors[index]:
                     if succ in seen:
@@ -428,13 +428,13 @@ class SabreRouter:
         candidates: np.ndarray,
         front_pairs: np.ndarray,
         ext_pairs: np.ndarray,
-        merged_csr: Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray],
+        merged_csr: tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray],
         base_front: float,
         base_ext: float,
         l2p: np.ndarray,
         p2l: np.ndarray,
         decay: np.ndarray,
-    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Score all candidate SWAPs in one batched distance-matrix gather.
 
         For a SWAP ``(a, b)`` only gates with an endpoint on ``a`` or ``b``
@@ -508,7 +508,7 @@ class SabreRouter:
 
     def _score_swaps_scalar(
         self,
-        candidates: Sequence[Tuple[int, int]],
+        candidates: Sequence[tuple[int, int]],
         front_pairs: np.ndarray,
         ext_pairs: np.ndarray,
         l2p: np.ndarray,
@@ -529,8 +529,8 @@ class SabreRouter:
         base_front = sum(dist[p, q] for p, q in blocked_phys)
         base_ext = sum(dist[p, q] for p, q in ext_phys)
 
-        touching_front: Dict[int, List[Tuple[int, int]]] = {}
-        touching_ext: Dict[int, List[Tuple[int, int]]] = {}
+        touching_front: dict[int, list[tuple[int, int]]] = {}
+        touching_ext: dict[int, list[tuple[int, int]]] = {}
         for pair in blocked_phys:
             touching_front.setdefault(pair[0], []).append(pair)
             touching_front.setdefault(pair[1], []).append(pair)
@@ -538,7 +538,7 @@ class SabreRouter:
             touching_ext.setdefault(pair[0], []).append(pair)
             touching_ext.setdefault(pair[1], []).append(pair)
 
-        def delta(pairs_by_qubit: Dict[int, List[Tuple[int, int]]], a: int, b: int) -> float:
+        def delta(pairs_by_qubit: dict[int, list[tuple[int, int]]], a: int, b: int) -> float:
             affected = {
                 pair
                 for pair in pairs_by_qubit.get(a, []) + pairs_by_qubit.get(b, [])
@@ -561,7 +561,7 @@ class SabreRouter:
 
     def _pick_swap(
         self, candidates: np.ndarray, scores: np.ndarray
-    ) -> Tuple[int, Tuple[int, int]]:
+    ) -> tuple[int, tuple[int, int]]:
         """The historic sequential tie-break over ascending candidates.
 
         The running-best chain (a candidate within ``1e-12`` of the current
@@ -586,11 +586,11 @@ class SabreRouter:
             return chosen, (int(candidates[chosen, 0]), int(candidates[chosen, 1]))
         if int((scores <= smin + 4 * _TIE_EPS).sum()) == near:
             indices = np.flatnonzero(near_mask)
-            replay = zip(indices.tolist(), scores[indices].tolist())
+            replay = zip(indices.tolist(), scores[indices].tolist(), strict=True)
         else:
             replay = enumerate(scores.tolist())
         best_score = float("inf")
-        best: List[int] = []
+        best: list[int] = []
         for i, score in replay:
             if score < best_score - _TIE_EPS:
                 best_score = score
@@ -601,7 +601,7 @@ class SabreRouter:
         return chosen, (int(candidates[chosen, 0]), int(candidates[chosen, 1]))
 
 
-def _pair_array(pairs: List[Tuple[int, ...]]) -> np.ndarray:
+def _pair_array(pairs: list[tuple[int, ...]]) -> np.ndarray:
     """Qubit-pair tuples as an (N, 2) int64 array (empty-safe)."""
     if not pairs:
         return np.empty((0, 2), dtype=np.int64)
@@ -610,7 +610,7 @@ def _pair_array(pairs: List[Tuple[int, ...]]) -> np.ndarray:
 
 def _partner_csr(
     front_unique, ext_unique, num_logical: int
-) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
     """Per-logical-qubit partner lists of both unique-pair groups, CSR layout.
 
     ``(counts, starts, partners, groups)`` where the partners of logical

@@ -11,7 +11,6 @@ multi-trial behaviour of level 3.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
 
 from ..circuits.circuit import Circuit
 from ..compiler.result import CompilationResult
@@ -65,7 +64,7 @@ class BaselineCompiler:
         self.seed = seed
 
     def compile(
-        self, circuit: Circuit, *, layout: Optional[Dict[int, int]] = None
+        self, circuit: Circuit, *, layout: dict[int, int] | None = None
     ) -> CompilationResult:
         """Compile ``circuit`` onto the device and return the best trial.
 
@@ -75,7 +74,7 @@ class BaselineCompiler:
         selection).
         """
         timer = PhaseTimer()
-        best: Optional[CompilationResult] = None
+        best: CompilationResult | None = None
         best_score = float("inf")
         for trial in range(self.trials):
             router = SabreRouter(

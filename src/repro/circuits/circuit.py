@@ -15,7 +15,7 @@ list of gates/measurements over an integer-indexed register, with
 from __future__ import annotations
 
 from collections import Counter
-from typing import Callable, Dict, Iterable, Iterator, List, Mapping, Sequence, Tuple
+from collections.abc import Callable, Iterable, Iterator, Mapping, Sequence
 
 from . import gates as g
 from .gates import Barrier, Gate, GateError, Measurement
@@ -43,7 +43,7 @@ class Circuit:
             raise CircuitError("a circuit needs at least one qubit")
         self.num_qubits = int(num_qubits)
         self.name = name
-        self._ops: List[Gate] = []
+        self._ops: list[Gate] = []
 
     # ------------------------------------------------------------------ #
     # container protocol
@@ -69,7 +69,7 @@ class Circuit:
         )
 
     @property
-    def operations(self) -> List[Gate]:
+    def operations(self) -> list[Gate]:
         """The list of operations, in program order (do not mutate)."""
         return self._ops
 
@@ -165,7 +165,7 @@ class Circuit:
     # ------------------------------------------------------------------ #
     # analysis
     # ------------------------------------------------------------------ #
-    def count_ops(self) -> Dict[str, int]:
+    def count_ops(self) -> dict[str, int]:
         """Return a mapping from gate name to occurrence count."""
         return dict(Counter(op.name for op in self._ops))
 
@@ -184,7 +184,7 @@ class Circuit:
         """Number of measurement operations."""
         return sum(1 for op in self._ops if op.is_measurement)
 
-    def two_qubit_gates(self) -> List[Gate]:
+    def two_qubit_gates(self) -> list[Gate]:
         """All 2-qubit gates, in program order."""
         return [op for op in self._ops if op.is_two_qubit]
 
@@ -221,7 +221,7 @@ class Circuit:
                 clock[q] = finish
         return max(clock, default=0.0)
 
-    def qubits_used(self) -> List[int]:
+    def qubits_used(self) -> list[int]:
         """Sorted list of qubit indices that appear in at least one operation."""
         used = set()
         for op in self._ops:
@@ -321,7 +321,7 @@ def _rebuild(op: Gate, new_qubits: Sequence[int]) -> Gate:
     return Gate(op.name, tuple(new_qubits), op.params, op.condition)
 
 
-def _rebuild_trusted(op: Gate, new_qubits: Tuple[int, ...]) -> Gate:
+def _rebuild_trusted(op: Gate, new_qubits: tuple[int, ...]) -> Gate:
     """Hot-path :func:`_rebuild` for injective remappings of validated gates.
 
     ``new_qubits`` must be a tuple of distinct built-in ``int``s (routers remap

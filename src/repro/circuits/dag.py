@@ -24,7 +24,7 @@ contribution.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Set, Tuple
+from collections.abc import Iterator
 
 from .circuit import Circuit
 from .commutation import qubit_action
@@ -39,8 +39,8 @@ class DagNode:
 
     index: int
     op: Gate
-    predecessors: Set[int] = field(default_factory=set)
-    successors: Set[int] = field(default_factory=set)
+    predecessors: set[int] = field(default_factory=set)
+    successors: set[int] = field(default_factory=set)
 
     def __hash__(self) -> int:
         return self.index
@@ -59,10 +59,10 @@ class DependencyDag:
     def __init__(self, circuit: Circuit, *, commutation_aware: bool = True) -> None:
         self.circuit = circuit
         self.commutation_aware = commutation_aware
-        self.nodes: List[DagNode] = [
+        self.nodes: list[DagNode] = [
             DagNode(i, op) for i, op in enumerate(circuit.operations)
         ]
-        self._successor_lists: Optional[List[List[int]]] = None
+        self._successor_lists: list[list[int]] | None = None
         self._build()
 
     # ------------------------------------------------------------------ #
@@ -79,7 +79,7 @@ class DependencyDag:
         This is both correct and linear-time amortised per wire.
         """
         # per wire: (previous group, current group, class of the current group)
-        wires: Dict[int, Tuple[List[DagNode], List[DagNode], Optional[str]]] = {
+        wires: dict[int, tuple[list[DagNode], list[DagNode], str | None]] = {
             q: ([], [], None) for q in range(self.circuit.num_qubits)
         }
         for node in self.nodes:
@@ -112,11 +112,11 @@ class DependencyDag:
     def node(self, index: int) -> DagNode:
         return self.nodes[index]
 
-    def front_layer(self) -> List[DagNode]:
+    def front_layer(self) -> list[DagNode]:
         """Nodes with no predecessors (executable immediately)."""
         return [n for n in self.nodes if not n.predecessors]
 
-    def topological_order(self) -> List[DagNode]:
+    def topological_order(self) -> list[DagNode]:
         """Nodes in a topological order (program order is already one)."""
         return list(self.nodes)
 
@@ -126,7 +126,7 @@ class DependencyDag:
         meas_latency: float = 2.0,
         one_qubit_weight: float = 0.0,
         two_qubit_weight: float = 1.0,
-    ) -> Dict[int, float]:
+    ) -> dict[int, float]:
         """Earliest start time of each operation under the paper's cost model.
 
         The start time of an operation is the maximum finish time over its DAG
@@ -136,8 +136,8 @@ class DependencyDag:
         only a control qubit receive identical start times, which is the
         "maximum concurrency" the paper's highway protocol then realises.
         """
-        finish: Dict[int, float] = {}
-        start: Dict[int, float] = {}
+        finish: dict[int, float] = {}
+        start: dict[int, float] = {}
         for node in self.nodes:
             op = node.op
             if op.is_barrier:
@@ -153,22 +153,22 @@ class DependencyDag:
             finish[node.index] = t0 + weight
         return start
 
-    def layers(self) -> List[List[DagNode]]:
+    def layers(self) -> list[list[DagNode]]:
         """Group nodes into dependency layers (ignoring gate weights).
 
         A node's layer is ``1 + max(layer of predecessors)``; nodes in the same
         layer are mutually independent (given the commutation relaxation) and
         could in principle run concurrently.
         """
-        level: Dict[int, int] = {}
-        buckets: Dict[int, List[DagNode]] = {}
+        level: dict[int, int] = {}
+        buckets: dict[int, list[DagNode]] = {}
         for node in self.nodes:
             lvl = max((level[p] + 1 for p in node.predecessors), default=0)
             level[node.index] = lvl
             buckets.setdefault(lvl, []).append(node)
         return [buckets[k] for k in sorted(buckets)]
 
-    def successor_lists(self) -> List[List[int]]:
+    def successor_lists(self) -> list[list[int]]:
         """Per-node successor lists, cached after the first call.
 
         The edge sets are frozen once :meth:`_build` returns, so the lists are
@@ -181,11 +181,11 @@ class DependencyDag:
             self._successor_lists = [list(node.successors) for node in self.nodes]
         return self._successor_lists
 
-    def in_degrees(self) -> List[int]:
+    def in_degrees(self) -> list[int]:
         """Predecessor count per node (a fresh list; callers mutate it)."""
         return [len(node.predecessors) for node in self.nodes]
 
-    def descendants(self, index: int) -> Set[int]:
+    def descendants(self, index: int) -> set[int]:
         """All node indices reachable from ``index`` (excluding itself).
 
         Iterative (no recursion, no memo table): one explicit stack over the
@@ -193,7 +193,7 @@ class DependencyDag:
         result set.
         """
         successors = self.successor_lists()
-        seen: Set[int] = set()
+        seen: set[int] = set()
         stack = [index]
         while stack:
             for succ in successors[stack.pop()]:

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Iterable, Sequence, Tuple
+from collections.abc import Iterable, Sequence
 
 import numpy as np
 
@@ -105,9 +105,9 @@ class Gate:
     """
 
     name: str
-    qubits: Tuple[int, ...]
-    params: Tuple[float, ...] = field(default=())
-    condition: Tuple[Tuple[int, ...], int] | None = field(default=None)
+    qubits: tuple[int, ...]
+    params: tuple[float, ...] = field(default=())
+    condition: tuple[tuple[int, ...], int] | None = field(default=None)
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -132,9 +132,9 @@ class Gate:
     def trusted(
         cls,
         name: str,
-        qubits: Tuple[int, ...],
-        params: Tuple[float, ...] = (),
-        condition: Tuple[Tuple[int, ...], int] | None = None,
+        qubits: tuple[int, ...],
+        params: tuple[float, ...] = (),
+        condition: tuple[tuple[int, ...], int] | None = None,
     ) -> "Gate":
         """Build a plain :class:`Gate` without re-running validation.
 
@@ -201,7 +201,7 @@ class Gate:
         return self.qubits[1]
 
     @property
-    def targets(self) -> Tuple[int, ...]:
+    def targets(self) -> tuple[int, ...]:
         """All target qubits of a controlled or multi-target gate."""
         if not (self.is_controlled or self.is_multi_target):
             raise GateError(f"gate {self.name} has no target qubits")
@@ -251,7 +251,7 @@ class Gate:
             (tuple(int(c) for c in cbits), int(value) & 1),
         )
 
-    def components(self) -> Tuple["Gate", ...]:
+    def components(self) -> tuple["Gate", ...]:
         """Decompose a multi-target gate into its 2-qubit components.
 
         ``mcx(c; t1..tk)`` decomposes into ``cx(c, ti)`` for each target, all of
@@ -455,7 +455,7 @@ _FIXED_MATRICES = {
 }
 
 
-def _gate_matrix(name: str, params: Tuple[float, ...]) -> np.ndarray:
+def _gate_matrix(name: str, params: tuple[float, ...]) -> np.ndarray:
     """Return the unitary matrix of a named gate with the given parameters."""
     if name in _FIXED_MATRICES:
         return _FIXED_MATRICES[name].copy()

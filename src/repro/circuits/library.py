@@ -12,7 +12,7 @@ operation counts ("#eff_CNOTs") are consistent between the baseline and MECH.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence, Tuple
+from collections.abc import Iterable, Sequence
 
 from .circuit import Circuit
 from .gates import Gate
@@ -26,7 +26,7 @@ __all__ = [
 ]
 
 
-def swap_to_cnots(a: int, b: int) -> List[Gate]:
+def swap_to_cnots(a: int, b: int) -> list[Gate]:
     """Decompose ``SWAP(a, b)`` into three CNOTs (paper Fig. 2a).
 
     A routed circuit expands tens of thousands of SWAPs during metric
@@ -37,7 +37,7 @@ def swap_to_cnots(a: int, b: int) -> List[Gate]:
     return [first, Gate.trusted("cx", (b, a)), first]
 
 
-def bridge_cnot(control: int, middle: int, target: int) -> List[Gate]:
+def bridge_cnot(control: int, middle: int, target: int) -> list[Gate]:
     """Effective CNOT(control, target) through ``middle`` using four CNOTs.
 
     This is the bridge gate of paper Fig. 2(b): it implements CNOT between two
@@ -62,13 +62,13 @@ def ghz_chain_circuit(qubits: Sequence[int], num_qubits: int | None = None) -> C
     size = num_qubits if num_qubits is not None else max(qubits) + 1
     circuit = Circuit(size, name=f"ghz_chain_{len(qubits)}")
     circuit.h(qubits[0])
-    for a, b in zip(qubits, qubits[1:]):
+    for a, b in zip(qubits, qubits[1:], strict=False):
         circuit.cx(a, b)
     return circuit
 
 
 def cluster_state_circuit(
-    edges: Iterable[Tuple[int, int]],
+    edges: Iterable[tuple[int, int]],
     qubits: Sequence[int],
     num_qubits: int | None = None,
 ) -> Circuit:

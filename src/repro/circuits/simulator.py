@@ -19,7 +19,7 @@ circuit Pauli corrections of the highway protocol are modelled.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional, Sequence
+from collections.abc import Iterable, Sequence
 
 import numpy as np
 
@@ -32,7 +32,7 @@ __all__ = ["Simulator", "SimulationResult", "statevectors_equal", "circuit_unita
 class SimulationResult:
     """Final state and classical bits produced by :meth:`Simulator.run`."""
 
-    def __init__(self, statevector: np.ndarray, classical_bits: Dict[int, int]) -> None:
+    def __init__(self, statevector: np.ndarray, classical_bits: dict[int, int]) -> None:
         self.statevector = statevector
         self.classical_bits = dict(classical_bits)
 
@@ -62,7 +62,7 @@ class Simulator:
     #: Practical ceiling to avoid accidentally allocating huge state vectors.
     MAX_QUBITS = 22
 
-    def __init__(self, num_qubits: int, seed: Optional[int] = None) -> None:
+    def __init__(self, num_qubits: int, seed: int | None = None) -> None:
         if num_qubits <= 0:
             raise ValueError("num_qubits must be positive")
         if num_qubits > self.MAX_QUBITS:
@@ -73,7 +73,7 @@ class Simulator:
         self._rng = np.random.default_rng(seed)
         self._state = np.zeros((2,) * num_qubits, dtype=complex)
         self._state[(0,) * num_qubits] = 1.0
-        self.classical_bits: Dict[int, int] = {}
+        self.classical_bits: dict[int, int] = {}
 
     # ------------------------------------------------------------------ #
     # state access
@@ -109,7 +109,7 @@ class Simulator:
     # ------------------------------------------------------------------ #
     # gate application
     # ------------------------------------------------------------------ #
-    def apply(self, op: Gate) -> Optional[int]:
+    def apply(self, op: Gate) -> int | None:
         """Apply a gate, measurement or barrier; return the outcome if measuring."""
         if op.is_barrier:
             return None

@@ -14,6 +14,8 @@ Runs any of the paper's figures/tables through the orchestration engine::
     repro bench --quick --backends all   # sweep every registered backend
     repro bench --suite fig12 --against artifacts/BENCH_20260730-120000.json
     repro bench --history benchmarks/history   # trends over accumulated docs
+    repro verify --suite quick           # static IR verification of every backend
+    repro run fig12 --verify             # verify each fresh compilation in-line
     repro list
     repro cache-stats [--json]           # size/health + hit-rate telemetry
     repro clean-cache --older-than 30    # TTL sweep (add --dry-run to preview)
@@ -45,11 +47,12 @@ import os
 import sys
 import time
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence
+from collections.abc import Sequence
 
 from .backends import DEFAULT_COMPILERS, available_backends, backend_descriptions
 from .experiments.engine import (
     SCALE_TIERS,
+    VERIFY_ENV,
     Checkpoint,
     CheckpointError,
     JobPolicy,
@@ -76,7 +79,7 @@ _DAY_SECONDS = 86400.0
 
 
 def _add_cache_options(
-    parser: argparse.ArgumentParser, *, default_dir: Optional[str] = DEFAULT_CACHE_DIR
+    parser: argparse.ArgumentParser, *, default_dir: str | None = DEFAULT_CACHE_DIR
 ) -> None:
     if default_dir is not None:
         dir_help = f"result-cache directory (default {default_dir})"
@@ -182,6 +185,15 @@ def build_parser() -> argparse.ArgumentParser:
         help=f"artifact directory (default {DEFAULT_OUT_DIR})",
     )
     _add_policy_options(run)
+    run.add_argument(
+        "--verify",
+        action="store_true",
+        help="statically verify every freshly compiled result (hardware"
+        " legality, semantic preservation, highway-protocol invariants,"
+        " metric consistency); a verification failure fails the job through"
+        " the normal --on-error path.  Cache hits are served unverified —"
+        " they were checked when first computed",
+    )
     run.add_argument(
         "--dry-run",
         action="store_true",
@@ -316,11 +328,60 @@ def build_parser() -> argparse.ArgumentParser:
         " document (default 0.5)",
     )
     bench.add_argument(
+        "--verify",
+        action="store_true",
+        help="statically verify every compiled result; rows gain"
+        " verified/violations columns and the exit code is 1 when any"
+        " compilation has violations",
+    )
+    bench.add_argument(
         "--json",
         action="store_true",
         help="print the bench document (and comparison) as JSON",
     )
     bench.add_argument("--quiet", action="store_true", help="suppress progress output")
+
+    verify = sub.add_parser(
+        "verify",
+        help="statically verify compiled circuits: topology, semantics,"
+        " highway protocol, metrics",
+        description="Compile every workload of a pinned suite with the"
+        " requested backends and run the static circuit-IR verifier"
+        " (repro.analysis) over each result: every emitted 2-qubit gate must"
+        " be hardware-legal, the routed circuit must be a"
+        " dependency-preserving reordering of the input modulo commutation"
+        " with movement elided, the highway protocol's"
+        " establishment/occupancy/commutation invariants must hold, and the"
+        " reported stats must match recomputation.  Writes a VERIFY_*.json"
+        " report document.  Exit code: 0 when every compilation verifies"
+        " clean, 1 when any violation is found, 2 on usage errors.",
+    )
+    verify.add_argument(
+        "--suite",
+        default="quick",
+        choices=["quick", "fig12", "full"],
+        help="pinned workload suite to verify (default quick)",
+    )
+    verify.add_argument(
+        "--compilers",
+        "--backends",
+        dest="compilers",
+        default="all",
+        metavar="A[,B...]",
+        help="registered compiler backends to verify — one name, a comma"
+        " list, or 'all' for the whole registry (default all)",
+    )
+    verify.add_argument(
+        "--out-dir",
+        default=DEFAULT_OUT_DIR,
+        help=f"directory for the VERIFY_*.json report (default {DEFAULT_OUT_DIR})",
+    )
+    verify.add_argument(
+        "--json",
+        action="store_true",
+        help="print the verification report as JSON",
+    )
+    verify.add_argument("--quiet", action="store_true", help="suppress progress output")
 
     compilers = sub.add_parser(
         "compilers",
@@ -396,7 +457,7 @@ def _cmd_compilers(as_json: bool) -> int:
     return 0
 
 
-def _parse_compilers(value: str) -> Optional[List[str]]:
+def _parse_compilers(value: str) -> list[str] | None:
     """Split/normalise a ``--compilers`` value; None signals a usage error.
 
     Registry membership is checked here (with the mirrored unknown-name
@@ -421,7 +482,7 @@ def _parse_compilers(value: str) -> Optional[List[str]]:
         return None
 
 
-def _parse_bench_backends(value: str) -> Optional[List[str]]:
+def _parse_bench_backends(value: str) -> list[str] | None:
     """Split/normalise a bench ``--compilers``/``--backends`` value.
 
     Unlike :func:`_parse_compilers`, a bench sweep has no reference backend,
@@ -545,9 +606,14 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
     progress = None if args.quiet else (lambda msg: print(f"  {msg}", file=sys.stderr))
     document = run_bench(
-        suite, compilers=compilers, repeat=args.repeat, progress=progress
+        suite,
+        compilers=compilers,
+        repeat=args.repeat,
+        progress=progress,
+        verify=args.verify,
     )
     path = write_bench(document, args.out_dir)
+    dirty_rows = [row for row in document["rows"] if row.get("verified") is False]
 
     comparison = None
     if baseline_doc is not None:
@@ -574,10 +640,88 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     else:
         print(format_bench(document))
         print(f"bench document: {path}")
+        if args.verify:
+            if dirty_rows:
+                for row in dirty_rows:
+                    print(
+                        f"VERIFY FAILED {row['workload']} [{row['backend']}]:"
+                        f" {row['violations']} violation(s)",
+                        file=sys.stderr,
+                    )
+            else:
+                print(f"verify: all {len(document['rows'])} rows clean")
         if comparison is not None:
             print()
             print(format_comparison(comparison))
+    if dirty_rows:
+        return 1
     return 1 if comparison is not None and comparison["regressed"] else 0
+
+
+#: Version stamp of the VERIFY_*.json report document schema.
+VERIFY_SCHEMA_VERSION = 1
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    """``repro verify``: compile a pinned suite and statically verify it."""
+    from .analysis import format_report, report_from_dict
+    from .perf.bench import BENCH_SEED, SUITES, write_document
+    from .perf.workloads import compile_workload
+
+    compilers = _parse_bench_backends(args.compilers)
+    if compilers is None:
+        return 2
+    progress = None if args.quiet else (lambda msg: print(f"  {msg}", file=sys.stderr))
+
+    rows: list[dict[str, object]] = []
+    dirty = 0
+    for workload in SUITES[args.suite]:
+        if progress is not None:
+            progress(f"verify {workload.name} [{', '.join(compilers)}]")
+        measured = compile_workload(workload, compilers, verify=True)
+        for backend in compilers:
+            row = measured[backend]
+            rows.append(row)
+            if not row["verified"]:
+                dirty += 1
+    document = {
+        "schema_version": VERIFY_SCHEMA_VERSION,
+        "suite": args.suite,
+        "seed": BENCH_SEED,
+        "created_at": time.strftime("%Y-%m-%d %H:%M:%S"),
+        "compilers": list(compilers),
+        "clean": dirty == 0,
+        "dirty_rows": dirty,
+        "rows": rows,
+    }
+    path = write_document(document, args.out_dir, "VERIFY")
+
+    if args.json:
+        print(json.dumps({"verify": document, "path": str(path)}, indent=2, sort_keys=True))
+    else:
+        width = max(len(str(row["workload"])) for row in rows) if rows else 8
+        for row in rows:
+            report = row["verify"]
+            status = (
+                "clean"
+                if row["verified"]
+                else f"{row['violations']} violation(s)"
+            )
+            print(
+                f"{row['workload']:<{width}} {row['backend']:<16} {status}"
+                f"  ({report['ops_checked']} ops,"
+                f" {report['protocol_instances']} protocol instance(s))"
+            )
+        print(
+            f"verify suite={args.suite}: {len(rows) - dirty}/{len(rows)} rows clean"
+        )
+        for row in rows:
+            if row["verified"]:
+                continue
+            print(f"\n{row['workload']} [{row['backend']}]:", file=sys.stderr)
+            print(format_report(report_from_dict(row["verify"])), file=sys.stderr)
+        print(f"verification report: {path}")
+    return 1 if dirty else 0
 
 
 def _cmd_bench_history(args: argparse.Namespace) -> int:
@@ -615,7 +759,7 @@ def _cmd_bench_history(args: argparse.Namespace) -> int:
     return 1 if report["regressed"] else 0
 
 
-def _validate_common_flags(args: argparse.Namespace) -> Optional[int]:
+def _validate_common_flags(args: argparse.Namespace) -> int | None:
     """Usage checks shared by ``run`` and ``resume``; an exit code or None."""
     if args.cache_max_mb is not None and not (args.cache_max_mb > 0):
         # the inverted comparison also catches NaN, which int() would crash on
@@ -627,7 +771,7 @@ def _validate_common_flags(args: argparse.Namespace) -> Optional[int]:
     return None
 
 
-def _build_cache(args: argparse.Namespace) -> Optional[ResultCache]:
+def _build_cache(args: argparse.Namespace) -> ResultCache | None:
     if args.no_cache:
         return None
     max_bytes = (
@@ -653,7 +797,7 @@ def _workers(args: argparse.Namespace) -> int:
 # dry-run plan rendering (a stable contract — golden-tested)
 
 
-def _plan_lines(name: str, summary: Dict[str, object]) -> List[str]:
+def _plan_lines(name: str, summary: dict[str, object]) -> list[str]:
     duplicates = summary["duplicates"]
     lines = [
         f"{name}: {summary['total']} jobs, {summary['unique']} unique"
@@ -707,7 +851,7 @@ def _checkpoint_failed_keys(checkpoint_path: Path) -> frozenset:
     )
 
 
-def _emit_plans(plans: List[Dict[str, object]], header: Dict[str, object], as_json: bool) -> int:
+def _emit_plans(plans: list[dict[str, object]], header: dict[str, object], as_json: bool) -> int:
     if as_json:
         print(json.dumps({"dry_run": True, **header, "experiments": plans}, indent=2))
         return 0
@@ -727,7 +871,7 @@ def _emit_experiment(
     report: RunReport,
     *,
     out_dir: str,
-    metadata: Dict[str, object],
+    metadata: dict[str, object],
     on_error: str,
 ) -> None:
     """Shared artifact/stdout emission for ``run`` and ``resume``."""
@@ -811,6 +955,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
         return _emit_plans(plans, header, args.json)
 
     policy = _build_policy(args)
+    if args.verify:
+        # worker processes inherit the environment, so the flag reaches every
+        # compile job without touching the (cache-key-relevant) job config
+        os.environ[VERIFY_ENV] = "1"
     progress = None if args.quiet else (lambda msg: print(f"  {msg}", file=sys.stderr))
     failures = 0
     for name in args.experiments:
@@ -960,7 +1108,7 @@ def _cmd_resume(args: argparse.Namespace) -> int:
     return 1 if report.failed else 0
 
 
-def main(argv: Optional[Sequence[str]] = None) -> int:
+def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(list(argv) if argv is not None else None)
     if args.command == "list":
@@ -973,6 +1121,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_clean_cache(args)
     if args.command == "bench":
         return _cmd_bench(args)
+    if args.command == "verify":
+        return _cmd_verify(args)
     if args.command == "resume":
         return _cmd_resume(args)
     return _cmd_run(args)

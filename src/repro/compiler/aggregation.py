@@ -21,7 +21,6 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
-from typing import Dict, List, Tuple, Union
 
 from ..circuits.dag import DependencyDag
 from ..circuits.gates import Gate
@@ -45,7 +44,7 @@ class GateComponent:
     node_index: int
     spoke: int
     gate_name: str
-    params: Tuple[float, ...]
+    params: tuple[float, ...]
 
 
 @dataclass(frozen=True)
@@ -56,7 +55,7 @@ class SingleUnit:
     op: Gate
 
     @property
-    def indices(self) -> Tuple[int, ...]:
+    def indices(self) -> tuple[int, ...]:
         return (self.node_index,)
 
 
@@ -77,7 +76,7 @@ class HighwayGateUnit:
     """
 
     hub: int
-    components: Tuple[GateComponent, ...]
+    components: tuple[GateComponent, ...]
     kind: str = "control"
 
     def __post_init__(self) -> None:
@@ -91,18 +90,18 @@ class HighwayGateUnit:
         return len(self.components)
 
     @property
-    def spokes(self) -> Tuple[int, ...]:
+    def spokes(self) -> tuple[int, ...]:
         return tuple(c.spoke for c in self.components)
 
     @property
-    def indices(self) -> Tuple[int, ...]:
+    def indices(self) -> tuple[int, ...]:
         return tuple(c.node_index for c in self.components)
 
 
-ExecutionUnit = Union[SingleUnit, HighwayGateUnit]
+ExecutionUnit = SingleUnit | HighwayGateUnit
 
 
-def aggregate(dag: DependencyDag, *, min_components: int = 2) -> List[ExecutionUnit]:
+def aggregate(dag: DependencyDag, *, min_components: int = 2) -> list[ExecutionUnit]:
     """Group the DAG's gates into execution units, in a valid execution order.
 
     Layers of the commutation-aware DAG are processed in order; within a
@@ -113,13 +112,13 @@ def aggregate(dag: DependencyDag, *, min_components: int = 2) -> List[ExecutionU
     """
     if min_components < 1:
         raise ValueError("min_components must be at least 1")
-    units: List[ExecutionUnit] = []
+    units: list[ExecutionUnit] = []
     for layer in dag.layers():
         units.extend(_aggregate_layer(layer, min_components))
     return units
 
 
-def _aggregate_layer(layer, min_components: int) -> List[ExecutionUnit]:
+def _aggregate_layer(layer, min_components: int) -> list[ExecutionUnit]:
     """Greedy hub selection via a lazy max-heap.
 
     Reproduces the historic rebuild-all-candidates-per-round loop exactly —
@@ -132,7 +131,7 @@ def _aggregate_layer(layer, min_components: int) -> List[ExecutionUnit]:
     re-pushed at their corrected rank) always yields the historic winner.
     """
     aggregatable = []
-    passthrough: List[SingleUnit] = []
+    passthrough: list[SingleUnit] = []
     for node in layer:
         op = node.op
         if op.name in _CONTROL_HUB_GATES and op.num_qubits == 2:
@@ -140,15 +139,15 @@ def _aggregate_layer(layer, min_components: int) -> List[ExecutionUnit]:
         else:
             passthrough.append(SingleUnit(node.index, op))
 
-    assigned: Dict[int, bool] = {node.index: False for node in aggregatable}
-    units: List[ExecutionUnit] = []
+    assigned: dict[int, bool] = {node.index: False for node in aggregatable}
+    units: list[ExecutionUnit] = []
 
     # (qubit, kind) -> contributors as (scan position, node), in scan order.
     # A node contributes its control key first, then its target-side key —
     # the historic setdefault order — but two keys can only tie on
     # (size, qubit, first position) if they share qubit *and* first
     # contributor, which a 2-qubit gate's distinct qubits rule out.
-    key_nodes: Dict[Tuple[int, str], List] = {}
+    key_nodes: dict[tuple[int, str], list] = {}
     for position, node in enumerate(aggregatable):
         op = node.op
         control, target = op.qubits
@@ -158,10 +157,10 @@ def _aggregate_layer(layer, min_components: int) -> List[ExecutionUnit]:
         elif op.name == "cx":
             key_nodes.setdefault((target, "target"), []).append((position, node))
 
-    counts: Dict[Tuple[int, str], int] = {
+    counts: dict[tuple[int, str], int] = {
         key: len(entries) for key, entries in key_nodes.items()
     }
-    pointers: Dict[Tuple[int, str], int] = {key: 0 for key in key_nodes}
+    pointers: dict[tuple[int, str], int] = {key: 0 for key in key_nodes}
     heap = [
         (-len(entries), key[0], entries[0][0], key)
         for key, entries in key_nodes.items()

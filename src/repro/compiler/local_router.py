@@ -19,7 +19,7 @@ scheduler.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Tuple
+from collections.abc import Iterable
 
 import numpy as np
 from scipy.sparse import csr_matrix
@@ -49,7 +49,7 @@ class LocalRouter:
         for q in self.highway_qubits:
             is_data[q] = False
         self._is_data = is_data
-        self._neighbors: Dict[int, List[int]] = {}
+        self._neighbors: dict[int, list[int]] = {}
         for q in topology.qubits():
             if q in self.highway_qubits:
                 continue
@@ -59,17 +59,17 @@ class LocalRouter:
         self._distances = self._compute_distances()
         # per-destination greedy next hop, derived lazily from the distance
         # matrix; replaces the per-hop neighbour re-sort of the historic path()
-        self._next_hop: Dict[int, np.ndarray] = {}
+        self._next_hop: dict[int, np.ndarray] = {}
         # padded (n, max_degree) data-neighbour matrix backing the next-hop
         # derivation; -1 marks padding
-        self._padded_neighbors: Optional[np.ndarray] = None
+        self._padded_neighbors: np.ndarray | None = None
         # per-anchor parking candidates (data neighbours in ascending order),
         # shared by nearest_parking / swaps_to_adjacency
-        self._parking: Dict[int, np.ndarray] = {}
+        self._parking: dict[int, np.ndarray] = {}
         # nearest_parking is a pure function of the static distance matrix
         # when nothing is excluded; the scheduler probes it once per entrance
         # candidate per gate component, so memoize those answers
-        self._nearest_memo: Dict[Tuple[int, int], Optional[int]] = {}
+        self._nearest_memo: dict[tuple[int, int], int | None] = {}
 
     # ------------------------------------------------------------------ #
     # distances and paths
@@ -126,7 +126,7 @@ class LocalRouter:
         self._next_hop[destination] = table
         return table
 
-    def path(self, source: int, destination: int) -> List[int]:
+    def path(self, source: int, destination: int) -> list[int]:
         """A shortest data-qubit path from ``source`` to ``destination`` (inclusive).
 
         Raises :class:`RoutingError` when the two positions are not connected
@@ -151,10 +151,10 @@ class LocalRouter:
     # ------------------------------------------------------------------ #
     # SWAP plans
     # ------------------------------------------------------------------ #
-    def swaps_to_position(self, source: int, destination: int) -> List[Tuple[int, int]]:
+    def swaps_to_position(self, source: int, destination: int) -> list[tuple[int, int]]:
         """SWAPs moving the qubit at ``source`` onto ``destination``."""
         route = self.path(source, destination)
-        return [(a, b) for a, b in zip(route, route[1:])]
+        return [(a, b) for a, b in zip(route, route[1:], strict=False)]
 
     def _parking_spots(self, anchor: int) -> np.ndarray:
         """Data neighbours of ``anchor`` in ascending order (cached)."""
@@ -171,7 +171,7 @@ class LocalRouter:
             self._parking[anchor] = spots
         return spots
 
-    def swaps_to_adjacency(self, mover: int, anchor: int) -> List[Tuple[int, int]]:
+    def swaps_to_adjacency(self, mover: int, anchor: int) -> list[tuple[int, int]]:
         """SWAPs moving the qubit at ``mover`` until it is coupled to ``anchor``.
 
         Adjacency is checked against the *full* topology (a cross-chip coupler
@@ -183,7 +183,7 @@ class LocalRouter:
             return []
         self._check_data(mover)
         spots = self._parking_spots(anchor)
-        best_target: Optional[int] = None
+        best_target: int | None = None
         best_cost = np.inf
         if len(spots):
             costs = self._distances[mover, spots]
@@ -196,7 +196,7 @@ class LocalRouter:
             raise RoutingError(
                 f"cannot bring position {mover} adjacent to {anchor} through data qubits"
             )
-        swaps: List[Tuple[int, int]] = []
+        swaps: list[tuple[int, int]] = []
         for a, b in self.swaps_to_position(mover, best_target):
             if self.topology.is_coupled(a, anchor):
                 break
@@ -205,7 +205,7 @@ class LocalRouter:
 
     def nearest_parking(
         self, source: int, entrance: int, *, exclude: Iterable[int] = ()
-    ) -> Optional[int]:
+    ) -> int | None:
         """The data-qubit neighbour of ``entrance`` closest to ``source``.
 
         ``exclude`` removes parking spots already reserved by other components
@@ -225,7 +225,7 @@ class LocalRouter:
 
     def _nearest_parking_uncached(
         self, source: int, entrance: int, excluded: set
-    ) -> Optional[int]:
+    ) -> int | None:
         spots = self._parking_spots(entrance)
         if not len(spots):
             return None

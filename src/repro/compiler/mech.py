@@ -18,7 +18,6 @@ Typical use::
 
 from __future__ import annotations
 
-from typing import Dict, Optional
 
 from ..circuits.circuit import Circuit
 from ..circuits.dag import DependencyDag
@@ -76,7 +75,7 @@ class MechCompiler:
         interleave: bool = True,
         min_components: int = 2,
         noise: NoiseModel = DEFAULT_NOISE,
-        layout: Optional[HighwayLayout] = None,
+        layout: HighwayLayout | None = None,
         entrance_candidates: int = 4,
         rewrite_zz: bool = True,
         aggregate_gates: bool = True,
@@ -109,7 +108,7 @@ class MechCompiler:
         """Fraction of physical qubits reserved as highway qubits."""
         return self.layout.qubit_overhead()
 
-    def default_mapping(self, num_logical: int) -> Dict[int, int]:
+    def default_mapping(self, num_logical: int) -> dict[int, int]:
         """Logical qubit ``i`` on the ``i``-th data qubit (row-major order)."""
         data = self.layout.data_qubits
         if num_logical > len(data):
@@ -125,7 +124,7 @@ class MechCompiler:
         self,
         circuit: Circuit,
         *,
-        initial_mapping: Optional[Dict[int, int]] = None,
+        initial_mapping: dict[int, int] | None = None,
     ) -> CompilationResult:
         """Compile ``circuit`` and return the physical result with statistics."""
         timer = PhaseTimer()

@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
 
 from ..circuits.circuit import Circuit
 from ..hardware.noise import DEFAULT_NOISE, NoiseModel
@@ -34,12 +33,12 @@ class CompilationResult:
 
     circuit: Circuit
     topology: Topology
-    initial_layout: Dict[int, int]
-    final_layout: Dict[int, int]
+    initial_layout: dict[int, int]
+    final_layout: dict[int, int]
     compiler: str = "unknown"
-    stats: Dict[str, float] = field(default_factory=dict)
-    _metrics_cache: Optional[CircuitMetrics] = field(default=None, repr=False)
-    _metrics_noise: Optional[NoiseModel] = field(default=None, repr=False)
+    stats: dict[str, float] = field(default_factory=dict)
+    _metrics_cache: CircuitMetrics | None = field(default=None, repr=False)
+    _metrics_noise: NoiseModel | None = field(default=None, repr=False)
 
     def metrics(self, noise: NoiseModel = DEFAULT_NOISE, *, strict: bool = True) -> CircuitMetrics:
         """Depth / eff_CNOT metrics of the compiled circuit (cached per noise model)."""
@@ -58,7 +57,7 @@ class CompilationResult:
     def eff_cnots(self) -> float:
         return self.metrics().eff_cnots
 
-    def summary(self, noise: NoiseModel = DEFAULT_NOISE) -> Dict[str, float]:
+    def summary(self, noise: NoiseModel = DEFAULT_NOISE) -> dict[str, float]:
         """Flat dictionary of the headline metrics plus compiler statistics."""
         metrics = self.metrics(noise)
         out = {"compiler": self.compiler, **metrics.as_dict()}

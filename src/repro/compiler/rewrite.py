@@ -17,7 +17,6 @@ apply this rewrite: mainstream transpilers route the ladder as written.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
 
 from ..circuits import gates as g
 from ..circuits.circuit import Circuit
@@ -35,7 +34,7 @@ def fuse_zz_ladders(circuit: Circuit) -> Circuit:
     The rewritten circuit is unitarily equivalent up to global phase.
     """
     ops = list(circuit.operations)
-    replaced: Dict[int, List[Gate]] = {}
+    replaced: dict[int, list[Gate]] = {}
     dropped: set[int] = set()
 
     for index, op in enumerate(ops):
@@ -68,11 +67,11 @@ def fuse_zz_ladders(circuit: Circuit) -> Circuit:
 
 
 def _match_ladder(
-    ops: List[Gate],
+    ops: list[Gate],
     start: int,
     dropped: set,
-    replaced: Dict[int, List[Gate]],
-) -> Optional[Tuple[int, int, float]]:
+    replaced: dict[int, list[Gate]],
+) -> tuple[int, int, float] | None:
     """Find ``RZ(t, target)`` then ``CX(control, target)`` after ``ops[start]``.
 
     Returns ``(rz_index, closing_cx_index, theta)`` or ``None``.  The scan
@@ -80,7 +79,7 @@ def _match_ladder(
     """
     opening = ops[start]
     control, target = opening.qubits
-    rz_index: Optional[int] = None
+    rz_index: int | None = None
     theta = 0.0
     for index in range(start + 1, len(ops)):
         if index in dropped or index in replaced:

@@ -20,7 +20,7 @@ heuristics only influence decisions, never the metric itself.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence, Tuple
+from collections.abc import Sequence
 
 from ..circuits import gates as g
 from ..circuits.circuit import Circuit, _rebuild_trusted
@@ -72,11 +72,11 @@ class MechScheduler:
         self,
         logical_circuit: Circuit,
         units: Sequence[ExecutionUnit],
-        initial_mapping: Dict[int, int],
+        initial_mapping: dict[int, int],
     ) -> CompilationResult:
         """Execute ``units`` (already in dependency order) and emit the result."""
-        self._l2p: Dict[int, int] = dict(initial_mapping)
-        self._p2l: Dict[int, int] = {p: l for l, p in self._l2p.items()}
+        self._l2p: dict[int, int] = dict(initial_mapping)
+        self._p2l: dict[int, int] = {p: l for l, p in self._l2p.items()}
         if len(self._p2l) != len(self._l2p):
             raise SchedulerError("initial mapping is not injective")
         for phys in self._l2p.values():
@@ -86,7 +86,7 @@ class MechScheduler:
         self._out = Circuit(
             self.topology.num_qubits, name=f"{logical_circuit.name}@mech"
         )
-        self._clock: Dict[int, float] = {q: 0.0 for q in self.topology.qubits()}
+        self._clock: dict[int, float] = {q: 0.0 for q in self.topology.qubits()}
         self._next_cbit = logical_circuit.num_qubits
         self._stats = {
             "swaps_inserted": 0.0,
@@ -170,7 +170,7 @@ class MechScheduler:
             del self._p2l[a]
         self._stats["swaps_inserted"] += 1.0
 
-    def _apply_swaps(self, swaps: Sequence[Tuple[int, int]]) -> None:
+    def _apply_swaps(self, swaps: Sequence[tuple[int, int]]) -> None:
         for a, b in swaps:
             self._emit_swap(a, b)
 
@@ -231,7 +231,7 @@ class MechScheduler:
         self,
         *,
         hub: int,
-        components: Sequence[Tuple[int, str, Tuple[float, ...]]],
+        components: Sequence[tuple[int, str, tuple[float, ...]]],
         kind: str,
     ) -> None:
         """Run one (possibly single-component) gate through the highway protocol."""
@@ -255,8 +255,8 @@ class MechScheduler:
             range(len(components)),
             key=lambda i: self.layout.distance_to_highway(self._l2p[components[i][0]]),
         )
-        spoke_entrances: Dict[int, int] = {}
-        entrance_load: Dict[int, int] = {}
+        spoke_entrances: dict[int, int] = {}
+        entrance_load: dict[int, int] = {}
         for i in spoke_order:
             spoke_phys = self._l2p[components[i][0]]
             chosen = self._select_entrance(
@@ -295,8 +295,26 @@ class MechScheduler:
             self._emit_plain(op)
 
         # --- fan-out, one spoke at a time (dynamic shuttle period) -------- #
+        dead_members = {hub_entrance}  # measured out by the cat-entangler
         for i, (spoke, gate_name, params) in enumerate(components):
             entrance = spoke_entrances[i]
+            if entrance in dead_members:
+                # A congested region can leave a spoke with no reachable
+                # entrance other than the hub's, which the cat-entangler has
+                # already measured out of the GHZ chain (and reset to |0>).
+                # Fanning out from it would silently drop the component, so
+                # re-extend the cat state onto it from the hub data qubit and
+                # include it in the disentangler with the other members.
+                hub_now = self._l2p[hub]
+                if not self.topology.is_coupled(hub_now, entrance):
+                    parking = self.router.nearest_parking(hub_now, entrance)
+                    if parking is None:
+                        raise SchedulerError(f"entrance {entrance} has no parking spot")
+                    self._apply_swaps(self.router.swaps_to_position(hub_now, parking))
+                    hub_now = self._l2p[hub]
+                self._emit_plain(g.cx(hub_now, entrance))
+                other_members.append(entrance)
+                dead_members.discard(entrance)
             spoke_phys = self._l2p[spoke]
             if not self.topology.is_coupled(spoke_phys, entrance):
                 parking = self.router.nearest_parking(spoke_phys, entrance)
@@ -326,8 +344,8 @@ class MechScheduler:
 
     @staticmethod
     def _fan_out_gate(
-        gate_name: str, params: Tuple[float, ...], kind: str
-    ) -> Tuple[str, Tuple[float, ...]]:
+        gate_name: str, params: tuple[float, ...], kind: str
+    ) -> tuple[str, tuple[float, ...]]:
         """The 2-qubit gate applied from a GHZ member to a spoke data qubit."""
         if kind == "target":
             # CX gates sharing a target are conjugated by Hadamards on the hub,
@@ -343,7 +361,7 @@ class MechScheduler:
         self,
         data_phys: int,
         exclude: Sequence[int] = (),
-        load: Optional[Dict[int, int]] = None,
+        load: dict[int, int] | None = None,
     ) -> int:
         """Pick the highway entrance giving the earliest execution time.
 
@@ -376,15 +394,19 @@ class MechScheduler:
                 if e not in excluded and usable(e)
             ]
         if not candidates:
-            # last resort: consider every highway qubit, nearest first
-            candidates = sorted(
+            # last resort: consider every highway qubit, nearest first.  Only
+            # fall back on an excluded entrance (e.g. the hub's, which the
+            # cat-entangler measures out) when nothing else is reachable; the
+            # caller then has to re-extend the cat state onto it.
+            pool = sorted(
                 (e for e in self.manager.release_time if usable(e)),
                 key=lambda e: self._distance[data_phys, e],
-            )[:16]
+            )
+            candidates = [e for e in pool if e not in excluded][:16] or pool[:16]
         if not candidates:
             raise SchedulerError(f"no usable highway entrance near position {data_phys}")
 
-        def score(entrance: int) -> Tuple[float, float, float, int]:
+        def score(entrance: int) -> tuple[float, float, float, int]:
             hops = max(self._distance[data_phys, entrance] - 1.0, 0.0)
             queued = 0 if load is None else load.get(entrance, 0)
             t_arr = self._clock[data_phys] + _SWAP_WEIGHT * hops

@@ -64,7 +64,7 @@ import time
 import traceback
 from dataclasses import asdict, dataclass, field, fields, replace
 from pathlib import Path
-from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+from collections.abc import Callable, Mapping, Sequence
 
 from ..backends import DEFAULT_COMPILERS, available_backends
 from ..hardware.array import ChipletArray
@@ -83,6 +83,7 @@ __all__ = [
     "CHECKPOINT_VERSION",
     "FAULT_INJECT_ENV",
     "SCALE_TIERS",
+    "VERIFY_ENV",
     "Checkpoint",
     "CheckpointError",
     "ExecutionPlan",
@@ -119,10 +120,10 @@ CACHE_VERSION = 2
 
 #: The scale tiers shared by every experiment's presets (and by the benchmark
 #: harness's ``--repro-scale`` option).
-SCALE_TIERS: Tuple[str, ...] = ("small", "medium", "paper")
+SCALE_TIERS: tuple[str, ...] = ("small", "medium", "paper")
 
-Primitive = Union[str, int, float, bool, None]
-Items = Tuple[Tuple[str, Primitive], ...]
+Primitive = str | int | float | bool | None
+Items = tuple[tuple[str, Primitive], ...]
 
 
 def noise_to_items(noise: NoiseModel) -> Items:
@@ -159,17 +160,17 @@ class Job:
     chiplet_width: int = 4
     rows: int = 1
     cols: int = 2
-    cross_links_per_edge: Optional[int] = None
+    cross_links_per_edge: int | None = None
     highway_density: int = 1
-    num_data_qubits: Optional[int] = None
+    num_data_qubits: int | None = None
     min_components: int = 2
     baseline_trials: int = 1
     seed: int = 0
     noise: Items = DEFAULT_NOISE_ITEMS
     benchmark_kwargs: Items = ()
-    params: Tuple[Tuple[str, Tuple[float, ...]], ...] = ()
+    params: tuple[tuple[str, tuple[float, ...]], ...] = ()
     tags: Items = ()
-    compilers: Tuple[str, ...] = DEFAULT_COMPILERS
+    compilers: tuple[str, ...] = DEFAULT_COMPILERS
 
     def build_array(self) -> ChipletArray:
         return ChipletArray(
@@ -203,9 +204,9 @@ def _tuplify(value):
     return value
 
 
-def job_to_dict(job: Job) -> Dict[str, object]:
+def job_to_dict(job: Job) -> dict[str, object]:
     """JSON-serialisable dict representation of a job."""
-    out: Dict[str, object] = {}
+    out: dict[str, object] = {}
     for f in fields(Job):
         value = getattr(job, f.name)
         out[f.name] = _listify(value) if f.name in _TUPLE_FIELDS else value
@@ -220,7 +221,7 @@ def job_from_dict(data: Mapping[str, object]) -> Job:
     re-hydrating — an old job and its re-hydrated twin hash identically
     because :func:`job_to_dict` re-adds the default before hashing.
     """
-    kwargs: Dict[str, object] = {}
+    kwargs: dict[str, object] = {}
     for f in fields(Job):
         if f.name not in data:
             continue
@@ -247,7 +248,7 @@ def config_key(job: Job) -> str:
 # record (de)serialisation
 
 
-def record_to_payload(record: AnyRecord) -> Dict[str, object]:
+def record_to_payload(record: AnyRecord) -> dict[str, object]:
     """All dataclass fields of a record as a JSON-serialisable dict.
 
     Two-backend :class:`ComparisonRecord` payloads keep the historic flat
@@ -297,7 +298,7 @@ def record_from_payload(payload: Mapping[str, object]) -> AnyRecord:
     return ComparisonRecord(**data)  # type: ignore[arg-type]
 
 
-def record_row(record: AnyRecord) -> Dict[str, object]:
+def record_row(record: AnyRecord) -> dict[str, object]:
     """Flat artifact row: stored fields plus the derived paper metrics.
 
     N-way records flatten to per-backend columns (``<name>_depth``,
@@ -331,9 +332,29 @@ def record_row(record: AnyRecord) -> Dict[str, object]:
 # executors
 
 
+#: Environment variable that, when set truthy, makes every compile job run
+#: the static verifier (:mod:`repro.analysis`) over each backend's output and
+#: fail the job on any violation.  It is deliberately *not* part of the job
+#: config hash: verification only gates fresh compilations (cache hits were
+#: verified when first computed, or predate the flag), so cached sweeps stay
+#: cache-compatible whether or not ``--verify`` is on.
+VERIFY_ENV = "REPRO_VERIFY"
+
+
+def _verify_enabled() -> bool:
+    value = os.environ.get(VERIFY_ENV, "")
+    return value.strip().lower() not in ("", "0", "false", "no", "off")
+
+
 def _compile_job(job: Job):
-    """Compile a job's benchmark with every backend it lists."""
-    return compile_many(
+    """Compile a job's benchmark with every backend it lists.
+
+    With :data:`VERIFY_ENV` set (the CLI's ``repro run --verify``), every
+    backend's output is statically verified against the input circuit before
+    the job may produce a record; a ``VerificationError`` propagates through
+    the engine's normal :class:`JobError` fault path.
+    """
+    compiled = compile_many(
         job.benchmark,
         job.build_array(),
         compilers=job.compilers,
@@ -345,6 +366,9 @@ def _compile_job(job: Job):
         seed=job.seed,
         benchmark_kwargs=dict(job.benchmark_kwargs) or None,
     )
+    if _verify_enabled():
+        compiled.verify_all(job.noise_model())
+    return compiled
 
 
 def _run_compare_job(job: Job) -> AnyRecord:
@@ -379,7 +403,7 @@ def _run_sensitivity_job(job: Job) -> AnyRecord:
     compiled = _compile_job(job)
     reference_result = compiled.results[compiled.reference]
 
-    extra: Dict[str, float] = {}
+    extra: dict[str, float] = {}
     for name in compiled.compilers:
         if name == compiled.reference:
             continue
@@ -407,7 +431,7 @@ def _run_sensitivity_job(job: Job) -> AnyRecord:
 
 #: Executor registry, keyed by ``Job.kind``.  Both executors live in this
 #: module so worker processes only ever need to import the engine.
-EXECUTORS: Dict[str, Callable[[Job], AnyRecord]] = {
+EXECUTORS: dict[str, Callable[[Job], AnyRecord]] = {
     "compare": _run_compare_job,
     "sensitivity": _run_sensitivity_job,
 }
@@ -461,7 +485,7 @@ class JobPolicy:
     only the jobs that failed.
     """
 
-    timeout: Optional[float] = None
+    timeout: float | None = None
     retries: int = 0
     reseed_on_retry: bool = False
     on_error: str = "raise"
@@ -478,7 +502,7 @@ class JobPolicy:
         if self.timeout is not None and self.timeout <= 0:
             raise ValueError(f"timeout must be positive or None, got {self.timeout}")
 
-    def to_dict(self) -> Dict[str, object]:
+    def to_dict(self) -> dict[str, object]:
         return {f.name: getattr(self, f.name) for f in fields(JobPolicy)}
 
 
@@ -522,7 +546,7 @@ def _raise_job_error(error: JobError) -> None:
 
 
 @contextlib.contextmanager
-def _deadline(seconds: Optional[float]):
+def _deadline(seconds: float | None):
     """Raise :class:`JobTimeoutError` in the body after ``seconds`` of wall
     clock.  SIGALRM-based, so it only arms on platforms that have it and when
     running on the main thread (worker processes always do); otherwise the
@@ -558,10 +582,10 @@ def _deadline(seconds: Optional[float]):
 #: How many trailing traceback lines a JobError keeps.
 _TRACEBACK_TAIL_LINES = 12
 
-WorkItem = Tuple[str, Dict[str, object], Optional[Dict[str, object]]]
+WorkItem = tuple[str, dict[str, object], dict[str, object] | None]
 
 
-def _execute_keyed(item: WorkItem) -> Tuple[str, Dict[str, object]]:
+def _execute_keyed(item: WorkItem) -> tuple[str, dict[str, object]]:
     """Worker entry point: (key, job dict, policy dict) -> (key, payload).
 
     The payload is either a record payload or ``{"job_error": {...}}`` — the
@@ -572,7 +596,7 @@ def _execute_keyed(item: WorkItem) -> Tuple[str, Dict[str, object]]:
     policy = JobPolicy(**policy_dict) if policy_dict else JobPolicy()
     job = job_from_dict(job_dict)
     start = time.perf_counter()
-    error: Optional[JobError] = None
+    error: JobError | None = None
     for attempt in range(policy.retries + 1):
         attempt_job = job
         if policy.reseed_on_retry and attempt:
@@ -636,9 +660,9 @@ class ResultCache:
 
     def __init__(
         self,
-        cache_dir: Union[str, Path],
+        cache_dir: str | Path,
         *,
-        max_bytes: Optional[int] = None,
+        max_bytes: int | None = None,
         record_access: bool = True,
     ):
         if max_bytes is not None and max_bytes <= 0:
@@ -652,7 +676,7 @@ class ResultCache:
         #: Entries evicted by the LRU cap by this instance.
         self.evicted = 0
         #: Running size total; None until the first capped put() scans once.
-        self._total_bytes: Optional[int] = None
+        self._total_bytes: int | None = None
         #: Appends by this instance, for periodic compaction checks.
         self._accesses_logged = 0
 
@@ -682,7 +706,7 @@ class ResultCache:
                 if self.access_log_path.stat().st_size > _ACCESS_LOG_MAX_BYTES:
                     self._compact_access_log()
 
-    def _parse_access_log(self) -> Tuple[int, int, Dict[str, int]]:
+    def _parse_access_log(self) -> tuple[int, int, dict[str, int]]:
         """Totals and per-key hit counts from the (possibly compacted) log.
 
         Three line kinds: ``H <key>`` / ``M <key>`` raw accesses, and the
@@ -691,7 +715,7 @@ class ResultCache:
         """
         hits = 0
         misses = 0
-        per_key: Dict[str, int] = {}
+        per_key: dict[str, int] = {}
         with open(self.access_log_path, "r", encoding="utf-8") as handle:
             for line in handle:
                 parts = line.split()
@@ -733,7 +757,7 @@ class ResultCache:
                     handle.write(f"A {key} {per_key[key]}\n")
             os.replace(tmp, self.access_log_path)
 
-    def access_stats(self, *, top: int = 10) -> Dict[str, object]:
+    def access_stats(self, *, top: int = 10) -> dict[str, object]:
         """Hit/miss tallies and per-entry access counts from the access log.
 
         The groundwork for the ROADMAP's GC daemon: a shared farm cache can
@@ -779,7 +803,7 @@ class ResultCache:
         except OSError:
             pass
 
-    def get(self, key: str) -> Optional[Dict[str, object]]:
+    def get(self, key: str) -> dict[str, object] | None:
         """The cached record payload for ``key``, or None on a miss.
 
         A hit refreshes the entry's mtime (its LRU rank) and appends to the
@@ -790,7 +814,7 @@ class ResultCache:
         self._log_access("H" if record is not None else "M", key)
         return record
 
-    def _get(self, key: str) -> Optional[Dict[str, object]]:
+    def _get(self, key: str) -> dict[str, object] | None:
         path = self.path_for(key)
         if not path.exists():
             legacy = self._legacy_path_for(key)
@@ -822,7 +846,7 @@ class ResultCache:
             os.utime(path)
         return dict(record)
 
-    def peek(self, key: str) -> Optional[Dict[str, object]]:
+    def peek(self, key: str) -> dict[str, object] | None:
         """Like :meth:`get`, but strictly read-only.
 
         No mtime refresh, no legacy migration, no corrupt-entry deletion —
@@ -873,7 +897,7 @@ class ResultCache:
                 self._evict_to_cap()
         return path
 
-    def entries(self) -> List[Path]:
+    def entries(self) -> list[Path]:
         """Every entry path — sharded and (legacy) flat — sorted by name."""
         if not self.cache_dir.is_dir():
             return []
@@ -881,14 +905,14 @@ class ResultCache:
         paths += self.cache_dir.glob(f"{_SHARD_GLOB}/*.json")
         return sorted(paths, key=lambda p: p.name)
 
-    def _tmp_files(self) -> List[Path]:
+    def _tmp_files(self) -> list[Path]:
         if not self.cache_dir.is_dir():
             return []
         litter = list(self.cache_dir.glob(".*.json.tmp-*"))
         litter += self.cache_dir.glob(f"{_SHARD_GLOB}/.*.json.tmp-*")
         return sorted(litter)
 
-    def _sweep_tmp(self, *, stale_only: bool, dirs: Optional[Sequence[Path]] = None) -> int:
+    def _sweep_tmp(self, *, stale_only: bool, dirs: Sequence[Path] | None = None) -> int:
         """Remove temp litter from crashed writers; returns the count.
 
         ``stale_only`` spares files younger than an hour, so a concurrent
@@ -898,7 +922,7 @@ class ResultCache:
         cutoff = time.time() - _STALE_TMP_SECONDS
         removed = 0
         if dirs is not None:
-            litter: List[Path] = []
+            litter: list[Path] = []
             for directory in dict.fromkeys(dirs):
                 litter += directory.glob(".*.json.tmp-*")
         else:
@@ -913,8 +937,8 @@ class ResultCache:
                 continue
         return removed
 
-    def _entry_sizes(self) -> Dict[Path, int]:
-        sizes: Dict[Path, int] = {}
+    def _entry_sizes(self) -> dict[Path, int]:
+        sizes: dict[Path, int] = {}
         for path in self.entries():
             with contextlib.suppress(OSError):
                 sizes[path] = path.stat().st_size
@@ -934,7 +958,7 @@ class ResultCache:
             sized.append((stat.st_mtime, stat.st_size, path))
             total += stat.st_size
         evicted = 0
-        for mtime, size, path in sorted(sized, key=lambda item: (item[0], item[2].name)):
+        for _mtime, size, path in sorted(sized, key=lambda item: (item[0], item[2].name)):
             if total <= self.max_bytes:
                 break
             with contextlib.suppress(OSError):
@@ -962,8 +986,8 @@ class ResultCache:
         max_age_seconds: float,
         *,
         dry_run: bool = False,
-        now: Optional[float] = None,
-    ) -> Dict[str, int]:
+        now: float | None = None,
+    ) -> dict[str, int]:
         """Age-based (TTL) garbage collection, shard-aware.
 
         Removes every entry — sharded and legacy flat — whose mtime is
@@ -1028,14 +1052,14 @@ class ResultCache:
         self._total_bytes = None
         return removed
 
-    def stats(self) -> Dict[str, object]:
+    def stats(self) -> dict[str, object]:
         """Size/health summary of the cache directory (reads every entry)."""
         total_bytes = 0
         corrupt = 0
         legacy = 0
         shards = set()
-        oldest: Optional[float] = None
-        newest: Optional[float] = None
+        oldest: float | None = None
+        newest: float | None = None
         entries = self.entries()
         for path in entries:
             try:
@@ -1071,7 +1095,7 @@ class ResultCache:
         }
 
 
-def _coerce_cache(cache: Union[None, str, Path, ResultCache]) -> Optional[ResultCache]:
+def _coerce_cache(cache: None | str | Path | ResultCache) -> ResultCache | None:
     if cache is None or isinstance(cache, ResultCache):
         return cache
     return ResultCache(cache)
@@ -1092,15 +1116,15 @@ class ExecutionPlan:
     """
 
     #: The original job sequence, order and duplicates preserved.
-    jobs: List[Job]
+    jobs: list[Job]
     #: Config keys, parallel to ``jobs``.
-    keys: List[str]
+    keys: list[str]
     #: First job seen per distinct key, in first-appearance order.
-    unique: Dict[str, Job]
+    unique: dict[str, Job]
     #: Cached record payloads, keyed by config key (the cache hits).
-    payloads: Dict[str, Dict[str, object]]
+    payloads: dict[str, dict[str, object]]
     #: Unique jobs the run would actually execute.
-    pending: Dict[str, Job]
+    pending: dict[str, Job]
 
     @property
     def total(self) -> int:
@@ -1118,7 +1142,7 @@ class ExecutionPlan:
 def plan_jobs(
     jobs: Sequence[Job],
     *,
-    cache: Union[None, str, Path, ResultCache] = None,
+    cache: None | str | Path | ResultCache = None,
     refresh: bool = False,
 ) -> ExecutionPlan:
     """The pure planning phase: validate kinds, hash, consult the cache, dedupe.
@@ -1149,10 +1173,10 @@ def plan_jobs(
 
     store = _coerce_cache(cache)
     keys = [config_key(job) for job in jobs]
-    unique: Dict[str, Job] = {}
-    payloads: Dict[str, Dict[str, object]] = {}
-    pending: Dict[str, Job] = {}
-    for job, key in zip(jobs, keys):
+    unique: dict[str, Job] = {}
+    payloads: dict[str, dict[str, object]] = {}
+    pending: dict[str, Job] = {}
+    for job, key in zip(jobs, keys, strict=True):
         if key in unique:
             continue
         unique[key] = job
@@ -1172,11 +1196,11 @@ def plan_jobs(
 def experiment_checkpoint_meta(
     name: str,
     scale: str,
-    benchmarks: Optional[Sequence[str]],
+    benchmarks: Sequence[str] | None,
     seed: int,
-    cache: Union[None, str, Path, "ResultCache"] = None,
-    compilers: Optional[Sequence[str]] = None,
-) -> Dict[str, object]:
+    cache: None | str | Path | ResultCache = None,
+    compilers: Sequence[str] | None = None,
+) -> dict[str, object]:
     """The ``checkpoint_meta`` header every experiment entry point writes.
 
     One shared shape (experiment name, scale, benchmarks, seed, cache dir,
@@ -1205,7 +1229,7 @@ def experiment_checkpoint_meta(
 
 def plan_summary(
     plan: ExecutionPlan, *, failed_keys: Sequence[str] = ()
-) -> Dict[str, object]:
+) -> dict[str, object]:
     """Stable counts for a plan: totals plus per-kind/per-benchmark breakdowns.
 
     Each unique job is classified ``cached`` (served from the cache),
@@ -1215,8 +1239,8 @@ def plan_summary(
     """
     failed = set(failed_keys)
     counts = {"cached": 0, "pending": 0, "failed": 0}
-    by_kind: Dict[str, Dict[str, int]] = {}
-    by_benchmark: Dict[str, Dict[str, int]] = {}
+    by_kind: dict[str, dict[str, int]] = {}
+    by_benchmark: dict[str, dict[str, int]] = {}
     for key, job in plan.unique.items():
         if key in plan.payloads:
             status = "cached"
@@ -1254,7 +1278,7 @@ class RunReport:
     seconds: float = 0.0
     #: Jobs that exhausted every attempt (one :class:`JobError` each).
     failed: int = 0
-    errors: List[JobError] = field(default_factory=list)
+    errors: list[JobError] = field(default_factory=list)
     #: Corrupt cache entries discovered (and dropped) during this run.
     corrupt_entries: int = 0
     #: True when the dispatch loop was cut short by ``KeyboardInterrupt``.
@@ -1312,22 +1336,22 @@ class Checkpoint:
     version: int
     finished: bool
     interrupted: bool
-    meta: Dict[str, object]
-    jobs: List[Job]
+    meta: dict[str, object]
+    jobs: list[Job]
     #: Keys served from the cache when the checkpointed run planned itself.
     cached_keys: frozenset
     #: Keys the checkpointed run executed to completion (and cached).
     completed_keys: frozenset
-    failed: List[JobError]
+    failed: list[JobError]
 
     @property
     def failed_keys(self) -> frozenset:
         return frozenset(error.key for error in self.failed)
 
-    def remaining_jobs(self) -> List[Job]:
+    def remaining_jobs(self) -> list[Job]:
         """The unique jobs the original run did not finish (pending + failed)."""
         done = self.completed_keys | self.cached_keys
-        remaining: Dict[str, Job] = {}
+        remaining: dict[str, Job] = {}
         for job in self.jobs:
             key = config_key(job)
             if key not in done and key not in remaining:
@@ -1335,7 +1359,7 @@ class Checkpoint:
         return list(remaining.values())
 
 
-def load_checkpoint(path: Union[str, Path]) -> Checkpoint:
+def load_checkpoint(path: str | Path) -> Checkpoint:
     """Parse and validate a checkpoint file written by :func:`run_jobs_report`.
 
     Raises :class:`CheckpointError` on a missing/corrupt file, an
@@ -1368,7 +1392,7 @@ def load_checkpoint(path: Union[str, Path]) -> Checkpoint:
     raw_jobs = doc.get("jobs")
     if not isinstance(raw_jobs, list):
         raise CheckpointError(f"checkpoint {path} has no serialised job list")
-    jobs: List[Job] = []
+    jobs: list[Job] = []
     for index, raw in enumerate(raw_jobs):
         try:
             jobs.append(job_from_dict(raw))
@@ -1378,7 +1402,7 @@ def load_checkpoint(path: Union[str, Path]) -> Checkpoint:
                 " was it written by an incompatible release?"
             ) from exc
     error_fields = {f.name for f in fields(JobError)}
-    failed: List[JobError] = []
+    failed: list[JobError] = []
     for raw in doc.get("failed") or ():
         if not isinstance(raw, dict) or not error_fields <= set(raw):
             raise CheckpointError(f"checkpoint {path} has a malformed failed-job entry")
@@ -1405,12 +1429,12 @@ def run_jobs_report(
     jobs: Sequence[Job],
     *,
     workers: int = 1,
-    cache: Union[None, str, Path, ResultCache] = None,
-    progress: Optional[Callable[[str], None]] = None,
-    policy: Optional[JobPolicy] = None,
-    checkpoint: Union[None, str, Path] = None,
-    checkpoint_meta: Optional[Mapping[str, object]] = None,
-) -> Tuple[List[AnyRecord], RunReport]:
+    cache: None | str | Path | ResultCache = None,
+    progress: Callable[[str], None] | None = None,
+    policy: JobPolicy | None = None,
+    checkpoint: None | str | Path = None,
+    checkpoint_meta: Mapping[str, object] | None = None,
+) -> tuple[list[AnyRecord], RunReport]:
     """Execute jobs (plan -> pool) and report what happened.
 
     Records come back in job order regardless of the completion order of the
@@ -1454,7 +1478,7 @@ def run_jobs_report(
     serialized_jobs = (
         [job_to_dict(job) for job in jobs] if checkpoint_path is not None else []
     )
-    errors: Dict[str, JobError] = {}
+    errors: dict[str, JobError] = {}
     last_flush = 0.0
 
     def flush_checkpoint(*, finished: bool, force: bool = True) -> None:
@@ -1491,13 +1515,13 @@ def run_jobs_report(
         )
 
     policy_dict = policy.to_dict()
-    items: List[WorkItem] = [
+    items: list[WorkItem] = [
         (key, job_to_dict(job), policy_dict) for key, job in pending.items()
     ]
     done = 0
     flush_checkpoint(finished=not items)
 
-    def collect(key: str, payload: Dict[str, object]) -> None:
+    def collect(key: str, payload: dict[str, object]) -> None:
         nonlocal done
         done += 1
         job_error = payload.get("job_error")
@@ -1546,8 +1570,8 @@ def run_jobs_report(
     report.corrupt_entries = (store.corrupt_seen - corrupt_base) if store is not None else 0
     flush_checkpoint(finished=True)
 
-    records: List[AnyRecord] = []
-    for job, key in zip(jobs, keys):
+    records: list[AnyRecord] = []
+    for job, key in zip(jobs, keys, strict=True):
         payload = payloads.get(key)
         if payload is None:  # failed under on_error="skip"/"record"
             continue
@@ -1563,12 +1587,12 @@ def run_jobs(
     jobs: Sequence[Job],
     *,
     workers: int = 1,
-    cache: Union[None, str, Path, ResultCache] = None,
-    progress: Optional[Callable[[str], None]] = None,
-    policy: Optional[JobPolicy] = None,
-    checkpoint: Union[None, str, Path] = None,
-    checkpoint_meta: Optional[Mapping[str, object]] = None,
-) -> List[AnyRecord]:
+    cache: None | str | Path | ResultCache = None,
+    progress: Callable[[str], None] | None = None,
+    policy: JobPolicy | None = None,
+    checkpoint: None | str | Path = None,
+    checkpoint_meta: Mapping[str, object] | None = None,
+) -> list[AnyRecord]:
     """Like :func:`run_jobs_report`, returning only the records."""
     records, _ = run_jobs_report(
         jobs,
@@ -1586,7 +1610,7 @@ def run_jobs(
 # artifacts
 
 
-def error_row(error: JobError) -> Dict[str, object]:
+def error_row(error: JobError) -> dict[str, object]:
     """Flat artifact row for one failed job (``status="error"``)."""
     return {
         "status": "error",
@@ -1602,12 +1626,12 @@ def error_row(error: JobError) -> Dict[str, object]:
 def write_artifacts(
     name: str,
     records: Sequence[AnyRecord],
-    out_dir: Union[str, Path],
+    out_dir: str | Path,
     *,
-    text: Optional[str] = None,
-    metadata: Optional[Mapping[str, object]] = None,
-    errors: Optional[Sequence[JobError]] = None,
-) -> Dict[str, Path]:
+    text: str | None = None,
+    metadata: Mapping[str, object] | None = None,
+    errors: Sequence[JobError] | None = None,
+) -> dict[str, Path]:
     """Write ``<out_dir>/<name>.json`` and ``.csv`` (and ``.txt`` if given).
 
     The JSON artifact holds one flat row per record (stored fields plus the

@@ -10,7 +10,7 @@ an on-disk cache) and returns the records.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from collections.abc import Sequence
 
 from ..hardware.noise import DEFAULT_NOISE, NoiseModel
 from .engine import Job, experiment_checkpoint_meta, noise_to_items, run_jobs
@@ -22,7 +22,7 @@ __all__ = ["jobs_for_fig12", "run_fig12", "improvement_series", "format_fig12"]
 #: Chiplet width per scale tier (the paper fixes 7x7 chiplets).
 _SCALE_WIDTH = {"small": 4, "medium": 5, "paper": 7}
 #: Array shapes per scale tier (the paper's 2x2 .. 3x4 sweep).
-_SCALE_ARRAYS: Dict[str, Tuple[Tuple[int, int], ...]] = {
+_SCALE_ARRAYS: dict[str, tuple[tuple[int, int], ...]] = {
     "small": ((1, 2), (2, 2), (2, 3)),
     "medium": ((2, 2), (2, 3), (3, 3)),
     "paper": FIG12_ARRAYS,
@@ -33,12 +33,12 @@ def jobs_for_fig12(
     *,
     scale: str = "small",
     benchmarks: Sequence[str] = BENCHMARK_NAMES,
-    chiplet_width: Optional[int] = None,
-    array_shapes: Optional[Sequence[Tuple[int, int]]] = None,
+    chiplet_width: int | None = None,
+    array_shapes: Sequence[tuple[int, int]] | None = None,
     noise: NoiseModel = DEFAULT_NOISE,
     seed: int = 0,
-    compilers: Optional[Sequence[str]] = None,
-) -> List[Job]:
+    compilers: Sequence[str] | None = None,
+) -> list[Job]:
     """One job per (array shape, benchmark) of the Fig. 12 sweep."""
     if scale not in _SCALE_WIDTH:
         raise ValueError(f"unknown scale {scale!r}; choose from {sorted(_SCALE_WIDTH)}")
@@ -66,16 +66,16 @@ def run_fig12(
     *,
     scale: str = "small",
     benchmarks: Sequence[str] = BENCHMARK_NAMES,
-    chiplet_width: Optional[int] = None,
-    array_shapes: Optional[Sequence[Tuple[int, int]]] = None,
+    chiplet_width: int | None = None,
+    array_shapes: Sequence[tuple[int, int]] | None = None,
     noise: NoiseModel = DEFAULT_NOISE,
     seed: int = 0,
-    compilers: Optional[Sequence[str]] = None,
+    compilers: Sequence[str] | None = None,
     workers: int = 1,
     cache=None,
     policy=None,
     checkpoint=None,
-) -> List[AnyRecord]:
+) -> list[AnyRecord]:
     """Regenerate Fig. 12's data: one record per (array shape, benchmark).
 
     ``checkpoint`` names a resumable progress file (see ``repro resume``).
@@ -103,12 +103,12 @@ def run_fig12(
 
 def improvement_series(
     records: Sequence[AnyRecord],
-) -> Dict[str, List[Tuple[int, float, float]]]:
+) -> dict[str, list[tuple[int, float, float]]]:
     """Per-benchmark series ``(num_chiplets, depth_improvement, eff_improvement)``.
 
     This is the data behind the two panels of Fig. 12.
     """
-    series: Dict[str, List[Tuple[int, float, float]]] = {}
+    series: dict[str, list[tuple[int, float, float]]] = {}
     for record in records:
         # architecture names look like "square-7x7-3x3"; the last field is the array
         shape = record.architecture.split("-")[2]

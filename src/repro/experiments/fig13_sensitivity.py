@@ -21,7 +21,7 @@ benchmark's three panels and the whole figure caches like any other.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from collections.abc import Sequence
 
 from ..hardware.noise import DEFAULT_NOISE, NoiseModel
 from .engine import Job, experiment_checkpoint_meta, noise_to_items, run_jobs
@@ -40,9 +40,9 @@ __all__ = [
 ]
 
 #: The paper's swept values.
-MEAS_LATENCIES: Tuple[float, ...] = (1, 2, 4, 8, 12, 16, 20)
-MEAS_ERROR_RATIOS: Tuple[float, ...] = (0.5, 1.0, 2.0, 3.0, 4.0, 5.0)
-CROSS_ERROR_RATIOS: Tuple[float, ...] = (4.0, 5.0, 6.0, 7.0, 8.0, 9.0)
+MEAS_LATENCIES: tuple[float, ...] = (1, 2, 4, 8, 12, 16, 20)
+MEAS_ERROR_RATIOS: tuple[float, ...] = (0.5, 1.0, 2.0, 3.0, 4.0, 5.0)
+CROSS_ERROR_RATIOS: tuple[float, ...] = (4.0, 5.0, 6.0, 7.0, 8.0, 9.0)
 
 #: Device per scale tier (the paper uses 7x7 chiplets in a 3x3 array).
 _SCALE_DEVICE = {
@@ -60,11 +60,11 @@ class SensitivityResult:
     architecture: str
     num_data_qubits: int
     #: (measurement latency, depth improvement)
-    depth_vs_latency: List[Tuple[float, float]]
+    depth_vs_latency: list[tuple[float, float]]
     #: (meas error ratio, eff_CNOT improvement)
-    eff_vs_meas_error: List[Tuple[float, float]]
+    eff_vs_meas_error: list[tuple[float, float]]
     #: (cross-chip error ratio, eff_CNOT improvement)
-    eff_vs_cross_error: List[Tuple[float, float]]
+    eff_vs_cross_error: list[tuple[float, float]]
 
 
 def jobs_for_fig13(
@@ -76,8 +76,8 @@ def jobs_for_fig13(
     cross_error_ratios: Sequence[float] = CROSS_ERROR_RATIOS,
     base_noise: NoiseModel = DEFAULT_NOISE,
     seed: int = 0,
-    compilers: Optional[Sequence[str]] = None,
-) -> List[Job]:
+    compilers: Sequence[str] | None = None,
+) -> list[Job]:
     """One ``"sensitivity"`` job per benchmark, carrying all three sweeps."""
     if scale not in _SCALE_DEVICE:
         raise ValueError(f"unknown scale {scale!r}; choose from {sorted(_SCALE_DEVICE)}")
@@ -108,10 +108,10 @@ def jobs_for_fig13(
 
 def sensitivity_results_from_records(
     records: Sequence[AnyRecord],
-) -> List[SensitivityResult]:
+) -> list[SensitivityResult]:
     """Decode the ``<series>@<value>`` extras of sensitivity records."""
 
-    def series(record: AnyRecord, prefix: str) -> List[Tuple[float, float]]:
+    def series(record: AnyRecord, prefix: str) -> list[tuple[float, float]]:
         marker = prefix + "@"
         points = [
             (float(key[len(marker):]), value)
@@ -143,12 +143,12 @@ def run_fig13(
     cross_error_ratios: Sequence[float] = CROSS_ERROR_RATIOS,
     base_noise: NoiseModel = DEFAULT_NOISE,
     seed: int = 0,
-    compilers: Optional[Sequence[str]] = None,
+    compilers: Sequence[str] | None = None,
     workers: int = 1,
     cache=None,
     policy=None,
     checkpoint=None,
-) -> List[SensitivityResult]:
+) -> list[SensitivityResult]:
     """Regenerate the three panels of Fig. 13."""
     jobs = jobs_for_fig13(
         scale=scale,

@@ -10,7 +10,7 @@ normalised eff_CNOT count rises.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from collections.abc import Sequence
 
 from ..hardware.array import ChipletArray
 from ..hardware.noise import DEFAULT_NOISE, NoiseModel
@@ -21,7 +21,7 @@ from .settings import BENCHMARK_NAMES
 __all__ = ["jobs_for_fig14", "run_fig14", "normalized_by_sparsity", "format_fig14"]
 
 #: Device per scale tier; the sparsity levels scale with the chiplet width.
-_SCALE_DEVICE: Dict[str, Tuple[str, int, int, int, Tuple[int, ...]]] = {
+_SCALE_DEVICE: dict[str, tuple[str, int, int, int, tuple[int, ...]]] = {
     # structure, chiplet width, rows, cols, links-per-edge sweep
     "small": ("square", 4, 2, 2, (4, 2, 1)),
     "medium": ("square", 5, 2, 3, (5, 3, 1)),
@@ -33,11 +33,11 @@ def jobs_for_fig14(
     *,
     scale: str = "small",
     benchmarks: Sequence[str] = BENCHMARK_NAMES,
-    sparsity_levels: Optional[Sequence[int]] = None,
+    sparsity_levels: Sequence[int] | None = None,
     noise: NoiseModel = DEFAULT_NOISE,
     seed: int = 0,
-    compilers: Optional[Sequence[str]] = None,
-) -> List[Job]:
+    compilers: Sequence[str] | None = None,
+) -> list[Job]:
     """One job per (links-per-edge, benchmark) of the Fig. 14 sweep."""
     if scale not in _SCALE_DEVICE:
         raise ValueError(f"unknown scale {scale!r}; choose from {sorted(_SCALE_DEVICE)}")
@@ -45,7 +45,7 @@ def jobs_for_fig14(
     levels = tuple(sparsity_levels) if sparsity_levels is not None else default_levels
     noise_items = noise_to_items(noise)
     compiler_names = resolve_compilers(compilers)
-    jobs: List[Job] = []
+    jobs: list[Job] = []
     for links in levels:
         # the full per-edge link count is a property of the (cheap) topology,
         # recorded as a tag so the normalisation labels survive the cache
@@ -76,15 +76,15 @@ def run_fig14(
     *,
     scale: str = "small",
     benchmarks: Sequence[str] = BENCHMARK_NAMES,
-    sparsity_levels: Optional[Sequence[int]] = None,
+    sparsity_levels: Sequence[int] | None = None,
     noise: NoiseModel = DEFAULT_NOISE,
     seed: int = 0,
-    compilers: Optional[Sequence[str]] = None,
+    compilers: Sequence[str] | None = None,
     workers: int = 1,
     cache=None,
     policy=None,
     checkpoint=None,
-) -> List[AnyRecord]:
+) -> list[AnyRecord]:
     """Regenerate Fig. 14: one record per (links-per-edge, benchmark)."""
     jobs = jobs_for_fig14(
         scale=scale,
@@ -108,9 +108,9 @@ def run_fig14(
 
 def normalized_by_sparsity(
     records: Sequence[AnyRecord],
-) -> Dict[str, List[Tuple[str, float, float]]]:
+) -> dict[str, list[tuple[str, float, float]]]:
     """Per-benchmark series ``(sparsity label, normalised depth, normalised eff_CNOTs)``."""
-    series: Dict[str, List[Tuple[str, float, float]]] = {}
+    series: dict[str, list[tuple[str, float, float]]] = {}
     for record in records:
         links = int(record.extra.get("cross_links_per_edge", 0))
         full = int(record.extra.get("max_cross_links_per_edge", links))

@@ -11,7 +11,7 @@ eventually ticks back up).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from collections.abc import Sequence
 
 from ..compiler import MechCompiler
 from ..hardware.array import ChipletArray
@@ -23,14 +23,14 @@ from .settings import BENCHMARK_NAMES
 __all__ = ["jobs_for_fig15", "run_fig15", "normalized_by_density", "format_fig15"]
 
 #: Device per scale tier (the paper uses a 2x3 array of 9x9 chiplets).
-_SCALE_DEVICE: Dict[str, Tuple[str, int, int, int]] = {
+_SCALE_DEVICE: dict[str, tuple[str, int, int, int]] = {
     "small": ("square", 5, 1, 2),
     "medium": ("square", 7, 2, 2),
     "paper": ("square", 9, 2, 3),
 }
 
 #: Highway density multipliers swept by the figure.
-DENSITIES: Tuple[int, ...] = (1, 2, 3)
+DENSITIES: tuple[int, ...] = (1, 2, 3)
 
 
 def jobs_for_fig15(
@@ -40,8 +40,8 @@ def jobs_for_fig15(
     densities: Sequence[int] = DENSITIES,
     noise: NoiseModel = DEFAULT_NOISE,
     seed: int = 0,
-    compilers: Optional[Sequence[str]] = None,
-) -> List[Job]:
+    compilers: Sequence[str] | None = None,
+) -> list[Job]:
     """One job per (highway density, benchmark) of the Fig. 15 sweep.
 
     Following the paper, the circuit width is fixed to the *smallest*
@@ -84,12 +84,12 @@ def run_fig15(
     densities: Sequence[int] = DENSITIES,
     noise: NoiseModel = DEFAULT_NOISE,
     seed: int = 0,
-    compilers: Optional[Sequence[str]] = None,
+    compilers: Sequence[str] | None = None,
     workers: int = 1,
     cache=None,
     policy=None,
     checkpoint=None,
-) -> List[AnyRecord]:
+) -> list[AnyRecord]:
     """Regenerate Fig. 15: one record per (highway density, benchmark)."""
     jobs = jobs_for_fig15(
         scale=scale,
@@ -113,9 +113,9 @@ def run_fig15(
 
 def normalized_by_density(
     records: Sequence[AnyRecord],
-) -> Dict[str, List[Tuple[int, float, float, float]]]:
+) -> dict[str, list[tuple[int, float, float, float]]]:
     """Per-benchmark series ``(density, highway %, normalised depth, normalised eff)``."""
-    series: Dict[str, List[Tuple[int, float, float, float]]] = {}
+    series: dict[str, list[tuple[int, float, float, float]]] = {}
     for record in records:
         density = int(record.extra.get("highway_density", 1))
         series.setdefault(record.benchmark, []).append(

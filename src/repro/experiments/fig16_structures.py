@@ -9,7 +9,7 @@ depend on a particular coupling structure.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from collections.abc import Sequence
 
 from ..hardware.noise import DEFAULT_NOISE, NoiseModel
 from .engine import Job, experiment_checkpoint_meta, noise_to_items, run_jobs
@@ -25,7 +25,7 @@ __all__ = [
 ]
 
 #: The four Table 1 rows the figure uses, in the paper's order.
-FIG16_SETTINGS: Tuple[str, ...] = (
+FIG16_SETTINGS: tuple[str, ...] = (
     "program-360",   # square
     "program-312",   # hexagon
     "program-351",   # heavy square
@@ -37,11 +37,11 @@ def jobs_for_fig16(
     *,
     scale: str = "small",
     benchmarks: Sequence[str] = BENCHMARK_NAMES,
-    settings: Optional[Sequence[ArchitectureSetting]] = None,
+    settings: Sequence[ArchitectureSetting] | None = None,
     noise: NoiseModel = DEFAULT_NOISE,
     seed: int = 0,
-    compilers: Optional[Sequence[str]] = None,
-) -> List[Job]:
+    compilers: Sequence[str] | None = None,
+) -> list[Job]:
     """One job per (coupling structure, benchmark) of the Fig. 16 sweep."""
     chosen = (
         list(settings)
@@ -73,15 +73,15 @@ def run_fig16(
     *,
     scale: str = "small",
     benchmarks: Sequence[str] = BENCHMARK_NAMES,
-    settings: Optional[Sequence[ArchitectureSetting]] = None,
+    settings: Sequence[ArchitectureSetting] | None = None,
     noise: NoiseModel = DEFAULT_NOISE,
     seed: int = 0,
-    compilers: Optional[Sequence[str]] = None,
+    compilers: Sequence[str] | None = None,
     workers: int = 1,
     cache=None,
     policy=None,
     checkpoint=None,
-) -> List[AnyRecord]:
+) -> list[AnyRecord]:
     """Regenerate Fig. 16: one record per (coupling structure, benchmark)."""
     jobs = jobs_for_fig16(
         scale=scale,
@@ -105,9 +105,9 @@ def run_fig16(
 
 def normalized_by_structure(
     records: Sequence[AnyRecord],
-) -> Dict[str, List[Tuple[str, float, float]]]:
+) -> dict[str, list[tuple[str, float, float]]]:
     """Per-benchmark series ``(structure, normalised depth, normalised eff_CNOTs)``."""
-    series: Dict[str, List[Tuple[str, float, float]]] = {}
+    series: dict[str, list[tuple[str, float, float]]] = {}
     for record in records:
         structure = str(record.extra.get("structure", record.architecture))
         series.setdefault(record.benchmark, []).append(

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+from collections.abc import Callable, Sequence
 
 from .engine import (
     SCALE_TIERS,
@@ -54,17 +54,17 @@ class ExperimentSpec:
     title: str
     #: Expands a scale preset into engine jobs.  Accepts at least the keyword
     #: arguments ``scale``, ``benchmarks``, ``seed`` and ``compilers``.
-    build_jobs: Callable[..., List[Job]]
+    build_jobs: Callable[..., list[Job]]
     #: Renders the experiment's records as the paper-style text table.
     format_records: Callable[[Sequence[AnyRecord]], str]
-    scales: Tuple[str, ...] = SCALE_TIERS
+    scales: tuple[str, ...] = SCALE_TIERS
 
 
 def _format_fig13_records(records: Sequence[AnyRecord]) -> str:
     return format_fig13(sensitivity_results_from_records(records))
 
 
-EXPERIMENTS: Dict[str, ExperimentSpec] = {
+EXPERIMENTS: dict[str, ExperimentSpec] = {
     spec.name: spec
     for spec in (
         ExperimentSpec(
@@ -121,11 +121,11 @@ def experiment_meta(
     name: str,
     *,
     scale: str = "small",
-    benchmarks: Optional[Sequence[str]] = None,
+    benchmarks: Sequence[str] | None = None,
     seed: int = 0,
-    cache: Union[None, str, Path, ResultCache] = None,
-    compilers: Optional[Sequence[str]] = None,
-) -> Dict[str, object]:
+    cache: None | str | Path | ResultCache = None,
+    compilers: Sequence[str] | None = None,
+) -> dict[str, object]:
     """The checkpoint/artifact metadata header for one experiment run.
 
     Stored verbatim in the checkpoint's ``meta`` field, this is what lets
@@ -143,17 +143,17 @@ def build_experiment_jobs(
     name: str,
     *,
     scale: str = "small",
-    benchmarks: Optional[Sequence[str]] = None,
+    benchmarks: Sequence[str] | None = None,
     seed: int = 0,
-    compilers: Optional[Sequence[str]] = None,
-) -> List[Job]:
+    compilers: Sequence[str] | None = None,
+) -> list[Job]:
     """Expand one registered experiment's scale preset into engine jobs.
 
     ``compilers`` threads the backend list (reference first) into every job;
     ``None`` keeps the default baseline-vs-MECH pair.
     """
     spec = get_experiment(name)
-    kwargs: Dict[str, object] = {"scale": scale, "seed": seed}
+    kwargs: dict[str, object] = {"scale": scale, "seed": seed}
     if benchmarks is not None:
         kwargs["benchmarks"] = list(benchmarks)
     if compilers is not None:
@@ -165,11 +165,11 @@ def plan_experiment(
     name: str,
     *,
     scale: str = "small",
-    benchmarks: Optional[Sequence[str]] = None,
+    benchmarks: Sequence[str] | None = None,
     seed: int = 0,
-    cache: Union[None, str, Path, ResultCache] = None,
+    cache: None | str | Path | ResultCache = None,
     refresh: bool = False,
-    compilers: Optional[Sequence[str]] = None,
+    compilers: Sequence[str] | None = None,
 ) -> ExecutionPlan:
     """Expand one experiment and plan it against the cache without executing.
 
@@ -188,15 +188,15 @@ def run_experiment(
     name: str,
     *,
     scale: str = "small",
-    benchmarks: Optional[Sequence[str]] = None,
+    benchmarks: Sequence[str] | None = None,
     seed: int = 0,
     workers: int = 1,
-    cache: Union[None, str, Path, ResultCache] = None,
-    policy: Optional[JobPolicy] = None,
-    checkpoint: Union[None, str, Path] = None,
-    progress: Optional[Callable[[str], None]] = None,
-    compilers: Optional[Sequence[str]] = None,
-) -> Tuple[List[AnyRecord], RunReport]:
+    cache: None | str | Path | ResultCache = None,
+    policy: JobPolicy | None = None,
+    checkpoint: None | str | Path = None,
+    progress: Callable[[str], None] | None = None,
+    compilers: Sequence[str] | None = None,
+) -> tuple[list[AnyRecord], RunReport]:
     """Build and execute one registered experiment end to end.
 
     The one-stop driver shared by the CLI and the harnesses: expands the

@@ -30,9 +30,10 @@ from __future__ import annotations
 import time
 import warnings
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from collections.abc import Sequence
 
 from ..backends import DEFAULT_COMPILERS, CompilerBackend, get_backend
+from ..circuits.circuit import Circuit
 from ..compiler import CompilationResult, MechCompiler
 from ..hardware.array import ChipletArray
 from ..hardware.noise import DEFAULT_NOISE, NoiseModel
@@ -90,7 +91,7 @@ class ComparisonRecord:
     highway_qubit_fraction: float
     baseline_seconds: float = 0.0
     mech_seconds: float = 0.0
-    extra: Dict[str, float] = field(default_factory=dict)
+    extra: dict[str, float] = field(default_factory=dict)
 
     @property
     def depth_improvement(self) -> float:
@@ -108,7 +109,7 @@ class ComparisonRecord:
     def normalized_eff_cnots(self) -> float:
         return normalized_ratio(self.baseline_eff_cnots, self.mech_eff_cnots)
 
-    def as_dict(self) -> Dict[str, object]:
+    def as_dict(self) -> dict[str, object]:
         return {
             "benchmark": self.benchmark,
             "architecture": self.architecture,
@@ -138,12 +139,12 @@ class MultiComparisonRecord:
     architecture: str
     num_data_qubits: int
     num_physical_qubits: int
-    compilers: Tuple[str, ...]
-    depths: Dict[str, float]
-    eff_cnots: Dict[str, float]
+    compilers: tuple[str, ...]
+    depths: dict[str, float]
+    eff_cnots: dict[str, float]
     highway_qubit_fraction: float
-    seconds: Dict[str, float] = field(default_factory=dict)
-    extra: Dict[str, float] = field(default_factory=dict)
+    seconds: dict[str, float] = field(default_factory=dict)
+    extra: dict[str, float] = field(default_factory=dict)
 
     @property
     def reference(self) -> str:
@@ -188,9 +189,9 @@ class MultiComparisonRecord:
     def normalized_eff_cnots(self) -> float:
         return self.normalized_eff_cnots_for(self.primary)
 
-    def as_dict(self) -> Dict[str, object]:
+    def as_dict(self) -> dict[str, object]:
         """Flat per-backend columns (``<name>_depth``, ``<name>_eff_cnots``, ...)."""
-        out: Dict[str, object] = {
+        out: dict[str, object] = {
             "benchmark": self.benchmark,
             "architecture": self.architecture,
             "num_data_qubits": self.num_data_qubits,
@@ -212,7 +213,7 @@ class MultiComparisonRecord:
 
 
 #: Either record shape, as returned by the engine.
-AnyRecord = Union[ComparisonRecord, MultiComparisonRecord]
+AnyRecord = ComparisonRecord | MultiComparisonRecord
 
 
 @dataclass
@@ -226,27 +227,55 @@ class CompiledSet:
 
     benchmark: str
     array: ChipletArray
-    compilers: Tuple[str, ...]
+    compilers: tuple[str, ...]
     circuit_width: int
     highway_qubit_fraction: float
-    backends: Dict[str, CompilerBackend]
-    results: Dict[str, CompilationResult]
-    seconds: Dict[str, float]
+    backends: dict[str, CompilerBackend]
+    results: dict[str, CompilationResult]
+    seconds: dict[str, float]
+    #: The logical circuit every backend compiled, kept so the static
+    #: verifier (:mod:`repro.analysis`) can replay the results against it.
+    source_circuit: Circuit | None = None
 
     @property
     def reference(self) -> str:
         return self.compilers[0]
+
+    def verify_all(self, noise: NoiseModel = DEFAULT_NOISE) -> dict[str, object]:
+        """Statically verify every backend's result against the source circuit.
+
+        Returns the per-backend :class:`repro.analysis.VerificationReport`
+        map; raises :class:`repro.analysis.VerificationError` on the first
+        backend whose compilation has violations (hardware legality, semantic
+        preservation, highway-protocol invariants, metric consistency).
+        """
+        from ..analysis import assert_verified
+
+        if self.source_circuit is None:
+            raise ValueError(
+                "this CompiledSet does not carry its source circuit; it cannot"
+                " be verified (was it built by compile_many?)"
+            )
+        reports: dict[str, object] = {}
+        for name in self.compilers:
+            reports[name] = assert_verified(
+                self.source_circuit,
+                self.results[name],
+                noise=noise,
+                context=f"backend {name!r} on {self.benchmark.upper()}",
+            )
+        return reports
 
     @property
     def primary(self) -> str:
         return primary_compiler(self.compilers)
 
     def record(
-        self, noise: NoiseModel, extra: Optional[Dict[str, float]] = None
+        self, noise: NoiseModel, extra: dict[str, float] | None = None
     ) -> MultiComparisonRecord:
         """Assemble the N-way comparison record under ``noise``."""
-        depths: Dict[str, float] = {}
-        eff: Dict[str, float] = {}
+        depths: dict[str, float] = {}
+        eff: dict[str, float] = {}
         for name in self.compilers:
             metrics = self.results[name].metrics(noise)
             depths[name] = metrics.depth
@@ -265,7 +294,7 @@ class CompiledSet:
         )
 
     def comparison_record(
-        self, noise: NoiseModel, extra: Optional[Dict[str, float]] = None
+        self, noise: NoiseModel, extra: dict[str, float] | None = None
     ) -> ComparisonRecord:
         """The historic two-column record; only the default pair has one."""
         if self.compilers != DEFAULT_COMPILERS:
@@ -291,7 +320,7 @@ class CompiledSet:
         )
 
 
-def backend_stat_extras(compiled: CompiledSet) -> Dict[str, float]:
+def backend_stat_extras(compiled: CompiledSet) -> dict[str, float]:
     """Per-backend compiler statistics as record extras.
 
     Every backend contributes ``<name>_swaps``; non-reference backends add
@@ -300,7 +329,7 @@ def backend_stat_extras(compiled: CompiledSet) -> Dict[str, float]:
     historic :func:`compare` recorded (``baseline_swaps``, ``mech_swaps``,
     ``mech_shuttles``, ``mech_highway_gates``).
     """
-    extra: Dict[str, float] = {}
+    extra: dict[str, float] = {}
     for name in compiled.compilers:
         stats = compiled.results[name].stats
         if name != compiled.reference:
@@ -311,7 +340,7 @@ def backend_stat_extras(compiled: CompiledSet) -> Dict[str, float]:
     return extra
 
 
-def normalize_compilers(compilers: Sequence[str]) -> Tuple[str, ...]:
+def normalize_compilers(compilers: Sequence[str]) -> tuple[str, ...]:
     """Lowercased, stripped compiler names with shape validation.
 
     At least two compilers (the first is the reference) and no duplicates;
@@ -330,7 +359,7 @@ def normalize_compilers(compilers: Sequence[str]) -> Tuple[str, ...]:
     return names
 
 
-def resolve_compilers(compilers: Optional[Sequence[str]]) -> Tuple[str, ...]:
+def resolve_compilers(compilers: Sequence[str] | None) -> tuple[str, ...]:
     """``None`` -> the default pair; anything else normalised and validated.
 
     The one-liner every jobs builder uses to thread an optional compiler
@@ -349,11 +378,11 @@ def compile_many(
     compilers: Sequence[str] = DEFAULT_COMPILERS,
     noise: NoiseModel = DEFAULT_NOISE,
     highway_density: int = 1,
-    num_data_qubits: Optional[int] = None,
+    num_data_qubits: int | None = None,
     min_components: int = 2,
     baseline_trials: int = 1,
     seed: int = 0,
-    benchmark_kwargs: Optional[Dict[str, object]] = None,
+    benchmark_kwargs: dict[str, object] | None = None,
 ) -> CompiledSet:
     """Compile one benchmark with every listed backend on the same array.
 
@@ -394,8 +423,8 @@ def compile_many(
         kwargs.setdefault("seed", seed)
     circuit = build_benchmark(benchmark, width, **kwargs)
 
-    results: Dict[str, CompilationResult] = {}
-    seconds: Dict[str, float] = {}
+    results: dict[str, CompilationResult] = {}
+    seconds: dict[str, float] = {}
     for name in names:
         backend = backends[name].configure(
             array,
@@ -421,6 +450,7 @@ def compile_many(
         backends=backends,
         results=results,
         seconds=seconds,
+        source_circuit=circuit,
     )
 
 
@@ -431,11 +461,11 @@ def compare_many(
     compilers: Sequence[str] = DEFAULT_COMPILERS,
     noise: NoiseModel = DEFAULT_NOISE,
     highway_density: int = 1,
-    num_data_qubits: Optional[int] = None,
+    num_data_qubits: int | None = None,
     min_components: int = 2,
     baseline_trials: int = 1,
     seed: int = 0,
-    benchmark_kwargs: Optional[Dict[str, object]] = None,
+    benchmark_kwargs: dict[str, object] | None = None,
 ) -> MultiComparisonRecord:
     """Compile with every listed backend and record the paper's metrics N-way.
 
@@ -474,7 +504,7 @@ class CompiledPair:
     mech_seconds: float
     baseline_seconds: float
 
-    def record(self, noise: NoiseModel, extra: Optional[Dict[str, float]] = None) -> ComparisonRecord:
+    def record(self, noise: NoiseModel, extra: dict[str, float] | None = None) -> ComparisonRecord:
         """Assemble the comparison record under ``noise``."""
         mech_metrics = self.mech_result.metrics(noise)
         baseline_metrics = self.baseline_result.metrics(noise)
@@ -508,11 +538,11 @@ def compile_pair(
     *,
     noise: NoiseModel = DEFAULT_NOISE,
     highway_density: int = 1,
-    num_data_qubits: Optional[int] = None,
+    num_data_qubits: int | None = None,
     min_components: int = 2,
     baseline_trials: int = 1,
     seed: int = 0,
-    benchmark_kwargs: Optional[Dict[str, object]] = None,
+    benchmark_kwargs: dict[str, object] | None = None,
 ) -> CompiledPair:
     """Deprecated: compile with MECH and the baseline only.
 
@@ -553,11 +583,11 @@ def compare(
     *,
     noise: NoiseModel = DEFAULT_NOISE,
     highway_density: int = 1,
-    num_data_qubits: Optional[int] = None,
+    num_data_qubits: int | None = None,
     min_components: int = 2,
     baseline_trials: int = 1,
     seed: int = 0,
-    benchmark_kwargs: Optional[Dict[str, object]] = None,
+    benchmark_kwargs: dict[str, object] | None = None,
 ) -> ComparisonRecord:
     """Deprecated: two-backend comparison; use :func:`compare_many`.
 
@@ -588,7 +618,7 @@ def format_records(
     records: Sequence[AnyRecord],
     *,
     title: str = "",
-    errors: Optional[Sequence[object]] = None,
+    errors: Sequence[object] | None = None,
 ) -> str:
     """Render comparison records as a fixed-width text table (paper style).
 
@@ -602,7 +632,7 @@ def format_records(
     """
     if any(isinstance(record, MultiComparisonRecord) for record in records):
         return format_multi_records(records, title=title, errors=errors)
-    lines: List[str] = []
+    lines: list[str] = []
     if title:
         lines.append(title)
     header = (
@@ -626,7 +656,7 @@ def format_multi_records(
     records: Sequence[AnyRecord],
     *,
     title: str = "",
-    errors: Optional[Sequence[object]] = None,
+    errors: Sequence[object] | None = None,
 ) -> str:
     """Long-format N-way table: one line per (record, backend).
 
@@ -635,7 +665,7 @@ def format_multi_records(
     :class:`ComparisonRecord` rows mixed into the sequence render as their
     baseline/mech pair.
     """
-    lines: List[str] = []
+    lines: list[str] = []
     if title:
         lines.append(title)
     header = (
@@ -681,7 +711,7 @@ def format_multi_records(
     return "\n".join(lines)
 
 
-def format_failed_rows(errors: Sequence[object]) -> List[str]:
+def format_failed_rows(errors: Sequence[object]) -> list[str]:
     """One text-table line per failed job (engine ``JobError`` records)."""
     rows = []
     for e in errors:

@@ -14,7 +14,6 @@ produced the recorded numbers.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Dict, Optional, Tuple
 
 from ..hardware.array import ChipletArray
 
@@ -28,7 +27,7 @@ __all__ = [
 ]
 
 #: The four benchmark programs of the evaluation.
-BENCHMARK_NAMES: Tuple[str, ...] = ("QFT", "QAOA", "VQE", "BV")
+BENCHMARK_NAMES: tuple[str, ...] = ("QFT", "QAOA", "VQE", "BV")
 
 
 @dataclass(frozen=True)
@@ -40,7 +39,7 @@ class ArchitectureSetting:
     chiplet_width: int
     rows: int
     cols: int
-    cross_links_per_edge: Optional[int] = None
+    cross_links_per_edge: int | None = None
     highway_density: int = 1
 
     def build_array(self) -> ChipletArray:
@@ -66,7 +65,7 @@ class ArchitectureSetting:
 #: the paper ("program-261" etc.) are determined by the highway layout; ours
 #: differ slightly because the layout generator is not byte-identical, but the
 #: total qubit counts match exactly.
-TABLE1_SETTINGS: Dict[str, ArchitectureSetting] = {
+TABLE1_SETTINGS: dict[str, ArchitectureSetting] = {
     "program-261": ArchitectureSetting("program-261", "square", 6, 3, 3),
     "program-360": ArchitectureSetting("program-360", "square", 7, 3, 3),
     "program-495": ArchitectureSetting("program-495", "square", 8, 3, 3),
@@ -81,10 +80,10 @@ TABLE1_SETTINGS: Dict[str, ArchitectureSetting] = {
 }
 
 #: Table 2 sweeps the chiplet size on a fixed 3x3 square array.
-TABLE2_CHIPLET_SIZES: Tuple[int, ...] = (6, 7, 8, 9)
+TABLE2_CHIPLET_SIZES: tuple[int, ...] = (6, 7, 8, 9)
 
 #: Fig. 12 sweeps the array shape with 7x7 square chiplets.
-FIG12_ARRAYS: Tuple[Tuple[int, int], ...] = ((2, 2), (2, 3), (3, 3), (3, 4))
+FIG12_ARRAYS: tuple[tuple[int, int], ...] = ((2, 2), (2, 3), (3, 3), (3, 4))
 
 #: Scaled-down tiers: the same experiment structure on smaller devices so the
 #: default test/benchmark run finishes quickly.  ``chiplet_width`` shrinks and

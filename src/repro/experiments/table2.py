@@ -11,7 +11,7 @@ hours of baseline runtime) or a scaled-down sweep that preserves the
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from collections.abc import Sequence
 
 from ..hardware.noise import DEFAULT_NOISE, NoiseModel
 from .engine import Job, experiment_checkpoint_meta, noise_to_items, run_jobs
@@ -23,7 +23,7 @@ __all__ = ["jobs_for_table2", "run_table2", "format_table2", "TABLE2_PAPER_REFER
 #: (chiplet sizes, array shape) per scale tier; the paper sweeps 6x6 .. 9x9
 #: chiplets on a 3x3 array.  The smaller tiers shrink both so the baseline
 #: router stays tractable while the size-scaling trend remains visible.
-SCALE_PRESETS: Dict[str, Tuple[Tuple[int, ...], Tuple[int, int]]] = {
+SCALE_PRESETS: dict[str, tuple[tuple[int, ...], tuple[int, int]]] = {
     "small": ((4, 5), (2, 2)),
     "medium": ((5, 6), (3, 3)),
     "paper": (TABLE2_CHIPLET_SIZES, (3, 3)),
@@ -32,7 +32,7 @@ SCALE_PRESETS: Dict[str, Tuple[Tuple[int, ...], Tuple[int, int]]] = {
 #: Paper-reported numbers (depth / eff_CNOTs for baseline and MECH), used by
 #: EXPERIMENTS.md and by tests that check we reproduce the *direction* and
 #: rough magnitude of every improvement.
-TABLE2_PAPER_REFERENCE: Dict[str, Dict[str, float]] = {
+TABLE2_PAPER_REFERENCE: dict[str, dict[str, float]] = {
     "QFT-261": {"base_depth": 19282, "mech_depth": 7504, "base_eff": 325236, "mech_eff": 216771},
     "QAOA-261": {"base_depth": 14837, "mech_depth": 6586, "base_eff": 201637, "mech_eff": 151120},
     "VQE-261": {"base_depth": 15725, "mech_depth": 6784, "base_eff": 261286, "mech_eff": 180044},
@@ -56,13 +56,13 @@ def jobs_for_table2(
     *,
     scale: str = "small",
     benchmarks: Sequence[str] = BENCHMARK_NAMES,
-    chiplet_sizes: Optional[Sequence[int]] = None,
-    array_shape: Optional[Tuple[int, int]] = None,
+    chiplet_sizes: Sequence[int] | None = None,
+    array_shape: tuple[int, int] | None = None,
     noise: NoiseModel = DEFAULT_NOISE,
     seed: int = 0,
-    qaoa_kwargs: Optional[Dict[str, object]] = None,
-    compilers: Optional[Sequence[str]] = None,
-) -> List[Job]:
+    qaoa_kwargs: dict[str, object] | None = None,
+    compilers: Sequence[str] | None = None,
+) -> list[Job]:
     """One job per (chiplet size, benchmark) of the Table 2 sweep.
 
     ``chiplet_sizes`` and ``array_shape`` override the ``scale`` preset;
@@ -79,7 +79,7 @@ def jobs_for_table2(
     rows, cols = array_shape if array_shape is not None else preset_shape
     noise_items = noise_to_items(noise)
     compiler_names = resolve_compilers(compilers)
-    jobs: List[Job] = []
+    jobs: list[Job] = []
     for width in sizes:
         for name in benchmarks:
             kwargs = dict(qaoa_kwargs or {}) if name.upper() == "QAOA" else {}
@@ -103,17 +103,17 @@ def run_table2(
     *,
     scale: str = "small",
     benchmarks: Sequence[str] = BENCHMARK_NAMES,
-    chiplet_sizes: Optional[Sequence[int]] = None,
-    array_shape: Optional[Tuple[int, int]] = None,
+    chiplet_sizes: Sequence[int] | None = None,
+    array_shape: tuple[int, int] | None = None,
     noise: NoiseModel = DEFAULT_NOISE,
     seed: int = 0,
-    qaoa_kwargs: Optional[Dict[str, object]] = None,
-    compilers: Optional[Sequence[str]] = None,
+    qaoa_kwargs: dict[str, object] | None = None,
+    compilers: Sequence[str] | None = None,
     workers: int = 1,
     cache=None,
     policy=None,
     checkpoint=None,
-) -> List[AnyRecord]:
+) -> list[AnyRecord]:
     """Regenerate Table 2: one record per (chiplet size, benchmark)."""
     jobs = jobs_for_table2(
         scale=scale,

@@ -16,7 +16,6 @@ boundaries.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
 
 import networkx as nx
 
@@ -25,7 +24,7 @@ from .topology import Topology
 
 __all__ = ["ChipletArray"]
 
-Coordinate = Tuple[int, int]
+Coordinate = tuple[int, int]
 
 
 @dataclass
@@ -51,11 +50,11 @@ class ChipletArray:
     chiplet_width: int
     rows: int
     cols: int
-    cross_links_per_edge: Optional[int] = None
+    cross_links_per_edge: int | None = None
 
     chiplet: ChipletStructure = field(init=False, repr=False)
-    _coord_to_qubit: Dict[Coordinate, int] = field(init=False, repr=False)
-    _qubit_to_coord: Dict[int, Coordinate] = field(init=False, repr=False)
+    _coord_to_qubit: dict[Coordinate, int] = field(init=False, repr=False)
+    _qubit_to_coord: dict[int, Coordinate] = field(init=False, repr=False)
     _topology: Topology = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
@@ -72,10 +71,10 @@ class ChipletArray:
     def _build(self) -> None:
         width = self.chiplet_width
         graph = nx.Graph()
-        coord_to_qubit: Dict[Coordinate, int] = {}
+        coord_to_qubit: dict[Coordinate, int] = {}
 
         # place qubits chiplet by chiplet, row-major over global coordinates
-        global_coords: List[Tuple[Coordinate, Coordinate]] = []
+        global_coords: list[tuple[Coordinate, Coordinate]] = []
         for ci in range(self.rows):
             for cj in range(self.cols):
                 for (r, c) in sorted(self.chiplet.nodes):
@@ -105,10 +104,10 @@ class ChipletArray:
         )
         self._topology = Topology(graph, name=name)
 
-    def _cross_chip_pairs(self) -> List[Tuple[Coordinate, Coordinate]]:
+    def _cross_chip_pairs(self) -> list[tuple[Coordinate, Coordinate]]:
         """Global coordinate pairs joined by cross-chip links."""
         width = self.chiplet_width
-        pairs: List[Tuple[Coordinate, Coordinate]] = []
+        pairs: list[tuple[Coordinate, Coordinate]] = []
 
         # vertical neighbours: bottom boundary of (ci, cj) to top boundary of (ci+1, cj)
         bottom = {c for (r, c) in self.chiplet.boundary_nodes("bottom")}
@@ -151,7 +150,7 @@ class ChipletArray:
     def num_chiplets(self) -> int:
         return self.rows * self.cols
 
-    def qubit_at(self, coord: Coordinate) -> Optional[int]:
+    def qubit_at(self, coord: Coordinate) -> int | None:
         """Qubit index at a global ``(row, col)`` coordinate, or None if absent."""
         return self._coord_to_qubit.get(tuple(coord))
 
@@ -163,7 +162,7 @@ class ChipletArray:
         """Chiplet index ``(ci, cj)`` containing ``qubit``."""
         return self._topology.chiplet_of(qubit)  # type: ignore[return-value]
 
-    def qubits_in_chiplet(self, chiplet: Coordinate) -> List[int]:
+    def qubits_in_chiplet(self, chiplet: Coordinate) -> list[int]:
         return self._topology.qubits_in_chiplet(chiplet)
 
     @property
@@ -190,7 +189,7 @@ class ChipletArray:
         )
 
 
-def _select_evenly(candidates: List[int], count: Optional[int]) -> List[int]:
+def _select_evenly(candidates: list[int], count: int | None) -> list[int]:
     """Pick ``count`` centred, evenly spaced entries from ``candidates``.
 
     Centred spacing matters: with a single link per edge it lands on the

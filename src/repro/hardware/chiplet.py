@@ -17,7 +17,7 @@ than 64 (matching the paper's Table 1 qubit totals).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, FrozenSet, List, Set, Tuple
+from collections.abc import Callable
 
 __all__ = [
     "ChipletStructure",
@@ -29,8 +29,8 @@ __all__ = [
     "heavy_hexagon_chiplet",
 ]
 
-Coordinate = Tuple[int, int]
-Edge = Tuple[Coordinate, Coordinate]
+Coordinate = tuple[int, int]
+Edge = tuple[Coordinate, Coordinate]
 
 
 @dataclass(frozen=True)
@@ -39,8 +39,8 @@ class ChipletStructure:
 
     name: str
     width: int
-    nodes: FrozenSet[Coordinate]
-    edges: FrozenSet[Edge]
+    nodes: frozenset[Coordinate]
+    edges: frozenset[Edge]
 
     @property
     def num_qubits(self) -> int:
@@ -49,7 +49,7 @@ class ChipletStructure:
     def has_node(self, coord: Coordinate) -> bool:
         return coord in self.nodes
 
-    def boundary_nodes(self, side: str) -> List[Coordinate]:
+    def boundary_nodes(self, side: str) -> list[Coordinate]:
         """Nodes on one side of the footprint (``"top"/"bottom"/"left"/"right"``).
 
         Cross-chip links attach to these nodes; for the heavy structures some
@@ -69,9 +69,9 @@ class ChipletStructure:
         return sorted(selected)
 
 
-def _orthogonal_edges(nodes: Set[Coordinate]) -> Set[Edge]:
+def _orthogonal_edges(nodes: set[Coordinate]) -> set[Edge]:
     """All nearest-neighbour (grid) edges between present nodes."""
-    edges: Set[Edge] = set()
+    edges: set[Edge] = set()
     for r, c in nodes:
         for dr, dc in ((0, 1), (1, 0)):
             other = (r + dr, c + dc)
@@ -96,7 +96,7 @@ def hexagon_chiplet(width: int) -> ChipletStructure:
     """
     _check_width(width)
     nodes = {(r, c) for r in range(width) for c in range(width)}
-    edges: Set[Edge] = set()
+    edges: set[Edge] = set()
     for r in range(width):
         for c in range(width - 1):
             edges.add(((r, c), (r, c + 1)))
@@ -135,14 +135,14 @@ def heavy_hexagon_chiplet(width: int) -> ChipletStructure:
     rows couple horizontally.
     """
     _check_width(width)
-    nodes: Set[Coordinate] = set()
+    nodes: set[Coordinate] = set()
     for r in range(width):
         if r % 2 == 0:
             nodes.update((r, c) for c in range(width))
         else:
             offset = 0 if (r // 2) % 2 == 0 else 2
             nodes.update((r, c) for c in range(width) if c % 4 == offset)
-    edges: Set[Edge] = set()
+    edges: set[Edge] = set()
     for r in range(0, width, 2):
         for c in range(width - 1):
             if (r, c) in nodes and (r, c + 1) in nodes:
@@ -159,7 +159,7 @@ def heavy_hexagon_chiplet(width: int) -> ChipletStructure:
 
 
 #: Registry mapping structure names to their builders.
-COUPLING_STRUCTURES: Dict[str, Callable[[int], ChipletStructure]] = {
+COUPLING_STRUCTURES: dict[str, Callable[[int], ChipletStructure]] = {
     "square": square_chiplet,
     "hexagon": hexagon_chiplet,
     "heavy_square": heavy_square_chiplet,

@@ -11,7 +11,7 @@ their inner loops.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from collections.abc import Iterable, Sequence
 
 import networkx as nx
 import numpy as np
@@ -20,7 +20,7 @@ from scipy.sparse.csgraph import dijkstra
 
 __all__ = ["Topology", "TopologyError"]
 
-Coordinate = Tuple[int, int]
+Coordinate = tuple[int, int]
 
 
 class TopologyError(ValueError):
@@ -54,13 +54,13 @@ class Topology:
         # silently invalidating the caches.
         self.graph = nx.freeze(graph)
         self.name = name
-        self._dist_cache: Dict[float, np.ndarray] = {}
-        self._qubits: Optional[Tuple[int, ...]] = None
-        self._edges: Optional[Tuple[Tuple[int, int], ...]] = None
-        self._cross_chip_edges: Optional[Tuple[Tuple[int, int], ...]] = None
-        self._on_chip_edges: Optional[Tuple[Tuple[int, int], ...]] = None
-        self._neighbors: Dict[int, Tuple[int, ...]] = {}
-        self._adjacency: Optional[np.ndarray] = None
+        self._dist_cache: dict[float, np.ndarray] = {}
+        self._qubits: tuple[int, ...] | None = None
+        self._edges: tuple[tuple[int, int], ...] | None = None
+        self._cross_chip_edges: tuple[tuple[int, int], ...] | None = None
+        self._on_chip_edges: tuple[tuple[int, int], ...] | None = None
+        self._neighbors: dict[int, tuple[int, ...]] = {}
+        self._adjacency: np.ndarray | None = None
 
     # ------------------------------------------------------------------ #
     # basic queries
@@ -73,19 +73,19 @@ class Topology:
     def num_edges(self) -> int:
         return self.graph.number_of_edges()
 
-    def qubits(self) -> Tuple[int, ...]:
+    def qubits(self) -> tuple[int, ...]:
         if self._qubits is None:
             self._qubits = tuple(sorted(self.graph.nodes()))
         return self._qubits
 
-    def edges(self) -> Tuple[Tuple[int, int], ...]:
+    def edges(self) -> tuple[tuple[int, int], ...]:
         if self._edges is None:
             self._edges = tuple(
                 (min(a, b), max(a, b)) for a, b in self.graph.edges()
             )
         return self._edges
 
-    def neighbors(self, qubit: int) -> Tuple[int, ...]:
+    def neighbors(self, qubit: int) -> tuple[int, ...]:
         cached = self._neighbors.get(qubit)
         if cached is None:
             cached = tuple(sorted(self.graph.neighbors(qubit)))
@@ -120,7 +120,7 @@ class Topology:
             raise TopologyError(f"qubits {a} and {b} are not coupled")
         return bool(self.graph.edges[a, b].get("cross_chip", False))
 
-    def cross_chip_edges(self) -> Tuple[Tuple[int, int], ...]:
+    def cross_chip_edges(self) -> tuple[tuple[int, int], ...]:
         if self._cross_chip_edges is None:
             self._cross_chip_edges = tuple(
                 (min(a, b), max(a, b))
@@ -129,7 +129,7 @@ class Topology:
             )
         return self._cross_chip_edges
 
-    def on_chip_edges(self) -> Tuple[Tuple[int, int], ...]:
+    def on_chip_edges(self) -> tuple[tuple[int, int], ...]:
         if self._on_chip_edges is None:
             self._on_chip_edges = tuple(
                 (min(a, b), max(a, b))
@@ -138,15 +138,15 @@ class Topology:
             )
         return self._on_chip_edges
 
-    def position(self, qubit: int) -> Optional[Coordinate]:
+    def position(self, qubit: int) -> Coordinate | None:
         """Grid coordinate of ``qubit``, if known."""
         return self.graph.nodes[qubit].get("pos")
 
-    def chiplet_of(self, qubit: int) -> Optional[Coordinate]:
+    def chiplet_of(self, qubit: int) -> Coordinate | None:
         """Chiplet index ``(ci, cj)`` of ``qubit``, if known."""
         return self.graph.nodes[qubit].get("chiplet")
 
-    def chiplets(self) -> List[Coordinate]:
+    def chiplets(self) -> list[Coordinate]:
         """Sorted list of distinct chiplet indices present in the device."""
         found = {
             data.get("chiplet")
@@ -155,7 +155,7 @@ class Topology:
         }
         return sorted(found)
 
-    def qubits_in_chiplet(self, chiplet: Coordinate) -> List[int]:
+    def qubits_in_chiplet(self, chiplet: Coordinate) -> list[int]:
         return sorted(
             q for q, data in self.graph.nodes(data=True) if data.get("chiplet") == chiplet
         )
@@ -183,7 +183,7 @@ class Topology:
 
     def shortest_path(
         self, a: int, b: int, *, cross_chip_weight: float = 1.0
-    ) -> List[int]:
+    ) -> list[int]:
         """One shortest path from ``a`` to ``b`` (inclusive of both endpoints)."""
         if cross_chip_weight == 1.0:
             return nx.shortest_path(self.graph, a, b)
@@ -195,9 +195,9 @@ class Topology:
 
     def _compute_distances(self, cross_chip_weight: float) -> np.ndarray:
         n = self.num_qubits
-        rows: List[int] = []
-        cols: List[int] = []
-        vals: List[float] = []
+        rows: list[int] = []
+        cols: list[int] = []
+        vals: list[float] = []
         for a, b, data in self.graph.edges(data=True):
             w = cross_chip_weight if data.get("cross_chip", False) else 1.0
             rows.extend((a, b))
@@ -238,7 +238,7 @@ class Topology:
         )
 
 
-def _validate_edge_list(edges: Sequence[Tuple[int, int]]) -> None:
+def _validate_edge_list(edges: Sequence[tuple[int, int]]) -> None:
     for a, b in edges:
         if a == b:
             raise TopologyError(f"self-loop on qubit {a}")

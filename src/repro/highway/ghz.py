@@ -23,7 +23,7 @@ statevector simulator) and into the MECH compiler's physical output circuit.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from collections.abc import Callable, Sequence
 
 from ..circuits import gates as g
 from ..circuits.gates import Gate
@@ -33,7 +33,7 @@ __all__ = ["GhzPrepPlan", "measurement_based_ghz", "tree_ghz", "chain_ghz", "ext
 
 #: Lookup giving the interval qubit between two consecutive highway qubits
 #: (``None`` when they are directly coupled).
-ViaLookup = Callable[[int, int], Optional[int]]
+ViaLookup = Callable[[int, int], int | None]
 
 
 @dataclass
@@ -55,14 +55,14 @@ class GhzPrepPlan:
         First unused classical bit index after the preparation.
     """
 
-    operations: List[Gate] = field(default_factory=list)
-    members: List[int] = field(default_factory=list)
-    measured: List[int] = field(default_factory=list)
-    measurement_cbits: Dict[int, int] = field(default_factory=dict)
+    operations: list[Gate] = field(default_factory=list)
+    members: list[int] = field(default_factory=list)
+    measured: list[int] = field(default_factory=list)
+    measurement_cbits: dict[int, int] = field(default_factory=dict)
     next_cbit: int = 0
 
 
-def _entangling_cnot(control: int, target: int, via: Optional[int]) -> List[Gate]:
+def _entangling_cnot(control: int, target: int, via: int | None) -> list[Gate]:
     """CNOT between neighbouring highway qubits, bridging an interval qubit if needed."""
     if via is None:
         # highway positions are validated distinct ints; skip re-validation
@@ -109,7 +109,7 @@ def measurement_based_ghz(
     # (this is the paper's "even case").  Instead the main preparation runs on
     # the odd-length prefix and the trailing qubit is absorbed afterwards by a
     # single extension CNOT from the last member.
-    trailing: Optional[int] = None
+    trailing: int | None = None
     if len(path) % 2 == 0 and len(path) > 1:
         trailing = path[-1]
         path = path[:-1]
@@ -203,7 +203,7 @@ def measurement_based_ghz(
 
 
 def tree_ghz(
-    adjacency: Dict[int, List[int]],
+    adjacency: dict[int, list[int]],
     root: int,
     *,
     via_lookup: ViaLookup | None = None,
@@ -234,11 +234,11 @@ def tree_ghz(
     required = set(required_members)
 
     # ---- decompose the tree into paths via iterative DFS ---------------- #
-    paths: List[List[int]] = []
+    paths: list[list[int]] = []
     visited = {root}
     # each stack entry: (node, path_index, position_in_path)
-    stack: List[Tuple[int, int]] = [(root, -1)]
-    node_path: Dict[int, Tuple[int, int]] = {}
+    stack: list[tuple[int, int]] = [(root, -1)]
+    node_path: dict[int, tuple[int, int]] = {}
 
     def new_path(anchor: int) -> int:
         paths.append([anchor])
@@ -246,7 +246,7 @@ def tree_ghz(
 
     root_path = new_path(root)
     node_path[root] = (root_path, 0)
-    order: List[int] = [root]
+    order: list[int] = [root]
     stack = [root]
     while stack:
         node = stack.pop()
@@ -275,7 +275,7 @@ def tree_ghz(
     # ---- prepare each path, merging into the growing GHZ ---------------- #
     plan = GhzPrepPlan(next_cbit=cbit_base)
     lookup: ViaLookup = via_lookup if via_lookup is not None else (lambda a, b: None)
-    members: List[int] = []
+    members: list[int] = []
     member_set: set[int] = set()
     cbit = cbit_base
 
@@ -309,9 +309,9 @@ def tree_ghz(
     return plan
 
 
-def _drop_first_h(ops: List[Gate], qubit: int) -> List[Gate]:
+def _drop_first_h(ops: list[Gate], qubit: int) -> list[Gate]:
     """Remove the first unconditioned Hadamard acting on ``qubit``."""
-    result: List[Gate] = []
+    result: list[Gate] = []
     dropped = False
     for op in ops:
         if (
@@ -326,18 +326,18 @@ def _drop_first_h(ops: List[Gate], qubit: int) -> List[Gate]:
     return result
 
 
-def chain_ghz(path: Sequence[int]) -> List[Gate]:
+def chain_ghz(path: Sequence[int]) -> list[Gate]:
     """Linear-depth GHZ preparation by a CNOT chain (paper Fig. 1a baseline)."""
     path = list(path)
     if not path:
         raise ValueError("GHZ preparation needs a non-empty path")
-    ops: List[Gate] = [g.h(path[0])]
-    for a, b in zip(path, path[1:]):
+    ops: list[Gate] = [g.h(path[0])]
+    for a, b in zip(path, path[1:], strict=False):
         ops.append(g.cx(a, b))
     return ops
 
 
-def extend_ghz(member: int, new_qubit: int, via: Optional[int] = None) -> List[Gate]:
+def extend_ghz(member: int, new_qubit: int, via: int | None = None) -> list[Gate]:
     """Extend an existing GHZ state onto ``new_qubit`` (assumed in ``|0>``).
 
     A single CNOT from any GHZ member onto a fresh ``|0>`` qubit produces a

@@ -24,7 +24,6 @@ highway, 2/3 = the doubled/tripled highways of Fig. 15).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 import networkx as nx
 
@@ -44,14 +43,14 @@ class HighwaySegment:
 
     a: int
     b: int
-    via: Optional[int] = None
+    via: int | None = None
     cross_chip: bool = False
 
     @property
     def is_bridged(self) -> bool:
         return self.via is not None
 
-    def endpoints(self) -> Tuple[int, int]:
+    def endpoints(self) -> tuple[int, int]:
         return (self.a, self.b)
 
 
@@ -84,16 +83,16 @@ class HighwayLayout:
         self.density = density
         self.interleave = interleave
 
-        self._lines: List[List[int]] = []
-        self._highway_qubits: Set[int] = set()
-        self._crossroads: Set[int] = set()
-        self._segments: List[HighwaySegment] = []
+        self._lines: list[list[int]] = []
+        self._highway_qubits: set[int] = set()
+        self._crossroads: set[int] = set()
+        self._segments: list[HighwaySegment] = []
         self._highway_graph = nx.Graph()
         # per-qubit entrance rankings and the distance-to-highway vector are
         # pure functions of the finished layout; both are cached lazily
         # because the schedulers query them once per gate component
-        self._entrance_rank: Dict[int, List[int]] = {}
-        self._entrance_within: Dict[int, List[int]] = {}
+        self._entrance_rank: dict[int, list[int]] = {}
+        self._entrance_within: dict[int, list[int]] = {}
         self._dist_to_highway = None
 
         self._build()
@@ -102,12 +101,12 @@ class HighwayLayout:
     # public queries
     # ------------------------------------------------------------------ #
     @property
-    def highway_qubits(self) -> FrozenSet[int]:
+    def highway_qubits(self) -> frozenset[int]:
         """Physical indices of the ancillary qubits forming the highway."""
         return frozenset(self._highway_qubits)
 
     @property
-    def data_qubits(self) -> List[int]:
+    def data_qubits(self) -> list[int]:
         """Physical indices usable as data qubits (everything off the highway)."""
         return [q for q in self.topology.qubits() if q not in self._highway_qubits]
 
@@ -116,17 +115,17 @@ class HighwayLayout:
         return self.topology.num_qubits - len(self._highway_qubits)
 
     @property
-    def crossroads(self) -> FrozenSet[int]:
+    def crossroads(self) -> frozenset[int]:
         """Highway qubits where two or more highway lines intersect."""
         return frozenset(self._crossroads)
 
     @property
-    def lines(self) -> List[List[int]]:
+    def lines(self) -> list[list[int]]:
         """The raw mesh lines (sequences of physical qubits, highway and interval)."""
         return [list(line) for line in self._lines]
 
     @property
-    def segments(self) -> List[HighwaySegment]:
+    def segments(self) -> list[HighwaySegment]:
         """All links between consecutive highway qubits."""
         return list(self._segments)
 
@@ -142,7 +141,7 @@ class HighwayLayout:
     def is_highway(self, qubit: int) -> bool:
         return qubit in self._highway_qubits
 
-    def entrances_near(self, qubit: int, *, radius: int = 2, limit: int = 6) -> List[int]:
+    def entrances_near(self, qubit: int, *, radius: int = 2, limit: int = 6) -> list[int]:
         """Candidate highway entrances for a data qubit, closest first.
 
         An entrance is a highway qubit; the data qubit needs to be routed to
@@ -177,7 +176,7 @@ class HighwayLayout:
             self._dist_to_highway = distances[:, highway].min(axis=1)
         return float(self._dist_to_highway[qubit])
 
-    def segment_between(self, a: int, b: int) -> Optional[HighwaySegment]:
+    def segment_between(self, a: int, b: int) -> HighwaySegment | None:
         """The segment joining highway qubits ``a`` and ``b``, if any."""
         if not self._highway_graph.has_edge(a, b):
             return None
@@ -190,7 +189,7 @@ class HighwayLayout:
     def _build(self) -> None:
         lines = self._route_mesh_lines()
         self._lines = lines
-        on_lines: Dict[int, int] = {}
+        on_lines: dict[int, int] = {}
         for line in lines:
             for q in line:
                 on_lines[q] = on_lines.get(q, 0) + 1
@@ -200,7 +199,7 @@ class HighwayLayout:
             self._mark_line(line)
         self._ensure_connected()
 
-    def _desired_offsets(self) -> List[int]:
+    def _desired_offsets(self) -> list[int]:
         """Local row/column offsets of the highway lines inside one chiplet."""
         width = self.array.chiplet_width
         if self.density == 1:
@@ -211,11 +210,11 @@ class HighwayLayout:
         unique = sorted({min(max(o, 1), width - 2) for o in offsets})
         return unique
 
-    def _route_mesh_lines(self) -> List[List[int]]:
+    def _route_mesh_lines(self) -> list[list[int]]:
         """Compute the mesh lines as coupling-graph paths hugging target rows/cols."""
-        lines: List[List[int]] = []
+        lines: list[list[int]] = []
         offsets = self._desired_offsets()
-        claimed: Set[int] = set()
+        claimed: set[int] = set()
 
         for ci in range(self.array.rows):
             for offset in offsets:
@@ -233,7 +232,7 @@ class HighwayLayout:
                     claimed.update(line)
         return lines
 
-    def _hug_path(self, *, axis: str, index: int, claimed: Set[int]) -> List[int]:
+    def _hug_path(self, *, axis: str, index: int, claimed: set[int]) -> list[int]:
         """Shortest path across the device staying close to a row or column.
 
         The edge weight penalises deviation from the target row/column and
@@ -267,7 +266,7 @@ class HighwayLayout:
             return []
         return list(path)
 
-    def _mark_line(self, line: List[int]) -> None:
+    def _mark_line(self, line: list[int]) -> None:
         """Decide which qubits along a line are highway qubits and add segments."""
         if not line:
             return
@@ -276,9 +275,9 @@ class HighwayLayout:
             return
 
         forced = self._forced_positions(line)
-        marked: List[int] = []
-        last_marked_pos: Optional[int] = None
-        for pos, qubit in enumerate(line):
+        marked: list[int] = []
+        last_marked_pos: int | None = None
+        for pos, _qubit in enumerate(line):
             take = False
             if pos in forced or not self.interleave:
                 take = True
@@ -295,10 +294,10 @@ class HighwayLayout:
 
         for pos in marked:
             self._add_highway_node(line[pos])
-        for prev_pos, next_pos in zip(marked, marked[1:]):
+        for prev_pos, next_pos in zip(marked, marked[1:], strict=False):
             self._add_segment(line, prev_pos, next_pos)
 
-    def _forced_positions(self, line: List[int]) -> Set[int]:
+    def _forced_positions(self, line: list[int]) -> set[int]:
         """Positions that must stay dense: crossroads (plus their neighbours on
         sufficiently large chiplets) and the endpoints of cross-chip couplers
         along the line.
@@ -308,7 +307,7 @@ class HighwayLayout:
         islands; the crossroad itself is enough to keep the mesh connected
         there.
         """
-        forced: Set[int] = set()
+        forced: set[int] = set()
         dense_neighbours = self.array.chiplet_width >= 6
         for pos, qubit in enumerate(line):
             if qubit in self._crossroads:
@@ -330,7 +329,7 @@ class HighwayLayout:
         if not self._highway_graph.has_node(qubit):
             self._highway_graph.add_node(qubit)
 
-    def _add_segment(self, line: List[int], pos_a: int, pos_b: int) -> None:
+    def _add_segment(self, line: list[int], pos_a: int, pos_b: int) -> None:
         a, b = line[pos_a], line[pos_b]
         if a == b:
             return
@@ -339,7 +338,7 @@ class HighwayLayout:
         hops = line[pos_a : pos_b + 1]
         cross = any(
             self.topology.is_coupled(u, v) and self.topology.is_cross_chip(u, v)
-            for u, v in zip(hops, hops[1:])
+            for u, v in zip(hops, hops[1:], strict=False)
         )
         segment = HighwaySegment(a, b, via=via, cross_chip=cross)
         self._segments.append(segment)
@@ -360,14 +359,14 @@ class HighwayLayout:
         while len(components) > 1:
             base = components[0]
             other = components[1]
-            best: Optional[List[int]] = None
+            best: list[int] | None = None
             for source in base[:: max(1, len(base) // 8)]:
                 for sink in other[:: max(1, len(other) // 8)]:
                     path = self.topology.shortest_path(source, sink)
                     if best is None or len(path) < len(best):
                         best = path
             assert best is not None
-            for u, v in zip(best, best[1:]):
+            for u, v in zip(best, best[1:], strict=False):
                 self._add_highway_node(u)
                 self._add_highway_node(v)
                 cross = self.topology.is_cross_chip(u, v)

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from collections.abc import Iterable, Sequence
 
 from .layout import HighwayLayout
 
@@ -49,8 +49,8 @@ class HighwayRoute:
     """
 
     root: int
-    nodes: List[int] = field(default_factory=list)
-    adjacency: Dict[int, List[int]] = field(default_factory=dict)
+    nodes: list[int] = field(default_factory=list)
+    adjacency: dict[int, list[int]] = field(default_factory=dict)
 
     @property
     def size(self) -> int:
@@ -68,7 +68,7 @@ class HighwayManager:
         self.graph = layout.highway_graph
         self.topology = layout.topology
         #: time at which each highway qubit becomes free again
-        self.release_time: Dict[int, float] = {q: 0.0 for q in layout.highway_qubits}
+        self.release_time: dict[int, float] = {q: 0.0 for q in layout.highway_qubits}
         #: number of highway claims performed (a proxy for the shuttle count)
         self.num_claims: int = 0
         #: total highway qubits claimed over the whole compilation
@@ -76,18 +76,18 @@ class HighwayManager:
         # the highway graph is frozen once the layout is built, so its
         # adjacency is snapshotted for the per-gate route searches (the lists
         # keep networkx's own adjacency iteration order)
-        self._adjacency: Dict[int, List[int]] = {
+        self._adjacency: dict[int, list[int]] = {
             node: list(self.graph[node]) for node in self.graph
         }
 
     # ------------------------------------------------------------------ #
     # entrances
     # ------------------------------------------------------------------ #
-    def entrance_candidates(self, physical_qubit: int, *, limit: int = 6) -> List[int]:
+    def entrance_candidates(self, physical_qubit: int, *, limit: int = 6) -> list[int]:
         """Highway qubits a data qubit could use as its entrance, closest first."""
         return self.layout.entrances_near(physical_qubit, limit=limit)
 
-    def entrance_parking(self, entrance: int) -> List[int]:
+    def entrance_parking(self, entrance: int) -> list[int]:
         """Non-highway neighbours of an entrance where a data qubit can sit."""
         return [
             q
@@ -130,14 +130,14 @@ class HighwayManager:
             while pred[path[-1]] is not None:
                 path.append(pred[path[-1]])
             path.reverse()
-            for a, b in zip(path, path[1:]):
+            for a, b in zip(path, path[1:], strict=False):
                 self._attach(route, a, b)
             pending.remove(best)
         return route
 
     def _bfs_from(
-        self, sources: Set[int], *, targets: Optional[Sequence[int]] = None
-    ) -> Tuple[Dict[int, int], Dict[int, Optional[int]]]:
+        self, sources: set[int], *, targets: Sequence[int] | None = None
+    ) -> tuple[dict[int, int], dict[int, int | None]]:
         """Multi-source BFS over the highway graph: distances and predecessors.
 
         All highway edges weigh 1, so this reproduces the
@@ -151,8 +151,8 @@ class HighwayManager:
         target is discovered; distances and paths found up to that point are
         the same prefix the full search would record.
         """
-        lengths: Dict[int, int] = {s: 0 for s in sources}
-        pred: Dict[int, Optional[int]] = {s: None for s in sources}
+        lengths: dict[int, int] = {s: 0 for s in sources}
+        pred: dict[int, int | None] = {s: None for s in sources}
         remaining = (
             sum(1 for t in targets if t not in lengths) if targets is not None else -1
         )
@@ -201,7 +201,7 @@ class HighwayManager:
     # ------------------------------------------------------------------ #
     # segment details
     # ------------------------------------------------------------------ #
-    def via(self, a: int, b: int) -> Optional[int]:
+    def via(self, a: int, b: int) -> int | None:
         """Interval qubit bridged by the segment between highway qubits a and b."""
         if not self.graph.has_edge(a, b):
             return None

@@ -26,7 +26,7 @@ turns them into a control-shared group.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Sequence, Tuple
+from collections.abc import Sequence
 
 from ..circuits import gates as g
 from ..circuits.gates import Gate
@@ -38,9 +38,9 @@ __all__ = ["ProtocolPlan", "cat_entangler", "fan_out", "cat_disentangler", "high
 class ProtocolPlan:
     """Operations and classical-bit bookkeeping of one protocol execution."""
 
-    operations: List[Gate] = field(default_factory=list)
+    operations: list[Gate] = field(default_factory=list)
     entangle_cbit: int = -1
-    disentangle_cbits: List[int] = field(default_factory=list)
+    disentangle_cbits: list[int] = field(default_factory=list)
     next_cbit: int = 0
 
 
@@ -50,9 +50,9 @@ def cat_entangler(
     other_members: Sequence[int],
     *,
     cbit: int,
-) -> List[Gate]:
+) -> list[Gate]:
     """Stage 1: share the control's value with every remaining GHZ member."""
-    ops: List[Gate] = [g.cx(control_data, control_entrance)]
+    ops: list[Gate] = [g.cx(control_data, control_entrance)]
     ops.append(g.measure(control_entrance, cbit))
     if other_members:
         # the X corrections are conditioned on the measurement outcome; the
@@ -67,11 +67,11 @@ def cat_entangler(
 
 
 def fan_out(
-    member_target_pairs: Sequence[Tuple[int, int]],
+    member_target_pairs: Sequence[tuple[int, int]],
     *,
     gate_name: str = "cx",
-    params: Tuple[float, ...] = (),
-) -> List[Gate]:
+    params: tuple[float, ...] = (),
+) -> list[Gate]:
     """Stage 2: apply the controlled operation from each member to its target.
 
     Members are highway qubits and targets are data qubits (always distinct,
@@ -92,10 +92,10 @@ def cat_disentangler(
     members: Sequence[int],
     *,
     cbit_base: int,
-) -> Tuple[List[Gate], List[int]]:
+) -> tuple[list[Gate], list[int]]:
     """Stage 3: X-basis measurements of the members, parity Z on the control."""
-    ops: List[Gate] = []
-    cbits: List[int] = []
+    ops: list[Gate] = []
+    cbits: list[int] = []
     cbit = cbit_base
     for member in members:
         ops.append(g.h(member))
@@ -112,12 +112,12 @@ def cat_disentangler(
 def highway_multi_target(
     control_data: int,
     control_entrance: int,
-    member_target_pairs: Sequence[Tuple[int, int]],
+    member_target_pairs: Sequence[tuple[int, int]],
     *,
     all_members: Sequence[int],
     cbit_base: int,
     gate_name: str = "cx",
-    params: Tuple[float, ...] = (),
+    params: tuple[float, ...] = (),
 ) -> ProtocolPlan:
     """Full protocol for one highway gate on an already-prepared GHZ state.
 

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, Iterable, Optional
+from collections.abc import Iterable
 
 from .circuits.circuit import Circuit
 from .circuits.library import expand_macros
@@ -77,7 +77,7 @@ class CircuitMetrics:
     num_physical_qubits: int
     num_operations: int
 
-    def as_dict(self) -> Dict[str, float]:
+    def as_dict(self) -> dict[str, float]:
         return {
             "depth": self.depth,
             "on_chip_cnots": self.counts.on_chip_cnots,
@@ -91,7 +91,7 @@ class CircuitMetrics:
 
 def count_operations(
     circuit: Circuit,
-    topology: Optional[Topology] = None,
+    topology: Topology | None = None,
     *,
     strict: bool = True,
 ) -> OperationCounts:
@@ -107,7 +107,7 @@ def count_operations(
 
 
 def _count_expanded(
-    expanded: Circuit, topology: Optional[Topology], *, strict: bool
+    expanded: Circuit, topology: Topology | None, *, strict: bool
 ) -> OperationCounts:
     """Count operations of an already macro-expanded circuit."""
     on_chip = 0
@@ -151,7 +151,7 @@ def _count_expanded(
 
 def circuit_metrics(
     circuit: Circuit,
-    topology: Optional[Topology] = None,
+    topology: Topology | None = None,
     noise: NoiseModel = DEFAULT_NOISE,
     *,
     strict: bool = True,

@@ -23,7 +23,7 @@ import os
 import time
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+from collections.abc import Callable, Mapping, Sequence
 
 import numpy as np
 
@@ -64,8 +64,8 @@ class BenchWorkload:
 
 
 def _fig12_workloads(
-    width: int, shapes: Sequence[Tuple[int, int]], benchmarks: Sequence[str]
-) -> Tuple[BenchWorkload, ...]:
+    width: int, shapes: Sequence[tuple[int, int]], benchmarks: Sequence[str]
+) -> tuple[BenchWorkload, ...]:
     return tuple(
         BenchWorkload(
             name=f"square{width}-{rows}x{cols}/{benchmark.lower()}",
@@ -84,7 +84,7 @@ def _fig12_workloads(
 #: paper's large scalability presets (7x7 chiplets, the full 2x2..3x4 array
 #: sweep) under the two routing-heavy benchmarks; ``full`` extends fig12 to
 #: all four paper benchmarks.
-SUITES: Dict[str, Tuple[BenchWorkload, ...]] = {
+SUITES: dict[str, tuple[BenchWorkload, ...]] = {
     # width-5 chiplets: big enough (~100-300ms per compile) that the CI
     # regression gate measures the compiler, not scheduler jitter
     "quick": _fig12_workloads(5, ((1, 2), (2, 2)), ("QFT", "QAOA")),
@@ -125,10 +125,11 @@ def measure_calibration(repeats: int = 5) -> float:
 def run_bench(
     suite: str = "quick",
     *,
-    compilers: Optional[Sequence[str]] = None,
+    compilers: Sequence[str] | None = None,
     repeat: int = 1,
-    progress: Optional[Callable[[str], None]] = None,
-) -> Dict[str, object]:
+    progress: Callable[[str], None] | None = None,
+    verify: bool = False,
+) -> dict[str, object]:
     """Compile every workload of ``suite`` with every backend; return the doc.
 
     ``repeat`` re-compiles each workload N times and keeps the fastest
@@ -138,6 +139,11 @@ def run_bench(
     Unlike an experiment comparison, a bench sweep has no reference backend,
     so ``compilers`` may be a single name (or the whole registry — the CLI's
     ``--backends all``); ``None`` keeps the default pair.
+
+    ``verify=True`` runs the static verifier (:mod:`repro.analysis`) over
+    every compiled result; rows gain ``verified``/``violations`` columns and
+    the document records ``"verify": true`` so consumers know the rows carry
+    verification columns.
     """
     from ..backends import DEFAULT_COMPILERS
     from .workloads import compile_workload
@@ -147,7 +153,7 @@ def run_bench(
     if repeat < 1:
         raise ValueError("repeat must be at least 1")
     if compilers is None:
-        names: Tuple[str, ...] = DEFAULT_COMPILERS
+        names: tuple[str, ...] = DEFAULT_COMPILERS
     else:
         names = tuple(str(name).strip().lower() for name in compilers)
         if not names:
@@ -155,13 +161,13 @@ def run_bench(
         duplicates = sorted({name for name in names if names.count(name) > 1})
         if duplicates:
             raise ValueError(f"duplicate compiler(s) {duplicates} in {list(names)}")
-    rows: List[Dict[str, object]] = []
+    rows: list[dict[str, object]] = []
     for workload in SUITES[suite]:
         if progress is not None:
             progress(f"bench {workload.name} [{', '.join(names)}]")
-        best: Optional[Dict[str, Dict[str, object]]] = None
+        best: dict[str, dict[str, object]] | None = None
         for _ in range(repeat):
-            measured = compile_workload(workload, names)
+            measured = compile_workload(workload, names, verify=verify)
             if best is None:
                 best = measured
             else:
@@ -179,13 +185,14 @@ def run_bench(
         "created_unix": time.time(),
         "compilers": list(names),
         "repeat": repeat,
+        "verify": bool(verify),
         "calibration_seconds": measure_calibration(),
         "rows": rows,
     }
 
 
 def write_document(
-    document: Mapping[str, object], out_dir: Union[str, Path], prefix: str
+    document: Mapping[str, object], out_dir: str | Path, prefix: str
 ) -> Path:
     """Write ``document`` as ``<prefix>_<timestamp>-p<pid>[.N].json``, never
     clobbering an existing file.
@@ -212,12 +219,12 @@ def write_document(
             counter += 1
 
 
-def write_bench(document: Mapping[str, object], out_dir: Union[str, Path]) -> Path:
+def write_bench(document: Mapping[str, object], out_dir: str | Path) -> Path:
     """Write ``document`` as a unique ``BENCH_*.json`` under ``out_dir``."""
     return write_document(document, out_dir, "BENCH")
 
 
-def load_bench(path: Union[str, Path]) -> Dict[str, object]:
+def load_bench(path: str | Path) -> dict[str, object]:
     """Load and shape-check a BENCH document."""
     with open(path, "r", encoding="utf-8") as handle:
         document = json.load(handle)
@@ -236,7 +243,7 @@ def compare_bench(
     new: Mapping[str, object],
     *,
     max_regression: float = 0.25,
-) -> Dict[str, object]:
+) -> dict[str, object]:
     """Compare two bench documents row by row.
 
     Speedup per matched ``(workload, backend)`` row is
@@ -254,8 +261,8 @@ def compare_bench(
     new_cal = float(new.get("calibration_seconds") or 0.0)
     ratio = (new_cal / old_cal) if old_cal > 0 and new_cal > 0 else 1.0
 
-    rows: List[Dict[str, object]] = []
-    speedups: List[float] = []
+    rows: list[dict[str, object]] = []
+    speedups: list[float] = []
     for key in sorted(new_rows):
         if key not in old_rows:
             continue

@@ -19,7 +19,7 @@ table.
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+from collections.abc import Mapping, Sequence
 
 import numpy as np
 
@@ -48,7 +48,7 @@ class HistoryError(ValueError):
     """A history directory that cannot be analysed (missing, empty, ...)."""
 
 
-def _sort_stamp(document: Mapping[str, object], path: Path) -> Tuple[float, str]:
+def _sort_stamp(document: Mapping[str, object], path: Path) -> tuple[float, str]:
     created = document.get("created_unix")
     if isinstance(created, (int, float)) and np.isfinite(created):
         return (float(created), path.name)
@@ -57,8 +57,8 @@ def _sort_stamp(document: Mapping[str, object], path: Path) -> Tuple[float, str]
 
 
 def load_history(
-    directory: Union[str, Path],
-) -> Tuple[List[Tuple[Path, Dict[str, object]]], List[Dict[str, str]]]:
+    directory: str | Path,
+) -> tuple[list[tuple[Path, dict[str, object]]], list[dict[str, str]]]:
     """Load every ``BENCH_*.json`` under ``directory``, oldest first.
 
     Returns ``(documents, skipped)`` where ``documents`` is a list of
@@ -74,8 +74,8 @@ def load_history(
     paths = sorted(root.glob("BENCH_*.json"))
     if not paths:
         raise HistoryError(f"no BENCH_*.json documents under {root}")
-    documents: List[Tuple[Path, Dict[str, object]]] = []
-    skipped: List[Dict[str, str]] = []
+    documents: list[tuple[Path, dict[str, object]]] = []
+    skipped: list[dict[str, str]] = []
     for path in paths:
         try:
             documents.append((path, load_bench(path)))
@@ -108,15 +108,15 @@ def _rescale(document: Mapping[str, object], reference_calibration: float) -> fl
     return 1.0
 
 
-def _backend_rows(document: Mapping[str, object]) -> Dict[str, Dict[str, dict]]:
+def _backend_rows(document: Mapping[str, object]) -> dict[str, dict[str, dict]]:
     """``backend -> workload -> row`` for one document."""
-    out: Dict[str, Dict[str, dict]] = {}
+    out: dict[str, dict[str, dict]] = {}
     for row in document["rows"]:
         out.setdefault(str(row["backend"]), {})[str(row["workload"])] = row
     return out
 
 
-def _geomean_over(values: Sequence[float]) -> Optional[float]:
+def _geomean_over(values: Sequence[float]) -> float | None:
     finite = [v for v in values if v > 0 and np.isfinite(v)]
     if not finite:
         return None
@@ -124,11 +124,11 @@ def _geomean_over(values: Sequence[float]) -> Optional[float]:
 
 
 def _delta(
-    old_rows: Optional[Mapping[str, dict]],
+    old_rows: Mapping[str, dict] | None,
     new_rows: Mapping[str, dict],
     scale_old: float,
     scale_new: float,
-) -> Optional[Dict[str, object]]:
+) -> dict[str, object] | None:
     """Per-backend geomean deltas between two documents' matched workloads.
 
     ``wallclock_speedup`` follows the ``--against`` convention (old/new, so
@@ -141,7 +141,7 @@ def _delta(
     if not matched:
         return None
     speedups = []
-    ratios: Dict[str, List[float]] = {"swaps": [], "depth": [], "eff_cnots": []}
+    ratios: dict[str, list[float]] = {"swaps": [], "depth": [], "eff_cnots": []}
     for workload in matched:
         old_seconds = float(old_rows[workload]["seconds"]) * scale_old
         new_seconds = float(new_rows[workload]["seconds"]) * scale_new
@@ -162,11 +162,11 @@ def _delta(
 
 
 def compute_history(
-    documents: Sequence[Tuple[Path, Mapping[str, object]]],
+    documents: Sequence[tuple[Path, Mapping[str, object]]],
     *,
     max_drift: float = DEFAULT_MAX_DRIFT,
-    skipped: Optional[Sequence[Mapping[str, str]]] = None,
-) -> Dict[str, object]:
+    skipped: Sequence[Mapping[str, str]] | None = None,
+) -> dict[str, object]:
     """The TREND report over ``documents`` (oldest first, as from
     :func:`load_history`).
 
@@ -199,22 +199,22 @@ def compute_history(
             "compilers": list(doc.get("compilers") or []),
             "rows": len(doc["rows"]),
         }
-        for (path, doc), scale in zip(documents, scales)
+        for (path, doc), scale in zip(documents, scales, strict=True)
     ]
 
     backends = sorted({name for rows in per_doc_rows for name in rows})
     floor = 1.0 / (1.0 + max_drift)
-    report_backends: Dict[str, object] = {}
+    report_backends: dict[str, object] = {}
     for backend in backends:
-        points: List[Optional[Dict[str, object]]] = []
-        present: List[int] = []
+        points: list[dict[str, object] | None] = []
+        present: list[int] = []
         for index, rows in enumerate(per_doc_rows):
             backend_rows = rows.get(backend)
             if backend_rows is None:
                 points.append(None)
                 continue
             present.append(index)
-            phases: Dict[str, float] = {}
+            phases: dict[str, float] = {}
             for row in backend_rows.values():
                 for phase, seconds in (row.get("phases") or {}).items():
                     phases[phase] = phases.get(phase, 0.0) + (
@@ -281,14 +281,14 @@ def compute_history(
 
 
 def history_report(
-    directory: Union[str, Path], *, max_drift: float = DEFAULT_MAX_DRIFT
-) -> Dict[str, object]:
+    directory: str | Path, *, max_drift: float = DEFAULT_MAX_DRIFT
+) -> dict[str, object]:
     """Load a history directory and compute its TREND report in one call."""
     documents, skipped = load_history(directory)
     return compute_history(documents, max_drift=max_drift, skipped=skipped)
 
 
-def write_trend(report: Mapping[str, object], out_dir: Union[str, Path]) -> Path:
+def write_trend(report: Mapping[str, object], out_dir: str | Path) -> Path:
     """Write ``report`` as a unique ``TREND_*.json`` under ``out_dir``."""
     return write_document(report, out_dir, "TREND")
 
@@ -297,11 +297,11 @@ def write_trend(report: Mapping[str, object], out_dir: Union[str, Path]) -> Path
 # text rendering
 
 
-def _format_ratio(value: Optional[float]) -> str:
+def _format_ratio(value: float | None) -> str:
     return f"{value:.2f}x" if value is not None else "-"
 
 
-def _spark(values: Sequence[Optional[float]]) -> str:
+def _spark(values: Sequence[float | None]) -> str:
     """A compact numeric trajectory, newest last (``-`` for absent docs)."""
     return " ".join("-" if v is None else f"{v:.3f}" for v in values)
 

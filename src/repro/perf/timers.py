@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import time
 from contextlib import contextmanager
-from typing import Dict, Iterator, Mapping
+from collections.abc import Iterator, Mapping
 
 __all__ = ["PHASE_PREFIX", "PhaseTimer", "phase_breakdown"]
 
@@ -28,7 +28,7 @@ class PhaseTimer:
     """Accumulates wall-clock seconds per named compilation phase."""
 
     def __init__(self) -> None:
-        self.seconds: Dict[str, float] = {}
+        self.seconds: dict[str, float] = {}
 
     @contextmanager
     def phase(self, name: str) -> Iterator[None]:
@@ -44,16 +44,16 @@ class PhaseTimer:
         """Accumulate an externally measured duration under ``name``."""
         self.seconds[name] = self.seconds.get(name, 0.0) + float(seconds)
 
-    def write_stats(self, stats: Dict[str, float]) -> Dict[str, float]:
+    def write_stats(self, stats: dict[str, float]) -> dict[str, float]:
         """Record every phase as a ``phase_<name>_seconds`` stats entry."""
         for name, seconds in self.seconds.items():
             stats[f"{PHASE_PREFIX}{name}{_SUFFIX}"] = float(seconds)
         return stats
 
 
-def phase_breakdown(stats: Mapping[str, object]) -> Dict[str, float]:
+def phase_breakdown(stats: Mapping[str, object]) -> dict[str, float]:
     """Extract ``{phase: seconds}`` from a stats dict written by a timer."""
-    out: Dict[str, float] = {}
+    out: dict[str, float] = {}
     for key, value in stats.items():
         if key.startswith(PHASE_PREFIX) and key.endswith(_SUFFIX):
             name = key[len(PHASE_PREFIX) : -len(_SUFFIX)]

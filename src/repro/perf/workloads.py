@@ -8,7 +8,7 @@ importable without touching compiler modules (the CLI loads it for
 from __future__ import annotations
 
 import time
-from typing import Dict, Sequence
+from collections.abc import Sequence
 
 from ..backends import get_backend
 from ..hardware.array import ChipletArray
@@ -22,7 +22,9 @@ __all__ = ["compile_workload"]
 _SEEDED_BENCHMARKS = ("QAOA", "VQE", "BV")
 
 
-def compile_workload(workload, compilers: Sequence[str]) -> Dict[str, Dict[str, object]]:
+def compile_workload(
+    workload, compilers: Sequence[str], *, verify: bool = False
+) -> dict[str, dict[str, object]]:
     """Compile ``workload`` with every backend; one bench row per backend.
 
     Mirrors the runner's conventions (:func:`repro.experiments.runner.
@@ -32,6 +34,12 @@ def compile_workload(workload, compilers: Sequence[str]) -> Dict[str, Dict[str, 
     ``backend.compile`` alone; the metrics evaluation is timed separately and
     reported as the ``simulate`` phase next to the phases the compiler itself
     recorded.
+
+    ``verify=True`` additionally runs the static verifier
+    (:func:`repro.analysis.verify_compilation`) over every result — checking
+    the recorded depth/eff-CNOT values against the IR too — and extends each
+    row with ``verified`` (bool), ``violations`` (count) and ``verify`` (the
+    full report dict); the wall-clock cost lands in the ``verify`` phase.
     """
     array = ChipletArray(
         workload.structure, workload.chiplet_width, workload.rows, workload.cols
@@ -41,7 +49,7 @@ def compile_workload(workload, compilers: Sequence[str]) -> Dict[str, Dict[str, 
     kwargs = {"seed": workload.seed} if workload.benchmark.upper() in _SEEDED_BENCHMARKS else {}
     circuit = build_benchmark(workload.benchmark, width, **kwargs)
 
-    rows: Dict[str, Dict[str, object]] = {}
+    rows: dict[str, dict[str, object]] = {}
     for name in compilers:
         backend = get_backend(name).configure(array, seed=workload.seed, layout=layout)
         start = time.perf_counter()
@@ -55,7 +63,7 @@ def compile_workload(workload, compilers: Sequence[str]) -> Dict[str, Dict[str, 
         phases["simulate"] = phases.get("simulate", 0.0) + (
             time.perf_counter() - sim_start
         )
-        rows[name] = {
+        row: dict[str, object] = {
             "workload": workload.name,
             "benchmark": workload.benchmark,
             "architecture": array.topology.name,
@@ -67,4 +75,19 @@ def compile_workload(workload, compilers: Sequence[str]) -> Dict[str, Dict[str, 
             "eff_cnots": metrics.eff_cnots,
             "phases": phases,
         }
+        if verify:
+            from ..analysis import verify_compilation
+
+            verify_start = time.perf_counter()
+            report = verify_compilation(
+                circuit,
+                result,
+                expected_depth=metrics.depth,
+                expected_eff_cnots=metrics.eff_cnots,
+            )
+            phases["verify"] = time.perf_counter() - verify_start
+            row["verified"] = report.ok
+            row["violations"] = len(report.violations)
+            row["verify"] = report.as_dict()
+        rows[name] = row
     return rows

@@ -13,7 +13,6 @@ being 0 and half being 1", drawn uniformly at random per seed.
 
 from __future__ import annotations
 
-from typing import Optional
 
 import numpy as np
 
@@ -36,7 +35,7 @@ def random_secret(num_bits: int, *, seed: int = 0) -> str:
 def bernstein_vazirani_circuit(
     num_data_qubits: int,
     *,
-    secret: Optional[str] = None,
+    secret: str | None = None,
     seed: int = 0,
     measure: bool = True,
 ) -> Circuit:

@@ -16,7 +16,7 @@ same ladder-form circuit as in the paper's evaluation.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -27,7 +27,7 @@ __all__ = ["random_maxcut_graph", "qaoa_maxcut_circuit"]
 
 def random_maxcut_graph(
     num_qubits: int, *, edge_fraction: float = 0.5, seed: int = 0
-) -> List[Tuple[int, int]]:
+) -> list[tuple[int, int]]:
     """Random graph with ``edge_fraction`` of all possible edges (paper setup)."""
     if num_qubits < 2:
         raise ValueError("MaxCut needs at least two vertices")
@@ -45,9 +45,9 @@ def qaoa_maxcut_circuit(
     *,
     layers: int = 1,
     edge_fraction: float = 0.5,
-    edges: Optional[Sequence[Tuple[int, int]]] = None,
-    gammas: Optional[Sequence[float]] = None,
-    betas: Optional[Sequence[float]] = None,
+    edges: Sequence[tuple[int, int]] | None = None,
+    gammas: Sequence[float] | None = None,
+    betas: Sequence[float] | None = None,
     seed: int = 0,
     measure: bool = True,
     use_cx_ladder: bool = True,

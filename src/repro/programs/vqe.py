@@ -9,7 +9,7 @@ the highway protocol.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -22,7 +22,7 @@ def vqe_full_entanglement_circuit(
     num_qubits: int,
     *,
     layers: int = 1,
-    parameters: Optional[Sequence[float]] = None,
+    parameters: Sequence[float] | None = None,
     seed: int = 0,
     measure: bool = True,
 ) -> Circuit:

@@ -12,7 +12,7 @@ comparing the reduced state on the data qubits, after slicing out the
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from collections.abc import Iterable, Sequence
 
 import numpy as np
 

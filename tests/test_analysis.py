@@ -1,0 +1,275 @@
+"""Unit tests for ``repro.analysis`` — the static circuit-IR verifier.
+
+Covers the four rule families (hardware legality, semantic preservation,
+highway-protocol invariants, metric consistency) on genuine compilations and
+on hand-tampered ones, plus the report/violation data model and its JSON
+round-trip.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.analysis import (
+    ALL_RULES,
+    RULE_HARDWARE,
+    RULE_HIGHWAY,
+    RULE_METRICS,
+    RULE_SEMANTICS,
+    VerificationError,
+    VerificationReport,
+    Violation,
+    assert_verified,
+    check_hardware_legality,
+    format_report,
+    replay_result,
+    report_from_dict,
+    verify_compilation,
+)
+from repro.backends import get_backend
+from repro.circuits import gates as g
+from repro.hardware.array import ChipletArray
+from repro.programs import qft_circuit
+
+ARRAY = ChipletArray("square", 3, 1, 2)
+
+
+def _compile(backend, circuit, seed=0):
+    return get_backend(backend).configure(ARRAY, seed=seed).compile(circuit)
+
+
+def _with_ops(result, ops):
+    """A copy of ``result`` whose circuit holds exactly ``ops``.
+
+    Bypasses ``Circuit.append`` validation on purpose so tests can build
+    physically impossible circuits (e.g. out-of-range qubits).
+    """
+    circuit = result.circuit.copy()
+    circuit._ops = list(ops)
+    return dataclasses.replace(
+        result, circuit=circuit, _metrics_cache=None, _metrics_noise=None
+    )
+
+
+@pytest.fixture(scope="module")
+def qft():
+    return qft_circuit(5, measure=False)
+
+
+@pytest.fixture(scope="module")
+def mech(qft):
+    return _compile("mech", qft)
+
+
+@pytest.fixture(scope="module")
+def baseline(qft):
+    return _compile("baseline", qft)
+
+
+class TestCleanVerification:
+    def test_mech_compilation_is_clean(self, qft, mech):
+        report = verify_compilation(qft, mech)
+        assert report.ok, format_report(report)
+        assert report.compiler == "mech"
+        assert report.rules_checked == ALL_RULES
+        assert report.ops_checked == len(mech.circuit.operations)
+        assert report.protocol_instances > 0
+
+    def test_baseline_compilation_is_clean(self, qft, baseline):
+        report = verify_compilation(qft, baseline)
+        assert report.ok, format_report(report)
+        assert report.protocol_instances == 0  # no highway on the baseline
+
+    def test_assert_verified_returns_the_report(self, qft, mech):
+        report = assert_verified(qft, mech, context="unit test")
+        assert report.ok and report.compiler == "mech"
+
+    def test_recorded_metrics_crosscheck(self, qft, mech):
+        metrics = mech.metrics()
+        report = verify_compilation(
+            qft, mech, expected_depth=metrics.depth, expected_eff_cnots=metrics.eff_cnots
+        )
+        assert report.ok, format_report(report)
+
+    def test_replay_outcome_counts_protocols(self, qft, mech):
+        outcome = replay_result(qft, mech)
+        assert outcome.protocol_instances == int(mech.stats["ghz_preparations"])
+
+
+class TestRuleSelection:
+    def test_subset_runs_only_selected_rules(self, qft, mech):
+        report = verify_compilation(qft, mech, rules=(RULE_HARDWARE,))
+        assert report.rules_checked == (RULE_HARDWARE,)
+        assert report.protocol_instances == 0  # replay never ran
+
+    def test_rule_order_is_normalised(self, qft, baseline):
+        report = verify_compilation(qft, baseline, rules=(RULE_METRICS, RULE_HARDWARE))
+        assert report.rules_checked == (RULE_HARDWARE, RULE_METRICS)
+
+    def test_unknown_rule_is_rejected(self, qft, baseline):
+        with pytest.raises(ValueError, match="unknown verifier rule"):
+            verify_compilation(qft, baseline, rules=("hardware", "vibes"))
+
+
+class TestHardwareRule:
+    def test_retargeted_gate_off_coupling_is_flagged(self, qft, baseline):
+        topology = baseline.topology
+        bad_pair = next(
+            (a, b)
+            for a in range(topology.num_qubits)
+            for b in range(topology.num_qubits)
+            if a != b and not topology.is_coupled(a, b)
+        )
+        ops = list(baseline.circuit.operations)
+        index = next(i for i, op in enumerate(ops) if op.name in ("cx", "cp", "cz"))
+        ops[index] = g.cx(*bad_pair)
+        violations = check_hardware_legality(_with_ops(baseline, ops))
+        assert [v.code for v in violations] == ["uncoupled-2q"]
+        assert violations[0].rule == RULE_HARDWARE
+        assert violations[0].gate_index == index
+        assert violations[0].qubits == bad_pair
+
+    def test_out_of_range_qubit_is_flagged(self, baseline):
+        ops = [*baseline.circuit.operations, g.cx(0, 10_000)]
+        violations = check_hardware_legality(_with_ops(baseline, ops))
+        assert [v.code for v in violations] == ["unknown-qubit"]
+        assert 10_000 in violations[0].qubits
+
+    def test_uncoupled_swap_is_flagged_like_its_cnots(self, baseline):
+        topology = baseline.topology
+        bad_pair = next(
+            (a, b)
+            for a in range(topology.num_qubits)
+            for b in range(topology.num_qubits)
+            if a != b and not topology.is_coupled(a, b)
+        )
+        ops = [*baseline.circuit.operations, g.swap(*bad_pair)]
+        violations = check_hardware_legality(_with_ops(baseline, ops))
+        assert [v.code for v in violations] == ["uncoupled-2q"]
+
+
+class TestSemanticsRule:
+    def test_dropped_gate_is_caught(self, qft, baseline):
+        ops = list(baseline.circuit.operations)
+        index = max(i for i, op in enumerate(ops) if op.name in ("cx", "cp", "cz"))
+        del ops[index]
+        report = verify_compilation(qft, _with_ops(baseline, ops), rules=(RULE_SEMANTICS,))
+        assert not report.ok
+        assert "dropped-op" in {v.code for v in report.violations}
+
+    def test_extra_gate_is_caught(self, qft, baseline):
+        edge = baseline.topology.edges()[0]
+        ops = [*baseline.circuit.operations, g.cx(*edge)]
+        report = verify_compilation(qft, _with_ops(baseline, ops), rules=(RULE_SEMANTICS,))
+        assert not report.ok
+        assert {v.rule for v in report.violations} == {RULE_SEMANTICS}
+
+    def test_wrong_final_layout_is_caught(self, qft, baseline):
+        layout = dict(baseline.final_layout)
+        a, b = sorted(layout)[:2]
+        layout[a], layout[b] = layout[b], layout[a]
+        tampered = dataclasses.replace(baseline, final_layout=layout)
+        report = verify_compilation(qft, tampered, rules=(RULE_SEMANTICS,))
+        assert "final-layout-mismatch" in {v.code for v in report.violations}
+
+
+class TestHighwayRule:
+    def test_protocol_without_measurements_is_caught(self, qft, mech):
+        # the cat-entangler/disentangler measurements are what release the
+        # highway; stripping them leaves shuttles unreleased and overlapping
+        ops = [op for op in mech.circuit.operations if not op.is_measurement]
+        report = verify_compilation(qft, _with_ops(mech, ops), rules=(RULE_HIGHWAY,))
+        assert not report.ok
+        codes = {v.code for v in report.violations}
+        assert codes & {"occupancy-overlap", "unreleased-shuttle"}
+
+    def test_truncated_protocol_drops_logical_gates(self, qft, mech):
+        ops = mech.circuit.operations
+        first_measure = next(i for i, op in enumerate(ops) if op.is_measurement)
+        report = verify_compilation(
+            qft, _with_ops(mech, ops[: first_measure + 1]), rules=(RULE_SEMANTICS,)
+        )
+        assert "dropped-op" in {v.code for v in report.violations}
+
+
+class TestMetricsRule:
+    def test_swap_count_tamper_is_caught(self, qft, baseline):
+        stats = dict(baseline.stats)
+        stats["swaps_inserted"] = stats.get("swaps_inserted", 0.0) + 1.0
+        tampered = dataclasses.replace(baseline, stats=stats)
+        report = verify_compilation(qft, tampered, rules=(RULE_METRICS,))
+        assert "swap-count-mismatch" in {v.code for v in report.violations}
+
+    def test_ghz_count_tamper_is_caught(self, qft, mech):
+        stats = dict(mech.stats)
+        stats["ghz_preparations"] = stats.get("ghz_preparations", 0.0) + 1.0
+        tampered = dataclasses.replace(mech, stats=stats)
+        # the recomputation comes from the replay, so both rules must run
+        report = verify_compilation(qft, tampered, rules=(RULE_SEMANTICS, RULE_METRICS))
+        assert "ghz-count-mismatch" in {v.code for v in report.violations}
+
+    def test_wrong_external_depth_is_caught(self, qft, baseline):
+        report = verify_compilation(
+            qft, baseline, rules=(RULE_METRICS,), expected_depth=-1.0
+        )
+        assert "depth-mismatch" in {v.code for v in report.violations}
+
+    def test_wrong_external_eff_cnots_is_caught(self, qft, baseline):
+        report = verify_compilation(
+            qft, baseline, rules=(RULE_METRICS,), expected_eff_cnots=-1.0
+        )
+        assert "eff-cnots-mismatch" in {v.code for v in report.violations}
+
+
+class TestReportDataModel:
+    def _dirty_report(self, qft, baseline):
+        ops = list(baseline.circuit.operations)
+        del ops[max(i for i, op in enumerate(ops) if op.name in ("cx", "cp", "cz"))]
+        return verify_compilation(qft, _with_ops(baseline, ops))
+
+    def test_violation_renders_location_and_qubits(self):
+        violation = Violation(
+            rule=RULE_HARDWARE,
+            code="uncoupled-2q",
+            message="cx acts on (0, 9)",
+            gate_index=3,
+            qubits=(0, 9),
+        )
+        text = str(violation)
+        assert "[hardware/uncoupled-2q]" in text
+        assert "@op[3]" in text and "qubits=[0, 9]" in text
+
+    def test_report_roundtrips_through_dict(self, qft, baseline):
+        report = self._dirty_report(qft, baseline)
+        assert not report.ok
+        rebuilt = report_from_dict(report.as_dict())
+        assert rebuilt.as_dict() == report.as_dict()
+        assert rebuilt.rules_checked == report.rules_checked
+        assert len(rebuilt.violations) == len(report.violations)
+
+    def test_by_rule_groups_every_violation(self, qft, baseline):
+        report = self._dirty_report(qft, baseline)
+        grouped = report.by_rule()
+        assert set(grouped) >= set(report.rules_checked)
+        assert sum(len(v) for v in grouped.values()) == len(report.violations)
+
+    def test_format_report_truncates_past_the_limit(self):
+        violations = tuple(
+            Violation(rule=RULE_SEMANTICS, code="dropped-op", message=f"gate {i}")
+            for i in range(30)
+        )
+        report = VerificationReport(
+            compiler="mech", rules_checked=ALL_RULES, violations=violations
+        )
+        text = format_report(report, limit=25)
+        assert "30 violation(s)" in text
+        assert "... and 5 more" in text
+
+    def test_assert_verified_raises_with_context(self, qft, baseline):
+        ops = list(baseline.circuit.operations)
+        del ops[max(i for i, op in enumerate(ops) if op.name in ("cx", "cp", "cz"))]
+        tampered = _with_ops(baseline, ops)
+        with pytest.raises(VerificationError, match="backend 'baseline'") as excinfo:
+            assert_verified(qft, tampered, context="backend 'baseline' on QFT")
+        assert not excinfo.value.report.ok
+        assert excinfo.value.context == "backend 'baseline' on QFT"

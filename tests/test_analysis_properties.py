@@ -1,0 +1,120 @@
+"""Property-based corruption tests for the static verifier.
+
+Each property injects a random corruption into a genuine compilation — drop a
+SWAP, reorder a dependent gate pair, retarget a 2-qubit gate off the coupling
+graph, tamper with a reported statistic — and asserts the verifier flags it
+under the *correct* rule family.  The compilations themselves are built once
+per module (they are the expensive part); hypothesis only draws the
+corruption site.
+"""
+
+import dataclasses
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    RULE_HARDWARE,
+    RULE_METRICS,
+    RULE_SEMANTICS,
+    format_report,
+    verify_compilation,
+)
+from repro.backends import get_backend
+from repro.circuits import commutes
+from repro.circuits import gates as g
+from repro.hardware.array import ChipletArray
+from repro.programs import qft_circuit
+
+ARRAY = ChipletArray("square", 3, 1, 2)
+QFT = qft_circuit(5, measure=False)
+BASELINE = get_backend("baseline").configure(ARRAY, seed=0).compile(QFT)
+MECH = get_backend("mech").configure(ARRAY, seed=0).compile(QFT)
+
+_BASE_OPS = BASELINE.circuit.operations
+#: Indices of inserted movement SWAPs (what the drop-a-swap property removes).
+_SWAP_SITES = tuple(i for i, op in enumerate(_BASE_OPS) if op.name == "swap")
+#: Adjacent (i, i+1) pairs that share a qubit and do not commute.
+_DEPENDENT_PAIRS = tuple(
+    i
+    for i in range(len(_BASE_OPS) - 1)
+    if set(_BASE_OPS[i].qubits) & set(_BASE_OPS[i + 1].qubits)
+    and not commutes(_BASE_OPS[i], _BASE_OPS[i + 1])
+)
+#: Physical pairs that are NOT edges of the device.
+_UNCOUPLED_PAIRS = tuple(
+    (a, b)
+    for a in range(ARRAY.topology.num_qubits)
+    for b in range(ARRAY.topology.num_qubits)
+    if a != b and not ARRAY.topology.is_coupled(a, b)
+)
+
+
+def _with_ops(result, ops):
+    circuit = result.circuit.copy()
+    circuit._ops = list(ops)
+    return dataclasses.replace(
+        result, circuit=circuit, _metrics_cache=None, _metrics_noise=None
+    )
+
+
+def _rules_hit(report):
+    return {violation.rule for violation in report.violations}
+
+
+class TestCorruptionsAreCaught:
+    @given(st.sampled_from(_SWAP_SITES))
+    @settings(max_examples=len(_SWAP_SITES), deadline=None)
+    def test_dropping_any_swap_is_a_semantics_violation(self, site):
+        ops = list(_BASE_OPS)
+        del ops[site]
+        report = verify_compilation(QFT, _with_ops(BASELINE, ops))
+        assert not report.ok, f"dropping swap @op[{site}] went unnoticed"
+        assert RULE_SEMANTICS in _rules_hit(report), format_report(report)
+
+    @given(st.sampled_from(_DEPENDENT_PAIRS))
+    @settings(max_examples=len(_DEPENDENT_PAIRS), deadline=None)
+    def test_reordering_dependent_gates_is_a_semantics_violation(self, site):
+        ops = list(_BASE_OPS)
+        ops[site], ops[site + 1] = ops[site + 1], ops[site]
+        report = verify_compilation(QFT, _with_ops(BASELINE, ops), rules=(RULE_SEMANTICS,))
+        assert not report.ok, f"reordering @op[{site}]<->@op[{site + 1}] went unnoticed"
+        assert _rules_hit(report) == {RULE_SEMANTICS}
+
+    @given(st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_retargeting_off_coupling_is_a_hardware_violation(self, data):
+        result = data.draw(st.sampled_from((BASELINE, MECH)), label="result")
+        ops = list(result.circuit.operations)
+        sites = [
+            i
+            for i, op in enumerate(ops)
+            if op.name in ("cx", "cz", "cp") and op.condition is None
+        ]
+        site = data.draw(st.sampled_from(sites), label="site")
+        pair = data.draw(st.sampled_from(_UNCOUPLED_PAIRS), label="pair")
+        old = ops[site]
+        ops[site] = g.cp(old.params[0], *pair) if old.name == "cp" else g.cx(*pair)
+        report = verify_compilation(QFT, _with_ops(result, ops), rules=(RULE_HARDWARE,))
+        codes = {(v.code, v.gate_index) for v in report.violations}
+        assert ("uncoupled-2q", site) in codes, format_report(report)
+
+    @given(st.integers(min_value=1, max_value=50))
+    @settings(max_examples=15, deadline=None)
+    def test_swap_stat_tampering_is_a_metrics_violation(self, delta):
+        stats = dict(BASELINE.stats)
+        stats["swaps_inserted"] = stats.get("swaps_inserted", 0.0) + delta
+        tampered = dataclasses.replace(BASELINE, stats=stats)
+        report = verify_compilation(QFT, tampered, rules=(RULE_METRICS,))
+        assert {v.code for v in report.violations} == {"swap-count-mismatch"}
+
+    @given(st.sampled_from(_SWAP_SITES))
+    @settings(max_examples=len(_SWAP_SITES), deadline=None)
+    def test_corruption_reports_survive_a_json_roundtrip(self, site):
+        from repro.analysis import report_from_dict
+
+        ops = list(_BASE_OPS)
+        del ops[site]
+        report = verify_compilation(QFT, _with_ops(BASELINE, ops))
+        rebuilt = report_from_dict(report.as_dict())
+        assert rebuilt.as_dict() == report.as_dict()

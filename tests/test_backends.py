@@ -170,6 +170,16 @@ class TestBackendContract:
         assert_semantically_equivalent(qft, qft_result)
 
     @pytest.mark.parametrize("name", BUILTINS)
+    def test_static_verifier_certifies_the_compilation(self, name, compiled):
+        from repro.analysis import format_report, verify_compilation
+
+        ghz, ghz_result, qft, qft_result = compiled[name]
+        for source, result in ((ghz, ghz_result), (qft, qft_result)):
+            report = verify_compilation(source, result, noise=DEFAULT_NOISE)
+            assert report.ok, format_report(report)
+            assert report.ops_checked == len(result.circuit.operations)
+
+    @pytest.mark.parametrize("name", BUILTINS)
     def test_unknown_knobs_are_ignored(self, name, tiny_array):
         backend = get_backend(name).configure(
             tiny_array, noise=DEFAULT_NOISE, seed=0, not_a_real_knob=17

@@ -75,6 +75,16 @@ class TestRun:
         out = capsys.readouterr().out
         assert "0 cached, 3 executed" in out
 
+    def test_run_verify_flag_checks_fresh_compilations(self, dirs, capsys, monkeypatch):
+        from repro.experiments.engine import VERIFY_ENV
+
+        # seed the key so monkeypatch restores the pre-test state afterwards
+        # (the CLI exports VERIFY_ENV=1 for its worker processes)
+        monkeypatch.setenv(VERIFY_ENV, "0")
+        assert _run_fig12(dirs, "--verify") == 0
+        assert os.environ[VERIFY_ENV] == "1"
+        assert "0 cached, 3 executed" in capsys.readouterr().out
+
     def test_unknown_experiment_is_a_usage_error(self, dirs, capsys):
         assert main(["run", "fig99", "--cache-dir", dirs["cache"]]) == 2
         err = capsys.readouterr().err

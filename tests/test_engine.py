@@ -375,7 +375,64 @@ class TestArtifacts:
     def test_json_matches_records(self, tmp_path, records):
         paths = write_artifacts("demo", records, tmp_path)
         doc = json.loads(paths["json"].read_text())
-        for row, record in zip(doc["records"], records):
+        for row, record in zip(doc["records"], records, strict=True):
             assert row["baseline_depth"] == record.baseline_depth
             assert row["mech_depth"] == record.mech_depth
             assert row["depth_improvement"] == pytest.approx(record.depth_improvement)
+
+
+class TestVerifyHook:
+    """REPRO_VERIFY gates in-line static verification of fresh compilations."""
+
+    def test_clean_compilation_passes_under_verify(self, monkeypatch):
+        from repro.experiments.engine import VERIFY_ENV
+
+        monkeypatch.setenv(VERIFY_ENV, "1")
+        records, report = run_jobs_report([TINY])
+        assert report.failed == 0 and len(records) == 1
+
+    def test_tampered_compilation_fails_the_job(self, monkeypatch):
+        import repro.experiments.engine as engine_module
+        from repro.experiments.engine import VERIFY_ENV, JobPolicy
+
+        monkeypatch.setenv(VERIFY_ENV, "1")
+        real = engine_module.compile_many
+
+        def tampering(*args, **kwargs):
+            compiled = real(*args, **kwargs)
+            ops = compiled.results["mech"].circuit._ops
+            index = max(
+                i
+                for i, op in enumerate(ops)
+                if op.name in ("cx", "cz", "cp") and op.condition is None
+            )
+            del ops[index]
+            return compiled
+
+        monkeypatch.setattr(engine_module, "compile_many", tampering)
+        records, report = run_jobs_report(
+            [TINY], policy=JobPolicy(on_error="record")
+        )
+        assert report.failed == 1 and not records
+        (error,) = report.errors
+        assert error.error_type == "VerificationError"
+        assert "backend 'mech'" in error.message
+        assert "violation(s)" in error.message
+
+    def test_verify_off_by_default(self, monkeypatch):
+        import repro.experiments.engine as engine_module
+        from repro.experiments.engine import VERIFY_ENV
+
+        monkeypatch.delenv(VERIFY_ENV, raising=False)
+        real = engine_module.compile_many
+
+        def tampering(*args, **kwargs):
+            compiled = real(*args, **kwargs)
+            ops = compiled.results["mech"].circuit._ops
+            del ops[max(i for i, op in enumerate(ops) if len(op.qubits) == 2)]
+            return compiled
+
+        monkeypatch.setattr(engine_module, "compile_many", tampering)
+        records, report = run_jobs_report([TINY])
+        # without the env var the tamper sails through: verification is opt-in
+        assert report.failed == 0 and len(records) == 1

@@ -202,9 +202,8 @@ class TestTimeout:
         assert report.errors[0].attempts == 2
 
     def test_deadline_context_raises(self):
-        with pytest.raises(JobTimeoutError):
-            with engine._deadline(0.05):
-                time.sleep(1.0)
+        with pytest.raises(JobTimeoutError), engine._deadline(0.05):
+            time.sleep(1.0)
 
     def test_deadline_disarms_after_the_body(self):
         with engine._deadline(0.05):

@@ -19,7 +19,7 @@ from repro.highway import (
 )
 
 
-def _verify_ghz_members(plan, num_qubits, seeds=range(4)):
+def _verify_ghz_members(plan, num_qubits, seeds=(0, 1, 2, 3)):
     """Run the plan and check the members hold a GHZ state (any outcome)."""
     for seed in seeds:
         circuit = Circuit(num_qubits)

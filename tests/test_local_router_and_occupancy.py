@@ -34,7 +34,7 @@ class TestLocalRouter:
         path = router.path(data[0], data[-1])
         assert path[0] == data[0] and path[-1] == data[-1]
         assert all(not layout.is_highway(q) for q in path)
-        assert all(router.topology.is_coupled(a, b) for a, b in zip(path, path[1:]))
+        assert all(router.topology.is_coupled(a, b) for a, b in zip(path, path[1:], strict=False))
 
     def test_path_to_self(self, router, layout):
         q = layout.data_qubits[0]

@@ -300,6 +300,138 @@ class TestBenchCli:
         capsys.readouterr()
 
 
+class TestVerifyCli:
+    def test_verify_quick_is_clean(self, tiny_suite, tmp_path, capsys):
+        code = main(
+            [
+                "verify",
+                "--suite",
+                "quick",
+                "--compilers",
+                "baseline,mech",
+                "--out-dir",
+                str(tmp_path),
+                "--quiet",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "verify suite=quick: 2/2 rows clean" in out
+        files = list(tmp_path.glob("VERIFY_*.json"))
+        assert len(files) == 1
+        doc = json.loads(files[0].read_text())
+        assert doc["clean"] is True and doc["dirty_rows"] == 0
+        assert {row["backend"] for row in doc["rows"]} == {"baseline", "mech"}
+        for row in doc["rows"]:
+            assert row["verified"] is True and row["violations"] == 0
+            assert row["verify"]["ok"] is True
+            assert row["verify"]["ops_checked"] > 0
+            assert "verify" in row["phases"]
+
+    def test_verify_json_mode(self, tiny_suite, tmp_path, capsys):
+        code = main(
+            [
+                "verify",
+                "--compilers",
+                "baseline",
+                "--out-dir",
+                str(tmp_path),
+                "--quiet",
+                "--json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["verify"]["clean"] is True
+        assert payload["verify"]["compilers"] == ["baseline"]
+        assert payload["path"].endswith(".json")
+
+    def test_verify_unknown_backend_is_usage_error(self, tmp_path, capsys):
+        code = main(
+            ["verify", "--compilers", "baseline,nope", "--out-dir", str(tmp_path)]
+        )
+        assert code == 2
+        assert "nope" in capsys.readouterr().err
+
+    def test_verify_dirty_rows_exit_one(self, tiny_suite, tmp_path, capsys, monkeypatch):
+        import repro.perf.workloads as workloads_module
+
+        real = workloads_module.compile_workload
+
+        def sabotaged(workload, compilers, *, verify=False):
+            rows = real(workload, compilers, verify=verify)
+            row = rows["baseline"]
+            report = dict(row["verify"])
+            report["ok"] = False
+            report["violations"] = [
+                {
+                    "rule": "hardware",
+                    "code": "uncoupled-2q",
+                    "message": "cx acts on physical pair (0, 9)",
+                    "gate_index": 3,
+                    "qubits": [0, 9],
+                    "counterexample": {},
+                }
+            ]
+            row.update(verified=False, violations=1, verify=report)
+            return rows
+
+        monkeypatch.setattr(workloads_module, "compile_workload", sabotaged)
+        code = main(
+            [
+                "verify",
+                "--compilers",
+                "baseline",
+                "--out-dir",
+                str(tmp_path),
+                "--quiet",
+            ]
+        )
+        assert code == 1
+        captured = capsys.readouterr()
+        assert "0/1 rows clean" in captured.out
+        assert "uncoupled-2q" in captured.err
+        doc = json.loads(next(iter(tmp_path.glob("VERIFY_*.json"))).read_text())
+        assert doc["clean"] is False and doc["dirty_rows"] == 1
+
+    def test_bench_verify_flag_annotates_rows(self, tiny_suite, tmp_path, capsys):
+        code = main(
+            [
+                "bench",
+                "--quick",
+                "--compilers",
+                "baseline",
+                "--verify",
+                "--out-dir",
+                str(tmp_path),
+                "--quiet",
+            ]
+        )
+        assert code == 0
+        assert "verify: all 1 rows clean" in capsys.readouterr().out
+        doc = json.loads(next(iter(tmp_path.glob("BENCH_*.json"))).read_text())
+        assert doc["verify"] is True
+        assert all(row["verified"] for row in doc["rows"])
+
+    def test_bench_without_verify_has_no_verdict(self, tiny_suite, tmp_path, capsys):
+        code = main(
+            [
+                "bench",
+                "--quick",
+                "--compilers",
+                "baseline",
+                "--out-dir",
+                str(tmp_path),
+                "--quiet",
+            ]
+        )
+        assert code == 0
+        capsys.readouterr()
+        doc = json.loads(next(iter(tmp_path.glob("BENCH_*.json"))).read_text())
+        assert doc["verify"] is False
+        assert all("verified" not in row for row in doc["rows"])
+
+
 # --------------------------------------------------------------------------
 # cache access telemetry
 

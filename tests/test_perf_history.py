@@ -402,7 +402,7 @@ class TestBackendsSweepCli:
 
         captured = {}
 
-        def fake_run_bench(suite, *, compilers=None, repeat=1, progress=None):
+        def fake_run_bench(suite, *, compilers=None, repeat=1, progress=None, verify=False):
             captured["compilers"] = tuple(compilers)
             return _doc({("w", name): 1.0 for name in compilers}, created=1.0)
 
@@ -419,7 +419,7 @@ class TestBackendsSweepCli:
         monkeypatch.setattr(
             perf_module,
             "run_bench",
-            lambda suite, *, compilers=None, repeat=1, progress=None: _doc(
+            lambda suite, *, compilers=None, repeat=1, progress=None, verify=False: _doc(
                 {("w", name): 1.0 for name in compilers}, created=1.0
             ),
         )

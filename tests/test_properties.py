@@ -229,7 +229,7 @@ class TestResultCacheProperties:
                 os.utime(path, (now - age, now - age))
                 paths[key] = (path, age)
             result = cache.sweep_older_than(max_age, now=now)
-            for key, (path, age) in paths.items():
+            for path, age in paths.values():
                 assert path.exists() == (age <= max_age), (age, max_age)
             assert result["removed"] == sum(1 for _, age in paths.values() if age > max_age)
             assert result["scanned"] == len(ages)

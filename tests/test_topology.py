@@ -82,7 +82,7 @@ class TestDistances:
         t = line_topology(6)
         path = t.shortest_path(1, 4)
         assert path[0] == 1 and path[-1] == 4
-        assert all(t.is_coupled(a, b) for a, b in zip(path, path[1:]))
+        assert all(t.is_coupled(a, b) for a, b in zip(path, path[1:], strict=False))
 
     def test_weighted_shortest_path_avoids_cross_links_when_possible(self):
         g = nx.Graph()
