@@ -67,6 +67,7 @@ class MechBackend:
         highway_density: int = 1,
         min_components: int = 2,
         layout: object = None,
+        router: object = None,
         **knobs: object,
     ) -> "MechBackend":
         self.compiler = MechCompiler(
@@ -74,9 +75,11 @@ class MechBackend:
             highway_density=highway_density,
             min_components=min_components,
             noise=noise,
-            # a pre-built highway layout (matching highway_density) may be
-            # shared by the caller; MechCompiler only reads it
+            # a pre-built highway layout (matching highway_density) and a
+            # pre-warmed router may be shared by the caller; both are pure
+            # functions of the device, so sharing never changes the output
             layout=layout,  # type: ignore[arg-type]
+            router=router,  # type: ignore[arg-type]
             rewrite_zz=self.rewrite_zz,
             aggregate_gates=self.aggregate_gates,
             entrance_candidates=self.entrance_candidates,

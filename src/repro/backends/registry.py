@@ -10,6 +10,7 @@ engine's plan-time validation, the ``repro run --compilers`` flag and the
 
 from __future__ import annotations
 
+import threading
 from collections.abc import Callable
 
 from .base import CompilerBackend
@@ -24,6 +25,12 @@ __all__ = [
 
 #: name -> zero-arg factory producing a *fresh, unconfigured* backend.
 _REGISTRY: dict[str, Callable[[], CompilerBackend]] = {}
+
+#: Serialises registry mutation: compile-server worker threads resolve
+#: backends concurrently, and the check-then-set in :func:`register_backend`
+#: must not interleave with another registration of the same name.  Lookups
+#: take the lock too so a reader never observes a half-applied mutation.
+_REGISTRY_LOCK = threading.Lock()
 
 
 def register_backend(
@@ -44,39 +51,46 @@ def register_backend(
     key = name.strip().lower()
     if not key:
         raise ValueError("backend name must be a non-empty string")
-    if key in _REGISTRY and not replace:
-        raise ValueError(
-            f"backend {key!r} is already registered; pass replace=True to override"
-        )
-    _REGISTRY[key] = factory
+    with _REGISTRY_LOCK:
+        if key in _REGISTRY and not replace:
+            raise ValueError(
+                f"backend {key!r} is already registered; pass replace=True to override"
+            )
+        _REGISTRY[key] = factory
 
 
 def unregister_backend(name: str) -> None:
     """Remove a registered backend (primarily for tests)."""
-    _REGISTRY.pop(name.strip().lower(), None)
+    with _REGISTRY_LOCK:
+        _REGISTRY.pop(name.strip().lower(), None)
 
 
 def get_backend(name: str) -> CompilerBackend:
     """A fresh, unconfigured instance of the backend registered as ``name``."""
     key = str(name).strip().lower()
-    try:
-        factory = _REGISTRY[key]
-    except KeyError as exc:
+    with _REGISTRY_LOCK:
+        factory = _REGISTRY.get(key)
+    if factory is None:
         raise ValueError(
             f"unknown compiler {name!r}; choose from {available_backends()}"
-        ) from exc
+        )
     return factory()
 
 
 def available_backends() -> list[str]:
     """Sorted names of every registered backend."""
-    return sorted(_REGISTRY)
+    with _REGISTRY_LOCK:
+        return sorted(_REGISTRY)
 
 
 def backend_descriptions() -> dict[str, str]:
     """``name -> one-line description`` for every registered backend, sorted."""
     out: dict[str, str] = {}
     for name in available_backends():
-        backend = _REGISTRY[name]()
+        with _REGISTRY_LOCK:
+            factory = _REGISTRY.get(name)
+        if factory is None:  # unregistered between the listing and now
+            continue
+        backend = factory()
         out[name] = getattr(backend, "description", "") or ""
     return out

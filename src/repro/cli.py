@@ -16,6 +16,11 @@ Runs any of the paper's figures/tables through the orchestration engine::
     repro bench --history benchmarks/history   # trends over accumulated docs
     repro verify --suite quick           # static IR verification of every backend
     repro run fig12 --verify             # verify each fresh compilation in-line
+    repro serve --port 7463              # warm-state compile server (repro.serve)
+    repro submit --port 7463 --benchmark QFT --chiplet-width 5 --rows 1 --cols 2
+    repro submit --port 7463 --suite quick --concurrency 4
+    repro submit --port 7463 --shutdown  # graceful server stop (--ping, --stats)
+    repro bench --latency --quick        # cold vs warm serve-path p50/p99 gate
     repro list
     repro cache-stats [--json]           # size/health + hit-rate telemetry
     repro clean-cache --older-than 30    # TTL sweep (add --dry-run to preview)
@@ -73,6 +78,8 @@ __all__ = ["main", "build_parser"]
 
 DEFAULT_CACHE_DIR = ".repro-cache"
 DEFAULT_OUT_DIR = "artifacts"
+#: Default TCP port of the ``repro serve`` / ``repro submit`` pair.
+DEFAULT_SERVE_PORT = 7463
 
 #: Seconds per day, for ``clean-cache --older-than DAYS``.
 _DAY_SECONDS = 86400.0
@@ -340,6 +347,189 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the bench document (and comparison) as JSON",
     )
     bench.add_argument("--quiet", action="store_true", help="suppress progress output")
+    latency = bench.add_argument_group(
+        "latency mode (--latency)",
+        "serve-path latency suite: cold one-shot-process requests vs warm"
+        " requests against an in-process compile server, p50/p99 under"
+        " concurrent load, written as LATENCY_<timestamp>.json.  Exit code 1"
+        " when the warm/cold p50 ratio exceeds --max-warm-ratio, the"
+        " concurrent warm p99 exceeds --max-p99, or served results are not"
+        " byte-identical to the batch path.",
+    )
+    latency.add_argument(
+        "--latency",
+        action="store_true",
+        help="measure serve-path latency instead of compile throughput",
+    )
+    latency.add_argument(
+        "--requests",
+        type=int,
+        default=8,
+        metavar="N",
+        help="warm requests per workload, measured serially and concurrently"
+        " (default 8)",
+    )
+    latency.add_argument(
+        "--concurrency",
+        type=int,
+        default=4,
+        metavar="N",
+        help="client threads (and server workers) for the concurrent warm"
+        " phase (default 4)",
+    )
+    latency.add_argument(
+        "--cold-requests",
+        type=int,
+        default=2,
+        metavar="N",
+        help="cold one-shot-process requests per workload (default 2)",
+    )
+    latency.add_argument(
+        "--limit",
+        type=int,
+        default=None,
+        metavar="N",
+        help="only measure the first N workloads of the suite (CI smoke)",
+    )
+    latency.add_argument(
+        "--max-warm-ratio",
+        type=float,
+        default=0.75,
+        metavar="RATIO",
+        help="fail (exit 1) when warm p50 / cold p50 exceeds RATIO"
+        " (default 0.75; the acceptance target is 0.5)",
+    )
+    latency.add_argument(
+        "--max-p99",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="fail (exit 1) when the concurrent warm p99 exceeds SECONDS"
+        " (default: no absolute bound)",
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the warm-state compile server (pair with `repro submit`)",
+        description="Serve compile requests over a local TCP socket, keeping"
+        " per-device routing state (chiplet array, highway layout, router"
+        " distance tables) resident between requests.  Requests execute"
+        " through the engine's own job machinery, so served results carry"
+        " the same cache keys and payloads as `repro run` and share its"
+        " result cache.  Stop with `repro submit --shutdown` or Ctrl-C.",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address (default 127.0.0.1)")
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=DEFAULT_SERVE_PORT,
+        help=f"TCP port; 0 binds an ephemeral port (default {DEFAULT_SERVE_PORT})",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        metavar="N",
+        help="compile worker threads (default 2)",
+    )
+    serve.add_argument(
+        "--max-devices",
+        type=int,
+        default=8,
+        metavar="N",
+        help="distinct device configurations kept warm (LRU; default 8)",
+    )
+    _add_cache_options(serve)
+    serve.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="default per-job wall-clock timeout for served compiles"
+        " (requests may override; default none)",
+    )
+    serve.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        metavar="N",
+        help="default extra attempts for a failed served job (default 0)",
+    )
+    serve.add_argument("--quiet", action="store_true", help="suppress startup/shutdown output")
+
+    submit = sub.add_parser(
+        "submit",
+        help="submit compile jobs (or ping/stats/shutdown) to a running server",
+        description="Client for `repro serve`.  Submit one job described by"
+        " the device flags, or a whole pinned bench suite with --suite;"
+        " responses print as a per-compiler metric table (--json for the raw"
+        " responses).  --ping, --stats and --shutdown are control operations"
+        " and take no job flags.",
+    )
+    submit.add_argument("--host", default="127.0.0.1", help="server address (default 127.0.0.1)")
+    submit.add_argument(
+        "--port",
+        type=int,
+        default=DEFAULT_SERVE_PORT,
+        help=f"server TCP port (default {DEFAULT_SERVE_PORT})",
+    )
+    submit.add_argument(
+        "--ping",
+        action="store_true",
+        help="liveness check: exit 0 once the server answers (retries briefly)",
+    )
+    submit.add_argument("--stats", action="store_true", help="print server/warm-state counters")
+    submit.add_argument("--shutdown", action="store_true", help="stop the server gracefully")
+    submit.add_argument(
+        "--suite",
+        default=None,
+        choices=["quick", "fig12", "full"],
+        help="submit every workload of a pinned bench suite instead of one"
+        " job from the device flags",
+    )
+    submit.add_argument(
+        "--limit",
+        type=int,
+        default=None,
+        metavar="N",
+        help="with --suite, only submit the first N workloads",
+    )
+    submit.add_argument("--benchmark", default="QFT", help="benchmark circuit (default QFT)")
+    submit.add_argument("--structure", default="square", help="chiplet structure (default square)")
+    submit.add_argument("--chiplet-width", type=int, default=5, help="qubits per chiplet edge")
+    submit.add_argument("--rows", type=int, default=1, help="chiplet rows (default 1)")
+    submit.add_argument("--cols", type=int, default=2, help="chiplet columns (default 2)")
+    submit.add_argument(
+        "--highway-density", type=int, default=1, help="highway lines per chiplet (default 1)"
+    )
+    submit.add_argument("--seed", type=int, default=0, help="job seed (default 0)")
+    submit.add_argument(
+        "--compilers",
+        default=",".join(DEFAULT_COMPILERS),
+        metavar="A,B[,C...]",
+        help="registered compiler backends to compare, at least two"
+        f" (default {','.join(DEFAULT_COMPILERS)})",
+    )
+    submit.add_argument(
+        "--concurrency",
+        type=int,
+        default=1,
+        metavar="N",
+        help="parallel client connections for multi-job submissions (default 1)",
+    )
+    submit.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-job wall-clock timeout applied by the server (default:"
+        " the server's own default policy)",
+    )
+    submit.add_argument(
+        "--json",
+        action="store_true",
+        help="print the raw serve responses as JSON",
+    )
 
     verify = sub.add_parser(
         "verify",
@@ -584,6 +774,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         write_bench,
     )
 
+    if args.latency:
+        return _cmd_bench_latency(args)
     if args.history is not None:
         return _cmd_bench_history(args)
     if args.repeat < 1:
@@ -722,6 +914,264 @@ def _cmd_verify(args: argparse.Namespace) -> int:
             print(format_report(report_from_dict(row["verify"])), file=sys.stderr)
         print(f"verification report: {path}")
     return 1 if dirty else 0
+
+
+def _cmd_bench_latency(args: argparse.Namespace) -> int:
+    """``repro bench --latency``: the serve-path latency suite and gate."""
+    from .perf import (
+        format_latency,
+        latency_regressed,
+        run_latency,
+        write_latency,
+    )
+
+    if args.against is not None or args.history is not None:
+        print(
+            "error: --latency is its own mode; it cannot combine with"
+            " --against or --history",
+            file=sys.stderr,
+        )
+        return 2
+    for flag, value in (
+        ("--requests", args.requests),
+        ("--concurrency", args.concurrency),
+        ("--cold-requests", args.cold_requests),
+    ):
+        if value < 1:
+            print(f"error: {flag} must be at least 1", file=sys.stderr)
+            return 2
+    if args.limit is not None and args.limit < 1:
+        print("error: --limit must be at least 1", file=sys.stderr)
+        return 2
+    if not (args.max_warm_ratio > 0):  # inverted so NaN fails too
+        print("error: --max-warm-ratio must be positive", file=sys.stderr)
+        return 2
+    compilers = _parse_compilers(args.compilers)
+    if compilers is None:
+        return 2
+    suite = "quick" if args.quick else args.suite
+    progress = None if args.quiet else (lambda msg: print(f"  {msg}", file=sys.stderr))
+    document = run_latency(
+        suite,
+        compilers=compilers,
+        requests=args.requests,
+        concurrency=args.concurrency,
+        cold_requests=args.cold_requests,
+        limit=args.limit,
+        progress=progress,
+    )
+    path = write_latency(document, args.out_dir)
+    reasons = latency_regressed(
+        document, max_warm_ratio=args.max_warm_ratio, max_p99=args.max_p99
+    )
+    if args.json:
+        print(
+            json.dumps(
+                {"latency": document, "path": str(path), "gate_failures": reasons},
+                indent=2,
+                sort_keys=True,
+            )
+        )
+    else:
+        print(format_latency(document))
+        print(f"latency document: {path}")
+        for reason in reasons:
+            print(f"LATENCY GATE: {reason}", file=sys.stderr)
+    return 1 if reasons else 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """``repro serve``: run the warm-state compile server until stopped."""
+    from .serve.server import CompileServer
+
+    if args.workers < 1:
+        print("error: --workers must be at least 1", file=sys.stderr)
+        return 2
+    if args.max_devices < 1:
+        print("error: --max-devices must be at least 1", file=sys.stderr)
+        return 2
+    if args.cache_max_mb is not None and not (args.cache_max_mb > 0):
+        print("error: --cache-max-mb must be positive", file=sys.stderr)
+        return 2
+    try:
+        policy = JobPolicy(timeout=args.timeout, retries=args.retries)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    cache = _build_cache(args)
+    server = CompileServer(
+        args.host,
+        args.port,
+        workers=args.workers,
+        cache=cache,
+        policy=policy,
+        max_devices=args.max_devices,
+    )
+    try:
+        server.start()
+    except OSError as exc:
+        print(f"error: cannot bind {args.host}:{args.port}: {exc}", file=sys.stderr)
+        return 1
+    if not args.quiet:
+        caching = args.cache_dir if cache is not None else "disabled"
+        print(
+            f"repro serve: listening on {server.host}:{server.port}"
+            f" ({args.workers} workers, cache {caching});"
+            f" stop with `repro submit --port {server.port} --shutdown` or Ctrl-C",
+            file=sys.stderr,
+        )
+    server.serve_forever()
+    if not args.quiet:
+        stats = server.stats()
+        print(
+            f"repro serve: stopped after {stats['requests_served']} requests"
+            f" ({stats['compiles']} compiles, {stats['cache_hits']} cache hits,"
+            f" {stats['errors']} errors)",
+            file=sys.stderr,
+        )
+    return 0
+
+
+def _format_submit_rows(responses: list, jobs: list) -> str:
+    """Fixed-width per-compiler metric table for submitted jobs."""
+    lines = []
+    header = (
+        f"{'benchmark':<10} {'architecture':<18} {'backend':<16} {'depth':>8}"
+        f" {'eff CNOTs':>10} {'seconds':>8}  served"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for job, response in zip(jobs, responses):
+        result = response.payload["result"]
+        arch = result.get("architecture", "?")
+        benchmark = result.get("benchmark", job.benchmark)
+        served = "warm" if response.payload.get("warm") else "cold"
+        if response.payload.get("cached"):
+            served += "+cached"
+        if "compilers" in result:  # multi-comparison payload
+            for backend in result["compilers"]:
+                lines.append(
+                    f"{benchmark:<10} {arch:<18} {backend:<16}"
+                    f" {result['depths'][backend]:>8.0f}"
+                    f" {result['eff_cnots'][backend]:>10.0f}"
+                    f" {result['seconds'][backend]:>8.3f}  {served}"
+                )
+        else:  # historic two-compiler payload
+            for backend in ("baseline", "mech"):
+                lines.append(
+                    f"{benchmark:<10} {arch:<18} {backend:<16}"
+                    f" {result[f'{backend}_depth']:>8.0f}"
+                    f" {result[f'{backend}_eff_cnots']:>10.0f}"
+                    f" {result[f'{backend}_seconds']:>8.3f}  {served}"
+                )
+    return "\n".join(lines)
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    """``repro submit``: client for a running ``repro serve``."""
+    from .experiments.engine import Job
+    from .serve.client import ServeClient, submit_jobs, wait_until_ready
+    from .serve.schema import ServeProtocolError
+
+    control_ops = sum(bool(flag) for flag in (args.ping, args.stats, args.shutdown))
+    if control_ops > 1:
+        print("error: --ping/--stats/--shutdown are mutually exclusive", file=sys.stderr)
+        return 2
+    if args.ping:
+        if wait_until_ready(args.host, args.port, attempts=30, delay=0.2):
+            print(f"repro serve at {args.host}:{args.port} is up")
+            return 0
+        print(f"error: no server answered at {args.host}:{args.port}", file=sys.stderr)
+        return 1
+    try:
+        if args.stats:
+            with ServeClient(args.host, args.port) as client:
+                print(json.dumps(client.stats(), indent=2, sort_keys=True))
+            return 0
+        if args.shutdown:
+            with ServeClient(args.host, args.port) as client:
+                response = client.shutdown_server()
+            if response.ok:
+                print(f"repro serve at {args.host}:{args.port} is shutting down")
+                return 0
+            print(f"error: shutdown refused: {response.error}", file=sys.stderr)
+            return 1
+
+        compilers = _parse_compilers(args.compilers)
+        if compilers is None:
+            return 2
+        if args.concurrency < 1:
+            print("error: --concurrency must be at least 1", file=sys.stderr)
+            return 2
+        if args.suite is not None:
+            from .perf.bench import resolve_suite
+            from .perf.latency import workload_job
+
+            workloads = resolve_suite(args.suite)
+            if args.limit is not None:
+                if args.limit < 1:
+                    print("error: --limit must be at least 1", file=sys.stderr)
+                    return 2
+                workloads = workloads[: args.limit]
+            jobs = [workload_job(w, compilers) for w in workloads]
+        else:
+            known = {name.upper() for name in BENCHMARK_NAMES}
+            if args.benchmark.upper() not in known:
+                print(
+                    f"error: unknown benchmark {args.benchmark!r};"
+                    f" choose from {', '.join(BENCHMARK_NAMES)}",
+                    file=sys.stderr,
+                )
+                return 2
+            jobs = [
+                Job(
+                    benchmark=args.benchmark.upper(),
+                    structure=args.structure,
+                    chiplet_width=args.chiplet_width,
+                    rows=args.rows,
+                    cols=args.cols,
+                    highway_density=args.highway_density,
+                    seed=args.seed,
+                    compilers=tuple(compilers),
+                )
+            ]
+        policy = JobPolicy(timeout=args.timeout) if args.timeout is not None else None
+        responses = submit_jobs(
+            jobs,
+            args.host,
+            args.port,
+            concurrency=args.concurrency,
+            policy=policy,
+        )
+    except (OSError, ServeProtocolError) as exc:
+        print(
+            f"error: cannot talk to repro serve at {args.host}:{args.port}: {exc}",
+            file=sys.stderr,
+        )
+        return 1
+
+    failed = [response for response in responses if not response.ok]
+    if args.json:
+        print(
+            json.dumps(
+                [response.to_dict() for response in responses], indent=2, sort_keys=True
+            )
+        )
+    else:
+        good = [
+            (job, response)
+            for job, response in zip(jobs, responses)
+            if response.ok
+        ]
+        if good:
+            print(
+                _format_submit_rows(
+                    [response for _, response in good], [job for job, _ in good]
+                )
+            )
+        for response in failed:
+            print(f"FAILED {response.request_id}: {response.error}", file=sys.stderr)
+    return 1 if failed else 0
 
 
 def _cmd_bench_history(args: argparse.Namespace) -> int:
@@ -1111,21 +1561,32 @@ def _cmd_resume(args: argparse.Namespace) -> int:
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(list(argv) if argv is not None else None)
-    if args.command == "list":
-        return _cmd_list()
-    if args.command == "compilers":
-        return _cmd_compilers(args.json)
-    if args.command == "cache-stats":
-        return _cmd_cache_stats(args.cache_dir, args.json)
-    if args.command == "clean-cache":
-        return _cmd_clean_cache(args)
-    if args.command == "bench":
-        return _cmd_bench(args)
-    if args.command == "verify":
-        return _cmd_verify(args)
-    if args.command == "resume":
-        return _cmd_resume(args)
-    return _cmd_run(args)
+    try:
+        if args.command == "list":
+            return _cmd_list()
+        if args.command == "compilers":
+            return _cmd_compilers(args.json)
+        if args.command == "cache-stats":
+            return _cmd_cache_stats(args.cache_dir, args.json)
+        if args.command == "clean-cache":
+            return _cmd_clean_cache(args)
+        if args.command == "bench":
+            return _cmd_bench(args)
+        if args.command == "serve":
+            return _cmd_serve(args)
+        if args.command == "submit":
+            return _cmd_submit(args)
+        if args.command == "verify":
+            return _cmd_verify(args)
+        if args.command == "resume":
+            return _cmd_resume(args)
+        return _cmd_run(args)
+    except BrokenPipeError:
+        # stdout went away mid-print (`repro ... | head`); exit quietly with
+        # the conventional SIGPIPE code instead of a traceback
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 141
 
 
 if __name__ == "__main__":  # pragma: no cover

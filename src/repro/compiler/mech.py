@@ -27,6 +27,7 @@ from ..hardware.topology import Topology
 from ..highway.layout import HighwayLayout
 from ..perf.timers import PhaseTimer
 from .aggregation import HighwayGateUnit, aggregate
+from .local_router import LocalRouter
 from .result import CompilationResult
 from .rewrite import fuse_zz_ladders
 from .scheduler import MechScheduler
@@ -53,6 +54,11 @@ class MechCompiler:
         Latency/error model used for scheduling weights and default metrics.
     layout:
         Pre-built highway layout; overrides ``highway_density``/``interleave``.
+    router:
+        Pre-warmed :class:`~repro.compiler.local_router.LocalRouter` for this
+        device/layout, shared across compiles by the warm-state serve path.
+        Its tables are pure functions of the static device configuration, so
+        reuse is exact; ``None`` builds a fresh router per compile.
     rewrite_zz:
         Apply the CX-RZ-CX -> controlled-phase fusion pass before aggregation
         (the paper's circuit rewriting); the baseline never rewrites.
@@ -76,6 +82,7 @@ class MechCompiler:
         min_components: int = 2,
         noise: NoiseModel = DEFAULT_NOISE,
         layout: HighwayLayout | None = None,
+        router: LocalRouter | None = None,
         entrance_candidates: int = 4,
         rewrite_zz: bool = True,
         aggregate_gates: bool = True,
@@ -89,6 +96,9 @@ class MechCompiler:
         self.layout = layout if layout is not None else HighwayLayout(
             array, density=highway_density, interleave=interleave
         )
+        #: Optional pre-warmed local router shared across compiles of the
+        #: same device (the serve path); None builds one per compile.
+        self.router = router
         self.min_components = min_components
         self.noise = noise
         self.entrance_candidates = entrance_candidates
@@ -148,6 +158,7 @@ class MechCompiler:
                 self.layout,
                 noise=self.noise,
                 entrance_candidates=self.entrance_candidates,
+                router=self.router,
             )
         with timer.phase("schedule"):
             result = scheduler.run(circuit, units, mapping)

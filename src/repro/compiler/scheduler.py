@@ -55,6 +55,7 @@ class MechScheduler:
         *,
         noise: NoiseModel = DEFAULT_NOISE,
         entrance_candidates: int = 4,
+        router: LocalRouter | None = None,
     ) -> None:
         self.topology = topology
         self.layout = layout
@@ -62,7 +63,15 @@ class MechScheduler:
         self.entrance_candidates = entrance_candidates
 
         self.manager = HighwayManager(layout)
-        self.router = LocalRouter(topology, layout.highway_qubits)
+        # a shared pre-warmed router (serve path) must match this device; its
+        # distance/next-hop tables are deterministic, so reuse is exact
+        if router is not None and router.highway_qubits != layout.highway_qubits:
+            raise SchedulerError(
+                "the supplied router was built for a different highway layout"
+            )
+        self.router = router if router is not None else LocalRouter(
+            topology, layout.highway_qubits
+        )
         self._distance = topology.distance_matrix()
 
     # ------------------------------------------------------------------ #

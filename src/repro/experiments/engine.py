@@ -65,6 +65,12 @@ import traceback
 from dataclasses import asdict, dataclass, field, fields, replace
 from pathlib import Path
 from collections.abc import Callable, Mapping, Sequence
+from typing import Any
+
+try:  # POSIX only; the access log degrades to best-effort appends without it
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None  # type: ignore[assignment]
 
 from ..backends import DEFAULT_COMPILERS, available_backends
 from ..hardware.array import ChipletArray
@@ -109,6 +115,7 @@ __all__ = [
     "record_row",
     "run_jobs",
     "run_jobs_report",
+    "set_warm_state_provider",
     "write_artifacts",
 ]
 
@@ -346,6 +353,31 @@ def _verify_enabled() -> bool:
     return value.strip().lower() not in ("", "0", "false", "no", "off")
 
 
+#: Optional provider of resident per-device state, installed by a compile
+#: server's worker pool (:mod:`repro.serve`).  Maps a :class:`Job` to an
+#: object with ``array``/``layout``/``router`` attributes matching the job's
+#: device configuration, or ``None`` for the cold path.  Process-global: the
+#: engine's own worker *processes* never inherit an installed provider
+#: (spawn) or install one (fork happens before any server exists).
+_WARM_STATE_PROVIDER: Callable[[Job], Any] | None = None
+
+
+def set_warm_state_provider(
+    provider: Callable[[Job], Any] | None,
+) -> Callable[[Job], Any] | None:
+    """Install (or clear, with ``None``) the warm device-state provider.
+
+    Returns the previously installed provider so embedders can restore it.
+    The provider must return state whose device configuration matches the
+    job's — the warm path trusts it; results stay byte-identical because the
+    resident state is a pure function of that configuration.
+    """
+    global _WARM_STATE_PROVIDER
+    previous = _WARM_STATE_PROVIDER
+    _WARM_STATE_PROVIDER = provider
+    return previous
+
+
 def _compile_job(job: Job):
     """Compile a job's benchmark with every backend it lists.
 
@@ -353,10 +385,26 @@ def _compile_job(job: Job):
     backend's output is statically verified against the input circuit before
     the job may produce a record; a ``VerificationError`` propagates through
     the engine's normal :class:`JobError` fault path.
+
+    When a warm-state provider is installed (:func:`set_warm_state_provider`)
+    the resident array/layout/router replace the cold per-job rebuild — the
+    serve path's whole point; with no provider every job builds its own.
     """
+    provider = _WARM_STATE_PROVIDER
+    state = provider(job) if provider is not None else None
+    if state is not None:
+        array = state.array
+        layout = state.layout
+        router = state.router
+    else:
+        array = job.build_array()
+        layout = None
+        router = None
     compiled = compile_many(
         job.benchmark,
-        job.build_array(),
+        array,
+        layout=layout,
+        router=router,
         compilers=job.compilers,
         noise=job.noise_model(),
         highway_density=job.highway_density,
@@ -545,20 +593,70 @@ def _raise_job_error(error: JobError) -> None:
     raise JobExecutionError(error)
 
 
+def _async_raise(thread_id: int, exc_type: type[BaseException]) -> bool:
+    """Schedule ``exc_type`` to be raised in the thread with ``thread_id``.
+
+    CPython-only (``PyThreadState_SetAsyncExc``); the exception surfaces at
+    the target thread's next bytecode boundary, so a thread blocked inside a
+    single long C call is interrupted only once that call returns.  Returns
+    whether the exception was actually scheduled.
+    """
+    try:
+        import ctypes
+
+        set_async_exc = ctypes.pythonapi.PyThreadState_SetAsyncExc
+    except (ImportError, AttributeError):  # pragma: no cover - non-CPython
+        return False
+    set_async_exc.argtypes = (ctypes.c_ulong, ctypes.py_object)
+    set_async_exc.restype = ctypes.c_int
+    affected = set_async_exc(ctypes.c_ulong(thread_id), ctypes.py_object(exc_type))
+    if affected > 1:  # pragma: no cover - stale thread id; undo the damage
+        set_async_exc(ctypes.c_ulong(thread_id), ctypes.py_object())
+        return False
+    return affected == 1
+
+
 @contextlib.contextmanager
 def _deadline(seconds: float | None):
     """Raise :class:`JobTimeoutError` in the body after ``seconds`` of wall
-    clock.  SIGALRM-based, so it only arms on platforms that have it and when
-    running on the main thread (worker processes always do); otherwise the
-    body runs un-timed."""
-    can_arm = (
-        seconds is not None
-        and seconds > 0
-        and hasattr(signal, "SIGALRM")
+    clock.
+
+    On the main thread (worker *processes* always run jobs there) the timer
+    is SIGALRM-based, exactly as it always was.  Off the main thread — serve
+    workers, or any embedding that dispatches jobs from a thread pool — a
+    monotonic-deadline watchdog thread schedules the timeout asynchronously
+    instead: SIGALRM cannot be armed there, and the historic behaviour was to
+    silently run the body un-timed.  The watchdog raise lands at the next
+    bytecode boundary of the timed thread, which for compile jobs (bytecode-
+    rich, short native calls) tracks the deadline closely.
+    """
+    if seconds is None or seconds <= 0:
+        yield
+        return
+    sigalrm_ok = (
+        hasattr(signal, "SIGALRM")
         and threading.current_thread() is threading.main_thread()
     )
-    if not can_arm:
-        yield
+    if not sigalrm_ok:
+        target = threading.get_ident()
+        finished = threading.Event()
+
+        def _watchdog() -> None:
+            if finished.wait(float(seconds)):
+                return
+            # double-check after the wait: the body may have completed in
+            # the window between the timeout and this raise
+            if not finished.is_set():
+                _async_raise(target, JobTimeoutError)
+
+        watchdog = threading.Thread(
+            target=_watchdog, name="repro-deadline", daemon=True
+        )
+        watchdog.start()
+        try:
+            yield
+        finally:
+            finished.set()
         return
 
     def _on_alarm(signum, frame):
@@ -606,12 +704,17 @@ def _execute_keyed(item: WorkItem) -> tuple[str, dict[str, object]]:
                 record = _execute_job(attempt_job)
         except Exception as exc:
             tail = "\n".join(traceback.format_exc().splitlines()[-_TRACEBACK_TAIL_LINES:])
+            message = str(exc)
+            if not message and isinstance(exc, JobTimeoutError) and policy.timeout:
+                # the watchdog path raises the bare class (async raises
+                # cannot carry arguments), so reconstruct the message
+                message = f"exceeded {policy.timeout:g}s wall-clock timeout"
             error = JobError(
                 key=key,
                 benchmark=job.benchmark,
                 kind=job.kind,
                 error_type=type(exc).__name__,
-                message=str(exc),
+                message=message,
                 traceback_tail=tail,
                 attempts=attempt + 1,
                 seconds=time.perf_counter() - start,
@@ -679,13 +782,17 @@ class ResultCache:
         self._total_bytes: int | None = None
         #: Appends by this instance, for periodic compaction checks.
         self._accesses_logged = 0
+        #: Guards the instance counters above when one cache object is shared
+        #: by server worker threads; on-disk state needs no instance lock
+        #: (atomic renames, O_APPEND log writes, O_EXCL compaction claim).
+        self._lock = threading.Lock()
 
     @property
     def access_log_path(self) -> Path:
         return self.cache_dir / _ACCESS_LOG
 
     def _log_access(self, kind: str, key: str) -> None:
-        """Append one ``H <key>`` / ``M <key>`` line to the access log.
+        """Append one ``H``/``M``/``P`` ``<key> <unix-time>`` line to the log.
 
         Single short appends are atomic on POSIX, so concurrent runs sharing
         a cache directory interleave whole lines.  A cache directory that does
@@ -695,28 +802,78 @@ class ResultCache:
         ``_ACCESS_LOG_MAX_BYTES``, the line-per-access history is compacted
         into aggregated ``A``/``T`` records so a long-lived farm cache never
         grows an unbounded log.
+
+        The timestamp doubles as mtime-independent recency: eviction and TTL
+        sweeps rank entries by ``max(st_mtime, last logged use)``, so a cache
+        restored by tooling that resets mtimes (CI ``actions/cache``) keeps
+        its true LRU order.  ``P`` lines record puts for exactly that reason
+        and never count as hits or misses.
+
+        Appends coordinate with compaction through a shared ``flock`` plus an
+        inode check: a compactor renames the live log aside and takes an
+        exclusive lock on it before parsing, so an append either lands before
+        the parse (holding the shared lock on the same inode) or notices the
+        rename and retries against the fresh log — no line can slip into the
+        aside file after it was aggregated.
         """
         if not self.record_access or not self.cache_dir.is_dir():
             return
+        line = f"{kind} {key} {time.time():.6f}\n".encode("utf-8")
         with contextlib.suppress(OSError):
-            with open(self.access_log_path, "a", encoding="utf-8") as handle:
-                handle.write(f"{kind} {key}\n")
-            self._accesses_logged += 1
-            if self._accesses_logged % _ACCESS_COMPACT_EVERY == 0:
-                if self.access_log_path.stat().st_size > _ACCESS_LOG_MAX_BYTES:
-                    self._compact_access_log()
+            self._append_log_line(line)
+            with self._lock:
+                self._accesses_logged += 1
+                check_size = self._accesses_logged % _ACCESS_COMPACT_EVERY == 0
+            if check_size and self.access_log_path.stat().st_size > _ACCESS_LOG_MAX_BYTES:
+                self._compact_access_log()
 
-    def _parse_access_log(self) -> tuple[int, int, dict[str, int]]:
-        """Totals and per-key hit counts from the (possibly compacted) log.
+    def _append_log_line(self, line: bytes) -> None:
+        """One atomic O_APPEND write, rename-aware (see :meth:`_log_access`)."""
+        for _ in range(8):  # bounded retries if compactors keep renaming
+            fd = os.open(
+                str(self.access_log_path),
+                os.O_WRONLY | os.O_APPEND | os.O_CREAT,
+                0o644,
+            )
+            try:
+                if fcntl is not None:
+                    fcntl.flock(fd, fcntl.LOCK_SH)
+                    try:
+                        current = os.stat(self.access_log_path)
+                    except FileNotFoundError:
+                        continue  # renamed aside mid-open; write to the new log
+                    if os.fstat(fd).st_ino != current.st_ino:
+                        continue
+                os.write(fd, line)
+                return
+            finally:
+                os.close(fd)  # also releases the shared flock
 
-        Three line kinds: ``H <key>`` / ``M <key>`` raw accesses, and the
-        compacted forms ``A <key> <hits>`` (aggregated per-entry hits) and
-        ``T <hits> <misses>`` (carried-over totals).
+    def _parse_access_log(
+        self, path: Path | None = None
+    ) -> tuple[int, int, dict[str, int], dict[str, float]]:
+        """Totals, per-key hit counts and last-use times from the log.
+
+        Line kinds: ``H <key> [<ts>]`` / ``M <key> [<ts>]`` raw accesses,
+        ``P <key> <ts>`` put markers (recency only, no hit/miss), and the
+        compacted forms ``A <key> <hits> [<ts>]`` (aggregated per-entry hits)
+        and ``T <hits> <misses>`` (carried-over totals).  Timestamp-less
+        lines written by earlier versions parse fine and simply contribute no
+        recency.
         """
         hits = 0
         misses = 0
         per_key: dict[str, int] = {}
-        with open(self.access_log_path, "r", encoding="utf-8") as handle:
+        last_used: dict[str, float] = {}
+
+        def note_use(key: str, parts: list[str], index: int) -> None:
+            if len(parts) > index:
+                with contextlib.suppress(ValueError):
+                    stamp = float(parts[index])
+                    if stamp > last_used.get(key, 0.0):
+                        last_used[key] = stamp
+
+        with open(path or self.access_log_path, "r", encoding="utf-8") as handle:
             for line in handle:
                 parts = line.split()
                 if len(parts) < 2:
@@ -725,37 +882,100 @@ class ResultCache:
                 if kind == "H":
                     hits += 1
                     per_key[parts[1]] = per_key.get(parts[1], 0) + 1
+                    note_use(parts[1], parts, 2)
                 elif kind == "M":
                     misses += 1
-                elif kind == "A" and len(parts) == 3:
+                elif kind == "P":
+                    note_use(parts[1], parts, 2)
+                elif kind == "A" and len(parts) in (3, 4):
                     with contextlib.suppress(ValueError):
                         count = int(parts[2])
                         hits += count
                         per_key[parts[1]] = per_key.get(parts[1], 0) + count
+                        note_use(parts[1], parts, 3)
                 elif kind == "T" and len(parts) == 3:
                     with contextlib.suppress(ValueError):
                         hits += int(parts[1])
                         misses += int(parts[2])
-        return hits, misses, per_key
+        return hits, misses, per_key, last_used
+
+    def _log_recency(self) -> dict[str, float]:
+        """Newest logged use (hit or put) per key, for mtime-proof ranking."""
+        try:
+            _, _, _, last_used = self._parse_access_log()
+        except OSError:
+            return {}
+        return last_used
 
     def _compact_access_log(self) -> None:
-        """Rewrite the access log as aggregated counts (atomic, lossless).
+        """Aggregate the access log in place without dropping any tally.
 
-        A concurrent writer may append a few raw lines between the read and
-        the rename; losing those costs a handful of telemetry counts, never
-        cached results.
+        Compactions are serialised by an ``O_EXCL`` lock file: the loser of
+        the claim simply skips (the winner is doing the work; a lock older
+        than the stale-litter horizon is removed as debris from a crashed
+        compactor).  The historic read→aggregate→``os.replace`` cycle raced
+        concurrent *appenders* too — lines appended between the read and the
+        replace vanished.  Instead the live log is renamed aside first, so
+        appenders immediately start a fresh log, the aside file (now frozen)
+        is aggregated, and the aggregate is appended back with one atomic
+        ``O_APPEND`` write.  Every line lands in exactly one of the two
+        files, so nothing is lost in any interleaving.
+
+        One hole remains after the rename: an appender that opened the log
+        *just before* the rename still holds a descriptor to the renamed
+        inode and may write its line after we parsed it.  Appenders therefore
+        hold a shared ``flock`` across their write (and re-open on inode
+        mismatch, see :meth:`_append_log_line`); taking an *exclusive* lock
+        on the aside file before parsing blocks until every such in-flight
+        append has landed, closing the window.
         """
-        with contextlib.suppress(OSError):
-            hits, misses, per_key = self._parse_access_log()
-            aggregated_hits = sum(per_key.values())
-            tmp = self.access_log_path.with_name(
-                f".{_ACCESS_LOG}.tmp-{os.getpid()}"
+        lock = self.access_log_path.with_name(f".{_ACCESS_LOG}.lock")
+        try:
+            lock_fd = os.open(lock, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            with contextlib.suppress(OSError):
+                if time.time() - lock.stat().st_mtime > _STALE_TMP_SECONDS:
+                    lock.unlink()
+            return
+        except OSError:
+            return
+        try:
+            aside = self.access_log_path.with_name(
+                f".{_ACCESS_LOG}.compacting-{os.getpid()}"
             )
-            with open(tmp, "w", encoding="utf-8") as handle:
-                handle.write(f"T {hits - aggregated_hits} {misses}\n")
-                for key in sorted(per_key):
-                    handle.write(f"A {key} {per_key[key]}\n")
-            os.replace(tmp, self.access_log_path)
+            with contextlib.suppress(OSError):
+                os.replace(self.access_log_path, aside)
+                if fcntl is not None:
+                    # wait out in-flight appenders holding the shared lock on
+                    # the renamed inode; anyone arriving later sees the inode
+                    # mismatch and diverts to the fresh log
+                    aside_fd = os.open(str(aside), os.O_RDONLY)
+                    try:
+                        fcntl.flock(aside_fd, fcntl.LOCK_EX)
+                    finally:
+                        os.close(aside_fd)
+                hits, misses, per_key, last_used = self._parse_access_log(aside)
+                lines = [f"T {hits - sum(per_key.values())} {misses}"]
+                for key in sorted(set(per_key) | set(last_used)):
+                    entry = f"A {key} {per_key.get(key, 0)}"
+                    if key in last_used:
+                        entry += f" {last_used[key]:.6f}"
+                    lines.append(entry)
+                blob = ("\n".join(lines) + "\n").encode("utf-8")
+                out = os.open(
+                    str(self.access_log_path),
+                    os.O_WRONLY | os.O_APPEND | os.O_CREAT,
+                    0o644,
+                )
+                try:
+                    os.write(out, blob)
+                finally:
+                    os.close(out)
+                os.unlink(aside)
+        finally:
+            os.close(lock_fd)
+            with contextlib.suppress(OSError):
+                lock.unlink()
 
     def access_stats(self, *, top: int = 10) -> dict[str, object]:
         """Hit/miss tallies and per-entry access counts from the access log.
@@ -769,11 +989,14 @@ class ResultCache:
         counts when no log exists (or access recording is off).
         """
         try:
-            hits, misses, per_key = self._parse_access_log()
+            hits, misses, per_key, _ = self._parse_access_log()
         except OSError:
             hits = misses = 0
             per_key = {}
         total = hits + misses
+        # compaction keeps zero-hit keys for their recency stamp; they are
+        # not "top" anything
+        per_key = {key: count for key, count in per_key.items() if count > 0}
         ranked = sorted(per_key.items(), key=lambda item: (-item[1], item[0]))
         top_entries = []
         for key, count in ranked:
@@ -879,21 +1102,24 @@ class ResultCache:
         }
         path = self.path_for(key)
         path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = path.with_name(f".{path.name}.tmp-{os.getpid()}")
+        tmp = path.with_name(f".{path.name}.tmp-{os.getpid()}-{threading.get_ident()}")
         with open(tmp, "w", encoding="utf-8") as handle:
             json.dump(entry, handle, indent=1, sort_keys=True)
         os.replace(tmp, path)
+        self._log_access("P", key)
         self._sweep_tmp(stale_only=True, dirs=(path.parent, self.cache_dir))
         if self.max_bytes:
             # keep a running total so the common (under-cap) put is O(1);
             # overwrites drift it upward, but every eviction pass recomputes
             # the exact total, so the drift only ever triggers an early scan
-            if self._total_bytes is None:
-                self._total_bytes = sum(self._entry_sizes().values())
-            else:
-                with contextlib.suppress(OSError):
-                    self._total_bytes += path.stat().st_size
-            if self._total_bytes > self.max_bytes:
+            with self._lock:
+                if self._total_bytes is None:
+                    self._total_bytes = sum(self._entry_sizes().values())
+                else:
+                    with contextlib.suppress(OSError):
+                        self._total_bytes += path.stat().st_size
+                over_cap = self._total_bytes > self.max_bytes
+            if over_cap:
                 self._evict_to_cap()
         return path
 
@@ -944,10 +1170,21 @@ class ResultCache:
                 sizes[path] = path.stat().st_size
         return sizes
 
+    def _last_use(self, path: Path, stat: os.stat_result, recency: Mapping[str, float]) -> float:
+        """When ``path``'s entry was last written or served.
+
+        The newer of the filesystem mtime and the access log's recency stamp:
+        a cache restored by tooling that resets mtimes (CI ``actions/cache``)
+        still ranks by its true usage order, and a cache with no log at all
+        degrades to the historic mtime behaviour.
+        """
+        return max(stat.st_mtime, recency.get(path.stem, 0.0))
+
     def _evict_to_cap(self) -> int:
         """Evict least-recently-used entries until under ``max_bytes``."""
         if not self.max_bytes:
             return 0
+        recency = self._log_recency()
         sized = []
         total = 0
         for path in self.entries():
@@ -955,18 +1192,19 @@ class ResultCache:
                 stat = path.stat()
             except OSError:
                 continue
-            sized.append((stat.st_mtime, stat.st_size, path))
+            sized.append((self._last_use(path, stat, recency), stat.st_size, path))
             total += stat.st_size
         evicted = 0
-        for _mtime, size, path in sorted(sized, key=lambda item: (item[0], item[2].name)):
+        for _used, size, path in sorted(sized, key=lambda item: (item[0], item[2].name)):
             if total <= self.max_bytes:
                 break
             with contextlib.suppress(OSError):
                 path.unlink()
                 total -= size
                 evicted += 1
-        self.evicted += evicted
-        self._total_bytes = total
+        with self._lock:
+            self.evicted += evicted
+            self._total_bytes = total
         return evicted
 
     def migrate(self) -> int:
@@ -990,11 +1228,13 @@ class ResultCache:
     ) -> dict[str, int]:
         """Age-based (TTL) garbage collection, shard-aware.
 
-        Removes every entry — sharded and legacy flat — whose mtime is
+        Removes every entry — sharded and legacy flat — whose last use is
         strictly older than ``now - max_age_seconds``; entries at or newer
-        than the cutoff are never touched (and a :meth:`get` refreshes an
-        entry's mtime, so recently *used* entries survive too).  ``dry_run``
-        counts what a sweep would remove without unlinking anything.
+        than the cutoff are never touched.  Last use is the newer of the
+        entry's mtime (a :meth:`get` refreshes it) and its access-log recency
+        stamp, so freshly restored entries whose mtimes were reset by the
+        restore tooling are not mis-swept.  ``dry_run`` counts what a sweep
+        would remove without unlinking anything.
         Returns ``{"scanned", "removed", "freed_bytes"}``.
         """
         # NaN would make every mtime-vs-cutoff comparison False and delete
@@ -1002,6 +1242,7 @@ class ResultCache:
         if math.isnan(max_age_seconds) or max_age_seconds < 0:
             raise ValueError(f"max_age_seconds must be >= 0, got {max_age_seconds}")
         cutoff = (time.time() if now is None else now) - max_age_seconds
+        recency = self._log_recency()
         scanned = removed = freed = 0
         for path in self.entries():
             try:
@@ -1009,7 +1250,7 @@ class ResultCache:
             except OSError:
                 continue
             scanned += 1
-            if stat.st_mtime >= cutoff:
+            if self._last_use(path, stat, recency) >= cutoff:
                 continue
             if not dry_run:
                 try:
@@ -1041,9 +1282,14 @@ class ResultCache:
         with contextlib.suppress(OSError):
             self.access_log_path.unlink()
         if self.cache_dir.is_dir():
-            for litter in self.cache_dir.glob(f".{_ACCESS_LOG}.tmp-*"):
-                with contextlib.suppress(OSError):
-                    litter.unlink()
+            for pattern in (
+                f".{_ACCESS_LOG}.tmp-*",
+                f".{_ACCESS_LOG}.compacting-*",
+                f".{_ACCESS_LOG}.lock",
+            ):
+                for litter in self.cache_dir.glob(pattern):
+                    with contextlib.suppress(OSError):
+                        litter.unlink()
         if self.cache_dir.is_dir():
             for shard in self.cache_dir.glob(_SHARD_GLOB):
                 if shard.is_dir():

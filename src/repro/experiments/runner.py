@@ -383,6 +383,8 @@ def compile_many(
     baseline_trials: int = 1,
     seed: int = 0,
     benchmark_kwargs: dict[str, object] | None = None,
+    layout: HighwayLayout | None = None,
+    router: object = None,
 ) -> CompiledSet:
     """Compile one benchmark with every listed backend on the same array.
 
@@ -412,11 +414,28 @@ def compile_many(
         parameters), also offered to every backend's ``configure``.
     benchmark_kwargs:
         Extra arguments forwarded to the benchmark circuit builder.
+    layout:
+        A pre-built highway layout for ``array`` at ``highway_density``
+        (warm-state serving keeps one resident per device).  ``None`` — every
+        batch caller — rebuilds it, the historic behaviour; the compiled
+        output is identical either way because the layout is a pure function
+        of the device configuration.
+    router:
+        A pre-warmed :class:`~repro.compiler.local_router.LocalRouter` for
+        the same device, offered to every backend as a ``router`` knob
+        (MECH-family backends reuse it, SABRE-family backends ignore it).
+        Deterministic and append-only, so sharing it never changes results.
     """
     names = normalize_compilers(compilers)
     backends = {name: get_backend(name) for name in names}
 
-    layout = HighwayLayout(array, density=highway_density)
+    if layout is None:
+        layout = HighwayLayout(array, density=highway_density)
+    elif layout.array is not array or layout.density != highway_density:
+        raise ValueError(
+            "the supplied layout was built for a different array or highway"
+            " density than this compilation requests"
+        )
     width = num_data_qubits if num_data_qubits is not None else layout.num_data_qubits
     kwargs = dict(benchmark_kwargs or {})
     if benchmark.upper() in _SEEDED_BENCHMARKS:
@@ -436,6 +455,7 @@ def compile_many(
             # the capacity layout above is read-only during compilation, so
             # MECH-family backends reuse it instead of rebuilding their own
             layout=layout,
+            router=router,
         )
         start = time.perf_counter()
         results[name] = backend.compile(circuit)

@@ -15,7 +15,12 @@ Two pieces keep the compiler hot paths honest:
   directory of bench documents: calibration-rescaled per-backend trend
   series, geomean deltas vs. the oldest and the previous document, a
   ``TREND_<timestamp>.json`` report, and the ``--max-drift`` gate the CI
-  bench-history job fails on.
+  bench-history job fails on;
+* :mod:`repro.perf.latency` — the ``repro bench --latency`` serve-path
+  suite: cold one-shot-process requests vs warm requests against a running
+  :class:`~repro.serve.server.CompileServer`, p50/p99 under concurrent
+  load, a byte-identity check between the served and batch paths, and the
+  ``LATENCY_<timestamp>.json`` document the CI serve gate reads.
 """
 
 from .bench import (
@@ -40,10 +45,21 @@ from .history import (
     load_history,
     write_trend,
 )
-from .timers import PHASE_PREFIX, PhaseTimer, phase_breakdown
+from .latency import (
+    LATENCY_SCHEMA_VERSION,
+    format_latency,
+    latency_regressed,
+    load_latency,
+    run_latency,
+    strip_timing,
+    workload_job,
+    write_latency,
+)
+from .timers import PHASE_PREFIX, PhaseTimer, percentile, phase_breakdown
 
 __all__ = [
     "BENCH_SCHEMA_VERSION",
+    "LATENCY_SCHEMA_VERSION",
     "TREND_SCHEMA_VERSION",
     "SUITES",
     "BenchWorkload",
@@ -55,13 +71,21 @@ __all__ = [
     "format_bench",
     "format_comparison",
     "format_history",
+    "format_latency",
     "history_report",
+    "latency_regressed",
     "load_bench",
     "load_history",
+    "load_latency",
     "measure_calibration",
+    "percentile",
     "phase_breakdown",
     "run_bench",
+    "run_latency",
+    "strip_timing",
+    "workload_job",
     "write_bench",
     "write_document",
+    "write_latency",
     "write_trend",
 ]

@@ -38,6 +38,7 @@ __all__ = [
     "format_comparison",
     "load_bench",
     "measure_calibration",
+    "resolve_suite",
     "run_bench",
     "write_bench",
     "write_document",
@@ -95,6 +96,16 @@ SUITES: dict[str, tuple[BenchWorkload, ...]] = {
 }
 
 
+def resolve_suite(suite: str) -> tuple[BenchWorkload, ...]:
+    """The pinned workloads of ``suite``, or a loud error naming the choices."""
+    try:
+        return SUITES[suite]
+    except KeyError:
+        raise ValueError(
+            f"unknown bench suite {suite!r}; choose from {sorted(SUITES)}"
+        ) from None
+
+
 def measure_calibration(repeats: int = 5) -> float:
     """Wall-clock seconds of a fixed CPU workload (machine-speed probe).
 
@@ -148,8 +159,7 @@ def run_bench(
     from ..backends import DEFAULT_COMPILERS
     from .workloads import compile_workload
 
-    if suite not in SUITES:
-        raise ValueError(f"unknown bench suite {suite!r}; choose from {sorted(SUITES)}")
+    workloads = resolve_suite(suite)
     if repeat < 1:
         raise ValueError("repeat must be at least 1")
     if compilers is None:
@@ -162,7 +172,7 @@ def run_bench(
         if duplicates:
             raise ValueError(f"duplicate compiler(s) {duplicates} in {list(names)}")
     rows: list[dict[str, object]] = []
-    for workload in SUITES[suite]:
+    for workload in workloads:
         if progress is not None:
             progress(f"bench {workload.name} [{', '.join(names)}]")
         best: dict[str, dict[str, object]] | None = None

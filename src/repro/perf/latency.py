@@ -1,0 +1,393 @@
+"""``repro bench --latency`` — serve-path latency suite with a p50/p99 gate.
+
+The suite prices the thing the compile server exists for: the gap between a
+*cold* compile request (a fresh process — interpreter spawn, imports, device
+state, compile) and a *warm* one (a request against an already-running
+server whose per-device state is resident).  Three measurement phases per
+pinned workload:
+
+``cold``
+    Each request launches a one-shot subprocess that imports the engine and
+    runs :func:`~repro.experiments.engine._execute_keyed`; the parent times
+    the whole process end to end.  This is what ``repro run`` costs per
+    invocation, and the document marks it explicitly
+    (``cold_includes_process_startup``).
+``warm``
+    Sequential requests against an in-process :class:`CompileServer` with
+    caching disabled — every request genuinely compiles; only the device
+    state is reused.
+``warm_concurrent``
+    The same requests fired from ``concurrency`` client threads at once,
+    measuring per-request latency under contention (the p99 the CI gate
+    watches).
+
+Before timing, one payload per workload is compared between the cold
+subprocess path and the warm served path — stripped of wall-clock keys they
+must be byte-identical, and ``results_identical`` in the document records
+that the warm path changes nothing but latency.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+import time
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+from typing import TYPE_CHECKING
+from collections.abc import Callable, Mapping, Sequence
+
+from .bench import BENCH_SEED, BenchWorkload, resolve_suite, write_document
+from .timers import percentile
+
+if TYPE_CHECKING:  # imported lazily at runtime: engine -> backends -> compiler
+    from ..experiments.engine import Job  # pragma: no cover - typing only
+
+__all__ = [
+    "LATENCY_SCHEMA_VERSION",
+    "format_latency",
+    "latency_regressed",
+    "load_latency",
+    "run_latency",
+    "strip_timing",
+    "workload_job",
+    "write_latency",
+]
+
+#: Version stamp of the LATENCY_*.json document schema.
+LATENCY_SCHEMA_VERSION = 1
+
+#: One-shot cold-request driver: reads {"job": ...} JSON on stdin, executes
+#: it through the engine's worker entry point, prints the payload as JSON.
+_COLD_DRIVER = """\
+import json, sys
+from repro.experiments.engine import _execute_keyed
+item = json.load(sys.stdin)
+key, payload = _execute_keyed((item["key"], item["job"], None))
+print(json.dumps({"key": key, "payload": payload}))
+"""
+
+
+def workload_job(workload: BenchWorkload, compilers: Sequence[str]) -> "Job":
+    """The engine job that compiles ``workload`` with ``compilers``."""
+    from ..experiments.engine import Job
+
+    return Job(
+        benchmark=workload.benchmark,
+        structure=workload.structure,
+        chiplet_width=workload.chiplet_width,
+        rows=workload.rows,
+        cols=workload.cols,
+        seed=workload.seed,
+        compilers=tuple(compilers),
+    )
+
+
+def strip_timing(payload: Mapping[str, object]) -> dict[str, object]:
+    """``payload`` without wall-clock keys — the deterministic canonical form.
+
+    Record payloads carry compile wall-clock under ``seconds`` (multi-compiler
+    records) or ``<name>_seconds`` (pair records); everything else is a pure
+    function of the job, so equality of the stripped forms is the byte-identity
+    check between the served and the batch path.
+    """
+    return {
+        k: v
+        for k, v in payload.items()
+        if k != "seconds" and not k.endswith("_seconds")
+    }
+
+
+def _canonical(payload: Mapping[str, object]) -> str:
+    return json.dumps(strip_timing(payload), sort_keys=True)
+
+
+def _cold_request(job: "Job", key: str) -> tuple[float, dict[str, object]]:
+    """One cold request: full subprocess wall-clock plus its record payload."""
+    from ..experiments.engine import job_to_dict
+
+    src_root = Path(__file__).resolve().parents[2]
+    stdin = json.dumps({"key": key, "job": job_to_dict(job)})
+    start = time.perf_counter()
+    proc = subprocess.run(
+        [sys.executable, "-c", _COLD_DRIVER],
+        input=stdin,
+        capture_output=True,
+        text=True,
+        env={**_inherit_env(), "PYTHONPATH": str(src_root)},
+    )
+    elapsed = time.perf_counter() - start
+    if proc.returncode != 0:
+        raise RuntimeError(
+            f"cold request subprocess failed (rc={proc.returncode}):\n{proc.stderr}"
+        )
+    out = json.loads(proc.stdout)
+    payload = out["payload"]
+    if "job_error" in payload:
+        raise RuntimeError(f"cold request job failed: {payload['job_error']}")
+    return elapsed, payload
+
+
+def _inherit_env() -> dict[str, str]:
+    import os
+
+    return dict(os.environ)
+
+
+def run_latency(
+    suite: str = "quick",
+    *,
+    compilers: Sequence[str] | None = None,
+    requests: int = 8,
+    concurrency: int = 4,
+    cold_requests: int = 2,
+    limit: int | None = None,
+    progress: Callable[[str], None] | None = None,
+) -> dict[str, object]:
+    """Measure cold vs warm serve-path latency over ``suite``; return the doc.
+
+    ``requests`` warm requests per workload are measured twice — serially and
+    from ``concurrency`` threads at once; ``cold_requests`` one-shot
+    subprocesses per workload price the cold path.  ``limit`` truncates the
+    suite (CI smoke uses 1-2 workloads).
+    """
+    from ..backends import DEFAULT_COMPILERS
+    from ..experiments.engine import config_key
+    from ..serve.server import CompileServer
+
+    if requests < 1:
+        raise ValueError("requests must be at least 1")
+    if cold_requests < 1:
+        raise ValueError("cold_requests must be at least 1")
+    if concurrency < 1:
+        raise ValueError("concurrency must be at least 1")
+    names = tuple(compilers) if compilers else DEFAULT_COMPILERS
+    workloads = resolve_suite(suite)
+    if limit is not None:
+        if limit < 1:
+            raise ValueError("limit must be at least 1")
+        workloads = workloads[:limit]
+
+    jobs = [(w, workload_job(w, names)) for w in workloads]
+    rows: list[dict[str, object]] = []
+    identical = True
+
+    with CompileServer(workers=concurrency, cache=None) as server:
+        from ..serve.client import ServeClient
+
+        for workload, job in jobs:
+            key = config_key(job)
+            if progress is not None:
+                progress(f"latency {workload.name}: {cold_requests} cold requests")
+            cold_times: list[float] = []
+            cold_payload: dict[str, object] | None = None
+            for _ in range(cold_requests):
+                elapsed, payload = _cold_request(job, key)
+                cold_times.append(elapsed)
+                if cold_payload is None:
+                    cold_payload = payload
+
+            # warm-up request: builds the device state and yields the served
+            # payload for the identity check (not counted in warm timings)
+            with ServeClient(server.host, server.port) as client:
+                warmup = client.compile_job(job)
+                if not warmup.ok:
+                    raise RuntimeError(f"served compile failed: {warmup.error}")
+                served_payload = warmup.payload["result"]
+                assert cold_payload is not None
+                workload_identical = _canonical(served_payload) == _canonical(
+                    cold_payload
+                )
+                identical = identical and workload_identical
+
+                if progress is not None:
+                    progress(f"latency {workload.name}: {requests} warm requests")
+                warm_times: list[float] = []
+                for _ in range(requests):
+                    start = time.perf_counter()
+                    response = client.compile_job(job)
+                    warm_times.append(time.perf_counter() - start)
+                    if not response.ok:
+                        raise RuntimeError(f"served compile failed: {response.error}")
+
+            if progress is not None:
+                progress(
+                    f"latency {workload.name}: {requests} concurrent warm requests"
+                    f" (x{concurrency})"
+                )
+            concurrent_times = _measure_concurrent(
+                server.host, server.port, job, requests, concurrency
+            )
+
+            rows.append(
+                {
+                    "workload": workload.name,
+                    "benchmark": workload.benchmark,
+                    "architecture": f"{workload.structure}-{workload.chiplet_width}"
+                    f"-{workload.rows}x{workload.cols}",
+                    "key": key,
+                    "results_identical": workload_identical,
+                    "cold_p50": percentile(cold_times, 50),
+                    "cold_p99": percentile(cold_times, 99),
+                    "warm_p50": percentile(warm_times, 50),
+                    "warm_p99": percentile(warm_times, 99),
+                    "warm_concurrent_p50": percentile(concurrent_times, 50),
+                    "warm_concurrent_p99": percentile(concurrent_times, 99),
+                    "cold_seconds": cold_times,
+                    "warm_seconds": warm_times,
+                    "warm_concurrent_seconds": concurrent_times,
+                }
+            )
+        server_stats = server.stats()
+
+    all_cold = [t for row in rows for t in row["cold_seconds"]]
+    all_warm = [t for row in rows for t in row["warm_seconds"]]
+    all_concurrent = [t for row in rows for t in row["warm_concurrent_seconds"]]
+    warm_p50 = percentile(all_warm, 50)
+    cold_p50 = percentile(all_cold, 50)
+    total_concurrent = sum(all_concurrent)
+    aggregate = {
+        "cold_p50": cold_p50,
+        "cold_p99": percentile(all_cold, 99),
+        "warm_p50": warm_p50,
+        "warm_p99": percentile(all_warm, 99),
+        "warm_concurrent_p50": percentile(all_concurrent, 50),
+        "warm_concurrent_p99": percentile(all_concurrent, 99),
+        "warm_cold_ratio": warm_p50 / cold_p50 if cold_p50 > 0 else float("inf"),
+        "throughput_rps": (
+            len(all_concurrent) * concurrency / total_concurrent
+            if total_concurrent > 0
+            else 0.0
+        ),
+    }
+    return {
+        "schema_version": LATENCY_SCHEMA_VERSION,
+        "suite": suite,
+        "seed": BENCH_SEED,
+        "created_at": time.strftime("%Y-%m-%d %H:%M:%S"),
+        "created_unix": time.time(),
+        "compilers": list(names),
+        "requests": requests,
+        "concurrency": concurrency,
+        "cold_requests": cold_requests,
+        "cold_includes_process_startup": True,
+        "results_identical": identical,
+        "warm_state": server_stats["warm_state"],
+        "aggregate": aggregate,
+        "rows": rows,
+    }
+
+
+def _measure_concurrent(
+    host: str, port: int, job: "Job", requests: int, concurrency: int
+) -> list[float]:
+    """Per-request latencies with ``concurrency`` clients firing at once."""
+    from ..serve.client import ServeClient
+
+    def one_client(count: int) -> list[float]:
+        times: list[float] = []
+        with ServeClient(host, port) as client:
+            for _ in range(count):
+                start = time.perf_counter()
+                response = client.compile_job(job)
+                times.append(time.perf_counter() - start)
+                if not response.ok:
+                    raise RuntimeError(f"served compile failed: {response.error}")
+        return times
+
+    # spread `requests` across the clients, first clients take the remainder
+    base, extra = divmod(requests, concurrency)
+    counts = [base + (1 if i < extra else 0) for i in range(concurrency)]
+    counts = [c for c in counts if c]
+    with ThreadPoolExecutor(
+        max_workers=len(counts), thread_name_prefix="repro-latency"
+    ) as pool:
+        return [t for times in pool.map(one_client, counts) for t in times]
+
+
+def write_latency(document: Mapping[str, object], out_dir: str | Path) -> Path:
+    """Write ``document`` as a unique ``LATENCY_*.json`` under ``out_dir``."""
+    return write_document(document, out_dir, "LATENCY")
+
+
+def load_latency(path: str | Path) -> dict[str, object]:
+    """Load and shape-check a LATENCY document."""
+    with open(path, "r", encoding="utf-8") as handle:
+        document = json.load(handle)
+    if not isinstance(document, dict) or "aggregate" not in document:
+        raise ValueError(f"{path} is not a repro latency document")
+    if document.get("schema_version") != LATENCY_SCHEMA_VERSION:
+        raise ValueError(
+            f"{path} has latency schema {document.get('schema_version')!r};"
+            f" this build reads version {LATENCY_SCHEMA_VERSION}"
+        )
+    return document
+
+
+def latency_regressed(
+    document: Mapping[str, object],
+    *,
+    max_warm_ratio: float = 0.75,
+    max_p99: float | None = None,
+) -> list[str]:
+    """Gate reasons for ``document``; an empty list means the gate passes.
+
+    ``max_warm_ratio`` bounds warm-p50 / cold-p50 (the whole point of the
+    server is that this is well under 1); ``max_p99`` optionally bounds the
+    concurrent warm p99 in seconds.  A failed identity check always gates —
+    a fast server that returns different results is not an optimisation.
+    """
+    reasons: list[str] = []
+    if not document.get("results_identical", False):
+        reasons.append(
+            "served results are not byte-identical to the batch path"
+            " (see per-row results_identical)"
+        )
+    aggregate = document.get("aggregate")
+    if not isinstance(aggregate, Mapping):
+        return reasons + ["document has no aggregate section"]
+    ratio = float(aggregate.get("warm_cold_ratio", float("inf")))
+    if ratio > max_warm_ratio:
+        reasons.append(
+            f"warm/cold p50 ratio {ratio:.3f} exceeds the {max_warm_ratio:.2f} gate"
+        )
+    if max_p99 is not None:
+        p99 = float(aggregate.get("warm_concurrent_p99", float("inf")))
+        if p99 > max_p99:
+            reasons.append(
+                f"concurrent warm p99 {p99:.3f}s exceeds the {max_p99:.3f}s gate"
+            )
+    return reasons
+
+
+def format_latency(document: Mapping[str, object]) -> str:
+    """Fixed-width table of one latency document."""
+    aggregate = document["aggregate"]
+    lines = [
+        f"repro bench --latency suite={document['suite']}"
+        f" compilers={','.join(document['compilers'])}"
+        f" requests={document['requests']} concurrency={document['concurrency']}"
+        f" (cold includes process startup)"
+    ]
+    header = (
+        f"{'workload':<24} {'cold p50':>9} {'warm p50':>9} {'warm p99':>9} "
+        f"{'conc p50':>9} {'conc p99':>9}  identical"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in document["rows"]:
+        lines.append(
+            f"{row['workload']:<24} {row['cold_p50']:>8.3f}s {row['warm_p50']:>8.3f}s "
+            f"{row['warm_p99']:>8.3f}s {row['warm_concurrent_p50']:>8.3f}s "
+            f"{row['warm_concurrent_p99']:>8.3f}s  {'yes' if row['results_identical'] else 'NO'}"
+        )
+    lines.append(
+        f"aggregate: cold p50 {aggregate['cold_p50']:.3f}s"
+        f" | warm p50 {aggregate['warm_p50']:.3f}s"
+        f" p99 {aggregate['warm_p99']:.3f}s"
+        f" | concurrent p99 {aggregate['warm_concurrent_p99']:.3f}s"
+        f" | warm/cold {aggregate['warm_cold_ratio']:.3f}"
+        f" | {aggregate['throughput_rps']:.1f} req/s"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,182 @@
+"""Synchronous client for the warm-state compile server.
+
+One :class:`ServeClient` wraps one TCP connection.  Requests are written as
+newline-JSON lines and responses matched back by ``request_id`` — the server
+may answer out of order, so the client parks early arrivals until their
+caller asks for them.  A single client instance is **not** a concurrency
+primitive: for parallel submission open one client per thread (that is what
+:func:`submit_jobs` does).
+"""
+
+from __future__ import annotations
+
+import itertools
+import socket
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any
+
+from ..experiments.engine import Job, JobPolicy, job_to_dict
+from .schema import (
+    ServeProtocolError,
+    ServeRequest,
+    ServeResponse,
+    decode_line,
+    encode_message,
+)
+
+__all__ = ["ServeClient", "submit_jobs", "wait_until_ready"]
+
+_REQUEST_COUNTER = itertools.count(1)
+
+
+class ServeClient:
+    """Blocking single-connection client; use as a context manager."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0, *, timeout: float = 60.0) -> None:
+        if port <= 0:
+            raise ValueError("port must be a bound server port")
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._sock: socket.socket | None = None
+        self._reader: Any = None
+        self._pending: dict[str, ServeResponse] = {}
+
+    # ------------------------------------------------------------------ #
+    # connection lifecycle
+    # ------------------------------------------------------------------ #
+    def connect(self) -> "ServeClient":
+        if self._sock is None:
+            self._sock = socket.create_connection(
+                (self.host, self.port), timeout=self.timeout
+            )
+            self._reader = self._sock.makefile("rb")
+        return self
+
+    def close(self) -> None:
+        sock, self._sock = self._sock, None
+        self._reader = None
+        self._pending.clear()
+        if sock is not None:
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+    def __enter__(self) -> "ServeClient":
+        return self.connect()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # request/response plumbing
+    # ------------------------------------------------------------------ #
+    def _send(self, request: ServeRequest) -> None:
+        self.connect()
+        assert self._sock is not None
+        self._sock.sendall(encode_message(request))
+
+    def _receive(self, request_id: str) -> ServeResponse:
+        if request_id in self._pending:
+            return self._pending.pop(request_id)
+        assert self._reader is not None
+        for line in self._reader:
+            response = decode_line(line, ServeResponse)
+            if response.request_id == request_id:
+                return response
+            self._pending[response.request_id] = response
+        raise ServeProtocolError(
+            f"connection closed before a response to request {request_id!r} arrived"
+        )
+
+    def request(self, request: ServeRequest) -> ServeResponse:
+        """Send one request and block for its response."""
+        self._send(request)
+        return self._receive(request.request_id)
+
+    # ------------------------------------------------------------------ #
+    # operations
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _next_id(prefix: str) -> str:
+        return f"{prefix}-{next(_REQUEST_COUNTER)}"
+
+    def ping(self) -> ServeResponse:
+        return self.request(ServeRequest(op="ping", request_id=self._next_id("ping")))
+
+    def stats(self) -> dict[str, Any]:
+        response = self.request(ServeRequest(op="stats", request_id=self._next_id("stats")))
+        if not response.ok:
+            raise ServeProtocolError(response.error or "stats request failed")
+        return response.payload
+
+    def shutdown_server(self) -> ServeResponse:
+        return self.request(
+            ServeRequest(op="shutdown", request_id=self._next_id("shutdown"))
+        )
+
+    def compile_job(self, job: Job, *, policy: JobPolicy | None = None) -> ServeResponse:
+        """Submit one engine job and block for its compile response."""
+        request = ServeRequest(
+            op="compile",
+            request_id=self._next_id("compile"),
+            job=job_to_dict(job),
+            policy=policy.to_dict() if policy is not None else None,
+        )
+        return self.request(request)
+
+
+def wait_until_ready(
+    host: str, port: int, *, attempts: int = 50, delay: float = 0.1
+) -> bool:
+    """Poll ``ping`` until the server answers; True once it does."""
+    for _ in range(attempts):
+        try:
+            with ServeClient(host, port, timeout=5.0) as client:
+                if client.ping().ok:
+                    return True
+        except (OSError, ServeProtocolError):
+            pass
+        time.sleep(delay)
+    return False
+
+
+def submit_jobs(
+    jobs: list[Job],
+    host: str,
+    port: int,
+    *,
+    concurrency: int = 4,
+    policy: JobPolicy | None = None,
+    timeout: float = 120.0,
+) -> list[ServeResponse]:
+    """Submit ``jobs`` concurrently (one connection per worker thread).
+
+    Responses come back in ``jobs`` order regardless of completion order.
+    """
+    if not jobs:
+        return []
+    concurrency = max(1, min(concurrency, len(jobs)))
+    clients: dict[int, ServeClient] = {}
+    clients_lock = threading.Lock()
+
+    def run(job: Job) -> ServeResponse:
+        ident = threading.get_ident()
+        with clients_lock:
+            client = clients.get(ident)
+            if client is None:
+                client = ServeClient(host, port, timeout=timeout).connect()
+                clients[ident] = client
+        return client.compile_job(job, policy=policy)
+
+    try:
+        with ThreadPoolExecutor(
+            max_workers=concurrency, thread_name_prefix="repro-submit"
+        ) as pool:
+            return list(pool.map(run, jobs))
+    finally:
+        for client in clients.values():
+            client.close()

@@ -1,0 +1,175 @@
+"""Wire schema for the warm-state compile server.
+
+The protocol is deliberately small: newline-delimited JSON objects over a
+local TCP socket, one request object per line, one response object per line,
+matched by a client-chosen ``request_id``.  Versioning is explicit — every
+request and response carries ``protocol`` so a client talking to a newer or
+older server fails loudly instead of mis-parsing.
+
+Request operations:
+
+``compile``
+    Execute one engine job.  The payload embeds the job exactly as the
+    on-disk run manifests do (:func:`repro.experiments.engine.job_to_dict`)
+    plus an optional execution-policy dict, so a served compile and a batch
+    ``repro run`` compile are the *same* code path — same cache keys, same
+    record payloads.
+``ping``
+    Liveness check; the response echoes the server's protocol version.
+``stats``
+    Warm-state registry and worker-pool counters.
+``shutdown``
+    Graceful stop: in-flight jobs finish, then the listener closes.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = [
+    "SERVE_PROTOCOL_VERSION",
+    "ServeProtocolError",
+    "ServeRequest",
+    "ServeResponse",
+    "decode_line",
+    "encode_message",
+]
+
+#: Bumped whenever the wire format changes incompatibly.
+SERVE_PROTOCOL_VERSION = 1
+
+_OPS = ("compile", "ping", "stats", "shutdown")
+
+
+class ServeProtocolError(ValueError):
+    """A request or response line that violates the wire schema."""
+
+
+@dataclass(frozen=True)
+class ServeRequest:
+    """One client request line.
+
+    ``job`` and ``policy`` are plain dicts in the engine's manifest encoding;
+    they are only required (and only consulted) when ``op == "compile"``.
+    """
+
+    op: str
+    request_id: str
+    job: dict[str, Any] | None = None
+    policy: dict[str, Any] | None = None
+
+    def __post_init__(self) -> None:
+        if self.op not in _OPS:
+            raise ServeProtocolError(
+                f"unknown op {self.op!r}; expected one of {', '.join(_OPS)}"
+            )
+        if not self.request_id:
+            raise ServeProtocolError("request_id must be a non-empty string")
+        if self.op == "compile" and not isinstance(self.job, dict):
+            raise ServeProtocolError("compile requests must carry a job dict")
+
+    def to_dict(self) -> dict[str, Any]:
+        out: dict[str, Any] = {
+            "protocol": SERVE_PROTOCOL_VERSION,
+            "op": self.op,
+            "request_id": self.request_id,
+        }
+        if self.job is not None:
+            out["job"] = self.job
+        if self.policy is not None:
+            out["policy"] = self.policy
+        return out
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "ServeRequest":
+        _check_protocol(payload)
+        op = payload.get("op")
+        if not isinstance(op, str):
+            raise ServeProtocolError("request is missing a string 'op'")
+        request_id = payload.get("request_id")
+        if not isinstance(request_id, str):
+            raise ServeProtocolError("request is missing a string 'request_id'")
+        job = payload.get("job")
+        if job is not None and not isinstance(job, dict):
+            raise ServeProtocolError("'job' must be an object when present")
+        policy = payload.get("policy")
+        if policy is not None and not isinstance(policy, dict):
+            raise ServeProtocolError("'policy' must be an object when present")
+        return cls(op=op, request_id=request_id, job=job, policy=policy)
+
+
+@dataclass(frozen=True)
+class ServeResponse:
+    """One server response line, matched to its request by ``request_id``.
+
+    ``ok`` is the single success discriminator: on success ``payload`` holds
+    the op-specific result (for ``compile``: the record payload plus the
+    engine cache key and a ``warm`` flag); on failure ``error`` holds a
+    human-readable message and ``payload`` may carry structured detail (a
+    ``job_error`` dict for failed jobs).
+    """
+
+    request_id: str
+    ok: bool
+    payload: dict[str, Any] = field(default_factory=dict)
+    error: str | None = None
+
+    def to_dict(self) -> dict[str, Any]:
+        out: dict[str, Any] = {
+            "protocol": SERVE_PROTOCOL_VERSION,
+            "request_id": self.request_id,
+            "ok": self.ok,
+            "payload": self.payload,
+        }
+        if self.error is not None:
+            out["error"] = self.error
+        return out
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "ServeResponse":
+        _check_protocol(payload)
+        request_id = payload.get("request_id")
+        if not isinstance(request_id, str):
+            raise ServeProtocolError("response is missing a string 'request_id'")
+        ok = payload.get("ok")
+        if not isinstance(ok, bool):
+            raise ServeProtocolError("response is missing a boolean 'ok'")
+        body = payload.get("payload")
+        if not isinstance(body, dict):
+            raise ServeProtocolError("response is missing an object 'payload'")
+        error = payload.get("error")
+        if error is not None and not isinstance(error, str):
+            raise ServeProtocolError("'error' must be a string when present")
+        return cls(request_id=request_id, ok=ok, payload=body, error=error)
+
+
+def _check_protocol(payload: dict[str, Any]) -> None:
+    version = payload.get("protocol")
+    if version != SERVE_PROTOCOL_VERSION:
+        raise ServeProtocolError(
+            f"protocol version mismatch: got {version!r}, "
+            f"this build speaks {SERVE_PROTOCOL_VERSION}"
+        )
+
+
+def encode_message(message: ServeRequest | ServeResponse) -> bytes:
+    """One wire line for ``message``: compact JSON plus the terminating newline."""
+    return json.dumps(message.to_dict(), separators=(",", ":")).encode("utf-8") + b"\n"
+
+
+def decode_line(line: bytes | str, kind: type) -> Any:
+    """Parse one wire line into ``kind`` (ServeRequest or ServeResponse)."""
+    if isinstance(line, bytes):
+        line = line.decode("utf-8", errors="replace")
+    text = line.strip()
+    if not text:
+        raise ServeProtocolError("empty protocol line")
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ServeProtocolError(f"malformed JSON line: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ServeProtocolError("protocol line must be a JSON object")
+    return kind.from_dict(payload)

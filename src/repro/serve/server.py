@@ -1,0 +1,372 @@
+"""The warm-state compile server behind ``repro serve``.
+
+A :class:`CompileServer` owns three things:
+
+* a listening TCP socket speaking the newline-JSON protocol of
+  :mod:`repro.serve.schema` (one reader thread per connection);
+* a :class:`~concurrent.futures.ThreadPoolExecutor` whose workers run
+  :func:`repro.experiments.engine._execute_keyed` — the *same* entry point
+  the batch engine's process pool uses, so a served compile produces the
+  byte-identical record payload and cache key a ``repro run`` would;
+* a :class:`~repro.serve.state.WarmStateRegistry` installed as the engine's
+  warm-state provider while the server runs, so repeat compiles against one
+  device configuration skip array/layout/router construction entirely.
+
+Responses may arrive out of request order (workers finish when they finish);
+clients match them by ``request_id``.  A per-connection write lock keeps
+concurrently-finishing responses from interleaving on the socket.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any
+
+from ..experiments.engine import (
+    JobPolicy,
+    ResultCache,
+    _execute_keyed,
+    config_key,
+    job_from_dict,
+    set_warm_state_provider,
+)
+from .schema import (
+    SERVE_PROTOCOL_VERSION,
+    ServeProtocolError,
+    ServeRequest,
+    ServeResponse,
+    decode_line,
+    encode_message,
+)
+from .state import WarmStateRegistry
+
+__all__ = ["CompileServer"]
+
+
+class CompileServer:
+    """Persistent compile server with warm per-device routing state.
+
+    Parameters
+    ----------
+    host, port:
+        Listen address; ``port=0`` binds an ephemeral port (read the chosen
+        one from :attr:`port` after :meth:`start`).
+    workers:
+        Compile worker threads.  Compilation is pure Python and GIL-bound, so
+        this sizes *concurrency* (how many requests make progress at once),
+        not parallel speedup.
+    cache:
+        Optional :class:`ResultCache` shared with batch runs — served repeat
+        requests then return memoised payloads without recompiling.
+    policy:
+        Default execution policy for requests that do not send one.
+    max_devices:
+        Warm-state LRU capacity (distinct device configurations resident).
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        workers: int = 2,
+        cache: ResultCache | None = None,
+        policy: JobPolicy | None = None,
+        max_devices: int = 8,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be at least 1")
+        self.host = host
+        self.port = port
+        self.workers = workers
+        self.cache = cache
+        self.policy = policy if policy is not None else JobPolicy()
+        self.registry = WarmStateRegistry(max_devices=max_devices)
+        self._sock: socket.socket | None = None
+        self._pool: ThreadPoolExecutor | None = None
+        self._accept_thread: threading.Thread | None = None
+        self._connection_threads: list[threading.Thread] = []
+        self._connections: set[socket.socket] = set()
+        self._previous_provider: Any = None
+        self._shutdown = threading.Event()
+        self._state_lock = threading.Lock()
+        self._requests_served = 0
+        self._compiles = 0
+        self._cache_hits = 0
+        self._errors = 0
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def start(self) -> "CompileServer":
+        """Bind, install the warm-state provider, and begin accepting."""
+        if self._sock is not None:
+            raise RuntimeError("server is already running")
+        self._shutdown.clear()
+        self._sock = socket.create_server((self.host, self.port))
+        self.port = self._sock.getsockname()[1]
+        self._pool = ThreadPoolExecutor(
+            max_workers=self.workers, thread_name_prefix="repro-serve-worker"
+        )
+        self._previous_provider = set_warm_state_provider(self.registry.get)
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="repro-serve-accept", daemon=True
+        )
+        self._accept_thread.start()
+        return self
+
+    def shutdown(self) -> None:
+        """Stop accepting, drain in-flight work, restore the engine hook."""
+        if self._shutdown.is_set() and self._sock is None:
+            return
+        self._shutdown.set()
+        sock, self._sock = self._sock, None
+        if sock is not None:
+            try:
+                sock.close()
+            except OSError:
+                pass
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=5.0)
+            self._accept_thread = None
+        if self._pool is not None:
+            # drain in-flight compiles first so their responses still reach
+            # clients, then sever idle connections to unblock reader threads
+            self._pool.shutdown(wait=True)
+            self._pool = None
+        with self._state_lock:
+            open_conns = list(self._connections)
+        for conn in open_conns:
+            try:
+                conn.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                conn.close()
+            except OSError:
+                pass
+        for thread in list(self._connection_threads):
+            thread.join(timeout=5.0)
+        self._connection_threads.clear()
+        set_warm_state_provider(self._previous_provider)
+        self._previous_provider = None
+
+    def serve_forever(self) -> None:
+        """Block until a ``shutdown`` request (or :meth:`shutdown`) stops us."""
+        if self._sock is None:
+            self.start()
+        try:
+            while not self._shutdown.wait(0.2):
+                pass
+        except KeyboardInterrupt:
+            pass
+        finally:
+            self.shutdown()
+
+    def __enter__(self) -> "CompileServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.shutdown()
+
+    # ------------------------------------------------------------------ #
+    # connection handling
+    # ------------------------------------------------------------------ #
+    def _accept_loop(self) -> None:
+        sock = self._sock
+        if sock is None:
+            return
+        try:
+            sock.settimeout(0.2)
+        except OSError:  # shutdown() closed the socket before we got here
+            return
+        while not self._shutdown.is_set():
+            try:
+                conn, _addr = sock.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                break
+            thread = threading.Thread(
+                target=self._serve_connection,
+                args=(conn,),
+                name="repro-serve-conn",
+                daemon=True,
+            )
+            # only this thread mutates the list, so prune-then-append is safe
+            self._connection_threads = [
+                t for t in self._connection_threads if t.is_alive()
+            ]
+            self._connection_threads.append(thread)
+            thread.start()
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        with self._state_lock:
+            self._connections.add(conn)
+        write_lock = threading.Lock()
+
+        def respond(response: ServeResponse) -> None:
+            data = encode_message(response)
+            with write_lock:
+                try:
+                    conn.sendall(data)
+                except OSError:
+                    pass
+
+        try:
+            reader = conn.makefile("rb")
+            for line in reader:
+                if not line.strip():
+                    continue
+                try:
+                    request = decode_line(line, ServeRequest)
+                except ServeProtocolError as exc:
+                    with self._state_lock:
+                        self._errors += 1
+                    respond(
+                        ServeResponse(
+                            request_id="?", ok=False, error=f"protocol error: {exc}"
+                        )
+                    )
+                    continue
+                with self._state_lock:
+                    self._requests_served += 1
+                if request.op == "ping":
+                    respond(
+                        ServeResponse(
+                            request_id=request.request_id,
+                            ok=True,
+                            payload={"protocol": SERVE_PROTOCOL_VERSION},
+                        )
+                    )
+                elif request.op == "stats":
+                    respond(
+                        ServeResponse(
+                            request_id=request.request_id, ok=True, payload=self.stats()
+                        )
+                    )
+                elif request.op == "shutdown":
+                    respond(ServeResponse(request_id=request.request_id, ok=True))
+                    self._shutdown.set()
+                    break
+                else:  # compile — run on the worker pool, respond when done
+                    pool = self._pool
+                    if pool is None or self._shutdown.is_set():
+                        respond(
+                            ServeResponse(
+                                request_id=request.request_id,
+                                ok=False,
+                                error="server is shutting down",
+                            )
+                        )
+                        continue
+                    pool.submit(self._run_compile, request, respond)
+        except OSError:
+            pass
+        finally:
+            try:
+                conn.close()
+            except OSError:
+                pass
+            with self._state_lock:
+                self._connections.discard(conn)
+
+    # ------------------------------------------------------------------ #
+    # compile execution
+    # ------------------------------------------------------------------ #
+    def _run_compile(self, request: ServeRequest, respond: Any) -> None:
+        try:
+            response = self._compile_response(request)
+        except Exception as exc:  # defensive: a worker must never die silently
+            with self._state_lock:
+                self._errors += 1
+            response = ServeResponse(
+                request_id=request.request_id,
+                ok=False,
+                error=f"{type(exc).__name__}: {exc}",
+            )
+        respond(response)
+
+    def _compile_response(self, request: ServeRequest) -> ServeResponse:
+        assert request.job is not None  # enforced by ServeRequest.__post_init__
+        try:
+            job = job_from_dict(request.job)
+        except Exception as exc:
+            with self._state_lock:
+                self._errors += 1
+            return ServeResponse(
+                request_id=request.request_id,
+                ok=False,
+                error=f"invalid job: {type(exc).__name__}: {exc}",
+            )
+        policy = self.policy
+        if request.policy is not None:
+            try:
+                policy = JobPolicy(**request.policy)
+            except Exception as exc:
+                with self._state_lock:
+                    self._errors += 1
+                return ServeResponse(
+                    request_id=request.request_id,
+                    ok=False,
+                    error=f"invalid policy: {type(exc).__name__}: {exc}",
+                )
+        key = config_key(job)
+        warm = job in self.registry
+        cached = False
+        payload: dict[str, Any] | None = None
+        if self.cache is not None:
+            hit = self.cache.get(key)
+            if hit is not None:
+                payload = dict(hit)
+                cached = True
+                with self._state_lock:
+                    self._cache_hits += 1
+        if payload is None:
+            _, payload = _execute_keyed((key, dict(request.job), policy.to_dict()))
+            if self.cache is not None and "job_error" not in payload:
+                self.cache.put(key, job, payload)
+        with self._state_lock:
+            self._compiles += 1
+        if "job_error" in payload:
+            with self._state_lock:
+                self._errors += 1
+            job_error = payload["job_error"]
+            message = (
+                job_error.get("message", "") if isinstance(job_error, dict) else str(job_error)
+            )
+            return ServeResponse(
+                request_id=request.request_id,
+                ok=False,
+                payload={"key": key, "warm": warm, "job_error": job_error},
+                error=f"job failed: {message}",
+            )
+        return ServeResponse(
+            request_id=request.request_id,
+            ok=True,
+            payload={"key": key, "warm": warm, "cached": cached, "result": payload},
+        )
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+    def stats(self) -> dict[str, Any]:
+        """Server and warm-registry counters (the ``stats`` op's payload)."""
+        with self._state_lock:
+            counters = {
+                "requests_served": self._requests_served,
+                "compiles": self._compiles,
+                "cache_hits": self._cache_hits,
+                "errors": self._errors,
+            }
+        return {
+            "protocol": SERVE_PROTOCOL_VERSION,
+            "host": self.host,
+            "port": self.port,
+            "workers": self.workers,
+            "caching": self.cache is not None,
+            **counters,
+            "warm_state": self.registry.stats(),
+        }

@@ -297,8 +297,24 @@ class TestCleanCacheTtl:
         entries = cache.entries()
         stamp = time.time() - days * 86400
         aged = entries[: len(entries) // 2 or 1]
+        aged_keys = {path.stem for path in aged}
         for path in aged:
             os.utime(path, (stamp, stamp))
+        # recency is mtime-independent too: the access log's P/H lines count
+        # as last use, so aging an entry means aging its logged timestamps
+        log = cache.access_log_path
+        if log.exists():
+            lines = []
+            for line in log.read_text().splitlines():
+                parts = line.split()
+                timestamped = (
+                    len(parts) == 3 and parts[0] in ("H", "M", "P")
+                ) or (len(parts) == 4 and parts[0] == "A")
+                if timestamped and parts[1] in aged_keys:
+                    parts[-1] = f"{stamp:.6f}"
+                    line = " ".join(parts)
+                lines.append(line)
+            log.write_text("\n".join(lines) + "\n")
         return len(entries), len(aged)
 
     def test_older_than_removes_only_aged_entries(self, dirs, capsys):

@@ -290,7 +290,10 @@ class TestReviewRegressions:
         assert path.stat().st_mtime > stamp + 1000  # which *does* refresh recency
 
     def test_unrefreshed_plan_does_not_shield_entries_from_a_ttl_sweep(self, tmp_path):
-        cache = ResultCache(tmp_path)
+        # record_access=False so mtime is the only recency source here — with
+        # the access log on, the put timestamps would (correctly) shield the
+        # entries from the sweep regardless of the mtime aging below
+        cache = ResultCache(tmp_path, record_access=False)
         run_jobs([OK1, OK2], cache=cache)
         now = time.time()
         for path in cache.entries():

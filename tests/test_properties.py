@@ -220,7 +220,7 @@ class TestResultCacheProperties:
     def test_ttl_sweep_never_evicts_entries_newer_than_the_cutoff(self, ages, max_age):
         """Exactly the entries strictly older than ``now - max_age`` go."""
         with tempfile.TemporaryDirectory() as tmp:
-            cache = ResultCache(tmp)
+            cache = ResultCache(tmp, record_access=False)  # mtime-only recency
             now = time.time()
             paths = {}
             for index, age in enumerate(ages):
@@ -241,7 +241,7 @@ class TestResultCacheProperties:
     @settings(max_examples=20, deadline=None)
     def test_ttl_dry_run_removes_nothing_but_counts_identically(self, ages, max_age):
         with tempfile.TemporaryDirectory() as tmp:
-            cache = ResultCache(tmp)
+            cache = ResultCache(tmp, record_access=False)  # mtime-only recency
             now = time.time()
             for index, age in enumerate(ages):
                 path = cache.put(_cache_key(index), _CACHE_JOB, _CACHE_PAYLOAD)
@@ -256,7 +256,7 @@ class TestResultCacheProperties:
     def test_lru_cap_evicts_oldest_first_and_never_the_newest(self, n_entries, cap_entries):
         """After a capped put, survivors are exactly the most recently used."""
         with tempfile.TemporaryDirectory() as tmp:
-            uncapped = ResultCache(tmp)
+            uncapped = ResultCache(tmp, record_access=False)  # mtime-only recency
             now = time.time()
             size = None
             for index in range(n_entries):
@@ -265,7 +265,7 @@ class TestResultCacheProperties:
                 stamp = now - (n_entries - index)
                 os.utime(path, (stamp, stamp))
                 size = path.stat().st_size
-            capped = ResultCache(tmp, max_bytes=size * cap_entries)
+            capped = ResultCache(tmp, max_bytes=size * cap_entries, record_access=False)
             newest = _cache_key(n_entries)
             capped.put(newest, _CACHE_JOB, _CACHE_PAYLOAD)  # mtime ~now, triggers eviction
             survivors = {path.name[: -len(".json")] for path in capped.entries()}
@@ -283,7 +283,7 @@ class TestResultCacheProperties:
         self, n_entries, data
     ):
         with tempfile.TemporaryDirectory() as tmp:
-            cache = ResultCache(tmp)
+            cache = ResultCache(tmp, record_access=False)  # mtime-only recency
             now = time.time()
             for index in range(n_entries):
                 path = cache.put(_cache_key(index), _CACHE_JOB, _CACHE_PAYLOAD)
