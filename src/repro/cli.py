@@ -21,9 +21,14 @@ Runs any of the paper's figures/tables through the orchestration engine::
     repro submit --port 7463 --suite quick --concurrency 4
     repro submit --port 7463 --shutdown  # graceful server stop (--ping, --stats)
     repro bench --latency --quick        # cold vs warm serve-path p50/p99 gate
+    repro farm run table2 --local-workers 2      # coordinator + leased workers
+    repro farm run fig12 --worker-command 'ssh node{index} ...'   # remote workers
+    repro farm-worker --connect 127.0.0.1:7464   # join an existing coordinator
     repro list
     repro cache-stats [--json]           # size/health + hit-rate telemetry
+    repro cache-stats --rank access      # the daemon's exact eviction order
     repro clean-cache --older-than 30    # TTL sweep (add --dry-run to preview)
+    repro clean-cache --watch --interval 300 --max-mb 512   # eviction daemon
 
 Every run memoizes its per-job results in an on-disk cache (default
 ``.repro-cache/``, sharded by config-hash prefix), so re-running an
@@ -70,7 +75,13 @@ from .experiments.engine import (
     write_artifacts,
 )
 from .experiments.engine import config_key
-from .experiments.registry import EXPERIMENTS, plan_experiment, run_experiment
+from .experiments.registry import (
+    EXPERIMENTS,
+    build_experiment_jobs,
+    experiment_meta,
+    plan_experiment,
+    run_experiment,
+)
 from .experiments.runner import AnyRecord, format_failed_rows, normalize_compilers
 from .experiments.settings import BENCHMARK_NAMES
 
@@ -591,6 +602,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the full stats document (per-entry access counts,"
         " hit-rate summary) as JSON",
     )
+    stats.add_argument(
+        "--rank",
+        choices=["access"],
+        default=None,
+        help="print the access-ranked eviction order instead of the summary:"
+        " exactly the order `clean-cache --max-mb` evicts in (fewest recorded"
+        " hits first, ties broken by least-recent use, then by entry name)",
+    )
 
     clean = sub.add_parser(
         "clean-cache",
@@ -606,10 +625,165 @@ def build_parser() -> argparse.ArgumentParser:
         " (default: remove everything)",
     )
     clean.add_argument(
+        "--max-mb",
+        type=float,
+        default=None,
+        metavar="MB",
+        help="also evict access-ranked entries (fewest recorded hits first,"
+        " least recently used breaking ties) until the cache fits under MB"
+        " — `cache-stats --rank access` previews the exact order",
+    )
+    clean.add_argument(
         "--dry-run",
         action="store_true",
         help="report what would be removed without deleting anything",
     )
+    clean.add_argument(
+        "--watch",
+        action="store_true",
+        help="run as an eviction daemon: repeat the sweep every --interval"
+        " seconds until interrupted (SIGINT/SIGTERM exit cleanly)",
+    )
+    clean.add_argument(
+        "--interval",
+        type=float,
+        default=300.0,
+        metavar="SECONDS",
+        help="sweep period for --watch (default 300)",
+    )
+    clean.add_argument(
+        "--max-cycles",
+        type=int,
+        default=None,
+        metavar="N",
+        help="with --watch, exit after N sweep cycles (mainly for CI smoke runs)",
+    )
+
+    farm = sub.add_parser(
+        "farm",
+        help="distributed compile farm: coordinator + leased work-queue workers",
+        description="Run an experiment across many worker processes/machines."
+        " The coordinator plans against the shared cache (cached work is never"
+        " dispatched), serves a lease-based work queue over the repro-serve"
+        " wire protocol (v2), journals every state transition beside the"
+        " checkpoint, and heals crashed workers by lease expiry. A crashed"
+        " coordinator resumes with `repro resume <checkpoint>`.",
+    )
+    farm_sub = farm.add_subparsers(dest="farm_command", required=True)
+    farm_run = farm_sub.add_parser(
+        "run",
+        help="run one experiment through a coordinator plus launched workers",
+    )
+    farm_run.add_argument(
+        "experiment",
+        metavar="EXPERIMENT",
+        help=f"experiment to run: {', '.join(sorted(EXPERIMENTS))}",
+    )
+    farm_run.add_argument(
+        "--scale",
+        default="small",
+        choices=[*SCALE_TIERS, "smoke"],
+        help="scale tier (smoke is an alias for small)",
+    )
+    farm_run.add_argument(
+        "--benchmarks",
+        nargs="*",
+        default=list(BENCHMARK_NAMES),
+        metavar="NAME",
+        help=f"benchmark programs (default: {' '.join(BENCHMARK_NAMES)})",
+    )
+    farm_run.add_argument("--seed", type=int, default=0)
+    farm_run.add_argument(
+        "--compilers",
+        default=",".join(DEFAULT_COMPILERS),
+        metavar="A,B[,C...]",
+        help="comma-separated compiler backends, reference first (default"
+        f" {','.join(DEFAULT_COMPILERS)})",
+    )
+    farm_run.add_argument(
+        "--local-workers",
+        type=int,
+        default=2,
+        metavar="N",
+        help="worker processes to launch (default 2)",
+    )
+    farm_run.add_argument(
+        "--worker-threads",
+        type=int,
+        default=1,
+        metavar="N",
+        help="executor threads inside each worker (default 1)",
+    )
+    farm_run.add_argument(
+        "--worker-command",
+        default=None,
+        metavar="TEMPLATE",
+        help="launch each worker with this shell command template instead of"
+        " a local subprocess; placeholders: {host} {port} {index} {workers}"
+        " (e.g. 'ssh node{index} python -m repro farm-worker --connect"
+        " {host}:{port} --workers {workers}')",
+    )
+    farm_run.add_argument("--host", default="127.0.0.1", help="coordinator bind address")
+    farm_run.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="coordinator TCP port (default 0: ephemeral)",
+    )
+    farm_run.add_argument(
+        "--lease-seconds",
+        type=float,
+        default=15.0,
+        metavar="S",
+        help="lease/heartbeat horizon: a worker silent this long forfeits its"
+        " jobs back to the queue (default 15)",
+    )
+    farm_run.add_argument(
+        "--worker-log-dir",
+        default=None,
+        metavar="DIR",
+        help="capture each local worker's output to DIR/worker-<i>.log",
+    )
+    _add_cache_options(farm_run)
+    farm_run.add_argument(
+        "--out-dir",
+        default=DEFAULT_OUT_DIR,
+        help=f"artifact directory (default {DEFAULT_OUT_DIR})",
+    )
+    _add_policy_options(farm_run)
+    farm_run.add_argument("--quiet", action="store_true", help="suppress progress output")
+
+    worker = sub.add_parser(
+        "farm-worker",
+        help="one farm worker: claim leases, execute, report (used by farm run)",
+    )
+    worker.add_argument(
+        "--connect",
+        required=True,
+        metavar="HOST:PORT",
+        help="coordinator address to join",
+    )
+    worker.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="executor threads in this worker process (default 1)",
+    )
+    worker.add_argument(
+        "--worker-id",
+        default=None,
+        metavar="ID",
+        help="stable identity for leases/heartbeats (default: <hostname>-<pid>)",
+    )
+    worker.add_argument(
+        "--batch",
+        type=int,
+        default=None,
+        metavar="N",
+        help="max leases per claim (default: --workers)",
+    )
+    worker.add_argument("--quiet", action="store_true", help="suppress progress output")
 
     return parser
 
@@ -708,31 +882,185 @@ def _entry_word(count: int) -> str:
     return "entry" if count == 1 else "entries"
 
 
-def _cmd_clean_cache(args: argparse.Namespace) -> int:
-    cache = ResultCache(args.cache_dir)
-    if args.older_than is not None:
-        if not (args.older_than >= 0):  # inverted so NaN fails the check too
-            print("error: --older-than must be >= 0 days", file=sys.stderr)
-            return 2
-        result = cache.sweep_older_than(args.older_than * _DAY_SECONDS, dry_run=args.dry_run)
-        verb = "would remove" if args.dry_run else "removed"
-        print(
-            f"{verb} {result['removed']} of {result['scanned']} cache"
-            f" {_entry_word(result['scanned'])} older than {args.older_than:g}"
-            f" day{'s' if args.older_than != 1 else ''}"
-            f" ({result['freed_bytes'] / 1048576:.2f} MiB) from {args.cache_dir}"
-        )
-        return 0
+def _sweep_ttl(cache: ResultCache, args: argparse.Namespace) -> str:
+    """One TTL pass; returns the human-readable outcome line."""
+    result = cache.sweep_older_than(args.older_than * _DAY_SECONDS, dry_run=args.dry_run)
+    verb = "would remove" if args.dry_run else "removed"
+    return (
+        f"{verb} {result['removed']} of {result['scanned']} cache"
+        f" {_entry_word(result['scanned'])} older than {args.older_than:g}"
+        f" day{'s' if args.older_than != 1 else ''}"
+        f" ({result['freed_bytes'] / 1048576:.2f} MiB) from {args.cache_dir}"
+    )
+
+
+def _sweep_ranked(cache: ResultCache, args: argparse.Namespace) -> str:
+    """One access-ranked eviction pass down to ``--max-mb``."""
+    max_bytes = max(1, int(args.max_mb * 1048576))
     if args.dry_run:
-        count = len(cache)
-        print(f"would remove {count} cache {_entry_word(count)} from {args.cache_dir}")
+        ranking = cache.eviction_ranking()
+        total = sum(entry["bytes"] for entry in ranking)
+        removed = freed = 0
+        for entry in ranking:
+            if total - freed <= max_bytes:
+                break
+            freed += entry["bytes"]
+            removed += 1
+        verb, kept = "would evict", total - freed
+    else:
+        result = cache.evict_ranked(max_bytes)
+        removed, freed, kept = result["removed"], result["freed_bytes"], result["total_bytes"]
+        verb = "evicted"
+    return (
+        f"{verb} {removed} access-ranked {_entry_word(removed)}"
+        f" ({freed / 1048576:.2f} MiB) to fit {args.max_mb:g} MB;"
+        f" {kept / 1048576:.2f} MiB kept in {args.cache_dir}"
+    )
+
+
+def _cmd_clean_cache(args: argparse.Namespace) -> int:
+    if args.older_than is not None and not (args.older_than >= 0):
+        # inverted so NaN fails the check too
+        print("error: --older-than must be >= 0 days", file=sys.stderr)
+        return 2
+    if args.max_mb is not None and not (args.max_mb > 0):
+        print("error: --max-mb must be positive", file=sys.stderr)
+        return 2
+    if args.max_cycles is not None and not args.watch:
+        print("error: --max-cycles requires --watch", file=sys.stderr)
+        return 2
+    cache = ResultCache(args.cache_dir)
+
+    if args.watch:
+        if not (args.interval > 0):
+            print("error: --interval must be positive", file=sys.stderr)
+            return 2
+        if args.dry_run:
+            print("error: --watch performs real evictions; drop --dry-run", file=sys.stderr)
+            return 2
+        if args.older_than is None and args.max_mb is None:
+            print(
+                "error: --watch needs at least one policy:"
+                " --older-than DAYS and/or --max-mb MB",
+                file=sys.stderr,
+            )
+            return 2
+        return _eviction_daemon(cache, args)
+
+    if args.older_than is None and args.max_mb is None:
+        # historic behaviour: a bare clean-cache empties the cache
+        if args.dry_run:
+            count = len(cache)
+            print(f"would remove {count} cache {_entry_word(count)} from {args.cache_dir}")
+            return 0
+        removed = cache.clear()
+        print(f"removed {removed} cache {_entry_word(removed)} from {args.cache_dir}")
         return 0
-    removed = cache.clear()
-    print(f"removed {removed} cache {_entry_word(removed)} from {args.cache_dir}")
+    if args.older_than is not None:
+        print(_sweep_ttl(cache, args))
+    if args.max_mb is not None:
+        print(_sweep_ranked(cache, args))
     return 0
 
 
-def _cmd_cache_stats(cache_dir: str, as_json: bool = False) -> int:
+def _eviction_daemon(cache: ResultCache, args: argparse.Namespace) -> int:
+    """``clean-cache --watch``: periodic TTL + access-ranked eviction.
+
+    Runs until SIGINT/SIGTERM (clean exit) or ``--max-cycles`` sweeps — the
+    latter is how CI exercises one daemon cycle against a shared cache.
+    """
+    import signal as _signal
+
+    stop = {"flag": False}
+
+    def _request_stop(signum: int, frame: object) -> None:
+        stop["flag"] = True
+
+    previous = {}
+    for signame in ("SIGINT", "SIGTERM"):
+        signum = getattr(_signal, signame, None)
+        if signum is not None:
+            try:
+                previous[signum] = _signal.signal(signum, _request_stop)
+            except (ValueError, OSError):  # pragma: no cover - non-main thread
+                pass
+    policies = []
+    if args.older_than is not None:
+        policies.append(f"ttl {args.older_than:g}d")
+    if args.max_mb is not None:
+        policies.append(f"cap {args.max_mb:g}MB")
+    print(
+        f"eviction daemon on {args.cache_dir}: {', '.join(policies)},"
+        f" every {args.interval:g}s"
+        + (f", {args.max_cycles} cycle(s)" if args.max_cycles is not None else ""),
+        file=sys.stderr,
+    )
+    cycles = 0
+    try:
+        while not stop["flag"]:
+            stamp = time.strftime("%H:%M:%S")
+            if args.older_than is not None:
+                print(f"[{stamp}] {_sweep_ttl(cache, args)}")
+            if args.max_mb is not None:
+                print(f"[{stamp}] {_sweep_ranked(cache, args)}")
+            cycles += 1
+            if args.max_cycles is not None and cycles >= args.max_cycles:
+                break
+            deadline = time.monotonic() + args.interval
+            while not stop["flag"] and time.monotonic() < deadline:
+                time.sleep(min(0.2, args.interval))
+    finally:
+        for signum, handler in previous.items():
+            try:
+                _signal.signal(signum, handler)
+            except (ValueError, OSError):  # pragma: no cover
+                pass
+    print(f"eviction daemon stopped after {cycles} cycle(s)", file=sys.stderr)
+    return 0
+
+
+def _cmd_cache_stats(args: argparse.Namespace) -> int:
+    if args.rank == "access":
+        return _cmd_cache_rank(args)
+    return _cache_stats_summary(args.cache_dir, args.json)
+
+
+def _cmd_cache_rank(args: argparse.Namespace) -> int:
+    """``cache-stats --rank access``: the daemon's exact eviction order."""
+    ranking = ResultCache(args.cache_dir).eviction_ranking()
+    if args.json:
+        document = [
+            {
+                "rank": index + 1,
+                "key": entry["key"],
+                "hits": entry["hits"],
+                "last_use": entry["last_use"],
+                "bytes": entry["bytes"],
+            }
+            for index, entry in enumerate(ranking)
+        ]
+        print(json.dumps(document, indent=2))
+        return 0
+    if not ranking:
+        print(f"cache {args.cache_dir}: empty (nothing to rank)")
+        return 0
+    total = sum(entry["bytes"] for entry in ranking)
+    print(
+        f"eviction order for {args.cache_dir} ({len(ranking)}"
+        f" {_entry_word(len(ranking))}, {total / 1048576:.2f} MiB;"
+        " evicted first at the top):"
+    )
+    print(f"  {'rank':>4}  {'key':<18} {'hits':>5}  {'last use':<19} {'KiB':>8}")
+    for index, entry in enumerate(ranking, start=1):
+        stamp = time.strftime("%Y-%m-%d %H:%M:%S", time.localtime(entry["last_use"]))
+        print(
+            f"  {index:>4}  {entry['key'][:16] + '…':<18}"
+            f" {entry['hits']:>5}  {stamp:<19} {entry['bytes'] / 1024:>8.1f}"
+        )
+    return 0
+
+
+def _cache_stats_summary(cache_dir: str, as_json: bool = False) -> int:
     stats = ResultCache(cache_dir).stats()
     if as_json:
         print(json.dumps(stats, indent=2, sort_keys=True))
@@ -1444,6 +1772,139 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+# --------------------------------------------------------------------------
+# compile farm
+
+
+def _cmd_farm_run(args: argparse.Namespace) -> int:
+    """``repro farm run``: one experiment across coordinator + workers."""
+    from .farm import CommandWorkerLauncher, LocalWorkerLauncher, run_farm
+
+    name = args.experiment
+    if name not in EXPERIMENTS:
+        print(
+            f"error: unknown experiment {name!r};"
+            f" choose from {', '.join(sorted(EXPERIMENTS))}",
+            file=sys.stderr,
+        )
+        return 2
+    known = {candidate.upper() for candidate in BENCHMARK_NAMES}
+    bad = [bench for bench in args.benchmarks if bench.upper() not in known]
+    if bad or not args.benchmarks:
+        what = (
+            f"unknown benchmark(s) {', '.join(sorted(set(bad)))}"
+            if bad
+            else "no benchmarks given"
+        )
+        print(f"error: {what}; choose from {', '.join(BENCHMARK_NAMES)}", file=sys.stderr)
+        return 2
+    if args.cache_max_mb is not None and not (args.cache_max_mb > 0):
+        print("error: --cache-max-mb must be positive", file=sys.stderr)
+        return 2
+    if args.local_workers < 1:
+        print("error: --local-workers must be at least 1", file=sys.stderr)
+        return 2
+    if args.worker_threads < 1:
+        print("error: --worker-threads must be at least 1", file=sys.stderr)
+        return 2
+    if not (args.lease_seconds > 0):
+        print("error: --lease-seconds must be positive", file=sys.stderr)
+        return 2
+    benchmarks = [bench.upper() for bench in args.benchmarks]
+    compilers = _parse_compilers(args.compilers)
+    if compilers is None:
+        return 2
+    # the artifact/checkpoint metadata must match `repro run --scale small`
+    # byte for byte, so the smoke alias resolves before anything records it
+    scale = "small" if args.scale == "smoke" else args.scale
+
+    cache = _build_cache(args)
+    policy = _build_policy(args)
+    jobs = build_experiment_jobs(
+        name, scale=scale, benchmarks=benchmarks, seed=args.seed, compilers=compilers
+    )
+    meta = experiment_meta(
+        name, scale=scale, benchmarks=benchmarks, seed=args.seed, cache=cache,
+        compilers=compilers,
+    )
+    checkpoint = Path(args.out_dir) / f"{name}.checkpoint.json"
+    launcher: object
+    if args.worker_command is not None:
+        launcher = CommandWorkerLauncher(args.worker_command, threads=args.worker_threads)
+    else:
+        launcher = LocalWorkerLauncher(threads=args.worker_threads, log_dir=args.worker_log_dir)
+    progress = None if args.quiet else (lambda msg: print(f"  {msg}", file=sys.stderr))
+    if not args.quiet:
+        spec = EXPERIMENTS[name]
+        print(
+            f"== farm {name}: {spec.title} (scale={scale},"
+            f" {args.local_workers} worker(s)) ==",
+            file=sys.stderr,
+        )
+    try:
+        records, report = run_farm(
+            jobs,
+            launcher=launcher,  # type: ignore[arg-type]
+            workers=args.local_workers,
+            host=args.host,
+            port=args.port,
+            cache=cache,
+            policy=policy,
+            lease_seconds=args.lease_seconds,
+            checkpoint=checkpoint,
+            checkpoint_meta=meta,
+            progress=progress,
+        )
+    except RuntimeError as exc:
+        print(f"error: farm run aborted: {exc}", file=sys.stderr)
+        print(f"resume with: repro resume {checkpoint}", file=sys.stderr)
+        return 1
+    _emit_experiment(
+        name,
+        records,
+        report,
+        out_dir=args.out_dir,
+        metadata={
+            "scale": scale,
+            "benchmarks": benchmarks,
+            "seed": args.seed,
+            "compilers": compilers,
+        },
+        on_error=args.on_error,
+    )
+    return 1 if report.failed else 0
+
+
+def _cmd_farm_worker(args: argparse.Namespace) -> int:
+    """``repro farm-worker``: join a coordinator and work until it drains."""
+    from .farm.worker import main_loop_with_retry
+
+    host, sep, port_text = args.connect.rpartition(":")
+    if not sep or not host or not port_text.isdigit():
+        print(
+            f"error: --connect must be HOST:PORT, got {args.connect!r}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.workers < 1:
+        print("error: --workers must be at least 1", file=sys.stderr)
+        return 2
+    if args.batch is not None and args.batch < 1:
+        print("error: --batch must be at least 1", file=sys.stderr)
+        return 2
+    progress = (
+        None if args.quiet else (lambda msg: print(f"[farm-worker] {msg}", file=sys.stderr))
+    )
+    return main_loop_with_retry(
+        host,
+        int(port_text),
+        workers=args.workers,
+        worker_id=args.worker_id,
+        batch=args.batch,
+        progress=progress,
+    )
+
+
 def _resume_experiment_name(checkpoint: Checkpoint) -> str:
     name = checkpoint.meta.get("experiment")
     if not isinstance(name, str) or name not in EXPERIMENTS:
@@ -1567,9 +2028,13 @@ def main(argv: Sequence[str] | None = None) -> int:
         if args.command == "compilers":
             return _cmd_compilers(args.json)
         if args.command == "cache-stats":
-            return _cmd_cache_stats(args.cache_dir, args.json)
+            return _cmd_cache_stats(args)
         if args.command == "clean-cache":
             return _cmd_clean_cache(args)
+        if args.command == "farm":
+            return _cmd_farm_run(args)
+        if args.command == "farm-worker":
+            return _cmd_farm_worker(args)
         if args.command == "bench":
             return _cmd_bench(args)
         if args.command == "serve":

@@ -89,6 +89,7 @@ __all__ = [
     "CHECKPOINT_VERSION",
     "FAULT_INJECT_ENV",
     "SCALE_TIERS",
+    "STALL_ENV",
     "VERIFY_ENV",
     "Checkpoint",
     "CheckpointError",
@@ -100,16 +101,20 @@ __all__ = [
     "JobTimeoutError",
     "ResultCache",
     "RunReport",
+    "append_journal",
+    "checkpoint_document",
     "config_key",
     "error_row",
     "experiment_checkpoint_meta",
     "job_from_dict",
     "job_to_dict",
+    "journal_path_for",
     "load_checkpoint",
     "noise_from_items",
     "noise_to_items",
     "plan_jobs",
     "plan_summary",
+    "read_journal",
     "record_from_payload",
     "record_to_payload",
     "record_row",
@@ -490,8 +495,34 @@ EXECUTORS: dict[str, Callable[[Job], AnyRecord]] = {
 #: path through a real CLI run without patching any code.
 FAULT_INJECT_ENV = "REPRO_FAULT_BENCHMARK"
 
+#: Environment variable of the form ``NAME:SECONDS`` that makes every job of
+#: benchmark NAME sleep before compiling.  The stall is what lets the farm
+#: fault-tolerance tests (and the CI farm-smoke job) deterministically catch
+#: a worker mid-job to SIGKILL it — same spirit as :data:`FAULT_INJECT_ENV`,
+#: no code patched.
+STALL_ENV = "REPRO_STALL_BENCHMARK"
+
+#: Upper bound on an injected stall, so a typo cannot wedge a run for hours.
+_STALL_MAX_SECONDS = 60.0
+
+
+def _injected_stall(job: Job) -> float:
+    spec = os.environ.get(STALL_ENV)
+    if not spec:
+        return 0.0
+    name, _, seconds = spec.partition(":")
+    if name.strip().upper() != job.benchmark.upper():
+        return 0.0
+    try:
+        return min(max(float(seconds), 0.0), _STALL_MAX_SECONDS)
+    except ValueError:
+        return 0.0
+
 
 def _execute_job(job: Job) -> AnyRecord:
+    stall = _injected_stall(job)
+    if stall:
+        time.sleep(stall)
     injected = os.environ.get(FAULT_INJECT_ENV)
     if injected and job.benchmark.upper() == injected.upper():
         raise RuntimeError(
@@ -1268,6 +1299,77 @@ class ResultCache:
             self._total_bytes = None  # force a rescan on the next capped put
         return {"scanned": scanned, "removed": removed, "freed_bytes": freed}
 
+    def eviction_ranking(self) -> list[dict[str, object]]:
+        """Every entry in the exact order ranked eviction removes them.
+
+        Least-*served* first: entries are sorted by access-log hit count
+        ascending, ties broken by the oldest last use (the newer of mtime and
+        logged recency, same rule as the LRU cap and the TTL sweep), final
+        ties by name so the order is fully deterministic.  This is the order
+        the eviction daemon (``repro clean-cache --watch --max-mb``) walks and
+        the preview ``repro cache-stats --rank access`` prints — one code
+        path, so the preview can never lie about what a sweep would do.
+        """
+        try:
+            _, _, per_key, last_used = self._parse_access_log()
+        except OSError:
+            per_key, last_used = {}, {}
+        ranked: list[dict[str, object]] = []
+        for path in self.entries():
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            key = path.stem
+            ranked.append(
+                {
+                    "key": key,
+                    "path": path,
+                    "hits": per_key.get(key, 0),
+                    "last_use": max(stat.st_mtime, last_used.get(key, 0.0)),
+                    "bytes": stat.st_size,
+                }
+            )
+        ranked.sort(key=lambda e: (e["hits"], e["last_use"], e["path"].name))
+        return ranked
+
+    def evict_ranked(self, max_bytes: int) -> dict[str, int]:
+        """Evict the head of :meth:`eviction_ranking` until under ``max_bytes``.
+
+        Unlike the recency-only :meth:`_evict_to_cap` (which backs the
+        per-put LRU cap), this is the farm daemon's access-ranked pass: a
+        hot entry served hundreds of times outlives a fresher entry nothing
+        ever asked for.  Returns ``{"scanned", "removed", "freed_bytes",
+        "total_bytes"}`` with ``total_bytes`` the post-eviction size.
+        """
+        if max_bytes <= 0:
+            raise ValueError(f"max_bytes must be positive, got {max_bytes}")
+        ranking = self.eviction_ranking()
+        total = sum(int(entry["bytes"]) for entry in ranking)
+        removed = freed = 0
+        for entry in ranking:
+            if total <= max_bytes:
+                break
+            with contextlib.suppress(OSError):
+                entry["path"].unlink()  # type: ignore[union-attr]
+                total -= int(entry["bytes"])
+                freed += int(entry["bytes"])
+                removed += 1
+        if removed:
+            with self._lock:
+                self.evicted += removed
+                self._total_bytes = None  # force a rescan on the next capped put
+            for shard in self.cache_dir.glob(_SHARD_GLOB):
+                if shard.is_dir():
+                    with contextlib.suppress(OSError):
+                        shard.rmdir()
+        return {
+            "scanned": len(ranking),
+            "removed": removed,
+            "freed_bytes": freed,
+            "total_bytes": total,
+        }
+
     def __len__(self) -> int:
         return len(self.entries())
 
@@ -1564,6 +1666,95 @@ def _atomic_write_json(path: Path, document: Mapping[str, object]) -> None:
     os.replace(tmp, path)
 
 
+def checkpoint_document(
+    *,
+    finished: bool,
+    interrupted: bool,
+    meta: Mapping[str, object] | None,
+    total_jobs: int,
+    cache_hits: int,
+    cached_keys: Sequence[str],
+    completed_keys: Sequence[str],
+    failed: Sequence[JobError],
+    pending_entries: Sequence[Mapping[str, object]],
+    serialized_jobs: Sequence[Mapping[str, object]],
+) -> dict[str, object]:
+    """The checkpoint-schema-v2 document both checkpoint writers share.
+
+    :func:`run_jobs_report`'s in-process flush and the farm coordinator's
+    journal compaction build their files through this one constructor, so a
+    farm checkpoint is indistinguishable from a batch one and ``repro
+    resume`` works unchanged against either.
+    """
+    return {
+        "checkpoint_version": CHECKPOINT_VERSION,
+        "finished": finished,
+        "interrupted": interrupted,
+        "meta": dict(meta) if meta else {},
+        "total_jobs": total_jobs,
+        "cache_hits": cache_hits,
+        "cached": list(cached_keys),
+        "completed": list(completed_keys),
+        "failed": [asdict(error) for error in failed],
+        "pending": [dict(entry) for entry in pending_entries],
+        "jobs": [dict(job) for job in serialized_jobs],
+    }
+
+
+def journal_path_for(checkpoint_path: str | Path) -> Path:
+    """The delta-journal path beside a checkpoint file.
+
+    ``fig12.checkpoint.json`` → ``fig12.checkpoint.journal.jsonl``: same
+    directory, same stem, so operators (and the CI artifact upload) find the
+    journal by looking next to the checkpoint it shadows.
+    """
+    path = Path(checkpoint_path)
+    stem = path.name[: -len(".json")] if path.name.endswith(".json") else path.name
+    return path.with_name(f"{stem}.journal.jsonl")
+
+
+def append_journal(path: str | Path, delta: Mapping[str, object]) -> None:
+    """Append one state-transition delta as a compact JSON line.
+
+    One ``O_APPEND`` write per event — atomic for these short lines on
+    POSIX, so a coordinator crash can tear at most the final line (which
+    :func:`read_journal` skips).  The journal is the farm's write-ahead
+    record: every lease/complete/fail/expire lands here *before* the
+    throttled checkpoint compaction, so a crash between flushes loses
+    bookkeeping only, never results (those are already in the cache).
+    """
+    line = (json.dumps(dict(delta), sort_keys=True, separators=(",", ":")) + "\n").encode(
+        "utf-8"
+    )
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    fd = os.open(str(target), os.O_WRONLY | os.O_APPEND | os.O_CREAT, 0o644)
+    try:
+        os.write(fd, line)
+    finally:
+        os.close(fd)
+
+
+def read_journal(path: str | Path) -> list[dict[str, object]]:
+    """Parse a delta journal, skipping a torn trailing line from a crash."""
+    entries: list[dict[str, object]] = []
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                text = line.strip()
+                if not text:
+                    continue
+                try:
+                    entry = json.loads(text)
+                except json.JSONDecodeError:
+                    continue  # torn tail from a crashed appender
+                if isinstance(entry, dict):
+                    entries.append(entry)
+    except FileNotFoundError:
+        return []
+    return entries
+
+
 class CheckpointError(ValueError):
     """A checkpoint file is missing, malformed or not resumable."""
 
@@ -1745,19 +1936,18 @@ def run_jobs_report(
         ]
         _atomic_write_json(
             checkpoint_path,
-            {
-                "checkpoint_version": CHECKPOINT_VERSION,
-                "finished": finished,
-                "interrupted": report.interrupted,
-                "meta": dict(checkpoint_meta) if checkpoint_meta else {},
-                "total_jobs": report.total,
-                "cache_hits": report.cache_hits,
-                "cached": cached_keys,
-                "completed": [key for key in pending if key in payloads],
-                "failed": [asdict(error) for error in errors.values()],
-                "pending": remaining,
-                "jobs": serialized_jobs,
-            },
+            checkpoint_document(
+                finished=finished,
+                interrupted=report.interrupted,
+                meta=checkpoint_meta,
+                total_jobs=report.total,
+                cache_hits=report.cache_hits,
+                cached_keys=cached_keys,
+                completed_keys=[key for key in pending if key in payloads],
+                failed=list(errors.values()),
+                pending_entries=remaining,
+                serialized_jobs=serialized_jobs,
+            ),
         )
 
     policy_dict = policy.to_dict()
@@ -1799,6 +1989,38 @@ def run_jobs_report(
         if progress is not None:
             progress(f"{done}/{len(items)} jobs executed")
 
+    # A launcher or batch scheduler stops a run with SIGTERM, not Ctrl-C;
+    # without this handler the process dies between throttled flushes and
+    # leaves a checkpoint that under-reports what already completed.  Flush,
+    # then restore the default disposition and re-deliver the signal so the
+    # exit status still says "killed by SIGTERM".  Only the main thread may
+    # install signal handlers; embeddings that dispatch from other threads
+    # simply keep the historic behaviour.
+    sigterm_installed = False
+    sigterm_previous: Any = None
+    sigterm_owner = os.getpid()
+
+    def _flush_on_sigterm(signum, frame):
+        # forked pool workers inherit this handler; a process-group SIGTERM
+        # must not let a child overwrite the checkpoint with its stale
+        # fork-time copy of the run state, so only the owning process flushes
+        if os.getpid() == sigterm_owner:
+            report.interrupted = True
+            flush_checkpoint(finished=False)
+        signal.signal(signal.SIGTERM, signal.SIG_DFL)
+        os.kill(os.getpid(), signal.SIGTERM)
+
+    if (
+        checkpoint_path is not None
+        and hasattr(signal, "SIGTERM")
+        and threading.current_thread() is threading.main_thread()
+    ):
+        try:
+            sigterm_previous = signal.signal(signal.SIGTERM, _flush_on_sigterm)
+            sigterm_installed = True
+        except (ValueError, OSError):  # pragma: no cover - exotic embeddings
+            sigterm_installed = False
+
     try:
         if len(items) > 1 and workers > 1:
             with multiprocessing.get_context().Pool(processes=min(workers, len(items))) as pool:
@@ -1811,6 +2033,10 @@ def run_jobs_report(
         report.interrupted = True
         flush_checkpoint(finished=False)
         raise
+    finally:
+        if sigterm_installed:
+            with contextlib.suppress(ValueError, OSError):
+                signal.signal(signal.SIGTERM, sigterm_previous)
 
     report.failed = len(errors)
     report.corrupt_entries = (store.corrupt_seen - corrupt_base) if store is not None else 0

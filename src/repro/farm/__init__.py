@@ -1,0 +1,33 @@
+"""Compile-farm subsystem: coordinator, lease queue, workers, launchers.
+
+``repro farm run`` drives a :class:`~repro.farm.coordinator.FarmCoordinator`
+(which plans through the engine's cache-aware :func:`plan_jobs` and serves a
+lease-based work queue over the protocol-v2 wire) plus N workers launched
+through a pluggable :class:`~repro.farm.launcher.WorkerLauncher`.  See the
+README's "Compile farm" section for the operational story.
+"""
+
+from .coordinator import FarmCoordinator, run_farm
+from .launcher import (
+    CommandWorkerLauncher,
+    LocalWorkerLauncher,
+    WorkerLauncher,
+    stop_workers,
+)
+from .queue import LeaseQueue, QueueEntry
+from .schema import Lease
+from .worker import default_worker_id, run_worker
+
+__all__ = [
+    "CommandWorkerLauncher",
+    "FarmCoordinator",
+    "Lease",
+    "LeaseQueue",
+    "LocalWorkerLauncher",
+    "QueueEntry",
+    "WorkerLauncher",
+    "default_worker_id",
+    "run_farm",
+    "run_worker",
+    "stop_workers",
+]

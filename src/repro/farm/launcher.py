@@ -1,0 +1,178 @@
+"""Pluggable worker launchers for ``repro farm run``.
+
+A launcher answers one question: *given a coordinator address, start worker
+number ``index`` somewhere and hand back a process-like handle*.  The
+built-in :class:`LocalWorkerLauncher` spawns ``python -m repro farm-worker``
+subprocesses on this machine; :class:`CommandWorkerLauncher` renders a
+user-supplied command template (``{host}``/``{port}``/``{index}``/
+``{workers}`` placeholders) through the shell, which is enough to wrap
+``ssh``, ``kubectl run``, a batch scheduler, or anything else that can
+eventually execute ``repro farm-worker --connect HOST:PORT``.
+
+Handles only need ``poll()`` (None while running), ``terminate()`` and
+``kill()`` — exactly the :class:`subprocess.Popen` surface — so the driver
+can notice dead workers and stop live ones without knowing how they were
+started.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+from typing import Any, Protocol
+
+__all__ = [
+    "CommandWorkerLauncher",
+    "LocalWorkerLauncher",
+    "WorkerHandle",
+    "WorkerLauncher",
+    "render_worker_command",
+    "stop_workers",
+]
+
+
+class WorkerHandle(Protocol):
+    """The minimal process surface the farm driver needs."""
+
+    def poll(self) -> int | None: ...  # noqa: E704
+
+    def terminate(self) -> None: ...  # noqa: E704
+
+    def kill(self) -> None: ...  # noqa: E704
+
+
+class WorkerLauncher(Protocol):
+    """Start worker ``index`` against the coordinator at ``host:port``."""
+
+    def launch(self, index: int, host: str, port: int) -> WorkerHandle: ...  # noqa: E704
+
+
+def _env_with_src_on_path() -> dict[str, str]:
+    """Ensure the spawned interpreter can import :mod:`repro`.
+
+    ``repro farm run`` may be invoked via ``PYTHONPATH=src`` from the repo
+    root or from an installed package; prepending the package's own parent
+    directory covers both without clobbering an existing ``PYTHONPATH``.
+    """
+    import repro
+
+    src_dir = str(Path(repro.__file__).resolve().parent.parent)
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH", "")
+    parts = [src_dir] + ([existing] if existing else [])
+    env["PYTHONPATH"] = os.pathsep.join(dict.fromkeys(parts))
+    return env
+
+
+class LocalWorkerLauncher:
+    """Spawn ``python -m repro farm-worker`` subprocesses on this host.
+
+    ``threads`` is the per-worker ``--workers`` value (executor threads
+    inside each worker process); ``log_dir`` captures each worker's stdout +
+    stderr to ``worker-<index>.log`` for post-mortems, otherwise output is
+    discarded.
+    """
+
+    def __init__(self, *, threads: int = 1, log_dir: str | Path | None = None) -> None:
+        if threads < 1:
+            raise ValueError("threads must be at least 1")
+        self.threads = threads
+        self.log_dir = Path(log_dir) if log_dir is not None else None
+
+    def launch(self, index: int, host: str, port: int) -> subprocess.Popen[bytes]:
+        argv = [
+            sys.executable,
+            "-m",
+            "repro",
+            "farm-worker",
+            "--connect",
+            f"{host}:{port}",
+            "--workers",
+            str(self.threads),
+            "--worker-id",
+            f"local-{index}-{os.getpid()}",
+        ]
+        stdout: Any = subprocess.DEVNULL
+        if self.log_dir is not None:
+            self.log_dir.mkdir(parents=True, exist_ok=True)
+            stdout = open(self.log_dir / f"worker-{index}.log", "ab")  # noqa: SIM115
+        try:
+            return subprocess.Popen(
+                argv,
+                stdout=stdout,
+                stderr=subprocess.STDOUT,
+                env=_env_with_src_on_path(),
+            )
+        finally:
+            if stdout is not subprocess.DEVNULL:
+                stdout.close()  # Popen holds its own descriptor
+
+
+def render_worker_command(template: str, *, index: int, host: str, port: int, workers: int) -> str:
+    """Substitute the launcher placeholders into a command template."""
+    try:
+        return template.format(host=host, port=port, index=index, workers=workers)
+    except (KeyError, IndexError) as exc:
+        raise ValueError(
+            f"bad worker command template {template!r}: unknown placeholder {exc};"
+            " available: {host} {port} {index} {workers}"
+        ) from exc
+
+
+class CommandWorkerLauncher:
+    """Launch workers through an arbitrary shell command template.
+
+    The template receives ``{host}``, ``{port}``, ``{index}`` and
+    ``{workers}``; e.g.::
+
+        repro farm run table2 --worker-command \\
+          'ssh node{index} REPRO_CACHE=/shared/.repro-cache \\
+           python -m repro farm-worker --connect {host}:{port} --workers {workers}'
+
+    The spawned shell process is the handle — for remote launchers like
+    ``ssh`` that means "the worker is up while the connection lives", which
+    is exactly the liveness signal the driver wants.
+    """
+
+    def __init__(self, template: str, *, threads: int = 1) -> None:
+        if not template.strip():
+            raise ValueError("worker command template must be non-empty")
+        if threads < 1:
+            raise ValueError("threads must be at least 1")
+        self.template = template
+        self.threads = threads
+
+    def launch(self, index: int, host: str, port: int) -> subprocess.Popen[bytes]:
+        command = render_worker_command(
+            self.template, index=index, host=host, port=port, workers=self.threads
+        )
+        return subprocess.Popen(  # noqa: S602 - the template is operator-supplied
+            command,
+            shell=True,
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.STDOUT,
+            env=_env_with_src_on_path(),
+        )
+
+
+def stop_workers(handles: list[Any], *, timeout: float = 5.0) -> None:
+    """Terminate (then kill) every still-running worker handle."""
+    for handle in handles:
+        if handle.poll() is None:
+            try:
+                handle.terminate()
+            except OSError:
+                continue
+    for handle in handles:
+        waiter = getattr(handle, "wait", None)
+        if waiter is None:
+            continue
+        try:
+            waiter(timeout=timeout)
+        except Exception:
+            try:
+                handle.kill()
+            except OSError:
+                pass

@@ -20,6 +20,26 @@ Request operations:
     Warm-state registry and worker-pool counters.
 ``shutdown``
     Graceful stop: in-flight jobs finish, then the listener closes.
+
+Protocol **v2** reuses the same framing for the compile farm's lease-based
+work queue (:mod:`repro.farm`).  A v2 request carries ``protocol: 2`` and an
+op-specific ``body`` object instead of ``job``/``policy``:
+
+``claim``
+    A worker asks the coordinator for up to ``max_jobs`` leases.
+``complete`` / ``fail``
+    A worker reports one finished lease (its record payload, or the
+    structured ``job_error`` of a job that exhausted its single attempt).
+``heartbeat``
+    A worker extends the lease deadlines of its in-flight jobs.
+``progress``
+    Coordinator run progress; its payload embeds the same
+    :func:`work_stats` block ``CompileServer.stats()`` reports, so both
+    services expose one queue-depth/in-flight schema.
+
+The control ops (``ping``/``stats``/``shutdown``) are valid under either
+version, and the v1 wire format is byte-identical to what it always was —
+old clients and servers interoperate unchanged.
 """
 
 from __future__ import annotations
@@ -29,18 +49,66 @@ from dataclasses import dataclass, field
 from typing import Any
 
 __all__ = [
+    "FARM_PROTOCOL_VERSION",
     "SERVE_PROTOCOL_VERSION",
+    "WORK_STATS_VERSION",
     "ServeProtocolError",
     "ServeRequest",
     "ServeResponse",
     "decode_line",
     "encode_message",
+    "work_stats",
 ]
 
 #: Bumped whenever the wire format changes incompatibly.
 SERVE_PROTOCOL_VERSION = 1
 
-_OPS = ("compile", "ping", "stats", "shutdown")
+#: The farm work-queue extension (claim/complete/fail/heartbeat/progress).
+FARM_PROTOCOL_VERSION = 2
+
+#: Ops valid under any protocol version.
+_CONTROL_OPS = ("ping", "stats", "shutdown")
+
+_OPS_BY_PROTOCOL: dict[int, tuple[str, ...]] = {
+    SERVE_PROTOCOL_VERSION: ("compile", *_CONTROL_OPS),
+    FARM_PROTOCOL_VERSION: (
+        "claim",
+        "complete",
+        "fail",
+        "heartbeat",
+        "progress",
+        *_CONTROL_OPS,
+    ),
+}
+
+#: Kept for backward compatibility: the v1 op tuple under its historic name.
+_OPS = _OPS_BY_PROTOCOL[SERVE_PROTOCOL_VERSION]
+
+#: Version stamp of the shared queue-stats block (see :func:`work_stats`).
+WORK_STATS_VERSION = 1
+
+
+def work_stats(
+    *, total: int, queue_depth: int, in_flight: int, completed: int, failed: int
+) -> dict[str, int]:
+    """The one queue-progress schema both services report.
+
+    ``CompileServer.stats()`` embeds it under ``"queue"`` (request-level
+    counts) and the farm coordinator's ``progress``/``stats`` replies embed
+    it under ``"queue"`` too (unique-job counts) — so dashboards and the CLI
+    parse a single shape instead of two ad-hoc ones.
+    """
+    counts = {
+        "total": total,
+        "queue_depth": queue_depth,
+        "in_flight": in_flight,
+        "completed": completed,
+        "failed": failed,
+    }
+    for name, value in counts.items():
+        if not isinstance(value, int) or value < 0:
+            raise ValueError(f"work_stats {name} must be a non-negative int, got {value!r}")
+    return {"work_stats_version": WORK_STATS_VERSION, **counts}
 
 
 class ServeProtocolError(ValueError):
@@ -53,26 +121,43 @@ class ServeRequest:
 
     ``job`` and ``policy`` are plain dicts in the engine's manifest encoding;
     they are only required (and only consulted) when ``op == "compile"``.
+    Farm (v2) work-queue requests instead carry their op-specific fields in
+    ``body``; control ops need neither.
     """
 
     op: str
     request_id: str
     job: dict[str, Any] | None = None
     policy: dict[str, Any] | None = None
+    protocol: int = SERVE_PROTOCOL_VERSION
+    body: dict[str, Any] | None = None
 
     def __post_init__(self) -> None:
-        if self.op not in _OPS:
+        ops = _OPS_BY_PROTOCOL.get(self.protocol)
+        if ops is None:
             raise ServeProtocolError(
-                f"unknown op {self.op!r}; expected one of {', '.join(_OPS)}"
+                f"unknown protocol version {self.protocol!r};"
+                f" this build speaks {sorted(_OPS_BY_PROTOCOL)}"
+            )
+        if self.op not in ops:
+            raise ServeProtocolError(
+                f"unknown op {self.op!r} for protocol {self.protocol};"
+                f" expected one of {', '.join(ops)}"
             )
         if not self.request_id:
             raise ServeProtocolError("request_id must be a non-empty string")
         if self.op == "compile" and not isinstance(self.job, dict):
             raise ServeProtocolError("compile requests must carry a job dict")
+        if (
+            self.protocol == FARM_PROTOCOL_VERSION
+            and self.op not in _CONTROL_OPS
+            and not isinstance(self.body, dict)
+        ):
+            raise ServeProtocolError(f"farm {self.op!r} requests must carry a body object")
 
     def to_dict(self) -> dict[str, Any]:
         out: dict[str, Any] = {
-            "protocol": SERVE_PROTOCOL_VERSION,
+            "protocol": self.protocol,
             "op": self.op,
             "request_id": self.request_id,
         }
@@ -80,11 +165,13 @@ class ServeRequest:
             out["job"] = self.job
         if self.policy is not None:
             out["policy"] = self.policy
+        if self.body is not None:
+            out["body"] = self.body
         return out
 
     @classmethod
     def from_dict(cls, payload: dict[str, Any]) -> "ServeRequest":
-        _check_protocol(payload)
+        version = _check_protocol(payload)
         op = payload.get("op")
         if not isinstance(op, str):
             raise ServeProtocolError("request is missing a string 'op'")
@@ -97,7 +184,17 @@ class ServeRequest:
         policy = payload.get("policy")
         if policy is not None and not isinstance(policy, dict):
             raise ServeProtocolError("'policy' must be an object when present")
-        return cls(op=op, request_id=request_id, job=job, policy=policy)
+        body = payload.get("body")
+        if body is not None and not isinstance(body, dict):
+            raise ServeProtocolError("'body' must be an object when present")
+        return cls(
+            op=op,
+            request_id=request_id,
+            job=job,
+            policy=policy,
+            protocol=version,
+            body=body,
+        )
 
 
 @dataclass(frozen=True)
@@ -115,10 +212,18 @@ class ServeResponse:
     ok: bool
     payload: dict[str, Any] = field(default_factory=dict)
     error: str | None = None
+    protocol: int = SERVE_PROTOCOL_VERSION
+
+    def __post_init__(self) -> None:
+        if self.protocol not in _OPS_BY_PROTOCOL:
+            raise ServeProtocolError(
+                f"unknown protocol version {self.protocol!r};"
+                f" this build speaks {sorted(_OPS_BY_PROTOCOL)}"
+            )
 
     def to_dict(self) -> dict[str, Any]:
         out: dict[str, Any] = {
-            "protocol": SERVE_PROTOCOL_VERSION,
+            "protocol": self.protocol,
             "request_id": self.request_id,
             "ok": self.ok,
             "payload": self.payload,
@@ -129,7 +234,7 @@ class ServeResponse:
 
     @classmethod
     def from_dict(cls, payload: dict[str, Any]) -> "ServeResponse":
-        _check_protocol(payload)
+        version = _check_protocol(payload)
         request_id = payload.get("request_id")
         if not isinstance(request_id, str):
             raise ServeProtocolError("response is missing a string 'request_id'")
@@ -142,16 +247,17 @@ class ServeResponse:
         error = payload.get("error")
         if error is not None and not isinstance(error, str):
             raise ServeProtocolError("'error' must be a string when present")
-        return cls(request_id=request_id, ok=ok, payload=body, error=error)
+        return cls(request_id=request_id, ok=ok, payload=body, error=error, protocol=version)
 
 
-def _check_protocol(payload: dict[str, Any]) -> None:
+def _check_protocol(payload: dict[str, Any]) -> int:
     version = payload.get("protocol")
-    if version != SERVE_PROTOCOL_VERSION:
+    if version not in _OPS_BY_PROTOCOL:
         raise ServeProtocolError(
             f"protocol version mismatch: got {version!r}, "
-            f"this build speaks {SERVE_PROTOCOL_VERSION}"
+            f"this build speaks {sorted(_OPS_BY_PROTOCOL)}"
         )
+    return version
 
 
 def encode_message(message: ServeRequest | ServeResponse) -> bytes:

@@ -39,6 +39,7 @@ from .schema import (
     ServeResponse,
     decode_line,
     encode_message,
+    work_stats,
 )
 from .state import WarmStateRegistry
 
@@ -96,6 +97,12 @@ class CompileServer:
         self._compiles = 0
         self._cache_hits = 0
         self._errors = 0
+        # work_stats() counters: compile requests waiting for a pool slot,
+        # executing right now, and finished (ok / not ok)
+        self._queued = 0
+        self._running = 0
+        self._completed_jobs = 0
+        self._failed_jobs = 0
 
     # ------------------------------------------------------------------ #
     # lifecycle
@@ -262,6 +269,8 @@ class CompileServer:
                             )
                         )
                         continue
+                    with self._state_lock:
+                        self._queued += 1
                     pool.submit(self._run_compile, request, respond)
         except OSError:
             pass
@@ -277,6 +286,9 @@ class CompileServer:
     # compile execution
     # ------------------------------------------------------------------ #
     def _run_compile(self, request: ServeRequest, respond: Any) -> None:
+        with self._state_lock:
+            self._queued -= 1
+            self._running += 1
         try:
             response = self._compile_response(request)
         except Exception as exc:  # defensive: a worker must never die silently
@@ -287,6 +299,14 @@ class CompileServer:
                 ok=False,
                 error=f"{type(exc).__name__}: {exc}",
             )
+        finally:
+            with self._state_lock:
+                self._running -= 1
+        with self._state_lock:
+            if response.ok:
+                self._completed_jobs += 1
+            else:
+                self._failed_jobs += 1
         respond(response)
 
     def _compile_response(self, request: ServeRequest) -> ServeResponse:
@@ -361,6 +381,13 @@ class CompileServer:
                 "cache_hits": self._cache_hits,
                 "errors": self._errors,
             }
+            queue = work_stats(
+                total=self._queued + self._running + self._completed_jobs + self._failed_jobs,
+                queue_depth=self._queued,
+                in_flight=self._running,
+                completed=self._completed_jobs,
+                failed=self._failed_jobs,
+            )
         return {
             "protocol": SERVE_PROTOCOL_VERSION,
             "host": self.host,
@@ -368,5 +395,6 @@ class CompileServer:
             "workers": self.workers,
             "caching": self.cache is not None,
             **counters,
+            "queue": queue,
             "warm_state": self.registry.stats(),
         }
