@@ -68,9 +68,11 @@ from .experiments.engine import (
     JobPolicy,
     ResultCache,
     RunReport,
+    journal_path_for,
     load_checkpoint,
     plan_jobs,
     plan_summary,
+    repair_journal,
     run_jobs_report,
     write_artifacts,
 )
@@ -537,6 +539,21 @@ def build_parser() -> argparse.ArgumentParser:
         " the server's own default policy)",
     )
     submit.add_argument(
+        "--connect-timeout",
+        type=float,
+        default=5.0,
+        metavar="SECONDS",
+        help="per-dial socket timeout when (re)connecting (default 5)",
+    )
+    submit.add_argument(
+        "--max-connect-seconds",
+        type=float,
+        default=15.0,
+        metavar="SECONDS",
+        help="total wall-clock budget for connect retries, with capped"
+        " exponential backoff (default 15)",
+    )
+    submit.add_argument(
         "--json",
         action="store_true",
         help="print the raw serve responses as JSON",
@@ -782,6 +799,22 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="N",
         help="max leases per claim (default: --workers)",
+    )
+    worker.add_argument(
+        "--connect-timeout",
+        type=float,
+        default=2.0,
+        metavar="SECONDS",
+        help="per-dial socket timeout while waiting for the coordinator"
+        " (default 2)",
+    )
+    worker.add_argument(
+        "--max-connect-seconds",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="total wall-clock budget for the initial connect, with capped"
+        " exponential backoff (default 30)",
     )
     worker.add_argument("--quiet", action="store_true", help="suppress progress output")
 
@@ -1399,12 +1432,22 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     """``repro submit``: client for a running ``repro serve``."""
     from .experiments.engine import Job
     from .serve.client import ServeClient, submit_jobs, wait_until_ready
+    from .serve.retry import BackoffPolicy
     from .serve.schema import ServeProtocolError
 
     control_ops = sum(bool(flag) for flag in (args.ping, args.stats, args.shutdown))
     if control_ops > 1:
         print("error: --ping/--stats/--shutdown are mutually exclusive", file=sys.stderr)
         return 2
+    if not (args.connect_timeout > 0):
+        print("error: --connect-timeout must be positive", file=sys.stderr)
+        return 2
+    if not (args.max_connect_seconds > 0):
+        print("error: --max-connect-seconds must be positive", file=sys.stderr)
+        return 2
+    connect_policy = BackoffPolicy(
+        initial=0.1, cap=2.0, max_total_seconds=args.max_connect_seconds
+    )
     if args.ping:
         if wait_until_ready(args.host, args.port, attempts=30, delay=0.2):
             print(f"repro serve at {args.host}:{args.port} is up")
@@ -1413,11 +1456,21 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         return 1
     try:
         if args.stats:
-            with ServeClient(args.host, args.port) as client:
+            with ServeClient(
+                args.host,
+                args.port,
+                connect_timeout=args.connect_timeout,
+                connect_policy=connect_policy,
+            ) as client:
                 print(json.dumps(client.stats(), indent=2, sort_keys=True))
             return 0
         if args.shutdown:
-            with ServeClient(args.host, args.port) as client:
+            with ServeClient(
+                args.host,
+                args.port,
+                connect_timeout=args.connect_timeout,
+                connect_policy=connect_policy,
+            ) as client:
                 response = client.shutdown_server()
             if response.ok:
                 print(f"repro serve at {args.host}:{args.port} is shutting down")
@@ -1470,6 +1523,8 @@ def _cmd_submit(args: argparse.Namespace) -> int:
             args.port,
             concurrency=args.concurrency,
             policy=policy,
+            connect_timeout=args.connect_timeout,
+            connect_policy=connect_policy,
         )
     except (OSError, ServeProtocolError) as exc:
         print(
@@ -1892,6 +1947,12 @@ def _cmd_farm_worker(args: argparse.Namespace) -> int:
     if args.batch is not None and args.batch < 1:
         print("error: --batch must be at least 1", file=sys.stderr)
         return 2
+    if not (args.connect_timeout > 0):
+        print("error: --connect-timeout must be positive", file=sys.stderr)
+        return 2
+    if not (args.max_connect_seconds > 0):
+        print("error: --max-connect-seconds must be positive", file=sys.stderr)
+        return 2
     progress = (
         None if args.quiet else (lambda msg: print(f"[farm-worker] {msg}", file=sys.stderr))
     )
@@ -1901,6 +1962,8 @@ def _cmd_farm_worker(args: argparse.Namespace) -> int:
         workers=args.workers,
         worker_id=args.worker_id,
         batch=args.batch,
+        connect_timeout=args.connect_timeout,
+        max_connect_seconds=args.max_connect_seconds,
         progress=progress,
     )
 
@@ -1920,7 +1983,18 @@ def _cmd_resume(args: argparse.Namespace) -> int:
     if usage_error is not None:
         return usage_error
     try:
-        checkpoint = load_checkpoint(args.checkpoint)
+        # a crash can tear the journal's final line; quarantine the torn
+        # tail (preserved as *.quarantine) and resume from the good prefix
+        repaired = repair_journal(journal_path_for(args.checkpoint))
+        if repaired is not None:
+            print(
+                f"note: quarantined a torn journal tail"
+                f" ({repaired['quarantined_bytes']} byte(s) →"
+                f" {repaired['quarantine']}); resuming from"
+                f" {repaired['kept_events']} intact event(s)",
+                file=sys.stderr,
+            )
+        checkpoint = load_checkpoint(args.checkpoint, quarantine=True)
         name = _resume_experiment_name(checkpoint)
     except CheckpointError as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -73,6 +73,7 @@ except ImportError:  # pragma: no cover - non-POSIX platforms
     fcntl = None  # type: ignore[assignment]
 
 from ..backends import DEFAULT_COMPILERS, available_backends
+from ..chaos import chaos_controller
 from ..hardware.array import ChipletArray
 from ..hardware.noise import DEFAULT_NOISE, NoiseModel
 from ..metrics import improvement
@@ -114,7 +115,10 @@ __all__ = [
     "noise_to_items",
     "plan_jobs",
     "plan_summary",
+    "quarantine_checkpoint",
+    "quarantine_path_for",
     "read_journal",
+    "repair_journal",
     "record_from_payload",
     "record_to_payload",
     "record_row",
@@ -809,6 +813,12 @@ class ResultCache:
         self.corrupt_seen = 0
         #: Entries evicted by the LRU cap by this instance.
         self.evicted = 0
+        #: put() calls that failed at the filesystem (ENOSPC, read-only
+        #: mount, permissions) and degraded to pass-through instead.
+        self.write_errors = 0
+        #: Latched once any put() degrades: results are flowing through
+        #: this cache without being persisted.
+        self.degraded = False
         #: Running size total; None until the first capped put() scans once.
         self._total_bytes: int | None = None
         #: Appends by this instance, for periodic compaction checks.
@@ -1124,7 +1134,15 @@ class ResultCache:
         return dict(record) if isinstance(record, dict) else None
 
     def put(self, key: str, job: Job, record_payload: Mapping[str, object]) -> Path:
-        """Store one record payload under ``key`` (atomic write)."""
+        """Store one record payload under ``key`` (atomic write).
+
+        A filesystem failure (ENOSPC, read-only mount, permissions) does
+        **not** propagate: the cache degrades to recorded pass-through mode
+        — the caller keeps its in-memory payload and the run completes,
+        with the degradation counted in :attr:`write_errors` / latched in
+        :attr:`degraded` so :class:`RunReport` and the CLI can surface it.
+        Losing memoisation must never lose a result that already compiled.
+        """
         entry = {
             "cache_version": CACHE_VERSION,
             "key": key,
@@ -1132,11 +1150,22 @@ class ResultCache:
             "record": dict(record_payload),
         }
         path = self.path_for(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
         tmp = path.with_name(f".{path.name}.tmp-{os.getpid()}-{threading.get_ident()}")
-        with open(tmp, "w", encoding="utf-8") as handle:
-            json.dump(entry, handle, indent=1, sort_keys=True)
-        os.replace(tmp, path)
+        try:
+            chaos = chaos_controller()
+            if chaos is not None:
+                chaos.on_fs_op("put", str(path))
+            path.parent.mkdir(parents=True, exist_ok=True)
+            with open(tmp, "w", encoding="utf-8") as handle:
+                json.dump(entry, handle, indent=1, sort_keys=True)
+            os.replace(tmp, path)
+        except OSError:
+            with self._lock:
+                self.write_errors += 1
+                self.degraded = True
+            with contextlib.suppress(OSError):
+                tmp.unlink()
+            return path
         self._log_access("P", key)
         self._sweep_tmp(stale_only=True, dirs=(path.parent, self.cache_dir))
         if self.max_bytes:
@@ -1631,6 +1660,16 @@ class RunReport:
     corrupt_entries: int = 0
     #: True when the dispatch loop was cut short by ``KeyboardInterrupt``.
     interrupted: bool = False
+    #: Cache writes that failed at the filesystem during this run (the
+    #: cache degraded to pass-through; results stayed in memory).
+    cache_write_errors: int = 0
+    #: Latched when any cache write degraded during this run.
+    cache_degraded: bool = False
+    #: Checkpoint compactions that failed at the filesystem.
+    checkpoint_write_errors: int = 0
+    #: Responses replayed from the transport dedup log (request retries
+    #: that were answered without re-executing the op).
+    transport_replays: int = 0
 
     def summary(self) -> str:
         extras = ""
@@ -1639,6 +1678,18 @@ class RunReport:
         if self.corrupt_entries:
             extras += f", {self.corrupt_entries} corrupt cache entr"
             extras += "y dropped" if self.corrupt_entries == 1 else "ies dropped"
+        if self.cache_degraded:
+            extras += (
+                f", cache degraded to pass-through"
+                f" ({self.cache_write_errors} write error"
+                f"{'s' if self.cache_write_errors != 1 else ''})"
+            )
+        if self.checkpoint_write_errors:
+            extras += f", {self.checkpoint_write_errors} checkpoint write error"
+            extras += "s" if self.checkpoint_write_errors != 1 else ""
+        if self.transport_replays:
+            extras += f", {self.transport_replays} retried request"
+            extras += "s replayed" if self.transport_replays != 1 else " replayed"
         return (
             f"{self.total} jobs: {self.cache_hits} cached, {self.executed} executed"
             f"{extras}"
@@ -1658,11 +1709,19 @@ _CHECKPOINT_FLUSH_SECONDS = 1.0
 
 
 def _atomic_write_json(path: Path, document: Mapping[str, object]) -> None:
+    chaos = chaos_controller()
+    data = (json.dumps(document, indent=1, sort_keys=False) + "\n").encode("utf-8")
+    if chaos is not None:
+        chaos.on_fs_op("checkpoint", str(path))
+        # a torn-tail clause simulates a non-atomic writer dying mid-write:
+        # the truncated document still lands (tmp + rename), so readers see
+        # a syntactically broken file exactly as a crashed plain write(2)
+        # would have left it
+        data = chaos.checkpoint_payload(str(path), data)
     path.parent.mkdir(parents=True, exist_ok=True)
     tmp = path.with_name(f".{path.name}.tmp-{os.getpid()}")
-    with open(tmp, "w", encoding="utf-8") as handle:
-        json.dump(document, handle, indent=1, sort_keys=False)
-        handle.write("\n")
+    with open(tmp, "wb") as handle:
+        handle.write(data)
     os.replace(tmp, path)
 
 
@@ -1727,6 +1786,12 @@ def append_journal(path: str | Path, delta: Mapping[str, object]) -> None:
         "utf-8"
     )
     target = Path(path)
+    chaos = chaos_controller()
+    if chaos is not None:
+        chaos.on_fs_op("journal", str(target))
+        # a torn-tail clause appends only a prefix of the line — the exact
+        # on-disk state a crash mid-write(2) leaves behind
+        line = chaos.journal_line(str(target), line)
     target.parent.mkdir(parents=True, exist_ok=True)
     fd = os.open(str(target), os.O_WRONLY | os.O_APPEND | os.O_CREAT, 0o644)
     try:
@@ -1753,6 +1818,80 @@ def read_journal(path: str | Path) -> list[dict[str, object]]:
     except FileNotFoundError:
         return []
     return entries
+
+
+def quarantine_path_for(path: str | Path) -> Path:
+    """Where a corrupt journal tail / checkpoint is preserved aside."""
+    target = Path(path)
+    return target.with_name(target.name + ".quarantine")
+
+
+def repair_journal(path: str | Path) -> dict[str, object] | None:
+    """Quarantine a torn/corrupt journal tail and truncate to the good prefix.
+
+    A coordinator crash mid-append (or an injected ``torn-tail`` fault)
+    leaves a trailing fragment that is not a complete JSON line.  This
+    walks back from the end of the file past every trailing line that does
+    not parse, appends those bytes to ``<journal>.quarantine`` (preserved
+    as evidence, never silently discarded), and truncates the journal to
+    the surviving prefix — the same prefix :func:`read_journal` would have
+    parsed, now made durable so subsequent appenders do not merge their
+    first line into the torn fragment.
+
+    Returns ``None`` when the journal is healthy (or absent); otherwise a
+    stats dict with the quarantined byte count and paths.
+    """
+    target = Path(path)
+    try:
+        data = target.read_bytes()
+    except OSError:
+        # absent (no journal was ever written) or unreadable — either way
+        # there is nothing to repair here; resume proceeds on the checkpoint
+        return None
+
+    def parses(raw: bytes) -> bool:
+        text = raw.strip()
+        if not text:
+            return True  # a blank line is harmless, not a torn tail
+        try:
+            return isinstance(json.loads(text.decode("utf-8")), dict)
+        except (UnicodeDecodeError, ValueError):
+            return False
+
+    lines = data.split(b"\n")  # a healthy journal ends with b"" here
+    index = len(lines) - 1
+    while index >= 0 and not parses(lines[index]):
+        index -= 1
+    if index == len(lines) - 1:
+        return None
+    kept = lines[: index + 1]
+    good = b"\n".join(kept) + b"\n" if kept else b""
+    # re-terminate: kept may end with b"" (data had a trailing newline)
+    if good.endswith(b"\n\n"):
+        good = good[:-1]
+    torn = data[len(good):]
+    quarantine = quarantine_path_for(target)
+    fd = os.open(str(quarantine), os.O_WRONLY | os.O_APPEND | os.O_CREAT, 0o644)
+    try:
+        os.write(fd, torn if torn.endswith(b"\n") else torn + b"\n")
+    finally:
+        os.close(fd)
+    os.truncate(str(target), len(good))
+    return {
+        "journal": str(target),
+        "quarantine": str(quarantine),
+        "quarantined_bytes": len(torn),
+        "kept_events": sum(1 for line in kept if line.strip()),
+    }
+
+
+def quarantine_checkpoint(path: str | Path) -> Path:
+    """Move a corrupt checkpoint aside to ``<path>.quarantine`` and return
+    the quarantine path (the evidence is preserved, the slot is freed)."""
+    target = Path(path)
+    quarantine = quarantine_path_for(target)
+    os.replace(target, quarantine)
+    return quarantine
 
 
 class CheckpointError(ValueError):
@@ -1796,13 +1935,16 @@ class Checkpoint:
         return list(remaining.values())
 
 
-def load_checkpoint(path: str | Path) -> Checkpoint:
+def load_checkpoint(path: str | Path, *, quarantine: bool = False) -> Checkpoint:
     """Parse and validate a checkpoint file written by :func:`run_jobs_report`.
 
     Raises :class:`CheckpointError` on a missing/corrupt file, an
     un-resumable version-1 checkpoint, or jobs that no longer round-trip
     through :func:`job_from_dict` (e.g. a checkpoint from an incompatible
-    release).
+    release).  With ``quarantine=True`` (the ``repro resume`` path) a
+    syntactically corrupt file is additionally moved aside to
+    ``<path>.quarantine`` before raising, so the evidence is preserved and
+    a fresh run can re-create the checkpoint without fighting the rot.
     """
     path = Path(path)
     try:
@@ -1811,7 +1953,11 @@ def load_checkpoint(path: str | Path) -> Checkpoint:
     except FileNotFoundError as exc:
         raise CheckpointError(f"checkpoint file not found: {path}") from exc
     except (OSError, json.JSONDecodeError) as exc:
-        raise CheckpointError(f"unreadable checkpoint {path}: {exc}") from exc
+        suffix = ""
+        if quarantine and isinstance(exc, json.JSONDecodeError):
+            with contextlib.suppress(OSError):
+                suffix = f"; corrupt file preserved at {quarantine_checkpoint(path)}"
+        raise CheckpointError(f"unreadable checkpoint {path}: {exc}{suffix}") from exc
     if not isinstance(doc, dict):
         raise CheckpointError(f"checkpoint {path} is not a JSON object")
     version = doc.get("checkpoint_version")
@@ -1897,6 +2043,7 @@ def run_jobs_report(
     workers = max(1, int(workers))
     start = time.perf_counter()
     corrupt_base = store.corrupt_seen if store is not None else 0
+    write_error_base = store.write_errors if store is not None else 0
 
     plan = plan_jobs(jobs, cache=store, refresh=True)
     keys = plan.keys
@@ -1934,21 +2081,26 @@ def run_jobs_report(
             for key, job in pending.items()
             if key not in payloads and key not in errors
         ]
-        _atomic_write_json(
-            checkpoint_path,
-            checkpoint_document(
-                finished=finished,
-                interrupted=report.interrupted,
-                meta=checkpoint_meta,
-                total_jobs=report.total,
-                cache_hits=report.cache_hits,
-                cached_keys=cached_keys,
-                completed_keys=[key for key in pending if key in payloads],
-                failed=list(errors.values()),
-                pending_entries=remaining,
-                serialized_jobs=serialized_jobs,
-            ),
-        )
+        try:
+            _atomic_write_json(
+                checkpoint_path,
+                checkpoint_document(
+                    finished=finished,
+                    interrupted=report.interrupted,
+                    meta=checkpoint_meta,
+                    total_jobs=report.total,
+                    cache_hits=report.cache_hits,
+                    cached_keys=cached_keys,
+                    completed_keys=[key for key in pending if key in payloads],
+                    failed=list(errors.values()),
+                    pending_entries=remaining,
+                    serialized_jobs=serialized_jobs,
+                ),
+            )
+        except OSError:
+            # a full/read-only disk must not abort the sweep — results are
+            # still collected in memory; only resumability is degraded
+            report.checkpoint_write_errors += 1
 
     policy_dict = policy.to_dict()
     items: list[WorkItem] = [
@@ -2040,6 +2192,9 @@ def run_jobs_report(
 
     report.failed = len(errors)
     report.corrupt_entries = (store.corrupt_seen - corrupt_base) if store is not None else 0
+    if store is not None:
+        report.cache_write_errors = store.write_errors - write_error_base
+        report.cache_degraded = report.cache_write_errors > 0
     flush_checkpoint(finished=True)
 
     records: list[AnyRecord] = []

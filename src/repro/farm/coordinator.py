@@ -54,14 +54,19 @@ from ..experiments.engine import (
     plan_jobs,
     record_from_payload,
 )
+from ..chaos import chaos_controller
 from ..experiments.runner import AnyRecord
+from ..serve.dedup import ResponseLog
 from ..serve.schema import (
     FARM_PROTOCOL_VERSION,
+    FrameTooLargeError,
     ServeProtocolError,
     ServeRequest,
     ServeResponse,
     decode_line,
     encode_message,
+    protocol_error_response,
+    read_frame,
     work_stats,
 )
 from .launcher import WorkerHandle, WorkerLauncher, stop_workers
@@ -123,6 +128,12 @@ class FarmCoordinator:
         self._conn_lock = threading.Lock()
         #: Serialises journal appends + checkpoint compaction + cache puts.
         self._io_lock = threading.Lock()
+        #: Replays recorded responses when a worker retries after a drop —
+        #: without it a lost claim *reply* would burn a lease attempt.
+        self.dedup = ResponseLog()
+        #: Checkpoint compactions that failed at the filesystem (degraded
+        #: persistence: the run continues, resumability is what's at risk).
+        self.checkpoint_write_errors = 0
         self._last_flush = 0.0
         self._done = threading.Event()
         self._shutdown = threading.Event()
@@ -244,8 +255,11 @@ class FarmCoordinator:
             pending_entries=remaining,
             serialized_jobs=[job_to_dict(job) for job in self.jobs],
         )
-        with contextlib.suppress(OSError):
+        try:
             _atomic_write_json(self.checkpoint_path, document)
+        except OSError:
+            self.checkpoint_write_errors += 1
+        else:
             self._journal({"event": "compact", "finished": done})
 
     # ------------------------------------------------------------------ #
@@ -271,6 +285,7 @@ class FarmCoordinator:
     def report(self, *, workers: int = 1) -> RunReport:
         assert self.plan is not None
         errors = self.errors()
+        write_errors = self.store.write_errors if self.store is not None else 0
         return RunReport(
             total=self.plan.total,
             cache_hits=self.plan.cache_hits,
@@ -281,6 +296,10 @@ class FarmCoordinator:
             failed=len(errors),
             errors=errors,
             interrupted=self.interrupted,
+            cache_write_errors=write_errors,
+            cache_degraded=bool(self.store is not None and self.store.degraded),
+            checkpoint_write_errors=self.checkpoint_write_errors,
+            transport_replays=self.dedup.replayed,
         )
 
     def progress_payload(self) -> dict[str, Any]:
@@ -334,32 +353,58 @@ class FarmCoordinator:
     def _serve_connection(self, conn: socket.socket) -> None:
         with self._conn_lock:
             self._connections.add(conn)
+
+        def transmit(response: ServeResponse) -> None:
+            # record before the write so a reply lost to a drop is replayed
+            # verbatim when the worker retries with the same request_id
+            self.dedup.record(response)
+            data = encode_message(response)
+            chaos = chaos_controller()
+            if chaos is not None:
+                data = chaos.on_frame("coordinator.send", data)
+            conn.sendall(data)
+
         try:
             reader = conn.makefile("rb")
-            for line in reader:
+            while True:
+                try:
+                    line = read_frame(reader)
+                except FrameTooLargeError as exc:
+                    # framing is unrecoverable past the cap: answer + sever
+                    with contextlib.suppress(OSError):
+                        transmit(protocol_error_response(b"", exc))
+                    break
+                if line is None:
+                    break
                 if not line.strip():
                     continue
+                chaos = chaos_controller()
+                if chaos is not None:
+                    line = chaos.on_frame("coordinator.recv", line)
                 try:
                     request = decode_line(line, ServeRequest)
                 except ServeProtocolError as exc:
-                    response = ServeResponse(
-                        request_id="?", ok=False, error=f"protocol error: {exc}"
-                    )
+                    response = protocol_error_response(line, exc)
                 else:
-                    try:
-                        response = self._dispatch(request)
-                    except ServeProtocolError as exc:
-                        response = ServeResponse(
-                            request_id=request.request_id,
-                            ok=False,
-                            error=f"protocol error: {exc}",
-                            protocol=request.protocol,
-                        )
+                    replayed = self.dedup.replay(request.request_id)
+                    if replayed is not None:
+                        response = replayed
+                    else:
+                        try:
+                            response = self._dispatch(request)
+                        except ServeProtocolError as exc:
+                            response = ServeResponse(
+                                request_id=request.request_id,
+                                ok=False,
+                                payload={"code": "protocol-error"},
+                                error=f"protocol error: {exc}",
+                                protocol=request.protocol,
+                            )
                 try:
-                    conn.sendall(encode_message(response))
+                    transmit(response)
                 except OSError:
                     break
-        except OSError:
+        except OSError:  # includes an injected ChaosDrop (a ConnectionError)
             pass
         finally:
             with contextlib.suppress(OSError):

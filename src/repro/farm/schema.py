@@ -22,7 +22,12 @@ import itertools
 from dataclasses import dataclass
 from typing import Any
 
-from ..serve.schema import FARM_PROTOCOL_VERSION, ServeProtocolError, ServeRequest
+from ..serve.schema import (
+    FARM_PROTOCOL_VERSION,
+    ServeProtocolError,
+    ServeRequest,
+    request_token,
+)
 
 __all__ = [
     "Lease",
@@ -41,7 +46,10 @@ _FARM_REQUEST_COUNTER = itertools.count(1)
 
 
 def _next_id(prefix: str) -> str:
-    return f"{prefix}-{next(_FARM_REQUEST_COUNTER)}"
+    # the process token keeps ids unique across workers: the coordinator's
+    # dedup layer replays recorded responses for repeated ids, so two
+    # workers both counting "claim-1" would receive each other's leases
+    return f"{prefix}-{request_token()}-{next(_FARM_REQUEST_COUNTER)}"
 
 
 @dataclass(frozen=True)

@@ -21,7 +21,9 @@ from __future__ import annotations
 
 import contextlib
 import os
+import signal
 import socket
+import sys
 import threading
 import time
 from concurrent.futures import FIRST_COMPLETED, Future, ThreadPoolExecutor, wait
@@ -30,6 +32,7 @@ from collections.abc import Callable
 
 from ..experiments.engine import _execute_keyed
 from ..serve.client import ServeClient
+from ..serve.retry import BackoffPolicy, retry_call
 from ..serve.schema import ServeProtocolError, ServeResponse
 from .schema import (
     Lease,
@@ -86,7 +89,9 @@ class _Heartbeat:
             if not keys:
                 continue
             try:
-                with ServeClient(self.host, self.port, timeout=10.0) as client:
+                with ServeClient(
+                    self.host, self.port, timeout=10.0, site="worker-hb"
+                ) as client:
                     client.request(heartbeat_request(self.worker_id, keys))
             except (OSError, ServeProtocolError):
                 # the coordinator will either come back or expire us; the
@@ -122,7 +127,18 @@ def run_worker(
     executed = 0
     try:
         with (
-            ServeClient(host, port, timeout=300.0) as client,
+            # the backoff policy + request retries make the worker survive a
+            # mid-run coordinator connection drop: a failed claim/report is
+            # resent on a fresh connection with the same request_id and the
+            # coordinator's dedup log replays the answer it already computed
+            ServeClient(
+                host,
+                port,
+                timeout=300.0,
+                site="worker",
+                connect_policy=BackoffPolicy(max_total_seconds=30.0),
+                request_retries=4,
+            ) as client,
             ThreadPoolExecutor(
                 max_workers=workers, thread_name_prefix="repro-farm-exec"
             ) as pool,
@@ -204,21 +220,42 @@ def main_loop_with_retry(
     worker_id: str | None = None,
     batch: int | None = None,
     connect_attempts: int = 20,
-    connect_delay: float = 0.25,
+    connect_timeout: float = 2.0,
+    max_connect_seconds: float = 30.0,
     progress: Callable[[str], None] | None = None,
 ) -> int:
-    """``run_worker`` with a patient first connect (coordinator may still be binding)."""
-    last: Exception | None = None
-    for _ in range(max(1, connect_attempts)):
-        try:
-            with contextlib.closing(socket.create_connection((host, port), timeout=2.0)):
-                break
-        except OSError as exc:
-            last = exc
-            time.sleep(connect_delay)
-    else:
+    """``run_worker`` with a patient first connect (coordinator may still be binding).
+
+    The wait runs under the shared capped-exponential-backoff policy:
+    ``connect_timeout`` bounds each dial, ``connect_attempts`` and
+    ``max_connect_seconds`` bound the whole wait (whichever budget runs
+    out first).
+    """
+    # the farm driver stops workers with SIGTERM once the queue drains;
+    # converting it to SystemExit lets atexit hooks (chaos report flush)
+    # run instead of the process dying mid-frame
+    try:
+        signal.signal(signal.SIGTERM, lambda signum, frame: sys.exit(0))
+    except ValueError:
+        pass  # not the main thread (embedded in tests); leave signals alone
+    policy = BackoffPolicy(
+        initial=0.1,
+        cap=2.0,
+        max_attempts=max(1, connect_attempts),
+        max_total_seconds=max_connect_seconds,
+    )
+
+    def dial() -> None:
+        with contextlib.closing(
+            socket.create_connection((host, port), timeout=connect_timeout)
+        ):
+            pass
+
+    try:
+        retry_call(dial, policy=policy)
+    except OSError as exc:
         if progress is not None:
-            progress(f"coordinator never came up at {host}:{port}: {last}")
+            progress(f"coordinator never came up at {host}:{port}: {exc}")
         return 1
     return run_worker(
         host,

@@ -1,0 +1,60 @@
+"""Server-side request-id deduplication.
+
+A client that loses its connection after sending a request cannot know
+whether the server processed it, so the hardened :class:`ServeClient`
+retries the request on a fresh connection **with the same request_id**.
+The server keeps a bounded LRU of recently-answered request ids mapped to
+their full responses; a replayed id gets the recorded response back
+verbatim instead of a second execution.  The response is recorded
+*before* the first reply is written to the socket, so a reply lost to a
+connection drop is always replayable — there is no window in which the
+op executed but the dedup log missed it.
+
+Capacity is bounded (default 512 entries) because the log only has to
+cover the client's retry horizon — a few seconds — not the run's whole
+history; request ids carry a per-process random token so ids never
+recur across submitting processes.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+
+from .schema import ServeResponse
+
+__all__ = ["ResponseLog"]
+
+
+class ResponseLog:
+    """Thread-safe bounded LRU of ``request_id -> ServeResponse``."""
+
+    def __init__(self, capacity: int = 512) -> None:
+        self.capacity = max(1, capacity)
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[str, ServeResponse] = OrderedDict()
+        self.replayed = 0
+
+    def record(self, response: ServeResponse) -> None:
+        """Remember ``response`` for replay; ignores null-id error replies."""
+        request_id = response.request_id
+        if request_id is None:
+            return
+        with self._lock:
+            self._entries[request_id] = response
+            self._entries.move_to_end(request_id)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+
+    def replay(self, request_id: str) -> ServeResponse | None:
+        """The recorded response for ``request_id``, or ``None`` if unseen."""
+        with self._lock:
+            response = self._entries.get(request_id)
+            if response is not None:
+                self._entries.move_to_end(request_id)
+                self.replayed += 1
+            return response
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)

@@ -45,23 +45,57 @@ old clients and servers interoperate unchanged.
 from __future__ import annotations
 
 import json
+import os
+import secrets
 from dataclasses import dataclass, field
 from typing import Any
 
 __all__ = [
     "FARM_PROTOCOL_VERSION",
+    "MAX_FRAME_BYTES",
     "SERVE_PROTOCOL_VERSION",
     "WORK_STATS_VERSION",
+    "FrameTooLargeError",
     "ServeProtocolError",
     "ServeRequest",
     "ServeResponse",
     "decode_line",
     "encode_message",
+    "protocol_error_response",
+    "read_frame",
+    "request_token",
     "work_stats",
 ]
 
+_TOKEN_PID: int | None = None
+_TOKEN = ""
+
+
+def request_token() -> str:
+    """A per-process random token every request-id generator embeds.
+
+    Request ids must be globally unique across every process that ever
+    talks to one server: the server's dedup layer replays a recorded
+    response for a repeated id, so two processes both counting ``claim-1``,
+    ``claim-2``, ... would silently receive each other's answers.  The
+    token is re-derived after ``fork`` (the pid check) so forked children
+    never share their parent's id space.
+    """
+    global _TOKEN_PID, _TOKEN
+    pid = os.getpid()
+    if pid != _TOKEN_PID:
+        _TOKEN = f"{pid:x}{secrets.token_hex(3)}"
+        _TOKEN_PID = pid
+    return _TOKEN
+
 #: Bumped whenever the wire format changes incompatibly.
 SERVE_PROTOCOL_VERSION = 1
+
+#: Hard cap on one newline-JSON frame.  Generous (the largest compile
+#: request — a full job manifest — is a few KiB), but bounded: a peer
+#: streaming garbage without a newline can never grow server memory past
+#: this.
+MAX_FRAME_BYTES = 8 * 1024 * 1024
 
 #: The farm work-queue extension (claim/complete/fail/heartbeat/progress).
 FARM_PROTOCOL_VERSION = 2
@@ -113,6 +147,29 @@ def work_stats(
 
 class ServeProtocolError(ValueError):
     """A request or response line that violates the wire schema."""
+
+
+class FrameTooLargeError(ServeProtocolError):
+    """A frame exceeded :data:`MAX_FRAME_BYTES`; the connection cannot be
+    resynchronised and must be closed."""
+
+
+def read_frame(reader: Any, limit: int = MAX_FRAME_BYTES) -> bytes | None:
+    """Read one newline-terminated frame from a buffered binary reader.
+
+    Returns ``None`` at EOF.  Raises :class:`FrameTooLargeError` when a
+    line exceeds ``limit`` bytes — ``readline`` is called with a bound,
+    so the oversized frame is *detected* after buffering at most
+    ``limit + 1`` bytes rather than after swallowing the whole stream.
+    """
+    line = reader.readline(limit + 1)
+    if not line:
+        return None
+    if len(line) > limit:
+        raise FrameTooLargeError(
+            f"frame exceeds the {limit}-byte protocol cap; closing the connection"
+        )
+    return line
 
 
 @dataclass(frozen=True)
@@ -205,10 +262,15 @@ class ServeResponse:
     the op-specific result (for ``compile``: the record payload plus the
     engine cache key and a ``warm`` flag); on failure ``error`` holds a
     human-readable message and ``payload`` may carry structured detail (a
-    ``job_error`` dict for failed jobs).
+    ``job_error`` dict for failed jobs, or a ``code`` string for protocol
+    errors).
+
+    ``request_id`` is ``None`` only on the server's structured reply to a
+    frame it could not parse at all — there is no request id to echo, so
+    the error is addressed to the connection rather than a request.
     """
 
-    request_id: str
+    request_id: str | None
     ok: bool
     payload: dict[str, Any] = field(default_factory=dict)
     error: str | None = None
@@ -236,8 +298,8 @@ class ServeResponse:
     def from_dict(cls, payload: dict[str, Any]) -> "ServeResponse":
         version = _check_protocol(payload)
         request_id = payload.get("request_id")
-        if not isinstance(request_id, str):
-            raise ServeProtocolError("response is missing a string 'request_id'")
+        if request_id is not None and not isinstance(request_id, str):
+            raise ServeProtocolError("response 'request_id' must be a string or null")
         ok = payload.get("ok")
         if not isinstance(ok, bool):
             raise ServeProtocolError("response is missing a boolean 'ok'")
@@ -279,3 +341,46 @@ def decode_line(line: bytes | str, kind: type) -> Any:
     if not isinstance(payload, dict):
         raise ServeProtocolError("protocol line must be a JSON object")
     return kind.from_dict(payload)
+
+
+def _salvage_request_id(line: bytes | str) -> str | None:
+    """Best-effort request_id recovery from a frame that failed to decode,
+    so the structured error reply can still be matched by the client."""
+    if isinstance(line, bytes):
+        line = line.decode("utf-8", errors="replace")
+    try:
+        payload = json.loads(line.strip())
+    except json.JSONDecodeError:
+        return None
+    if isinstance(payload, dict):
+        request_id = payload.get("request_id")
+        if isinstance(request_id, str) and request_id:
+            return request_id
+    return None
+
+
+def protocol_error_response(line: bytes | str, exc: ServeProtocolError) -> ServeResponse:
+    """The structured ``error`` reply a server sends for an illegal frame.
+
+    Instead of silently dropping the connection, the peer gets a normal
+    response line: ``ok=false``, a ``code`` in the payload classifying the
+    failure (``oversized-frame`` / ``protocol-mismatch`` /
+    ``malformed-frame`` / ``protocol-error``), and the offending frame's
+    ``request_id`` echoed when it could be salvaged — ``null`` otherwise.
+    """
+    message = str(exc)
+    request_id = _salvage_request_id(line)
+    if isinstance(exc, FrameTooLargeError):
+        code = "oversized-frame"
+    elif "protocol version mismatch" in message:
+        code = "protocol-mismatch"
+    elif request_id is None:
+        code = "malformed-frame"
+    else:
+        code = "protocol-error"
+    return ServeResponse(
+        request_id=request_id,
+        ok=False,
+        payload={"code": code},
+        error=f"protocol error: {message}",
+    )

@@ -24,6 +24,7 @@ import threading
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any
 
+from ..chaos import ChaosDrop, chaos_controller
 from ..experiments.engine import (
     JobPolicy,
     ResultCache,
@@ -32,13 +33,17 @@ from ..experiments.engine import (
     job_from_dict,
     set_warm_state_provider,
 )
+from .dedup import ResponseLog
 from .schema import (
     SERVE_PROTOCOL_VERSION,
+    FrameTooLargeError,
     ServeProtocolError,
     ServeRequest,
     ServeResponse,
     decode_line,
     encode_message,
+    protocol_error_response,
+    read_frame,
     work_stats,
 )
 from .state import WarmStateRegistry
@@ -91,6 +96,7 @@ class CompileServer:
         self._connection_threads: list[threading.Thread] = []
         self._connections: set[socket.socket] = set()
         self._previous_provider: Any = None
+        self.dedup = ResponseLog()
         self._shutdown = threading.Event()
         self._state_lock = threading.Lock()
         self._requests_served = 0
@@ -215,7 +221,20 @@ class CompileServer:
         write_lock = threading.Lock()
 
         def respond(response: ServeResponse) -> None:
+            # record before the first write: a reply lost to a connection
+            # drop must be replayable when the client retries its request
+            self.dedup.record(response)
             data = encode_message(response)
+            chaos = chaos_controller()
+            if chaos is not None:
+                try:
+                    data = chaos.on_frame("server.send", data)
+                except ChaosDrop:
+                    try:
+                        conn.shutdown(socket.SHUT_RDWR)
+                    except OSError:
+                        pass
+                    return
             with write_lock:
                 try:
                     conn.sendall(data)
@@ -224,19 +243,32 @@ class CompileServer:
 
         try:
             reader = conn.makefile("rb")
-            for line in reader:
+            while True:
+                try:
+                    line = read_frame(reader)
+                except FrameTooLargeError as exc:
+                    # unrecoverable: framing is lost, so answer and sever
+                    with self._state_lock:
+                        self._errors += 1
+                    respond(protocol_error_response(b"", exc))
+                    break
+                if line is None:
+                    break
                 if not line.strip():
                     continue
+                chaos = chaos_controller()
+                if chaos is not None:
+                    line = chaos.on_frame("server.recv", line)
                 try:
                     request = decode_line(line, ServeRequest)
                 except ServeProtocolError as exc:
                     with self._state_lock:
                         self._errors += 1
-                    respond(
-                        ServeResponse(
-                            request_id="?", ok=False, error=f"protocol error: {exc}"
-                        )
-                    )
+                    respond(protocol_error_response(line, exc))
+                    continue
+                replayed = self.dedup.replay(request.request_id)
+                if replayed is not None:
+                    respond(replayed)
                     continue
                 with self._state_lock:
                     self._requests_served += 1
@@ -396,5 +428,6 @@ class CompileServer:
             "caching": self.cache is not None,
             **counters,
             "queue": queue,
+            "dedup": {"recorded": len(self.dedup), "replayed": self.dedup.replayed},
             "warm_state": self.registry.stats(),
         }
